@@ -1,0 +1,61 @@
+package saber
+
+// This file is the benchmark face of the reproduction: one testing.B
+// target per table/figure of the paper's evaluation (§6), each delegating
+// to the experiment harness in internal/bench. Run a single figure with
+//
+//	go test -bench=BenchmarkFig10a -benchmem
+//
+// or everything with `go test -bench=. -benchmem`. Each benchmark prints
+// the regenerated rows once. Benchmark volumes are kept modest; use
+// cmd/saber-bench with -scale/-mb for higher-fidelity runs.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"saber/internal/bench"
+)
+
+// benchOptions keeps the full suite's wall time in minutes on a small
+// host while the calibrated model still dominates real compute.
+func benchOptions() bench.Options {
+	return bench.Options{Scale: 8, MB: 4, Workers: 8}
+}
+
+func runExperiment(b *testing.B, id string) {
+	e, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var rep bench.Report
+	for i := 0; i < b.N; i++ {
+		rep = e.Run(benchOptions())
+	}
+	if len(rep.Rows) == 0 {
+		b.Fatalf("experiment %s produced no rows", id)
+	}
+	fmt.Fprintln(os.Stderr)
+	rep.Print(os.Stderr)
+}
+
+func BenchmarkFig01SparkSlide(b *testing.B)         { runExperiment(b, "fig01") }
+func BenchmarkTable1Catalog(b *testing.B)           { runExperiment(b, "tab01") }
+func BenchmarkFig07Applications(b *testing.B)       { runExperiment(b, "fig07") }
+func BenchmarkFig08Synthetic(b *testing.B)          { runExperiment(b, "fig08") }
+func BenchmarkFig09SparkComparison(b *testing.B)    { runExperiment(b, "fig09") }
+func BenchmarkMonetDBJoin(b *testing.B)             { runExperiment(b, "mdb") }
+func BenchmarkFig10aSelectPredicates(b *testing.B)  { runExperiment(b, "fig10a") }
+func BenchmarkFig10bJoinPredicates(b *testing.B)    { runExperiment(b, "fig10b") }
+func BenchmarkFig11aSelectSlide(b *testing.B)       { runExperiment(b, "fig11a") }
+func BenchmarkFig11bAggSlide(b *testing.B)          { runExperiment(b, "fig11b") }
+func BenchmarkFig12TaskSize(b *testing.B)           { runExperiment(b, "fig12") }
+func BenchmarkFig13WindowIndependence(b *testing.B) { runExperiment(b, "fig13") }
+func BenchmarkFig14CPUScaling(b *testing.B)         { runExperiment(b, "fig14") }
+func BenchmarkFig15Scheduling(b *testing.B)         { runExperiment(b, "fig15") }
+func BenchmarkFig16Adaptation(b *testing.B)         { runExperiment(b, "fig16") }
+func BenchmarkAblationLookahead(b *testing.B)       { runExperiment(b, "abl-lookahead") }
+func BenchmarkAblationIncremental(b *testing.B)     { runExperiment(b, "abl-incremental") }
+func BenchmarkAblationPipeline(b *testing.B)        { runExperiment(b, "abl-pipeline") }
+func BenchmarkAblationDispatcher(b *testing.B)      { runExperiment(b, "abl-dispatcher") }

@@ -1,0 +1,60 @@
+// Command saber-bench regenerates the tables and figures of the SABER
+// paper's evaluation (§6).
+//
+// Usage:
+//
+//	saber-bench -list
+//	saber-bench -experiment fig10a
+//	saber-bench -experiment all -scale 20 -mb 16 -workers 15
+//
+// Output units are paper-equivalent (see internal/bench and DESIGN.md §2:
+// measured throughput × time scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"saber/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id, or 'all'")
+		scale      = flag.Float64("scale", 0, "model time scale (0 = default)")
+		mb         = flag.Int("mb", 0, "data volume per measurement point in MiB (0 = default)")
+		workers    = flag.Int("workers", 0, "CPU worker threads (0 = default 15)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{Scale: *scale, MB: *mb, Workers: *workers}
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		rep := e.Run(opts)
+		rep.Notes = append(rep.Notes, fmt.Sprintf("experiment wall time: %v", time.Since(start).Round(time.Millisecond)))
+		rep.Print(os.Stdout)
+	}
+
+	if *experiment == "all" {
+		for _, e := range bench.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.Lookup(*experiment)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "saber-bench: unknown experiment %q (use -list)\n", *experiment)
+		os.Exit(1)
+	}
+	run(e)
+}

@@ -1,0 +1,123 @@
+// Command saber-run executes a CQL query over one of the built-in
+// workload generators and prints a sample of the result stream plus
+// throughput statistics.
+//
+// Usage:
+//
+//	saber-run -stream cm -query 'select timestamp, category, sum(cpu) as totalCpu
+//	                             from TaskEvents [range 60 slide 1] group by category'
+//	saber-run -stream syn -mb 32 -gpu=false -query 'select * from Syn [rows 1024] where a3 < 256'
+//
+// Streams: syn (Syn), cm (TaskEvents), sg (SmartGridStr), lrb
+// (PosSpeedStr).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"saber"
+	"saber/internal/workload"
+)
+
+func main() {
+	var (
+		queryText = flag.String("query", "", "CQL query text (required)")
+		stream    = flag.String("stream", "syn", "input stream: syn | cm | sg | lrb")
+		mb        = flag.Int("mb", 8, "input volume in MiB")
+		useGPU    = flag.Bool("gpu", true, "attach the simulated GPGPU")
+		workers   = flag.Int("workers", 15, "CPU worker threads")
+		scale     = flag.Float64("scale", 1, "model time scale")
+		sample    = flag.Int("sample", 5, "result rows to print")
+		native    = flag.Bool("native", false, "run at native speed (no performance model)")
+	)
+	flag.Parse()
+	if *queryText == "" {
+		fmt.Fprintln(os.Stderr, "saber-run: -query is required")
+		os.Exit(2)
+	}
+
+	var (
+		name   string
+		schema *saber.Schema
+		gen    func(dst []byte, n int) []byte
+	)
+	switch *stream {
+	case "syn":
+		name, schema = "Syn", workload.SynSchema
+		g := workload.NewSynGen(1)
+		g.Groups = 64
+		gen = g.Next
+	case "cm":
+		name, schema = "TaskEvents", workload.CMSchema
+		gen = workload.NewCMGen(1).Next
+	case "sg":
+		name, schema = "SmartGridStr", workload.SGSchema
+		gen = workload.NewSGGen(1).Next
+	case "lrb":
+		name, schema = "PosSpeedStr", workload.LRBSchema
+		gen = workload.NewLRBGen(1, 500).Next
+	default:
+		fmt.Fprintf(os.Stderr, "saber-run: unknown stream %q\n", *stream)
+		os.Exit(2)
+	}
+
+	cfg := saber.Config{
+		CPUWorkers:  *workers,
+		Model:       saber.DefaultModel().Scaled(*scale),
+		NativeSpeed: *native,
+	}
+	if *useGPU {
+		dev := saber.OpenGPU(saber.GPUConfig{Model: cfg.Model})
+		defer dev.Close()
+		cfg.GPU = dev
+	}
+	eng := saber.New(cfg)
+	eng.DeclareStream(name, schema)
+
+	q, err := eng.Query("q", *queryText)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saber-run: %v\n", err)
+		os.Exit(1)
+	}
+	out := q.OutputSchema()
+	fmt.Printf("output schema: %s\n", out)
+
+	var mu sync.Mutex
+	printed := 0
+	q.OnResult(func(rows []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		osz := out.TupleSize()
+		for i := 0; i+osz <= len(rows) && printed < *sample; i += osz {
+			fmt.Printf("  %s\n", out.Format(rows[i:i+osz]))
+			printed++
+		}
+	})
+
+	if err := eng.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "saber-run: %v\n", err)
+		os.Exit(1)
+	}
+
+	tuples := (*mb << 20) / schema.TupleSize()
+	data := gen(nil, tuples)
+	start := time.Now()
+	q.Insert(data)
+	eng.Drain()
+	elapsed := time.Since(start)
+	eng.Close()
+
+	st := q.Stats()
+	fmt.Printf("\nprocessed %.1f MiB in %v (%.3f GB/s measured",
+		float64(st.BytesIn)/(1<<20), elapsed.Round(time.Millisecond),
+		float64(st.BytesIn)/elapsed.Seconds()/1e9)
+	if !*native {
+		fmt.Printf(", %.3f GB/s paper-equivalent", float64(st.BytesIn)/elapsed.Seconds()/1e9**scale)
+	}
+	fmt.Printf(")\ntasks: %d cpu, %d gpu (gpu share %.0f%%); output: %d tuples; avg latency %v\n",
+		st.TasksCPU, st.TasksGPU, st.GPUShare()*100, st.TuplesOut, st.AvgLatency.Round(time.Microsecond))
+}

@@ -1,0 +1,90 @@
+// Cluster monitoring: the paper's CM1 and CM2 queries (Appendix A.1)
+// over a synthetic Google-cluster-style event trace, running concurrently
+// on one hybrid engine — the multi-query scenario HLS was designed for.
+//
+//	go run ./examples/clustermon
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"saber"
+	"saber/internal/workload"
+)
+
+func main() {
+	gpu := saber.OpenGPU(saber.GPUConfig{})
+	defer gpu.Close()
+	eng := saber.New(saber.Config{
+		CPUWorkers: 4,
+		GPU:        gpu,
+		TaskSize:   256 << 10,
+		Model:      saber.DefaultModel().Scaled(2),
+	})
+	eng.DeclareStream("TaskEvents", workload.CMSchema)
+
+	cm1, err := eng.Query("CM1", `
+		select timestamp, category, sum(cpu) as totalCpu
+		from TaskEvents [range 60 slide 1]
+		group by category`)
+	if err != nil {
+		panic(err)
+	}
+	cm2, err := eng.Query("CM2", `
+		select timestamp, jobId, avg(cpu) as avgCpu
+		from TaskEvents [range 60 slide 1]
+		where eventType == 1
+		group by jobId`)
+	if err != nil {
+		panic(err)
+	}
+
+	var mu sync.Mutex
+	samples := map[string][]string{}
+	keep := func(name string, h *saber.QueryHandle) {
+		out := h.OutputSchema()
+		h.OnResult(func(rows []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			if len(samples[name]) < 3 && len(rows) >= out.TupleSize() {
+				samples[name] = append(samples[name], out.Format(rows[:out.TupleSize()]))
+			}
+		})
+	}
+	keep("CM1", cm1)
+	keep("CM2", cm2)
+
+	if err := eng.Start(); err != nil {
+		panic(err)
+	}
+
+	gen := workload.NewCMGen(7)
+	const chunkTuples = 4096
+	start := time.Now()
+	var buf []byte
+	for i := 0; i < 64; i++ {
+		buf = gen.Next(buf[:0], chunkTuples)
+		// Both queries consume the same trace.
+		cm1.Insert(buf)
+		cm2.Insert(buf)
+	}
+	eng.Drain()
+	eng.Close()
+	elapsed := time.Since(start)
+
+	for _, name := range []string{"CM1", "CM2"} {
+		fmt.Printf("%s sample results:\n", name)
+		for _, s := range samples[name] {
+			fmt.Println("  ", s)
+		}
+	}
+	for name, h := range map[string]*saber.QueryHandle{"CM1": cm1, "CM2": cm2} {
+		st := h.Stats()
+		fmt.Printf("%s: %.1f MiB in, %d windows of output, cpu/gpu tasks %d/%d\n",
+			name, float64(st.BytesIn)/(1<<20), st.TuplesOut, st.TasksCPU, st.TasksGPU)
+	}
+	fmt.Printf("wall time %v; HLS throughput matrix %v\n",
+		elapsed.Round(time.Millisecond), eng.ThroughputMatrix())
+}

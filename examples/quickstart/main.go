@@ -1,0 +1,85 @@
+// Quickstart: a windowed aggregation over a synthetic sensor stream.
+//
+//	go run ./examples/quickstart
+//
+// It declares a stream, registers one CQL query, pumps a million tuples
+// through the hybrid engine (CPU workers plus the simulated GPGPU), and
+// prints the first window results and the run statistics.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"saber"
+)
+
+func main() {
+	sensor := saber.MustSchema(
+		saber.Field{Name: "timestamp", Type: saber.Int64},
+		saber.Field{Name: "sensor", Type: saber.Int32},
+		saber.Field{Name: "value", Type: saber.Float32},
+	)
+
+	gpu := saber.OpenGPU(saber.GPUConfig{})
+	defer gpu.Close()
+
+	eng := saber.New(saber.Config{
+		CPUWorkers: 4,
+		GPU:        gpu,
+		TaskSize:   256 << 10,
+	})
+	eng.DeclareStream("Sensors", sensor)
+
+	q, err := eng.Query("avgBySensor", `
+		select timestamp, sensor, avg(value) as avgValue, count(*) as n
+		from Sensors [rows 65536 slide 16384]
+		group by sensor`)
+	if err != nil {
+		panic(err)
+	}
+
+	out := q.OutputSchema()
+	var mu sync.Mutex
+	printed := 0
+	q.OnResult(func(rows []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		osz := out.TupleSize()
+		for i := 0; i+osz <= len(rows) && printed < 8; i += osz {
+			fmt.Println("  ", out.Format(rows[i:i+osz]))
+			printed++
+		}
+	})
+
+	if err := eng.Start(); err != nil {
+		panic(err)
+	}
+
+	// Pump one million tuples.
+	const tuples = 1 << 20
+	rnd := rand.New(rand.NewSource(1))
+	buf := make([]byte, sensor.TupleSize())
+	batch := make([]byte, 0, 4096*sensor.TupleSize())
+	start := time.Now()
+	for i := 0; i < tuples; i++ {
+		sensor.SetTimestamp(buf, int64(i))
+		sensor.WriteInt32(buf, 1, int32(rnd.Intn(8)))
+		sensor.WriteFloat32(buf, 2, rnd.Float32()*100)
+		batch = append(batch, buf...)
+		if len(batch) == cap(batch) {
+			q.Insert(batch)
+			batch = batch[:0]
+		}
+	}
+	q.Insert(batch)
+	eng.Drain()
+	eng.Close()
+
+	st := q.Stats()
+	fmt.Printf("\nprocessed %d tuples in %v — %d windows, %d on CPU / %d on GPGPU, avg latency %v\n",
+		tuples, time.Since(start).Round(time.Millisecond),
+		st.TuplesOut/8, st.TasksCPU, st.TasksGPU, st.AvgLatency.Round(time.Microsecond))
+}

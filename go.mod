@@ -1,0 +1,3 @@
+module saber
+
+go 1.22

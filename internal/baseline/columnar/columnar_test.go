@@ -1,0 +1,92 @@
+package columnar
+
+import (
+	"testing"
+
+	"saber/internal/schema"
+)
+
+var testSchema = schema.MustNew(
+	schema.Field{Name: "timestamp", Type: schema.Int64},
+	schema.Field{Name: "k", Type: schema.Int32},
+	schema.Field{Name: "v", Type: schema.Int32},
+)
+
+func mkTable(n int, keyMod int32) *Table {
+	b := schema.NewTupleBuilder(testSchema, n)
+	for i := 0; i < n; i++ {
+		b.Begin().Timestamp(int64(i)).Int32("k", int32(i)%keyMod).Int32("v", int32(i))
+	}
+	return FromRows(testSchema, b.Bytes())
+}
+
+func TestFromRowsRoundTrip(t *testing.T) {
+	tab := mkTable(100, 10)
+	if tab.Len() != 100 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if tab.Int32At(1, i) != int32(i)%10 || tab.Int32At(2, i) != int32(i) {
+			t.Fatalf("row %d decomposed wrong", i)
+		}
+	}
+}
+
+func TestThetaJoinCounts(t *testing.T) {
+	a := mkTable(64, 8)
+	b := mkTable(64, 8)
+	// Equality predicate: each a row matches 8 b rows.
+	for _, threads := range []int{1, 4} {
+		r := ThetaJoin(a, b, 1, 1, func(x, y int32) bool { return x == y }, false, threads)
+		if r.Matches != 64*8 {
+			t.Fatalf("threads %d: matches = %d, want 512", threads, r.Matches)
+		}
+		if r.OutBytes != r.Matches*8 {
+			t.Fatalf("two-column output bytes = %d", r.OutBytes)
+		}
+	}
+}
+
+func TestThetaJoinSelectAllReconstructs(t *testing.T) {
+	a := mkTable(32, 4)
+	b := mkTable(32, 4)
+	r := ThetaJoin(a, b, 1, 1, func(x, y int32) bool { return x == y }, true, 2)
+	wantRow := int64(testSchema.TupleSize() * 2)
+	if r.OutBytes != r.Matches*wantRow {
+		t.Fatalf("select-* bytes = %d, want %d per row", r.OutBytes, wantRow)
+	}
+}
+
+func TestHashEquiJoinMatchesTheta(t *testing.T) {
+	a := mkTable(200, 16)
+	b := mkTable(150, 16)
+	theta := ThetaJoin(a, b, 1, 1, func(x, y int32) bool { return x == y }, false, 2)
+	hash := HashEquiJoin(a, b, 1, 1, 2)
+	if theta.Matches != hash.Matches {
+		t.Fatalf("theta %d != hash %d", theta.Matches, hash.Matches)
+	}
+}
+
+func TestLowSelectivityTheta(t *testing.T) {
+	a := mkTable(128, 128)
+	b := mkTable(128, 128)
+	r := ThetaJoin(a, b, 1, 1, func(x, y int32) bool { return x == y && x < 2 }, false, 3)
+	if r.Matches != 2 {
+		t.Fatalf("matches = %d", r.Matches)
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	small := mkTable(3, 3)
+	parts := partition(small, 8)
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != 3 {
+		t.Fatalf("partition lost rows: %d", total)
+	}
+	if r := HashEquiJoin(small, small, 1, 1, 0); r.Matches != 3 {
+		t.Fatalf("single-thread fallback: %d", r.Matches)
+	}
+}

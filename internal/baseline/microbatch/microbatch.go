@@ -1,0 +1,169 @@
+// Package microbatch is the Spark-Streaming-like baseline of the paper's
+// Figures 1 and 9: a micro-batch engine whose physical batch size is
+// coupled to the query's window slide. Each micro-batch pays a fixed
+// scheduling overhead before its partial aggregates are computed in
+// parallel, and every emitted window merges the partials of all the
+// micro-batches it spans — so small slides drown in per-batch overhead,
+// which is exactly the coupling SABER's hybrid model removes.
+package microbatch
+
+import (
+	"time"
+
+	"saber/internal/model"
+	"saber/internal/schema"
+)
+
+// Config calibrates the baseline. Durations scale with Model.TimeScale so
+// comparisons against the SABER engine stay consistent.
+type Config struct {
+	// Executors is the simulated cluster parallelism.
+	Executors int
+	// SchedulingOverhead is the fixed cost of launching one micro-batch
+	// (driver scheduling, task serialisation).
+	SchedulingOverhead time.Duration
+	// PerTupleNs is the executor-side cost per tuple.
+	PerTupleNs float64
+	// MergeNsPerGroup is the cost of folding one group of one partial
+	// into a window result.
+	MergeNsPerGroup float64
+	// Model supplies the global time scale.
+	Model model.Params
+}
+
+// Defaults returns the Fig. 1-calibrated configuration.
+func Defaults() Config {
+	return Config{
+		Executors:          64,
+		SchedulingOverhead: 250 * time.Millisecond,
+		PerTupleNs:         25,
+		MergeNsPerGroup:    400,
+		Model:              model.Default(),
+	}
+}
+
+// Query is the aggregation the engine runs (a GROUP-BY aggregation, the
+// shape used in Figures 1 and 9).
+type Query struct {
+	Schema *schema.Schema
+	// Filter drops tuples before aggregation (nil keeps all).
+	Filter func(tuple []byte) bool
+	// GroupKey maps a tuple to its group (return 0 for global
+	// aggregation).
+	GroupKey func(tuple []byte) int64
+	// AggArg is the aggregated value.
+	AggArg func(tuple []byte) float64
+	// WindowBatches is how many micro-batches one window spans (window
+	// size / slide, the coupling).
+	WindowBatches int
+	// BatchTuples is the micro-batch size in tuples (== the slide).
+	BatchTuples int
+}
+
+type partial map[int64]groupAcc
+
+type groupAcc struct {
+	sum float64
+	cnt int64
+}
+
+// Result is one emitted window's aggregate per group.
+type Result struct {
+	Window int64
+	Groups map[int64]float64 // group → sum
+}
+
+// Engine runs one query over micro-batches.
+type Engine struct {
+	cfg Config
+	q   Query
+
+	cur      partial
+	curCount int
+	history  []partial // last WindowBatches partials
+	batchSeq int64
+
+	results   []Result
+	keepAll   bool
+	TuplesIn  int64
+	WindowsUp int64
+}
+
+// New creates an engine for the query.
+func New(cfg Config, q Query) *Engine {
+	if cfg.Executors <= 0 {
+		cfg.Executors = 1
+	}
+	if q.WindowBatches <= 0 {
+		q.WindowBatches = 1
+	}
+	return &Engine{cfg: cfg, q: q, cur: partial{}}
+}
+
+// KeepResults retains emitted windows for inspection (tests); by default
+// only counters are kept.
+func (e *Engine) KeepResults() { e.keepAll = true }
+
+// Results returns retained windows.
+func (e *Engine) Results() []Result { return e.results }
+
+// Process ingests packed tuples, closing micro-batches as BatchTuples
+// boundaries pass.
+func (e *Engine) Process(data []byte) {
+	s := e.q.Schema
+	tsz := s.TupleSize()
+	n := len(data) / tsz
+	for i := 0; i < n; i++ {
+		tuple := data[i*tsz : (i+1)*tsz]
+		e.TuplesIn++
+		if e.q.Filter == nil || e.q.Filter(tuple) {
+			k := e.q.GroupKey(tuple)
+			acc := e.cur[k]
+			acc.sum += e.q.AggArg(tuple)
+			acc.cnt++
+			e.cur[k] = acc
+		}
+		e.curCount++
+		if e.curCount >= e.q.BatchTuples {
+			e.closeBatch()
+		}
+	}
+}
+
+// Flush closes the current partial batch and emits its window.
+func (e *Engine) Flush() {
+	if e.curCount > 0 {
+		e.closeBatch()
+	}
+}
+
+func (e *Engine) closeBatch() {
+	start := time.Now()
+	// The driver schedules the batch; executors split the tuple work.
+	work := float64(e.curCount) * e.cfg.PerTupleNs / float64(e.cfg.Executors)
+	target := time.Duration(float64(e.cfg.SchedulingOverhead) + work)
+
+	e.history = append(e.history, e.cur)
+	if len(e.history) > e.q.WindowBatches {
+		e.history = e.history[1:]
+	}
+	e.cur = partial{}
+	e.curCount = 0
+	e.batchSeq++
+
+	// Emit the window ending at this batch: merge the partials it spans.
+	merged := map[int64]float64{}
+	groupsMerged := 0
+	for _, p := range e.history {
+		for k, acc := range p {
+			merged[k] += acc.sum
+			groupsMerged++
+		}
+	}
+	e.WindowsUp++
+	if e.keepAll {
+		e.results = append(e.results, Result{Window: e.batchSeq - 1, Groups: merged})
+	}
+	target += time.Duration(float64(groupsMerged) * e.cfg.MergeNsPerGroup)
+	model.Pad(start, time.Duration(float64(target)*e.cfg.Model.TimeScale))
+}

@@ -1,0 +1,118 @@
+package microbatch
+
+import (
+	"testing"
+	"time"
+
+	"saber/internal/model"
+	"saber/internal/schema"
+	"saber/internal/workload"
+)
+
+func fastCfg() Config {
+	c := Defaults()
+	c.Model = model.Default().Scaled(0) // no padding in unit tests
+	return c
+}
+
+func mkQuery(batchTuples, windowBatches int) Query {
+	s := workload.SynSchema
+	return Query{
+		Schema:        s,
+		GroupKey:      func(tu []byte) int64 { return int64(s.ReadInt32(tu, 2)) },
+		AggArg:        func(tu []byte) float64 { return float64(s.ReadFloat32(tu, 1)) },
+		BatchTuples:   batchTuples,
+		WindowBatches: windowBatches,
+	}
+}
+
+func TestMicroBatchAggregation(t *testing.T) {
+	g := workload.NewSynGen(1)
+	g.Groups = 4
+	data := g.Next(nil, 1000)
+
+	e := New(fastCfg(), mkQuery(100, 2))
+	e.KeepResults()
+	e.Process(data)
+	e.Flush()
+
+	if e.TuplesIn != 1000 {
+		t.Fatalf("TuplesIn = %d", e.TuplesIn)
+	}
+	res := e.Results()
+	if len(res) != 10 {
+		t.Fatalf("windows = %d, want 10", len(res))
+	}
+	// Window w merges batches w-1 and w: verify against a direct sum.
+	s := workload.SynSchema
+	tsz := s.TupleSize()
+	for wi, r := range res {
+		lo := (wi - 1) * 100
+		if lo < 0 {
+			lo = 0
+		}
+		hi := (wi + 1) * 100
+		want := map[int64]float64{}
+		for i := lo; i < hi; i++ {
+			tu := data[i*tsz : (i+1)*tsz]
+			want[int64(s.ReadInt32(tu, 2))] += float64(s.ReadFloat32(tu, 1))
+		}
+		for k, v := range want {
+			got := r.Groups[k]
+			if diff := got - v; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("window %d group %d = %g, want %g", wi, k, got, v)
+			}
+		}
+	}
+}
+
+func TestMicroBatchFilter(t *testing.T) {
+	s := workload.SynSchema
+	q := mkQuery(50, 1)
+	q.Filter = func(tu []byte) bool { return s.ReadInt32(tu, 3) < 512 }
+	e := New(fastCfg(), q)
+	e.KeepResults()
+	g := workload.NewSynGen(2)
+	e.Process(g.Next(nil, 500))
+	e.Flush()
+	if len(e.Results()) != 10 {
+		t.Fatalf("windows = %d", len(e.Results()))
+	}
+}
+
+// TestSlideCouplingShape pins Fig. 1's property: with padding enabled,
+// smaller slides (smaller batches) yield lower throughput.
+func TestSlideCouplingShape(t *testing.T) {
+	run := func(batch int) float64 {
+		cfg := Defaults()
+		cfg.Model = model.Default().Scaled(0.0005) // tiny but non-zero
+		cfg.SchedulingOverhead = 250 * time.Millisecond
+		q := mkQuery(batch, 4)
+		e := New(cfg, q)
+		g := workload.NewSynGen(3)
+		g.Groups = 64
+		data := g.Next(nil, batch*40)
+		start := time.Now()
+		e.Process(data)
+		e.Flush()
+		return float64(e.TuplesIn) / time.Since(start).Seconds()
+	}
+	small := run(500)
+	large := run(8000)
+	if small >= large {
+		t.Fatalf("micro-batch coupling missing: slide 500 → %.0f t/s, slide 8000 → %.0f t/s", small, large)
+	}
+}
+
+func TestDefaultsSane(t *testing.T) {
+	c := Defaults()
+	if c.Executors <= 0 || c.SchedulingOverhead <= 0 || c.PerTupleNs <= 0 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	e := New(Config{Model: model.Default().Scaled(0)}, mkQuery(10, 0))
+	e.Process(schema.NewTupleBuilder(workload.SynSchema, 0).Bytes())
+	e.Flush() // empty flush is a no-op
+	if e.WindowsUp != 0 {
+		t.Fatal("phantom windows")
+	}
+}

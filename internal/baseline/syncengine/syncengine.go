@@ -1,0 +1,117 @@
+// Package syncengine is the Esper-like baseline of the paper's Fig. 7: a
+// multi-threaded stream engine whose window evaluation is globally
+// synchronised. Any number of goroutines may insert concurrently, but a
+// single engine-wide lock serialises all processing, and each tuple pays
+// a per-tuple evaluation cost — the two properties the paper credits for
+// Esper's two-orders-of-magnitude gap.
+//
+// Query semantics reuse the verified operator layer (internal/exec), so
+// the comparison isolates the architecture, not the operator code.
+package syncengine
+
+import (
+	"sync"
+	"time"
+
+	"saber/internal/exec"
+	"saber/internal/model"
+	"saber/internal/query"
+	"saber/internal/window"
+)
+
+// Config calibrates the baseline.
+type Config struct {
+	// PerTupleNs is the synchronised per-tuple evaluation cost
+	// (listener dispatch, window index maintenance, boxing).
+	PerTupleNs float64
+	// Model supplies the global time scale.
+	Model model.Params
+}
+
+// Defaults returns the Fig. 7-calibrated configuration (two orders of
+// magnitude below SABER's per-tuple cost at scale 1).
+func Defaults() Config {
+	return Config{PerTupleNs: 2000, Model: model.Default()}
+}
+
+// Engine executes queries one tuple batch at a time under a global lock.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	queries []*registeredQuery
+
+	TuplesIn int64
+	BytesOut int64
+}
+
+type registeredQuery struct {
+	plan *exec.Plan
+	asm  *exec.Assembler
+	pos  int64
+	prev int64
+}
+
+// New creates the engine.
+func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+// Register compiles and adds a query (single-input queries only; the
+// baseline comparison uses them).
+func (e *Engine) Register(q *query.Query) error {
+	plan, err := exec.Compile(q)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queries = append(e.queries, &registeredQuery{
+		plan: plan,
+		asm:  exec.NewAssembler(plan),
+		prev: window.NoPrev,
+	})
+	return nil
+}
+
+// Insert processes packed tuples through every registered query, under
+// the global lock, paying the per-tuple cost.
+func (e *Engine) Insert(data []byte) {
+	e.mu.Lock()
+	start := time.Now() // lock-wait time does not count as work
+	tuples := 0
+	for _, rq := range e.queries {
+		s := rq.plan.InputSchema(0)
+		tsz := s.TupleSize()
+		n := len(data) / tsz
+		if n == 0 {
+			continue
+		}
+		tuples += n
+		res := rq.plan.NewResult()
+		in := [2]exec.Batch{{Data: data, Ctx: window.Context{
+			FirstIndex:    rq.pos,
+			PrevTimestamp: rq.prev,
+		}}}
+		if err := rq.plan.Process(in, res); err != nil {
+			panic(err)
+		}
+		out := rq.asm.Drain(res, nil)
+		e.BytesOut += int64(len(out))
+		rq.plan.ReleaseResult(res)
+		rq.pos += int64(n)
+		rq.prev = s.Timestamp(data[(n-1)*tsz:])
+	}
+	e.TuplesIn += int64(tuples)
+	// The per-tuple cost is paid while holding the engine lock: that is
+	// the global synchronisation the paper blames for Esper's gap.
+	model.Pad(start, time.Duration(float64(tuples)*e.cfg.PerTupleNs*e.cfg.Model.TimeScale))
+	e.mu.Unlock()
+}
+
+// Flush emits still-open windows.
+func (e *Engine) Flush() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rq := range e.queries {
+		e.BytesOut += int64(len(rq.asm.Flush(nil)))
+	}
+}

@@ -1,0 +1,106 @@
+// Package cql parses the continuous-query dialect SABER's paper uses in
+// Appendix A: SELECT queries over named streams with bracketed window
+// specifications ("TaskEvents [range 60 slide 1]"), WHERE/GROUP BY/HAVING
+// clauses, aggregation functions, and arithmetic select expressions.
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber // integer or float literal, kept as text
+	tokPunct  // single/double character punctuation, in token.text
+	tokKeyword
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords lower-cased
+	pos  int    // byte offset, for error messages
+}
+
+var keywords = map[string]bool{
+	"select": true, "distinct": true, "from": true, "where": true,
+	"group": true, "by": true, "having": true, "as": true,
+	"and": true, "or": true, "not": true,
+	"range": true, "rows": true, "slide": true, "unbounded": true,
+	"partition": true,
+	"sum":       true, "avg": true, "count": true, "min": true, "max": true,
+}
+
+// lex splits the input into tokens. It returns an error for characters the
+// dialect does not use.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			// Line comment, as in the paper's listings.
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			lower := strings.ToLower(word)
+			if keywords[lower] {
+				toks = append(toks, token{tokKeyword, lower, i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		case c >= '0' && c <= '9':
+			j := i + 1
+			seenDot := false
+			for j < len(src) {
+				if src[j] >= '0' && src[j] <= '9' {
+					j++
+				} else if src[j] == '.' && !seenDot && j+1 < len(src) && src[j+1] >= '0' && src[j+1] <= '9' {
+					seenDot = true
+					j++
+				} else {
+					break
+				}
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=":
+				toks = append(toks, token{tokPunct, two, i})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', '[', ']', ',', '.', '*', '+', '-', '/', '%', '<', '>', '=':
+				toks = append(toks, token{tokPunct, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("cql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

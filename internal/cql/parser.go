@@ -1,0 +1,539 @@
+package cql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"saber/internal/expr"
+	"saber/internal/query"
+	"saber/internal/schema"
+	"saber/internal/window"
+)
+
+// Catalog maps stream names to their schemas for parsing.
+type Catalog map[string]*schema.Schema
+
+// Parse parses a single CQL query and validates it against the catalog.
+// The query is given the provided name.
+func Parse(name, src string, cat Catalog) (*query.Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, cat: cat, src: src}
+	q, err := p.parseQuery(name)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %q", p.cur().text)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for statically known queries.
+func MustParse(name, src string, cat Catalog) *query.Query {
+	q, err := Parse(name, src, cat)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	cat  Catalog
+	src  string
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("cql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+type selectItem struct {
+	isStar bool
+	agg    *query.Aggregate
+	proj   *query.ProjectionItem
+}
+
+func (p *parser) parseQuery(name string) (*query.Query, error) {
+	if _, err := p.expect(tokKeyword, "select"); err != nil {
+		return nil, err
+	}
+	q := &query.Query{Name: name}
+	q.Distinct = p.accept(tokKeyword, "distinct")
+
+	items, err := p.parseSelectList()
+	if err != nil {
+		return nil, err
+	}
+
+	if _, err := p.expect(tokKeyword, "from"); err != nil {
+		return nil, err
+	}
+	for {
+		in, err := p.parseSource()
+		if err != nil {
+			return nil, err
+		}
+		q.Inputs = append(q.Inputs, in)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+
+	var where expr.Pred
+	if p.accept(tokKeyword, "where") {
+		where, err = p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+	}
+	// For two-input queries the WHERE clause is the θ-join predicate, as in
+	// the paper's SG3 listing.
+	if len(q.Inputs) == 2 {
+		q.JoinPred = where
+	} else {
+		q.Where = where
+	}
+
+	if p.accept(tokKeyword, "group") {
+		if _, err := p.expect(tokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, c)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "having") {
+		q.Having, err = p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Distribute select items. Aggregation queries list timestamp and the
+	// group columns alongside the aggregates (Appendix A shape); those are
+	// implied by the canonical aggregation output schema, so plain-column
+	// items that match group columns (or timestamp) are dropped.
+	for _, it := range items {
+		switch {
+		case it.isStar:
+			// select *: empty projection means all columns.
+		case it.agg != nil:
+			q.Aggregates = append(q.Aggregates, *it.agg)
+		default:
+			q.Projection = append(q.Projection, *it.proj)
+		}
+	}
+	if len(q.Aggregates) > 0 {
+		kept := q.Projection[:0]
+		for _, item := range q.Projection {
+			c, ok := item.Expr.(expr.Column)
+			if ok && (c.Name == "timestamp" || q.HasGroupColumn(c.Name)) {
+				continue
+			}
+			kept = append(kept, item)
+		}
+		q.Projection = kept
+		if len(q.Projection) > 0 {
+			return nil, fmt.Errorf("cql: query %s selects non-grouping columns alongside aggregates", name)
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectList() ([]selectItem, error) {
+	var items []selectItem
+	for {
+		it, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return items, nil
+}
+
+var aggFuncs = map[string]query.AggFunc{
+	"count": query.Count, "sum": query.Sum, "avg": query.Avg,
+	"min": query.Min, "max": query.Max,
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	if p.accept(tokPunct, "*") {
+		return selectItem{isStar: true}, nil
+	}
+	if p.cur().kind == tokKeyword {
+		if f, isAgg := aggFuncs[p.cur().text]; isAgg {
+			p.next()
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return selectItem{}, err
+			}
+			var arg expr.Expr
+			if !p.accept(tokPunct, "*") {
+				var err error
+				arg, err = p.parseExpr()
+				if err != nil {
+					return selectItem{}, err
+				}
+			} else if f != query.Count {
+				return selectItem{}, p.errf("%s(*) is only valid for count", f)
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return selectItem{}, err
+			}
+			agg := query.Aggregate{Func: f, Arg: arg}
+			if p.accept(tokKeyword, "as") {
+				t, err := p.expect(tokIdent, "")
+				if err != nil {
+					return selectItem{}, err
+				}
+				agg.As = t.text
+			}
+			return selectItem{agg: &agg}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return selectItem{}, err
+	}
+	item := query.ProjectionItem{Expr: e}
+	if p.accept(tokKeyword, "as") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return selectItem{}, err
+		}
+		item.As = t.text
+	}
+	return selectItem{proj: &item}, nil
+}
+
+func (p *parser) parseSource() (query.Input, error) {
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return query.Input{}, err
+	}
+	s, ok := p.cat[nameTok.text]
+	if !ok {
+		return query.Input{}, p.errf("unknown stream %q", nameTok.text)
+	}
+	if _, err := p.expect(tokPunct, "["); err != nil {
+		return query.Input{}, err
+	}
+	w, err := p.parseWindowSpec()
+	if err != nil {
+		return query.Input{}, err
+	}
+	if _, err := p.expect(tokPunct, "]"); err != nil {
+		return query.Input{}, err
+	}
+	in := query.Input{Name: nameTok.text, Schema: s, Window: w}
+	if p.accept(tokKeyword, "as") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return query.Input{}, err
+		}
+		in.Alias = t.text
+	}
+	return in, nil
+}
+
+func (p *parser) parseWindowSpec() (window.Def, error) {
+	switch {
+	case p.accept(tokKeyword, "range"):
+		if p.accept(tokKeyword, "unbounded") {
+			return window.NewUnbounded(), nil
+		}
+		size, err := p.parseInt()
+		if err != nil {
+			return window.Def{}, err
+		}
+		slide := size // default: tumbling
+		if p.accept(tokKeyword, "slide") {
+			if slide, err = p.parseInt(); err != nil {
+				return window.Def{}, err
+			}
+		}
+		return window.NewTime(size, slide), nil
+	case p.accept(tokKeyword, "rows"):
+		size, err := p.parseInt()
+		if err != nil {
+			return window.Def{}, err
+		}
+		slide := size
+		if p.accept(tokKeyword, "slide") {
+			if slide, err = p.parseInt(); err != nil {
+				return window.Def{}, err
+			}
+		}
+		return window.NewCount(size, slide), nil
+	case p.at(tokKeyword, "partition"):
+		return window.Def{}, p.errf("partition windows are not supported by the CQL front end; use the builder API with a UDF operator")
+	default:
+		return window.Def{}, p.errf("expected window specification, found %q", p.cur().text)
+	}
+}
+
+func (p *parser) parseInt() (int64, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf("invalid integer %q", t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) parseColumnRef() (expr.Column, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return expr.Column{}, err
+	}
+	if p.accept(tokPunct, ".") {
+		f, err := p.expect(tokIdent, "")
+		if err != nil {
+			return expr.Column{}, err
+		}
+		return expr.QCol(t.text, f.text), nil
+	}
+	return expr.Col(t.text), nil
+}
+
+// --- Predicates -------------------------------------------------------------
+
+func (p *parser) parsePred() (expr.Pred, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (expr.Pred, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	preds := []expr.Pred{left}
+	for p.accept(tokKeyword, "or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, r)
+	}
+	if len(preds) == 1 {
+		return left, nil
+	}
+	return expr.Or{Preds: preds}, nil
+}
+
+func (p *parser) parseAnd() (expr.Pred, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	preds := []expr.Pred{left}
+	for p.accept(tokKeyword, "and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, r)
+	}
+	if len(preds) == 1 {
+		return left, nil
+	}
+	return expr.And{Preds: preds}, nil
+}
+
+func (p *parser) parseNot() (expr.Pred, error) {
+	if p.accept(tokKeyword, "not") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not{P: inner}, nil
+	}
+	// A '(' may open a parenthesised predicate or a parenthesised
+	// arithmetic expression inside a comparison; try the predicate reading
+	// first and backtrack.
+	if p.at(tokPunct, "(") {
+		save := p.pos
+		p.next()
+		if inner, err := p.parsePred(); err == nil {
+			if p.accept(tokPunct, ")") && !p.atCmpOp() && !p.atArithOp() {
+				return inner, nil
+			}
+		}
+		p.pos = save
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]expr.CmpOp{
+	"==": expr.Eq, "=": expr.Eq, "!=": expr.Ne,
+	"<": expr.Lt, "<=": expr.Le, ">": expr.Gt, ">=": expr.Ge,
+}
+
+func (p *parser) atCmpOp() bool {
+	t := p.cur()
+	if t.kind != tokPunct {
+		return false
+	}
+	_, ok := cmpOps[t.text]
+	return ok
+}
+
+func (p *parser) atArithOp() bool {
+	t := p.cur()
+	if t.kind != tokPunct {
+		return false
+	}
+	switch t.text {
+	case "+", "-", "*", "/", "%":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseCmp() (expr.Pred, error) {
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atCmpOp() {
+		return nil, p.errf("expected comparison operator, found %q", p.cur().text)
+	}
+	op := cmpOps[p.next().text]
+	right, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return expr.Cmp{Op: op, Left: left, Right: right}, nil
+}
+
+// --- Arithmetic expressions --------------------------------------------------
+
+func (p *parser) parseExpr() (expr.Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.ArithOp
+		switch {
+		case p.accept(tokPunct, "+"):
+			op = expr.Add
+		case p.accept(tokPunct, "-"):
+			op = expr.Sub
+		default:
+			return left, nil
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Arith{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseTerm() (expr.Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.ArithOp
+		switch {
+		case p.accept(tokPunct, "*"):
+			op = expr.Mul
+		case p.accept(tokPunct, "/"):
+			op = expr.Div
+		case p.accept(tokPunct, "%"):
+			op = expr.Mod
+		default:
+			return left, nil
+		}
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Arith{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseFactor() (expr.Expr, error) {
+	switch {
+	case p.accept(tokPunct, "-"):
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Neg{E: inner}, nil
+	case p.accept(tokPunct, "("):
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.cur().kind == tokNumber:
+		t := p.next()
+		if strings.Contains(t.text, ".") {
+			v, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("invalid number %q", t.text)
+			}
+			return expr.FloatConst(v), nil
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.text)
+		}
+		return expr.IntConst(v), nil
+	case p.cur().kind == tokIdent:
+		return p.parseColumnRef()
+	default:
+		return nil, p.errf("expected expression, found %q", p.cur().text)
+	}
+}

@@ -1,0 +1,397 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+
+	"saber/internal/expr"
+	"saber/internal/query"
+	"saber/internal/schema"
+	"saber/internal/window"
+)
+
+func catalog() Catalog {
+	taskEvents := schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "jobId", Type: schema.Int64},
+		schema.Field{Name: "taskId", Type: schema.Int64},
+		schema.Field{Name: "machineId", Type: schema.Int64},
+		schema.Field{Name: "eventType", Type: schema.Int32},
+		schema.Field{Name: "userId", Type: schema.Int32},
+		schema.Field{Name: "category", Type: schema.Int32},
+		schema.Field{Name: "priority", Type: schema.Int32},
+		schema.Field{Name: "cpu", Type: schema.Float32},
+		schema.Field{Name: "ram", Type: schema.Float32},
+		schema.Field{Name: "disk", Type: schema.Float32},
+		schema.Field{Name: "constraints", Type: schema.Int32},
+	)
+	smartGrid := schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "value", Type: schema.Float32},
+		schema.Field{Name: "property", Type: schema.Int32},
+		schema.Field{Name: "plug", Type: schema.Int32},
+		schema.Field{Name: "household", Type: schema.Int32},
+		schema.Field{Name: "house", Type: schema.Int32},
+	)
+	posSpeed := schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "vehicle", Type: schema.Int32},
+		schema.Field{Name: "speed", Type: schema.Float32},
+		schema.Field{Name: "highway", Type: schema.Int32},
+		schema.Field{Name: "lane", Type: schema.Int32},
+		schema.Field{Name: "direction", Type: schema.Int32},
+		schema.Field{Name: "position", Type: schema.Int32},
+	)
+	globalLoad := schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "globalAvgLoad", Type: schema.Float32},
+	)
+	localLoad := schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "plug", Type: schema.Int32},
+		schema.Field{Name: "household", Type: schema.Int32},
+		schema.Field{Name: "house", Type: schema.Int32},
+		schema.Field{Name: "localAvgLoad", Type: schema.Float32},
+	)
+	return Catalog{
+		"TaskEvents":    taskEvents,
+		"SmartGridStr":  smartGrid,
+		"PosSpeedStr":   posSpeed,
+		"SegSpeedStr":   posSpeed,
+		"GlobalLoadStr": globalLoad,
+		"LocalLoadStr":  localLoad,
+	}
+}
+
+// TestAppendixACM1 parses the paper's CM1 listing verbatim.
+func TestAppendixACM1(t *testing.T) {
+	q, err := Parse("CM1", `
+		select timestamp, category, sum(cpu) as totalCpu
+		from TaskEvents [range 60 slide 1]
+		group by category`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsAggregation() || len(q.Aggregates) != 1 || q.Aggregates[0].Func != query.Sum {
+		t.Fatalf("aggregates = %+v", q.Aggregates)
+	}
+	if q.Aggregates[0].As != "totalCpu" {
+		t.Errorf("alias = %q", q.Aggregates[0].As)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Name != "category" {
+		t.Errorf("group by = %v", q.GroupBy)
+	}
+	w := q.Inputs[0].Window
+	if w.Kind != window.Time || w.Size != 60 || w.Slide != 1 {
+		t.Errorf("window = %v", w)
+	}
+	out := q.OutputSchema()
+	if out.IndexOf("totalCpu") != 2 {
+		t.Errorf("output schema = %s", out)
+	}
+}
+
+// TestAppendixACM2 parses CM2 verbatim.
+func TestAppendixACM2(t *testing.T) {
+	q, err := Parse("CM2", `
+		select timestamp, jobId, avg(cpu) as avgCpu
+		from TaskEvents [range 60 slide 1]
+		where eventType == 1
+		group by jobId`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where == nil {
+		t.Fatal("where dropped")
+	}
+	if q.Aggregates[0].Func != query.Avg {
+		t.Errorf("func = %v", q.Aggregates[0].Func)
+	}
+}
+
+// TestAppendixASG1 parses SG1 verbatim (upper-case AVG, tumbling default
+// absent: explicit slide).
+func TestAppendixASG1(t *testing.T) {
+	q, err := Parse("SG1", `
+		select timestamp, AVG(value) as globalAvgLoad
+		from SmartGridStr [range 3600 slide 1]`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GroupBy) != 0 || len(q.Aggregates) != 1 {
+		t.Fatalf("parsed = %+v", q)
+	}
+}
+
+// TestAppendixASG2 parses SG2 verbatim.
+func TestAppendixASG2(t *testing.T) {
+	q, err := Parse("SG2", `
+		select timestamp, plug, household, house, AVG(value) as localAvgLoad
+		from SmartGridStr [range 3600 slide 1]
+		group by plug, household, house`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GroupBy) != 3 {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+	out := q.OutputSchema()
+	for i, n := range []string{"timestamp", "plug", "household", "house", "localAvgLoad"} {
+		if out.Field(i).Name != n {
+			t.Errorf("output field %d = %q want %q", i, out.Field(i).Name, n)
+		}
+	}
+}
+
+// TestAppendixASG3Join parses the join core of SG3.
+func TestAppendixASG3Join(t *testing.T) {
+	q, err := Parse("SG3", `
+		select L.timestamp, L.plug, L.household, L.house
+		from LocalLoadStr [range 1 slide 1] as L,
+		     GlobalLoadStr [range 1 slide 1] as G
+		where L.timestamp == G.timestamp and L.localAvgLoad > G.globalAvgLoad`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsJoin() || q.JoinPred == nil || q.Where != nil {
+		t.Fatalf("join parse wrong: %+v", q)
+	}
+	and, ok := q.JoinPred.(expr.And)
+	if !ok || len(and.Preds) != 2 {
+		t.Fatalf("join pred = %v", q.JoinPred)
+	}
+	if len(q.Projection) != 4 {
+		t.Errorf("projection = %v", q.Projection)
+	}
+}
+
+// TestAppendixALRB1 parses LRB1 verbatim, including the arithmetic
+// projection and the unbounded window.
+func TestAppendixALRB1(t *testing.T) {
+	q, err := Parse("LRB1", `
+		select timestamp, vehicle, speed,
+		       highway, lane, direction,
+		       (position/5280) as segment
+		from PosSpeedStr [range unbounded]`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Inputs[0].Window.Kind != window.Unbounded {
+		t.Errorf("window = %v", q.Inputs[0].Window)
+	}
+	if got := q.OutputSchema().IndexOf("segment"); got != 6 {
+		t.Errorf("segment index = %d", got)
+	}
+}
+
+// TestAppendixALRB3 parses LRB3 verbatim, including HAVING.
+func TestAppendixALRB3(t *testing.T) {
+	q, err := Parse("LRB3", `
+		select timestamp, highway, direction, segment,
+		       AVG(speed) as avgSpeed
+		from SegSpeedStr [range 300 slide 1]
+		group by highway, direction, segment
+		having avgSpeed < 40.0`, catalog())
+	if err == nil {
+		t.Fatal("expected error: SegSpeedStr lacks a segment column pre-derivation")
+	}
+	// Chained form: LRB3 runs over LRB1's output (SegSpeedStr with segment).
+	cat := catalog()
+	seg, _ := cat["SegSpeedStr"].Concat(schema.MustNew(schema.Field{Name: "segment", Type: schema.Int32}), "")
+	cat["SegSpeedStr2"] = seg
+	q, err = Parse("LRB3", `
+		select timestamp, highway, direction, segment, AVG(speed) as avgSpeed
+		from SegSpeedStr2 [range 300 slide 1]
+		group by highway, direction, segment
+		having avgSpeed < 40.0`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Having == nil {
+		t.Fatal("having dropped")
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	q, err := Parse("all", `select * from TaskEvents [rows 1024 slide 512] where cpu > 0.5`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Projection) != 0 || q.Where == nil {
+		t.Fatalf("parsed = %+v", q)
+	}
+	if !q.OutputSchema().Equal(catalog()["TaskEvents"]) {
+		t.Error("select * output schema differs from input")
+	}
+	w := q.Inputs[0].Window
+	if w.Kind != window.Count || w.Size != 1024 || w.Slide != 512 {
+		t.Errorf("window = %v", w)
+	}
+}
+
+func TestTumblingDefault(t *testing.T) {
+	q, err := Parse("t", `select * from TaskEvents [rows 64]`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Inputs[0].Window.Tumbling() {
+		t.Errorf("window = %v, want tumbling", q.Inputs[0].Window)
+	}
+	q2, err := Parse("t2", `select * from TaskEvents [range 500]`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := q2.Inputs[0].Window; !w.Tumbling() || w.Kind != window.Time {
+		t.Errorf("window = %v", w)
+	}
+}
+
+func TestComplexPredicates(t *testing.T) {
+	q, err := Parse("p", `
+		select * from TaskEvents [rows 4]
+		where eventType == 2 and (cpu > 0.9 or ram > 0.9) and not (priority < 1)`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := q.Where.(expr.And)
+	if !ok || len(and.Preds) != 3 {
+		t.Fatalf("where = %v", q.Where)
+	}
+	if _, ok := and.Preds[1].(expr.Or); !ok {
+		t.Errorf("second conjunct = %T", and.Preds[1])
+	}
+	if _, ok := and.Preds[2].(expr.Not); !ok {
+		t.Errorf("third conjunct = %T", and.Preds[2])
+	}
+}
+
+func TestParenthesisedArithmeticInPredicate(t *testing.T) {
+	q, err := Parse("p", `select * from TaskEvents [rows 4] where (cpu + ram) * 2.0 >= 1.0`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, ok := q.Where.(expr.Cmp)
+	if !ok || cmp.Op != expr.Ge {
+		t.Fatalf("where = %v", q.Where)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	q, err := Parse("c", `select timestamp, category, count(*) as n from TaskEvents [rows 8] group by category`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Aggregates[0].Func != query.Count || q.Aggregates[0].Arg != nil {
+		t.Fatalf("count = %+v", q.Aggregates[0])
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	q, err := Parse("d", `select distinct vehicle from PosSpeedStr [rows 16]`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Distinct {
+		t.Error("distinct dropped")
+	}
+}
+
+func TestComments(t *testing.T) {
+	q, err := Parse("c", `
+		-- Query 1
+		select timestamp -- keep the timestamp
+		from TaskEvents [rows 4]`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Projection) != 1 {
+		t.Fatalf("projection = %v", q.Projection)
+	}
+}
+
+func TestNegativeAndUnaryMinus(t *testing.T) {
+	q, err := Parse("n", `select * from TaskEvents [rows 4] where cpu > -0.5 and -priority < 0`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where == nil {
+		t.Fatal("where dropped")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ``},
+		{"noSelect", `from TaskEvents [rows 4]`},
+		{"unknownStream", `select * from Nope [rows 4]`},
+		{"noWindow", `select * from TaskEvents`},
+		{"badWindow", `select * from TaskEvents [banana 4]`},
+		{"partition", `select * from TaskEvents [partition by jobId rows 1]`},
+		{"sumStar", `select sum(*) from TaskEvents [rows 4]`},
+		{"trailing", `select * from TaskEvents [rows 4] garbage`},
+		{"unknownColumn", `select nope from TaskEvents [rows 4]`},
+		{"badChar", `select # from TaskEvents [rows 4]`},
+		{"danglingCmp", `select * from TaskEvents [rows 4] where cpu >`},
+		{"notAPred", `select * from TaskEvents [rows 4] where cpu`},
+		{"unclosedParen", `select * from TaskEvents [rows 4] where (cpu > 1`},
+		{"threeStreams", `select * from TaskEvents [rows 4], TaskEvents [rows 4], TaskEvents [rows 4]`},
+		{"aggPlusColumn", `select cpu, sum(ram) as s from TaskEvents [rows 4]`},
+		{"badHaving", `select sum(cpu) as s from TaskEvents [rows 4] having nope > 1`},
+		{"floatRows", `select * from TaskEvents [rows 4.5]`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.name, c.src, catalog()); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("bad", `select`, catalog())
+}
+
+func TestKeywordCaseInsensitive(t *testing.T) {
+	q, err := Parse("k", `SELECT timestamp FROM TaskEvents [ROWS 4] WHERE cpu > 0.1`, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Projection) != 1 || q.Where == nil {
+		t.Fatalf("parsed = %+v", q)
+	}
+}
+
+func TestLexerOperators(t *testing.T) {
+	toks, err := lex(`a==b != c <= d >= e < f > g = h`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.kind == tokPunct {
+			ops = append(ops, tk.text)
+		}
+	}
+	want := []string{"==", "!=", "<=", ">=", "<", ">", "="}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	toks, err := lex(`12 3.5 0.25 7.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "12" || toks[1].text != "3.5" || toks[2].text != "0.25" {
+		t.Errorf("tokens = %+v", toks)
+	}
+	// "7." lexes as number 7 then punct '.'
+	if toks[3].text != "7" || toks[4].text != "." {
+		t.Errorf("trailing dot tokens = %+v", toks[3:])
+	}
+}

@@ -1,0 +1,239 @@
+// Package engine is SABER's core: it wires the four processing stages of
+// paper §4 — dispatching, scheduling, execution and result handling — into
+// a running hybrid stream processing engine over the substrate packages
+// (ringbuf, window, exec, gpu, sched, model).
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"saber/internal/exec"
+	"saber/internal/gpu"
+	"saber/internal/model"
+	"saber/internal/query"
+	"saber/internal/sched"
+	"saber/internal/task"
+)
+
+// Config tunes the engine. The zero value plus defaults reproduces the
+// paper's setup (15 CPU workers, 1 MB query tasks, HLS scheduling).
+type Config struct {
+	// CPUWorkers is the number of CPU worker threads. Default 15 (the
+	// paper's 16-core server keeps one core for dispatch). A negative
+	// value means zero CPU workers (GPGPU-only execution; requires GPU).
+	CPUWorkers int
+	// GPU is the (simulated) GPGPU device; nil runs CPU-only.
+	GPU *gpu.Device
+	// TaskSize is ϕ, the query task size in bytes. Default 1 MiB.
+	TaskSize int
+	// InputBufferSize is each input's circular buffer capacity in bytes
+	// (power of two). Default max(16 MiB, 16 × TaskSize rounded up).
+	InputBufferSize int
+	// ResultSlots is the per-query result buffer size (power of two),
+	// which must exceed the worker count. Default 256.
+	ResultSlots int
+	// Policy selects the scheduling policy: "hls" (default), "fcfs" or
+	// "static" (with StaticAssign).
+	Policy string
+	// StaticAssign maps query index → processor for the static policy.
+	StaticAssign []sched.Processor
+	// SwitchThreshold is HLS's switch threshold. Default 10.
+	SwitchThreshold int
+	// MatrixAlpha is the EWMA weight of new throughput observations.
+	// Default 0.25.
+	MatrixAlpha float64
+	// Model is the calibrated performance model; see internal/model.
+	// A zero TimeScale selects model.Default(). Set DisablePad to run at
+	// native speed instead (correctness tests).
+	Model      model.Params
+	DisablePad bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.CPUWorkers == 0 {
+		c.CPUWorkers = 15
+	}
+	if c.CPUWorkers < 0 {
+		c.CPUWorkers = 0
+	}
+	if c.TaskSize <= 0 {
+		c.TaskSize = 1 << 20
+	}
+	if c.InputBufferSize <= 0 {
+		c.InputBufferSize = 16 << 20
+		for c.InputBufferSize < 16*c.TaskSize {
+			c.InputBufferSize <<= 1
+		}
+	}
+	if c.ResultSlots <= 0 {
+		c.ResultSlots = 256
+	}
+	for c.ResultSlots <= c.CPUWorkers+1 {
+		c.ResultSlots <<= 1
+	}
+	if c.Policy == "" {
+		c.Policy = "hls"
+	}
+	if c.SwitchThreshold <= 0 {
+		c.SwitchThreshold = 10
+	}
+	if c.MatrixAlpha <= 0 {
+		c.MatrixAlpha = 0.25
+	}
+	if c.Model.TimeScale == 0 {
+		c.Model = model.Default()
+	}
+	return c
+}
+
+// Engine executes registered continuous queries over heterogeneous
+// processors.
+type Engine struct {
+	cfg    Config
+	quer   []*registered
+	byName map[string]*registered
+
+	queue  *task.Queue
+	matrix *sched.Matrix
+	policy sched.Policy
+
+	started atomic.Bool
+	stopped atomic.Bool
+	workers sync.WaitGroup
+
+	dispatchMu sync.Mutex // serialises the dispatching stage (paper §4.1)
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	return &Engine{
+		cfg:    cfg.withDefaults(),
+		byName: make(map[string]*registered),
+		queue:  task.NewQueue(),
+	}
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Register compiles and registers a query. All registrations must happen
+// before Start. The returned handle ingests input and exposes results.
+func (e *Engine) Register(q *query.Query) (*Handle, error) {
+	if e.started.Load() {
+		return nil, fmt.Errorf("engine: Register after Start")
+	}
+	if _, dup := e.byName[q.Name]; dup {
+		return nil, fmt.Errorf("engine: duplicate query %q", q.Name)
+	}
+	plan, err := exec.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	r := newRegistered(e, len(e.quer), plan)
+	if e.cfg.GPU != nil {
+		r.prog = e.cfg.GPU.Compile(plan)
+	}
+	e.quer = append(e.quer, r)
+	e.byName[q.Name] = r
+	return &Handle{r: r}, nil
+}
+
+// Start launches the worker threads. The scheduling policy is fixed at
+// this point.
+func (e *Engine) Start() error {
+	if e.started.Swap(true) {
+		return fmt.Errorf("engine: already started")
+	}
+	n := len(e.quer)
+	if n == 0 {
+		return fmt.Errorf("engine: no queries registered")
+	}
+	if e.cfg.CPUWorkers == 0 && e.cfg.GPU == nil {
+		return fmt.Errorf("engine: no processors configured")
+	}
+	gpuCap := 0.0
+	if e.cfg.GPU != nil {
+		gpuCap = 4 // pipeline depth converts latency into throughput
+	}
+	e.matrix = sched.NewMatrix(n, 1000, e.cfg.MatrixAlpha, float64(e.cfg.CPUWorkers), gpuCap)
+
+	switch e.cfg.Policy {
+	case "hls":
+		if e.cfg.GPU == nil || e.cfg.CPUWorkers == 0 {
+			// A single processor class needs no lookahead.
+			e.policy = sched.FCFS{}
+		} else {
+			h := sched.NewHLS(n, e.matrix, e.cfg.SwitchThreshold)
+			// Keep out-of-order execution within the reordering window of
+			// the per-query result buffers.
+			h.MaxLookahead = e.cfg.ResultSlots / 2
+			e.policy = h
+		}
+	case "fcfs":
+		e.policy = sched.FCFS{}
+	case "greedy":
+		if e.cfg.GPU == nil || e.cfg.CPUWorkers == 0 {
+			return fmt.Errorf("engine: greedy policy needs both processor classes")
+		}
+		e.policy = sched.Greedy{C: e.matrix}
+	case "static":
+		if len(e.cfg.StaticAssign) != n {
+			return fmt.Errorf("engine: static policy needs %d assignments", n)
+		}
+		e.policy = sched.Static{Assign: e.cfg.StaticAssign}
+	default:
+		return fmt.Errorf("engine: unknown policy %q", e.cfg.Policy)
+	}
+
+	for i := 0; i < e.cfg.CPUWorkers; i++ {
+		e.workers.Add(1)
+		go e.cpuWorker()
+	}
+	if e.cfg.GPU != nil {
+		e.workers.Add(1)
+		go e.gpuWorker()
+	}
+	return nil
+}
+
+// Drain dispatches any buffered partial batches as final tasks, waits for
+// the queue to empty and all results to be assembled, then flushes still-
+// open windows. Call once, after all Insert calls.
+func (e *Engine) Drain() {
+	e.dispatchMu.Lock()
+	for _, r := range e.quer {
+		r.dispatchTail()
+	}
+	e.queue.Close()
+	e.dispatchMu.Unlock()
+
+	for _, r := range e.quer {
+		r.waitDrained()
+	}
+}
+
+// Close stops the workers. Drain first for a clean shutdown; Close alone
+// abandons queued work.
+func (e *Engine) Close() {
+	if e.stopped.Swap(true) {
+		return
+	}
+	e.queue.Close()
+	e.workers.Wait()
+}
+
+// Matrix exposes the throughput matrix (telemetry, Fig. 16).
+func (e *Engine) Matrix() *sched.Matrix { return e.matrix }
+
+// QueueLen reports the current task queue depth.
+func (e *Engine) QueueLen() int { return e.queue.Len() }
+
+// observe routes a completion into the throughput matrix.
+func (e *Engine) observe(q int, p sched.Processor, d time.Duration) {
+	if e.matrix != nil {
+		e.matrix.Observe(q, p, d.Seconds())
+	}
+}

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"saber/internal/schema"
+)
+
+// Handle is the application-facing side of a registered query: it ingests
+// stream data and exposes the ordered output stream and statistics.
+type Handle struct {
+	r *registered
+}
+
+// Insert appends whole serialised tuples to the query's (single) input
+// stream. It blocks when the input buffer is full (backpressure) and
+// paces itself to the modelled dispatcher rate.
+func (h *Handle) Insert(data []byte) { h.r.insert(0, data) }
+
+// InsertInto appends tuples to input side (0 or 1) of a join query.
+func (h *Handle) InsertInto(side int, data []byte) { h.r.insert(side, data) }
+
+// OnResult installs fn as the output sink. fn receives ordered chunks of
+// serialised output tuples from whichever worker thread completes the
+// assembly; it must be fast and must not retain the slice.
+func (h *Handle) OnResult(fn func(rows []byte)) { h.r.result.setSink(fn) }
+
+// OutputSchema returns the query's result schema.
+func (h *Handle) OutputSchema() *schema.Schema { return h.r.OutputSchema() }
+
+// Name returns the query name.
+func (h *Handle) Name() string { return h.r.plan.Q.Name }
+
+// statsCounters are the per-query atomic counters.
+type statsCounters struct {
+	bytesIn      atomic.Int64
+	bytesOut     atomic.Int64
+	tuplesOut    atomic.Int64
+	tasksCreated atomic.Int64
+	tasksCPU     atomic.Int64
+	tasksGPU     atomic.Int64
+	latencyNs    atomic.Int64
+	latencyN     atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of one query's counters.
+type Stats struct {
+	BytesIn      int64
+	BytesOut     int64
+	TuplesOut    int64
+	TasksCreated int64
+	TasksCPU     int64
+	TasksGPU     int64
+	// AvgLatency is the mean task-creation→result-emission latency.
+	AvgLatency time.Duration
+}
+
+// GPUShare is the fraction of executed tasks that ran on the GPGPU.
+func (s Stats) GPUShare() float64 {
+	total := s.TasksCPU + s.TasksGPU
+	if total == 0 {
+		return 0
+	}
+	return float64(s.TasksGPU) / float64(total)
+}
+
+// Stats snapshots the query's counters.
+func (h *Handle) Stats() Stats {
+	c := &h.r.stats
+	s := Stats{
+		BytesIn:      c.bytesIn.Load(),
+		BytesOut:     c.bytesOut.Load(),
+		TuplesOut:    c.tuplesOut.Load(),
+		TasksCreated: c.tasksCreated.Load(),
+		TasksCPU:     c.tasksCPU.Load(),
+		TasksGPU:     c.tasksGPU.Load(),
+	}
+	if n := c.latencyN.Load(); n > 0 {
+		s.AvgLatency = time.Duration(c.latencyNs.Load() / n)
+	}
+	return s
+}

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"saber/internal/exec"
+	"saber/internal/gpu"
+	"saber/internal/model"
+	"saber/internal/ringbuf"
+	"saber/internal/schema"
+	"saber/internal/task"
+	"saber/internal/window"
+)
+
+// registered is one query's runtime state: per-input circular buffers and
+// dispatch positions, the compiled plan (and GPGPU program), and the
+// result stage.
+type registered struct {
+	e    *Engine
+	idx  int
+	plan *exec.Plan
+	prog *gpu.Program
+	cost model.QueryCost
+
+	insMu sync.Mutex
+	ins   [2]*inputStream
+
+	taskSeq atomic.Int64
+	result  *resultStage
+	stats   statsCounters
+}
+
+type inputStream struct {
+	ring      *ringbuf.Buffer
+	tupleSize int
+	// batchStart is the ring offset of the first undispatched byte;
+	// firstIndex the absolute tuple index it corresponds to; prevTS the
+	// timestamp of the last tuple already dispatched.
+	batchStart int64
+	firstIndex int64
+	prevTS     int64
+}
+
+func newRegistered(e *Engine, idx int, plan *exec.Plan) *registered {
+	r := &registered{e: e, idx: idx, plan: plan, cost: model.Analyze(plan.Q)}
+	for i := 0; i < plan.NumInputs(); i++ {
+		r.ins[i] = &inputStream{
+			ring:      ringbuf.MustNew(e.cfg.InputBufferSize),
+			tupleSize: plan.InputSchema(i).TupleSize(),
+			prevTS:    window.NoPrev,
+		}
+	}
+	r.result = newResultStage(r, e.cfg.ResultSlots)
+	return r
+}
+
+// insert is the dispatching stage (paper §4.1): buffer the data, then cut
+// fixed-size query tasks. Window boundary computation is postponed to the
+// tasks; the dispatcher only advances O(1) counters.
+func (r *registered) insert(side int, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	start := time.Now()
+	in := r.ins[side]
+	if len(data)%in.tupleSize != 0 {
+		panic("engine: Insert data must be whole tuples")
+	}
+
+	// Feed the ring in chunks no larger than half its capacity so that
+	// arbitrarily large Insert calls simply experience backpressure.
+	chunk := in.ring.Capacity() / 2
+	chunk -= chunk % in.tupleSize
+	r.insMu.Lock()
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		in.ring.Put(data[off:end])
+		r.stats.bytesIn.Add(int64(end - off))
+		if r.plan.NumInputs() == 1 {
+			for r.pendingBytes(0) >= int64(r.e.cfg.TaskSize) {
+				r.cutSingle()
+			}
+		} else {
+			for r.combinedPending() >= int64(r.e.cfg.TaskSize) {
+				if !r.cutPair(false) {
+					break
+				}
+			}
+		}
+	}
+	r.insMu.Unlock()
+
+	if !r.e.cfg.DisablePad {
+		model.Pad(start, r.e.cfg.Model.DispatchTime(len(data)))
+	}
+}
+
+func (r *registered) pendingBytes(side int) int64 {
+	in := r.ins[side]
+	return in.ring.End() - in.batchStart
+}
+
+func (r *registered) combinedPending() int64 {
+	return r.pendingBytes(0) + r.pendingBytes(1)
+}
+
+// cutSingle dispatches one task of exactly TaskSize bytes (tuple-aligned)
+// from the single input.
+func (r *registered) cutSingle() {
+	in := r.ins[0]
+	n := int64(r.e.cfg.TaskSize) / int64(in.tupleSize)
+	r.emit([2]int64{n, 0})
+}
+
+// cutPair dispatches a two-input task, splitting both inputs' pending
+// data proportionally so the combined volume approximates TaskSize. When
+// the application feeds the two inputs stream-aligned (as the paper's
+// join workloads do), proportional cuts keep the batches aligned even for
+// rate-mismatched inputs such as SG3's local/global averages. Returns
+// false when nothing is pending.
+func (r *registered) cutPair(tail bool) bool {
+	a, b := r.ins[0], r.ins[1]
+	pa := r.pendingBytes(0) / int64(a.tupleSize)
+	pb := r.pendingBytes(1) / int64(b.tupleSize)
+	if pa == 0 && pb == 0 {
+		return false
+	}
+	na, nb := pa, pb
+	if !tail {
+		total := pa*int64(a.tupleSize) + pb*int64(b.tupleSize)
+		if total > int64(r.e.cfg.TaskSize) {
+			f := float64(r.e.cfg.TaskSize) / float64(total)
+			na = int64(float64(pa) * f)
+			nb = int64(float64(pb) * f)
+			if na == 0 && nb == 0 {
+				return false
+			}
+		}
+	}
+	r.emit([2]int64{na, nb})
+	return true
+}
+
+// emit cuts tuples[i] tuples from each input and enqueues the task.
+func (r *registered) emit(tuples [2]int64) {
+	t := &task.Task{
+		Query:   r.idx,
+		ID:      r.taskSeq.Add(1) - 1,
+		Created: time.Now().UnixNano(),
+	}
+	for i := 0; i < r.plan.NumInputs(); i++ {
+		in := r.ins[i]
+		n := tuples[i]
+		end := in.batchStart + n*int64(in.tupleSize)
+		var data []byte
+		if n > 0 {
+			if view, ok := in.ring.Contiguous(in.batchStart, end); ok {
+				data = view
+			} else {
+				data = in.ring.CopyTo(nil, in.batchStart, end)
+			}
+		}
+		t.In[i] = exec.Batch{Data: data, Ctx: window.Context{
+			FirstIndex:    in.firstIndex,
+			PrevTimestamp: in.prevTS,
+		}}
+		t.FreeTo[i] = end
+		if n > 0 {
+			last := data[(n-1)*int64(in.tupleSize):]
+			in.prevTS = r.plan.InputSchema(i).Timestamp(last)
+		}
+		in.batchStart = end
+		in.firstIndex += n
+	}
+	r.stats.tasksCreated.Add(1)
+	r.e.queue.Push(t)
+}
+
+// dispatchTail flushes any remaining partial batch as a final (smaller)
+// task. Called with the engine's dispatch lock held, during Drain.
+func (r *registered) dispatchTail() {
+	r.insMu.Lock()
+	defer r.insMu.Unlock()
+	if r.plan.NumInputs() == 1 {
+		if n := r.pendingBytes(0) / int64(r.ins[0].tupleSize); n > 0 {
+			r.emit([2]int64{n, 0})
+		}
+		return
+	}
+	for r.cutPair(true) {
+	}
+}
+
+// waitDrained blocks until every dispatched task's result has been
+// assembled, then flushes still-open windows.
+func (r *registered) waitDrained() {
+	for r.result.drained.Load() < r.taskSeq.Load() {
+		time.Sleep(200 * time.Microsecond)
+	}
+	r.result.flush()
+}
+
+// OutputSchema of the query.
+func (r *registered) OutputSchema() *schema.Schema { return r.plan.OutputSchema() }

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"saber/internal/exec"
+	"saber/internal/task"
+)
+
+// resultStage implements paper §4.3: a slotted circular result buffer
+// indexed by query task identifier with atomic control flags, so parallel
+// workers deposit out-of-order results without blocking each other, and
+// whichever worker holds the next in-order slot drains it — running the
+// assembly operator function and appending to the output stream.
+type resultStage struct {
+	r     *registered
+	slots []resultSlot
+	mask  int64
+
+	next    atomic.Int64 // next task ID to drain
+	drained atomic.Int64 // tasks fully assembled
+	drainMu sync.Mutex
+
+	asm *exec.Assembler
+
+	// overflow holds results delivered from beyond the slot window (rare:
+	// HLS lookahead is bounded below the window, but scheduling races can
+	// still land a result a few IDs past it).
+	overflowMu sync.Mutex
+	overflow   map[int64]overflowEntry
+
+	sinkMu sync.RWMutex
+	sink   func([]byte)
+}
+
+type overflowEntry struct {
+	res    *exec.TaskResult
+	freeTo [2]int64
+	start  int64
+}
+
+type resultSlot struct {
+	state  atomic.Int32 // 0 free, 1 full (the paper's control buffer)
+	res    *exec.TaskResult
+	freeTo [2]int64
+	start  int64 // task creation stamp for latency accounting
+}
+
+func newResultStage(r *registered, slots int) *resultStage {
+	return &resultStage{
+		r:     r,
+		slots: make([]resultSlot, slots),
+		mask:  int64(slots) - 1,
+		asm:   exec.NewAssembler(r.plan),
+	}
+}
+
+// deliver stores a completed task's result in its slot (task ID modulo
+// the buffer size) and attempts an in-order drain. Results from beyond
+// the current reordering window go to the overflow map so that no worker
+// ever blocks on a slot owned by an earlier, still-missing task.
+func (rs *resultStage) deliver(t *task.Task, res *exec.TaskResult) {
+	if t.ID >= rs.next.Load()+int64(len(rs.slots)) {
+		rs.overflowMu.Lock()
+		if rs.overflow == nil {
+			rs.overflow = make(map[int64]overflowEntry)
+		}
+		rs.overflow[t.ID] = overflowEntry{res: res, freeTo: t.FreeTo, start: t.Created}
+		rs.overflowMu.Unlock()
+		rs.tryDrain()
+		return
+	}
+	s := &rs.slots[t.ID&rs.mask]
+	// Within the window the slot is free or in the act of being drained;
+	// the brief spin cannot starve.
+	for s.state.Load() != 0 {
+		runtime.Gosched()
+	}
+	s.res = res
+	s.freeTo = t.FreeTo
+	s.start = t.Created
+	s.state.Store(1)
+	rs.tryDrain()
+}
+
+// tryDrain drains consecutive in-order results while any are available.
+// Only one worker drains at a time; a worker that loses the race but
+// still sees its in-order slot full retries, closing the window in which
+// a concurrent drainer may have just missed it.
+func (rs *resultStage) tryDrain() {
+	for {
+		n := rs.next.Load()
+		if rs.slots[n&rs.mask].state.Load() != 1 && !rs.overflowHas(n) {
+			return
+		}
+		if !rs.drainMu.TryLock() {
+			runtime.Gosched()
+			continue
+		}
+		rs.drainLocked()
+		rs.drainMu.Unlock()
+	}
+}
+
+func (rs *resultStage) overflowHas(id int64) bool {
+	rs.overflowMu.Lock()
+	_, ok := rs.overflow[id]
+	rs.overflowMu.Unlock()
+	return ok
+}
+
+func (rs *resultStage) drainLocked() {
+	r := rs.r
+	for {
+		n := rs.next.Load()
+		s := &rs.slots[n&rs.mask]
+		var e overflowEntry
+		switch {
+		case s.state.Load() == 1:
+			e = overflowEntry{res: s.res, freeTo: s.freeTo, start: s.start}
+			s.res = nil
+		default:
+			rs.overflowMu.Lock()
+			var ok bool
+			e, ok = rs.overflow[n]
+			if ok {
+				delete(rs.overflow, n)
+			}
+			rs.overflowMu.Unlock()
+			if !ok {
+				return
+			}
+		}
+
+		rs.emit(rs.asm.Drain(e.res, nil))
+
+		// Release input data up to the task's free pointers and recycle
+		// the result.
+		for i := 0; i < r.plan.NumInputs(); i++ {
+			r.ins[i].ring.Release(e.freeTo[i])
+		}
+		r.plan.ReleaseResult(e.res)
+		if e.start > 0 {
+			r.stats.latencyNs.Add(time.Now().UnixNano() - e.start)
+			r.stats.latencyN.Add(1)
+		}
+		if s.state.Load() == 1 {
+			s.state.Store(0)
+		}
+		rs.next.Add(1)
+		rs.drained.Add(1)
+	}
+}
+
+// flush finalises still-open windows at end of stream.
+func (rs *resultStage) flush() {
+	rs.drainMu.Lock()
+	defer rs.drainMu.Unlock()
+	rs.emit(rs.asm.Flush(nil))
+}
+
+func (rs *resultStage) emit(out []byte) {
+	if len(out) == 0 {
+		return
+	}
+	r := rs.r
+	r.stats.bytesOut.Add(int64(len(out)))
+	r.stats.tuplesOut.Add(int64(len(out) / r.plan.OutputSchema().TupleSize()))
+	rs.sinkMu.RLock()
+	fn := rs.sink
+	rs.sinkMu.RUnlock()
+	if fn != nil {
+		fn(out)
+	}
+}
+
+func (rs *resultStage) setSink(fn func([]byte)) {
+	rs.sinkMu.Lock()
+	rs.sink = fn
+	rs.sinkMu.Unlock()
+}

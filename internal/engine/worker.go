@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"time"
+
+	"saber/internal/exec"
+	"saber/internal/sched"
+	"saber/internal/task"
+)
+
+// cpuWorker is one CPU worker thread: it runs the full task lifecycle —
+// schedule, execute, store result, assemble, emit — per paper §4's worker
+// model, then pads the execution to the calibrated model's duration so
+// the machine reproduces the paper's performance surface.
+func (e *Engine) cpuWorker() {
+	defer e.workers.Done()
+	for {
+		t := e.policy.Next(e.queue, sched.CPU)
+		if t == nil {
+			if e.queue.Closed() && e.queue.Len() == 0 {
+				return
+			}
+			if e.stopped.Load() {
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		r := e.quer[t.Query]
+		start := time.Now()
+		res := r.plan.NewResult()
+		if err := r.plan.Process(t.In, res); err != nil {
+			// Compiled plans cannot fail at runtime; a failure here is an
+			// engine bug, surfaced loudly.
+			panic(err)
+		}
+		elapsed := e.padCPU(r, t, res, start)
+		e.observe(t.Query, sched.CPU, elapsed)
+		r.stats.tasksCPU.Add(1)
+		r.result.deliver(t, res)
+	}
+}
+
+// padCPU stretches the task to the model's CPU duration; the measured
+// output selectivity scales the modelled per-tuple work (cheap when the
+// guard predicate rejects most tuples, as in Fig. 16).
+func (e *Engine) padCPU(r *registered, t *task.Task, res *exec.TaskResult, start time.Time) time.Duration {
+	tuples := taskTuples(r, t)
+	if e.cfg.DisablePad {
+		return time.Since(start)
+	}
+	sel := measuredSelectivity(r, res, tuples)
+	return e.waitPad(start, e.cfg.Model.CPUTaskTime(r.cost, tuples, sel))
+}
+
+func (e *Engine) waitPad(start time.Time, target time.Duration) time.Duration {
+	elapsed := time.Since(start)
+	if remaining := target - elapsed; remaining > 0 {
+		time.Sleep(remaining)
+		return target
+	}
+	return elapsed
+}
+
+func taskTuples(r *registered, t *task.Task) int {
+	n := 0
+	for i := 0; i < r.plan.NumInputs(); i++ {
+		n += len(t.In[i].Data) / r.plan.InputSchema(i).TupleSize()
+	}
+	return n
+}
+
+// measuredSelectivity estimates the fraction of tuples that pass a Map
+// plan's predicate, with a floor for the always-evaluated guard.
+func measuredSelectivity(r *registered, res *exec.TaskResult, tuples int) float64 {
+	if r.plan.Kind != exec.Map || tuples == 0 {
+		return 1
+	}
+	osz := r.plan.OutputSchema().TupleSize()
+	sel := float64(len(res.Stream)/osz) / float64(tuples)
+	if sel < 0.02 {
+		sel = 0.02
+	}
+	return sel
+}
+
+// gpuWorker is the single worker thread that fronts the GPGPU. To keep
+// the five-stage pipeline busy it keeps up to the pipeline depth of tasks
+// in flight, completing them in submission order (paper §5.2).
+func (e *Engine) gpuWorker() {
+	defer e.workers.Done()
+	type inflight struct {
+		t     *task.Task
+		res   *exec.TaskResult
+		done  <-chan error
+		start time.Time
+	}
+	var fly []inflight
+	const depth = 4
+
+	for {
+		for len(fly) < depth {
+			t := e.policy.Next(e.queue, sched.GPU)
+			if t == nil {
+				break
+			}
+			r := e.quer[t.Query]
+			res := r.plan.NewResult()
+			fly = append(fly, inflight{
+				t:     t,
+				res:   res,
+				done:  r.prog.Submit(t.In, res),
+				start: time.Now(),
+			})
+		}
+		if len(fly) == 0 {
+			if e.queue.Closed() && e.queue.Len() == 0 {
+				return
+			}
+			if e.stopped.Load() {
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		f := fly[0]
+		fly = fly[1:]
+		<-f.done
+		r := e.quer[f.t.Query]
+		e.observe(f.t.Query, sched.GPU, time.Since(f.start))
+		r.stats.tasksGPU.Add(1)
+		r.result.deliver(f.t, f.res)
+	}
+}

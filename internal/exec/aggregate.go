@@ -1,0 +1,298 @@
+package exec
+
+import (
+	"math"
+
+	"saber/internal/query"
+)
+
+// processAggregate runs the windowed-aggregation batch operator function:
+// it computes the batch's window fragments and produces one WindowPartial
+// per fragment. Sliding windows use incremental computation (paper §5.3):
+// for invertible functions (count/sum/avg) the scalar path takes O(1) per
+// fragment off prefix sums, and the grouped path maintains a rolling group
+// table that is updated with the tuples entering and leaving consecutive
+// fragments instead of being rebuilt.
+func (p *Plan) processAggregate(in Batch, res *TaskResult) {
+	s := p.in[0]
+	tsz := s.TupleSize()
+	n := len(in.Data) / tsz
+	sc := p.getScratch()
+	defer p.putScratch(sc)
+
+	view := newTSView(s, in.Data)
+	sc.frags = p.windows[0].Fragments(sc.frags[:0], n, view, in.Ctx)
+	if len(sc.frags) == 0 {
+		return
+	}
+
+	switch {
+	case p.grouped && p.invertApl:
+		p.aggGroupedRolling(in, sc, view, res)
+	case p.grouped:
+		p.aggGroupedDirect(in, sc, view, res)
+	case p.invertApl:
+		p.aggScalarPrefix(in, sc, view, res)
+	default:
+		p.aggScalarDirect(in, sc, view, res)
+	}
+}
+
+func (p *Plan) tupleAt(in Batch, i int) []byte {
+	tsz := p.in[0].TupleSize()
+	return in.Data[i*tsz : (i+1)*tsz]
+}
+
+func fragLastTS(view tsView, start, end int) int64 {
+	if end > start {
+		return view.At(end - 1)
+	}
+	return minInt64
+}
+
+// aggScalarPrefix computes non-grouped invertible aggregates with prefix
+// sums: each fragment's partial is a difference of two prefix entries.
+func (p *Plan) aggScalarPrefix(in Batch, sc *scratch, view tsView, res *TaskResult) {
+	n := view.Len()
+	m := len(p.aggs)
+	if cap(sc.prefixC) < n+1 {
+		sc.prefixC = make([]int64, n+1)
+		sc.prefixV = make([]float64, (n+1)*m)
+	}
+	prefC := sc.prefixC[:n+1]
+	prefV := sc.prefixV[:(n+1)*m]
+	prefC[0] = 0
+	for a := 0; a < m; a++ {
+		prefV[a] = 0
+	}
+	for i := 0; i < n; i++ {
+		tuple := p.tupleAt(in, i)
+		pass := p.filter == nil || p.filter.EvalTuple(tuple)
+		d := int64(0)
+		if pass {
+			d = 1
+		}
+		prefC[i+1] = prefC[i] + d
+		for a, spec := range p.aggs {
+			v := 0.0
+			if pass && spec.arg != nil {
+				v = spec.arg.EvalFloat(tuple, nil)
+			}
+			prefV[(i+1)*m+a] = prefV[i*m+a] + v
+		}
+	}
+	for _, f := range sc.frags {
+		part := WindowPartial{
+			Window:     f.Window,
+			OpenedHere: f.Opens,
+			ClosedHere: f.Closes,
+			Count:      prefC[f.End] - prefC[f.Start],
+			MaxTS:      fragLastTS(view, f.Start, f.End),
+		}
+		part.Vals = make([]float64, m)
+		for a := 0; a < m; a++ {
+			part.Vals[a] = prefV[f.End*m+a] - prefV[f.Start*m+a]
+		}
+		res.Partials = append(res.Partials, part)
+	}
+}
+
+// aggScalarDirect recomputes each fragment by scanning its tuple range;
+// used when a non-invertible function (min/max) is present. This is also
+// the ablation path for BenchmarkAblationIncremental.
+func (p *Plan) aggScalarDirect(in Batch, sc *scratch, view tsView, res *TaskResult) {
+	m := len(p.aggs)
+	for _, f := range sc.frags {
+		part := WindowPartial{
+			Window:     f.Window,
+			OpenedHere: f.Opens,
+			ClosedHere: f.Closes,
+			MaxTS:      fragLastTS(view, f.Start, f.End),
+			Vals:       make([]float64, m),
+		}
+		for a, spec := range p.aggs {
+			switch spec.op {
+			case OpMin:
+				part.Vals[a] = math.Inf(1)
+			case OpMax:
+				part.Vals[a] = math.Inf(-1)
+			}
+		}
+		for i := f.Start; i < f.End; i++ {
+			tuple := p.tupleAt(in, i)
+			if p.filter != nil && !p.filter.EvalTuple(tuple) {
+				continue
+			}
+			part.Count++
+			for a, spec := range p.aggs {
+				if spec.arg == nil {
+					continue
+				}
+				v := spec.arg.EvalFloat(tuple, nil)
+				switch spec.op {
+				case OpAdd:
+					part.Vals[a] += v
+				case OpMin:
+					if v < part.Vals[a] {
+						part.Vals[a] = v
+					}
+				case OpMax:
+					if v > part.Vals[a] {
+						part.Vals[a] = v
+					}
+				}
+			}
+		}
+		res.Partials = append(res.Partials, part)
+	}
+}
+
+// key extracts the group key of a tuple into dst.
+func (p *Plan) key(dst, tuple []byte) []byte {
+	s := p.in[0]
+	dst = dst[:0]
+	for _, fi := range p.groupIdx {
+		off := s.Offset(fi)
+		sz := s.Field(fi).Type.Size()
+		dst = append(dst, tuple[off:off+sz]...)
+	}
+	return dst
+}
+
+func (p *Plan) seedSlot(sl Slot) {
+	for a, op := range p.ops {
+		switch op {
+		case OpMin:
+			sl.SetVal(a, math.Inf(1))
+		case OpMax:
+			sl.SetVal(a, math.Inf(-1))
+		}
+	}
+}
+
+// addTupleToSlot folds one tuple into a group slot with weight +1/-1.
+func (p *Plan) addTupleToSlot(sl Slot, tuple []byte, sign float64) {
+	sl.AddCount(int64(sign))
+	for a, spec := range p.aggs {
+		if spec.arg == nil {
+			continue
+		}
+		v := spec.arg.EvalFloat(tuple, nil)
+		switch spec.op {
+		case OpAdd:
+			sl.AddVal(a, sign*v)
+		case OpMin:
+			sl.MinVal(a, v)
+		case OpMax:
+			sl.MaxVal(a, v)
+		}
+	}
+}
+
+// aggGroupedRolling computes grouped fragments incrementally: the rolling
+// table always holds the current fragment's groups; moving to the next
+// fragment removes the tuples that leave the window and adds those that
+// enter. Requires invertible aggregates.
+func (p *Plan) aggGroupedRolling(in Batch, sc *scratch, view tsView, res *TaskResult) {
+	if sc.rolling == nil || sc.rolling.KeyLen() != p.keyLen || sc.rolling.NumAggs() != len(p.aggs) {
+		sc.rolling = NewHashTable(p.keyLen, len(p.aggs), 256)
+	}
+	roll := sc.rolling
+	roll.Reset()
+	var keyBuf []byte
+	curStart, curEnd := sc.frags[0].Start, sc.frags[0].Start
+
+	for _, f := range sc.frags {
+		// Remove tuples leaving the window.
+		for i := curStart; i < f.Start; i++ {
+			tuple := p.tupleAt(in, i)
+			if p.filter != nil && !p.filter.EvalTuple(tuple) {
+				continue
+			}
+			keyBuf = p.key(keyBuf, tuple)
+			if sl, ok := roll.Lookup(keyBuf); ok {
+				p.addTupleToSlot(sl, tuple, -1)
+			}
+		}
+		curStart = f.Start
+		if curEnd < curStart {
+			curEnd = curStart
+		}
+		// Add tuples entering the window.
+		for i := curEnd; i < f.End; i++ {
+			tuple := p.tupleAt(in, i)
+			if p.filter != nil && !p.filter.EvalTuple(tuple) {
+				continue
+			}
+			keyBuf = p.key(keyBuf, tuple)
+			sl := roll.Upsert(keyBuf, p.seedSlot)
+			p.addTupleToSlot(sl, tuple, +1)
+			sl.ObserveTS(view.At(i))
+		}
+		curEnd = f.End
+
+		// Snapshot the live groups into the fragment's table. A group's
+		// max contributing timestamp stays correct under rolling removal
+		// because removals always drop the window's oldest tuples.
+		snap := p.newTable()
+		lastTS := fragLastTS(view, f.Start, f.End)
+		roll.Range(func(sl Slot) {
+			if sl.Count() <= 0 {
+				return
+			}
+			d := snap.Upsert(sl.Key(), p.seedSlot)
+			d.AddCount(sl.Count())
+			d.ObserveTS(sl.MaxTS())
+			for a := range p.ops {
+				d.SetVal(a, sl.Val(a))
+			}
+		})
+		res.Partials = append(res.Partials, WindowPartial{
+			Window:     f.Window,
+			OpenedHere: f.Opens,
+			ClosedHere: f.Closes,
+			Table:      snap,
+			MaxTS:      lastTS,
+		})
+	}
+}
+
+// aggGroupedDirect rebuilds each fragment's group table from scratch; used
+// when a non-invertible function is present.
+func (p *Plan) aggGroupedDirect(in Batch, sc *scratch, view tsView, res *TaskResult) {
+	var keyBuf []byte
+	for _, f := range sc.frags {
+		table := p.newTable()
+		for i := f.Start; i < f.End; i++ {
+			tuple := p.tupleAt(in, i)
+			if p.filter != nil && !p.filter.EvalTuple(tuple) {
+				continue
+			}
+			keyBuf = p.key(keyBuf, tuple)
+			sl := table.Upsert(keyBuf, p.seedSlot)
+			p.addTupleToSlot(sl, tuple, +1)
+			sl.ObserveTS(view.At(i))
+		}
+		res.Partials = append(res.Partials, WindowPartial{
+			Window:     f.Window,
+			OpenedHere: f.Opens,
+			ClosedHere: f.Closes,
+			Table:      table,
+			MaxTS:      fragLastTS(view, f.Start, f.End),
+		})
+	}
+}
+
+// SetIncremental force-enables or disables the incremental computation
+// paths; the default from Compile enables them whenever every aggregate is
+// invertible. Exposed for the ablation benchmarks.
+func (p *Plan) SetIncremental(on bool) {
+	if on {
+		for _, spec := range p.aggs {
+			if spec.fn == query.Min || spec.fn == query.Max {
+				return // cannot roll non-invertible functions
+			}
+		}
+	}
+	p.invertApl = on
+}

@@ -1,0 +1,172 @@
+package exec
+
+import (
+	"math"
+
+	"saber/internal/query"
+	"saber/internal/schema"
+)
+
+// Merge is the assembly operator function's pairwise step (paper §4.3): it
+// folds the next task's fragment result for a window into the accumulated
+// partial for that window. Partials must be merged in query-task order;
+// the result stage guarantees that by draining task results in task-id
+// order. next's resources are consumed: its table (if any) is released.
+func (p *Plan) Merge(acc, next *WindowPartial) {
+	if (p.Kind == Join || p.Kind == UDFOp) && p.NumInputs() == 2 {
+		// A two-input window closes when both inputs have passed it,
+		// possibly in different tasks.
+		acc.ClosedSides[0] = acc.ClosedSides[0] || next.ClosedSides[0]
+		acc.ClosedSides[1] = acc.ClosedSides[1] || next.ClosedSides[1]
+		acc.ClosedHere = acc.ClosedSides[0] && acc.ClosedSides[1]
+	} else {
+		acc.ClosedHere = acc.ClosedHere || next.ClosedHere
+	}
+	acc.OpenedHere = acc.OpenedHere || next.OpenedHere
+	if next.MaxTS > acc.MaxTS {
+		acc.MaxTS = next.MaxTS
+	}
+	switch p.Kind {
+	case UDFOp:
+		p.mergeUDF(acc, next)
+		return
+	case Aggregate:
+		if p.grouped {
+			if acc.Table == nil {
+				acc.Table = next.Table
+				next.Table = nil
+				return
+			}
+			acc.Table.MergeFrom(next.Table, p.ops)
+			if next.Table != nil {
+				p.releaseTable(next.Table)
+				next.Table = nil
+			}
+			return
+		}
+		acc.Count += next.Count
+		if acc.Vals == nil {
+			acc.Vals = make([]float64, len(p.aggs))
+			for a, op := range p.ops {
+				switch op {
+				case OpMin:
+					acc.Vals[a] = math.Inf(1)
+				case OpMax:
+					acc.Vals[a] = math.Inf(-1)
+				}
+			}
+		}
+		for a, op := range p.ops {
+			switch op {
+			case OpAdd:
+				acc.Vals[a] += next.Vals[a]
+			case OpMin:
+				if next.Vals[a] < acc.Vals[a] {
+					acc.Vals[a] = next.Vals[a]
+				}
+			case OpMax:
+				if next.Vals[a] > acc.Vals[a] {
+					acc.Vals[a] = next.Vals[a]
+				}
+			}
+		}
+	case Join:
+		// Pairs within each side's own fragments were joined at batch
+		// time; the cross-task pairs are joined here.
+		acc.Data = append(acc.Data, next.Data...)
+		acc.Data = p.joinCross(acc.Data, acc.AData, next.BData)
+		acc.Data = p.joinCross(acc.Data, next.AData, acc.BData)
+		if !acc.ClosedHere {
+			acc.AData = append(acc.AData, next.AData...)
+			acc.BData = append(acc.BData, next.BData...)
+		} else {
+			acc.AData, acc.BData = nil, nil
+		}
+	}
+}
+
+// Finalize renders a closed window's accumulated partial into output
+// tuples appended to dst, applying HAVING and the stream function
+// (RStream). The partial's table, if any, is released.
+func (p *Plan) Finalize(part *WindowPartial, dst []byte) []byte {
+	switch p.Kind {
+	case UDFOp:
+		return p.finalizeUDF(part, dst)
+	case Join:
+		return append(dst, part.Data...)
+	case Aggregate:
+		if p.grouped {
+			dst = p.finalizeGrouped(part, dst)
+			if part.Table != nil {
+				p.releaseTable(part.Table)
+				part.Table = nil
+			}
+			return dst
+		}
+		return p.finalizeScalar(part, dst)
+	}
+	return dst
+}
+
+func (p *Plan) finalizeScalar(part *WindowPartial, dst []byte) []byte {
+	if part.Count == 0 {
+		return dst // empty window: no row (CQL aggregate over empty input)
+	}
+	base := len(dst)
+	dst = append(dst, make([]byte, p.out.TupleSize())...)
+	tuple := dst[base:]
+	p.out.SetTimestamp(tuple, part.MaxTS)
+	for i, spec := range p.aggs {
+		p.writeAggValue(tuple, spec, part.Vals[i], part.Count)
+	}
+	if p.having != nil && !p.having.EvalTuple(tuple) {
+		return dst[:base]
+	}
+	return dst
+}
+
+func (p *Plan) finalizeGrouped(part *WindowPartial, dst []byte) []byte {
+	if part.Table == nil {
+		return dst
+	}
+	out := p.out
+	osz := out.TupleSize()
+	part.Table.Range(func(sl Slot) {
+		if sl.Count() <= 0 {
+			return
+		}
+		base := len(dst)
+		dst = append(dst, make([]byte, osz)...)
+		tuple := dst[base:]
+		ts := sl.MaxTS()
+		if ts == minInt64 {
+			ts = part.MaxTS
+		}
+		out.SetTimestamp(tuple, ts)
+		// Group key bytes land directly after the timestamp: the output
+		// schema is [timestamp, group columns..., aggregates...] and the
+		// key is the concatenation of the group column values.
+		copy(tuple[out.Offset(1):out.Offset(1)+p.keyLen], sl.Key())
+		for i, spec := range p.aggs {
+			p.writeAggValue(tuple, spec, sl.Val(i), sl.Count())
+		}
+		if p.having != nil && !p.having.EvalTuple(tuple) {
+			dst = dst[:base]
+		}
+	})
+	return dst
+}
+
+func (p *Plan) writeAggValue(tuple []byte, spec aggSpec, val float64, count int64) {
+	switch spec.fn {
+	case query.Count:
+		p.out.WriteInt64(tuple, spec.outF, count)
+	case query.Avg:
+		p.out.WriteFloat(tuple, spec.outF, val/float64(count))
+	default:
+		p.out.WriteFloat(tuple, spec.outF, val)
+	}
+}
+
+// outFieldType is a small helper for tests.
+func (p *Plan) outFieldType(i int) schema.Type { return p.out.Field(i).Type }

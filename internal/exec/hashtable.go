@@ -1,0 +1,269 @@
+// Package exec implements SABER's CPU operator functions (paper §5.3): for
+// each relational operator, the batch operator function evaluated inside a
+// query task, and the assembly operator function that combines window
+// fragment results into window results.
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+)
+
+// HashTable is the open-addressing, linear-probing group-by table used by
+// both the CPU and the (simulated) GPGPU aggregation operators. Per the
+// paper (§5.4), the table layout and hash function are identical on both
+// processors, so a partial table produced on one can be merged with one
+// produced on the other.
+//
+// The table uses struct-of-arrays storage backed by flat slices, which is
+// the Go rendition of the paper's byte-array-backed tables: no per-group
+// allocation, trivially poolable, and the state words are plain int32s the
+// GPGPU kernels can CAS on.
+type HashTable struct {
+	keyLen int // group key width in bytes
+	nAggs  int // accumulators per group
+	cap    int // slot count, power of two
+	used   int
+
+	state  []int32   // 0 = empty, 1 = occupied
+	keys   []byte    // cap * keyLen
+	counts []int64   // tuples per group
+	vals   []float64 // cap * nAggs accumulator values
+	maxTS  []int64   // max contributing timestamp per group
+}
+
+// NewHashTable creates a table for keys of keyLen bytes with nAggs
+// accumulator values per group and room for at least capacity groups.
+func NewHashTable(keyLen, nAggs, capacity int) *HashTable {
+	c := 16
+	for c < capacity*2 { // keep load factor below 1/2
+		c <<= 1
+	}
+	return &HashTable{
+		keyLen: keyLen,
+		nAggs:  nAggs,
+		cap:    c,
+		state:  make([]int32, c),
+		keys:   make([]byte, c*keyLen),
+		counts: make([]int64, c),
+		vals:   make([]float64, c*nAggs),
+		maxTS:  make([]int64, c),
+	}
+}
+
+// Len returns the number of occupied groups.
+func (h *HashTable) Len() int { return h.used }
+
+// Cap returns the slot count.
+func (h *HashTable) Cap() int { return h.cap }
+
+// KeyLen returns the group key width in bytes.
+func (h *HashTable) KeyLen() int { return h.keyLen }
+
+// NumAggs returns the number of accumulators per group.
+func (h *HashTable) NumAggs() int { return h.nAggs }
+
+// Reset empties the table, retaining capacity.
+func (h *HashTable) Reset() {
+	if h.used == 0 {
+		return
+	}
+	for i := range h.state {
+		h.state[i] = 0
+	}
+	h.used = 0
+}
+
+// Hash is the shared hash function: FNV-1a over the key bytes. Exported so
+// the GPGPU kernel uses bit-identical slot placement.
+func Hash(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// slotFor finds the slot holding key, or the empty slot where it belongs.
+// Returns the slot index and whether the key was found.
+func (h *HashTable) slotFor(key []byte) (int, bool) {
+	mask := h.cap - 1
+	i := int(Hash(key)) & mask
+	for {
+		if h.state[i] == 0 {
+			return i, false
+		}
+		if bytes.Equal(h.keys[i*h.keyLen:(i+1)*h.keyLen], key) {
+			return i, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Slot provides update access to one group's accumulators.
+type Slot struct {
+	h *HashTable
+	i int
+}
+
+// Count returns the group's tuple count.
+func (s Slot) Count() int64 { return s.h.counts[s.i] }
+
+// Val returns accumulator a.
+func (s Slot) Val(a int) float64 { return s.h.vals[s.i*s.h.nAggs+a] }
+
+// SetVal sets accumulator a.
+func (s Slot) SetVal(a int, v float64) { s.h.vals[s.i*s.h.nAggs+a] = v }
+
+// AddVal adds to accumulator a.
+func (s Slot) AddVal(a int, v float64) { s.h.vals[s.i*s.h.nAggs+a] += v }
+
+// MinVal lowers accumulator a to v if smaller.
+func (s Slot) MinVal(a int, v float64) {
+	if v < s.Val(a) {
+		s.SetVal(a, v)
+	}
+}
+
+// MaxVal raises accumulator a to v if larger.
+func (s Slot) MaxVal(a int, v float64) {
+	if v > s.Val(a) {
+		s.SetVal(a, v)
+	}
+}
+
+// AddCount adds to the group's tuple count.
+func (s Slot) AddCount(n int64) { s.h.counts[s.i] += n }
+
+// ObserveTS raises the group's max timestamp.
+func (s Slot) ObserveTS(ts int64) {
+	if ts > s.h.maxTS[s.i] {
+		s.h.maxTS[s.i] = ts
+	}
+}
+
+// MaxTS returns the group's max contributing timestamp.
+func (s Slot) MaxTS() int64 { return s.h.maxTS[s.i] }
+
+// Key returns the group's key bytes (aliasing table storage).
+func (s Slot) Key() []byte { return s.h.keys[s.i*s.h.keyLen : (s.i+1)*s.h.keyLen] }
+
+// Upsert returns the slot for key, inserting a fresh group if absent. Fresh
+// groups have count 0 and accumulators initialised via init (which may be
+// nil to zero-fill; min/max aggregates need ±Inf seeds).
+func (h *HashTable) Upsert(key []byte, init func(Slot)) Slot {
+	if len(key) != h.keyLen {
+		panic(fmt.Sprintf("exec: key length %d, table expects %d", len(key), h.keyLen))
+	}
+	if h.used*2 >= h.cap {
+		h.grow()
+	}
+	i, found := h.slotFor(key)
+	s := Slot{h, i}
+	if !found {
+		h.state[i] = 1
+		copy(h.keys[i*h.keyLen:], key)
+		h.counts[i] = 0
+		h.maxTS[i] = math.MinInt64
+		for a := 0; a < h.nAggs; a++ {
+			h.vals[i*h.nAggs+a] = 0
+		}
+		if init != nil {
+			init(s)
+		}
+		h.used++
+	}
+	return s
+}
+
+// Lookup returns the slot for key if present.
+func (h *HashTable) Lookup(key []byte) (Slot, bool) {
+	i, found := h.slotFor(key)
+	return Slot{h, i}, found
+}
+
+// Range calls fn for every occupied group, in unspecified order.
+func (h *HashTable) Range(fn func(Slot)) {
+	for i := 0; i < h.cap; i++ {
+		if h.state[i] == 1 {
+			fn(Slot{h, i})
+		}
+	}
+}
+
+func (h *HashTable) grow() {
+	old := *h
+	h.cap = old.cap * 2
+	h.state = make([]int32, h.cap)
+	h.keys = make([]byte, h.cap*h.keyLen)
+	h.counts = make([]int64, h.cap)
+	h.vals = make([]float64, h.cap*h.nAggs)
+	h.maxTS = make([]int64, h.cap)
+	h.used = 0
+	for i := 0; i < old.cap; i++ {
+		if old.state[i] != 1 {
+			continue
+		}
+		key := old.keys[i*old.keyLen : (i+1)*old.keyLen]
+		j, _ := h.slotFor(key)
+		h.state[j] = 1
+		copy(h.keys[j*h.keyLen:], key)
+		h.counts[j] = old.counts[i]
+		h.maxTS[j] = old.maxTS[i]
+		copy(h.vals[j*h.nAggs:(j+1)*h.nAggs], old.vals[i*old.nAggs:(i+1)*old.nAggs])
+		h.used++
+	}
+}
+
+// MergeFrom folds every group of src into h. combine receives the
+// destination slot and the source slot; it must fold counts, accumulators
+// and timestamps. A nil combine applies the default: counts add, and each
+// accumulator is combined with the per-accumulator op given in ops
+// (OpAdd/OpMin/OpMax).
+func (h *HashTable) MergeFrom(src *HashTable, ops []MergeOp) {
+	if src == nil {
+		return
+	}
+	src.Range(func(s Slot) {
+		dst := h.Upsert(s.Key(), func(d Slot) {
+			for a, op := range ops {
+				if op != OpAdd {
+					// Seed min with +Inf, max with -Inf.
+					if op == OpMin {
+						d.SetVal(a, math.Inf(1))
+					} else {
+						d.SetVal(a, math.Inf(-1))
+					}
+				}
+			}
+		})
+		dst.AddCount(s.Count())
+		dst.ObserveTS(s.MaxTS())
+		for a, op := range ops {
+			switch op {
+			case OpAdd:
+				dst.AddVal(a, s.Val(a))
+			case OpMin:
+				dst.MinVal(a, s.Val(a))
+			case OpMax:
+				dst.MaxVal(a, s.Val(a))
+			}
+		}
+	})
+}
+
+// MergeOp selects how an accumulator combines across partials.
+type MergeOp uint8
+
+// Accumulator merge operations.
+const (
+	OpAdd MergeOp = iota
+	OpMin
+	OpMax
+)

@@ -1,0 +1,168 @@
+package exec
+
+import "saber/internal/window"
+
+// JoinPair describes one window's fragment pair within a join task, with
+// per-side open/close state derived from each side's stream horizon —
+// not from fragment presence, because with rate-mismatched or lagging
+// inputs a window may be covered by only one side's batch, and it may
+// close on the two sides in different tasks.
+type JoinPair struct {
+	Window       int64
+	FA, FB       window.Fragment
+	HaveA, HaveB bool
+	// Opened reports that no earlier task contributed to this window on
+	// either side. ClosedA/ClosedB report that the respective side's
+	// stream has passed the window's end (at or before this task).
+	Opened           bool
+	ClosedA, ClosedB bool
+}
+
+// sideOpened reports whether no tuple before this batch belongs to
+// window k on a stream with the given batch context.
+func sideOpened(d window.Def, ctx window.Context, k int64) bool {
+	switch d.Kind {
+	case window.Count:
+		return ctx.FirstIndex <= d.Start(k)
+	case window.Time:
+		return ctx.PrevTimestamp == window.NoPrev || ctx.PrevTimestamp < d.Start(k)
+	}
+	return ctx.FirstIndex == 0 && ctx.PrevTimestamp == window.NoPrev
+}
+
+// sideClosed reports whether the stream has passed window k's end after
+// consuming this batch (n tuples, last timestamp lastTS; for an empty
+// batch lastTS falls back to the context's previous timestamp).
+func sideClosed(d window.Def, ctx window.Context, n int, lastTS int64, k int64) bool {
+	switch d.Kind {
+	case window.Count:
+		return ctx.FirstIndex+int64(n) >= d.End(k)
+	case window.Time:
+		if n == 0 {
+			lastTS = ctx.PrevTimestamp
+		}
+		return lastTS != window.NoPrev && lastTS >= d.End(k)
+	}
+	return false
+}
+
+// JoinPairs computes the window fragment pairs of a two-input task, in
+// window order. Exported for the GPGPU kernel, which runs the same
+// pairing host-side (window computation stays on the CPU, §5.4).
+func (p *Plan) JoinPairs(in [2]Batch) []JoinPair {
+	sa, sb := p.in[0], p.in[1]
+	va := newTSView(sa, in[0].Data)
+	vb := newTSView(sb, in[1].Data)
+	fragsA := p.windows[0].Fragments(nil, va.Len(), va, in[0].Ctx)
+	fragsB := p.windows[1].Fragments(nil, vb.Len(), vb, in[1].Ctx)
+
+	lastA, lastB := int64(window.NoPrev), int64(window.NoPrev)
+	if va.Len() > 0 {
+		lastA = va.At(va.Len() - 1)
+	}
+	if vb.Len() > 0 {
+		lastB = vb.At(vb.Len() - 1)
+	}
+
+	var pairs []JoinPair
+	i, j := 0, 0
+	for i < len(fragsA) || j < len(fragsB) {
+		var pr JoinPair
+		switch {
+		case i < len(fragsA) && (j >= len(fragsB) || fragsA[i].Window <= fragsB[j].Window):
+			pr.FA, pr.HaveA = fragsA[i], true
+			pr.Window = fragsA[i].Window
+			if j < len(fragsB) && fragsB[j].Window == pr.Window {
+				pr.FB, pr.HaveB = fragsB[j], true
+				j++
+			}
+			i++
+		default:
+			pr.FB, pr.HaveB = fragsB[j], true
+			pr.Window = fragsB[j].Window
+			j++
+		}
+		pr.Opened = sideOpened(p.windows[0], in[0].Ctx, pr.Window) &&
+			sideOpened(p.windows[1], in[1].Ctx, pr.Window)
+		pr.ClosedA = sideClosed(p.windows[0], in[0].Ctx, va.Len(), lastA, pr.Window)
+		pr.ClosedB = sideClosed(p.windows[1], in[1].Ctx, vb.Len(), lastB, pr.Window)
+		pairs = append(pairs, pr)
+	}
+	return pairs
+}
+
+// processJoin runs the windowed θ-join batch operator function (paper
+// §5.3, following Kang et al.). The fragment result for window k contains
+// the θ-join of the two fragments, plus — for windows still open on
+// either side — the raw fragment data of both sides, so the assembly
+// operator function can join tuple pairs that span query tasks.
+func (p *Plan) processJoin(in [2]Batch, res *TaskResult) {
+	sa, sb := p.in[0], p.in[1]
+	va := newTSView(sa, in[0].Data)
+	vb := newTSView(sb, in[1].Data)
+	for _, pr := range p.JoinPairs(in) {
+		part := p.joinPartial(pr, in, sa.TupleSize(), sb.TupleSize(), va, vb)
+		res.Partials = append(res.Partials, part)
+	}
+}
+
+// joinPartial builds the WindowPartial for one pair (shared with the
+// GPGPU kernel, which parallelises the calls across windows).
+func (p *Plan) joinPartial(pr JoinPair, in [2]Batch, asz, bsz int, va, vb tsView) WindowPartial {
+	part := WindowPartial{
+		Window:     pr.Window,
+		OpenedHere: pr.Opened,
+		ClosedHere: pr.ClosedA && pr.ClosedB,
+		MaxTS:      minInt64,
+	}
+	part.ClosedSides[0] = pr.ClosedA
+	part.ClosedSides[1] = pr.ClosedB
+	var aData, bData []byte
+	if pr.HaveA {
+		aData = in[0].Data[pr.FA.Start*asz : pr.FA.End*asz]
+		if ts := fragLastTS(va, pr.FA.Start, pr.FA.End); ts > part.MaxTS {
+			part.MaxTS = ts
+		}
+	}
+	if pr.HaveB {
+		bData = in[1].Data[pr.FB.Start*bsz : pr.FB.End*bsz]
+		if ts := fragLastTS(vb, pr.FB.Start, pr.FB.End); ts > part.MaxTS {
+			part.MaxTS = ts
+		}
+	}
+	part.Data = p.joinCross(nil, aData, bData)
+	if !(part.OpenedHere && part.ClosedHere) {
+		// Keep raw fragments for cross-task pairs during assembly —
+		// needed by every partial that will be merged, including the
+		// one that closes the window.
+		part.AData = append(part.AData, aData...)
+		part.BData = append(part.BData, bData...)
+	}
+	return part
+}
+
+// JoinPartial is the exported form used by the GPGPU kernel.
+func (p *Plan) JoinPartial(pr JoinPair, in [2]Batch) WindowPartial {
+	sa, sb := p.in[0], p.in[1]
+	return p.joinPartial(pr, in, sa.TupleSize(), sb.TupleSize(),
+		newTSView(sa, in[0].Data), newTSView(sb, in[1].Data))
+}
+
+// joinCross appends to dst the projected join result of every tuple pair
+// (a, b) with a from aData and b from bData that satisfies the predicate.
+func (p *Plan) joinCross(dst, aData, bData []byte) []byte {
+	if len(aData) == 0 || len(bData) == 0 {
+		return dst
+	}
+	asz, bsz := p.in[0].TupleSize(), p.in[1].TupleSize()
+	for ao := 0; ao+asz <= len(aData); ao += asz {
+		a := aData[ao : ao+asz]
+		for bo := 0; bo+bsz <= len(bData); bo += bsz {
+			b := bData[bo : bo+bsz]
+			if p.joinPred.Eval(a, b) {
+				dst = p.writeOut(dst, a, b)
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"saber/internal/window"
+)
+
+// This file is the seam between the compiled plan and the (simulated)
+// GPGPU kernels in internal/gpu: the kernels implement the paper's §5.4
+// algorithms — prefix-sum compaction, per-fragment reduction, atomic
+// open-addressing tables, two-pass joins — against these hooks, so both
+// processors evaluate the same compiled expressions and produce
+// assembly-compatible results.
+
+// EvalFilter evaluates the WHERE predicate over a tuple (true when the
+// query has no predicate).
+func (p *Plan) EvalFilter(tuple []byte) bool {
+	return p.filter == nil || p.filter.EvalTuple(tuple)
+}
+
+// EvalJoinPred evaluates the θ-join predicate over a tuple pair.
+func (p *Plan) EvalJoinPred(l, r []byte) bool { return p.joinPred.Eval(l, r) }
+
+// WriteOutput appends the output tuple for the given input tuple(s); r is
+// nil for single-input plans.
+func (p *Plan) WriteOutput(dst, l, r []byte) []byte { return p.writeOut(dst, l, r) }
+
+// Fragments computes input i's window fragments for a batch of n tuples.
+func (p *Plan) Fragments(dst []window.Fragment, i, n int, data []byte, ctx window.Context) []window.Fragment {
+	view := newTSView(p.in[i], data)
+	_ = n
+	return p.windows[i].Fragments(dst, view.Len(), view, ctx)
+}
+
+// NumAggs returns the number of aggregates.
+func (p *Plan) NumAggs() int { return len(p.aggs) }
+
+// AggOps returns the per-accumulator merge operations.
+func (p *Plan) AggOps() []MergeOp { return p.ops }
+
+// AggArg evaluates aggregate a's argument over a tuple (0 for count).
+func (p *Plan) AggArg(a int, tuple []byte) float64 {
+	if p.aggs[a].arg == nil {
+		return 0
+	}
+	return p.aggs[a].arg.EvalFloat(tuple, nil)
+}
+
+// Grouped reports whether the aggregation has GROUP BY (or DISTINCT).
+func (p *Plan) Grouped() bool { return p.grouped }
+
+// KeyLen returns the group key width in bytes.
+func (p *Plan) KeyLen() int { return p.keyLen }
+
+// GroupKey extracts a tuple's group key into dst.
+func (p *Plan) GroupKey(dst, tuple []byte) []byte { return p.key(dst, tuple) }
+
+// NewTable fetches a pooled, reset group table compatible with Merge and
+// Finalize.
+func (p *Plan) NewTable() *HashTable { return p.newTable() }
+
+// SeedSlot initialises a fresh group slot's accumulators (±Inf for
+// min/max).
+func (p *Plan) SeedSlot(sl Slot) { p.seedSlot(sl) }
+
+// FoldTuple folds one tuple into a group slot.
+func (p *Plan) FoldTuple(sl Slot, tuple []byte) { p.addTupleToSlot(sl, tuple, +1) }
+
+// TimestampOf returns the timestamp of tuple i in a packed batch of
+// input side's schema.
+func (p *Plan) TimestampOf(side int, data []byte, i int) int64 {
+	s := p.in[side]
+	return s.Timestamp(data[i*s.TupleSize():])
+}
+
+// JoinCross appends the projected θ-join of two packed fragments.
+func (p *Plan) JoinCross(dst, aData, bData []byte) []byte { return p.joinCross(dst, aData, bData) }

@@ -1,0 +1,18 @@
+package exec
+
+// processMap runs projection/selection over a batch. These operators are
+// stateless and use IStream semantics, so the window definition does not
+// influence the output (which is why Fig. 11a is flat): the batch operator
+// function is a single scan, and assembly is concatenation in task order.
+func (p *Plan) processMap(in Batch, res *TaskResult) {
+	s := p.in[0]
+	ts := s.TupleSize()
+	n := len(in.Data) / ts
+	for i := 0; i < n; i++ {
+		tuple := in.Data[i*ts : (i+1)*ts]
+		if p.filter != nil && !p.filter.EvalTuple(tuple) {
+			continue
+		}
+		res.Stream = p.writeOut(res.Stream, tuple, nil)
+	}
+}

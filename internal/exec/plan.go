@@ -1,0 +1,361 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"saber/internal/expr"
+	"saber/internal/query"
+	"saber/internal/schema"
+	"saber/internal/window"
+)
+
+// Kind classifies a compiled plan by its execution strategy.
+type Kind uint8
+
+// Plan kinds.
+const (
+	// Map covers projection and selection: stateless per-tuple transforms
+	// with IStream semantics; windows do not affect the output.
+	Map Kind = iota
+	// Aggregate covers windowed aggregation, GROUP BY, HAVING and
+	// DISTINCT, with RStream semantics.
+	Aggregate
+	// Join covers the windowed θ-join, with RStream semantics.
+	Join
+	// UDFOp covers user-defined operator functions, with RStream
+	// semantics over opaque partials.
+	UDFOp
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	return [...]string{"map", "aggregate", "join", "udf"}[k]
+}
+
+type aggSpec struct {
+	fn   query.AggFunc
+	arg  *expr.NumProgram // nil for count
+	op   MergeOp
+	outF int // output schema field index
+}
+
+type fieldWriter struct {
+	// Byte-forwarding path: copy size bytes from srcOff of the tuple on
+	// side src. size == 0 selects the computed path.
+	src    int
+	srcOff int
+	size   int
+	// Computed path.
+	prog   *expr.NumProgram
+	outIdx int
+}
+
+// Plan is a compiled query: the batch operator function (Process), the
+// assembly operator function (Merge/Finalize), and the metadata the engine
+// needs to route data. Plans are safe for concurrent Process calls.
+type Plan struct {
+	Q    *query.Query
+	Kind Kind
+
+	in      [2]*schema.Schema
+	windows [2]window.Def
+	out     *schema.Schema
+
+	filter   *expr.PredProgram // σ / WHERE; nil = accept all
+	writers  []fieldWriter     // output construction; nil = identity copy
+	joinPred *expr.PredProgram
+
+	aggs      []aggSpec
+	ops       []MergeOp
+	groupIdx  []int // group-by field indices in the input schema
+	keyLen    int
+	grouped   bool
+	invertApl bool              // incremental (rolling) computation applies
+	having    *expr.PredProgram // over the output schema
+
+	resultPool  sync.Pool // *TaskResult
+	tablePool   sync.Pool // *HashTable
+	scratchPool sync.Pool // *scratch
+}
+
+type scratch struct {
+	frags   []window.Fragment
+	fragsB  []window.Fragment
+	prefixC []int64   // prefix counts
+	prefixV []float64 // prefix sums, nAggs-strided
+	prefTS  []int64   // per-tuple pass/fail timestamps
+	rolling *HashTable
+}
+
+// Compile builds an executable plan from a validated query.
+func Compile(q *query.Query) (*Plan, error) {
+	if q.OutputSchema() == nil {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	p := &Plan{Q: q, out: q.OutputSchema()}
+	for i, in := range q.Inputs {
+		p.in[i] = in.Schema
+		p.windows[i] = in.Window
+	}
+	res := q.Resolver()
+
+	var err error
+	if q.Where != nil {
+		if p.filter, err = expr.CompilePred(q.Where, res); err != nil {
+			return nil, err
+		}
+	}
+
+	switch {
+	case q.UDF != nil:
+		p.Kind = UDFOp
+		if q.IsJoin() && p.windows[0].Kind != p.windows[1].Kind {
+			return nil, fmt.Errorf("exec: two-input UDF windows must have the same kind")
+		}
+	case q.IsJoin():
+		p.Kind = Join
+		if p.windows[0].Kind != p.windows[1].Kind {
+			return nil, fmt.Errorf("exec: join windows must have the same kind")
+		}
+		if p.joinPred, err = expr.CompilePred(q.JoinPred, res); err != nil {
+			return nil, err
+		}
+		if err := p.compileWriters(res); err != nil {
+			return nil, err
+		}
+	case q.IsAggregation() || q.Distinct:
+		p.Kind = Aggregate
+		if err := p.compileAggregation(res); err != nil {
+			return nil, err
+		}
+	default:
+		p.Kind = Map
+		if err := p.compileWriters(res); err != nil {
+			return nil, err
+		}
+	}
+
+	if q.Having != nil {
+		p.having, err = expr.CompilePred(q.Having, expr.SingleResolver{Schema: p.out})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	p.resultPool.New = func() any { return &TaskResult{} }
+	p.tablePool.New = func() any {
+		return NewHashTable(p.keyLen, len(p.aggs), 64)
+	}
+	p.scratchPool.New = func() any { return &scratch{} }
+	return p, nil
+}
+
+// compileWriters builds the output tuple constructors for Map and Join
+// plans. An empty projection is the identity (select *): for Map a whole-
+// tuple copy, for Join the concatenation of both sides.
+func (p *Plan) compileWriters(res expr.Resolver) error {
+	if len(p.Q.Projection) == 0 {
+		p.writers = nil
+		return nil
+	}
+	out := p.out
+	for i, item := range p.Q.Projection {
+		w := fieldWriter{outIdx: i}
+		if c, ok := item.Expr.(expr.Column); ok {
+			side, fi, s, err := res.Resolve(c)
+			if err != nil {
+				return err
+			}
+			if s.Field(fi).Type == out.Field(i).Type {
+				w.src = side
+				w.srcOff = s.Offset(fi)
+				w.size = s.Field(fi).Type.Size()
+				p.writers = append(p.writers, w)
+				continue
+			}
+		}
+		prog, err := expr.CompileNum(item.Expr, res)
+		if err != nil {
+			return err
+		}
+		w.prog = prog
+		p.writers = append(p.writers, w)
+	}
+	return nil
+}
+
+func (p *Plan) compileAggregation(res expr.Resolver) error {
+	in := p.in[0]
+	if p.Q.Distinct {
+		// DISTINCT groups on every non-timestamp projected column; the
+		// output tuples are the group keys themselves, prefixed by the
+		// group's max timestamp — so the first projected column must be
+		// the timestamp.
+		if p.out.NumFields() < 2 || p.out.Field(0).Name != "timestamp" || p.out.Field(0).Type != schema.Int64 {
+			return fmt.Errorf("exec: distinct queries must project timestamp first")
+		}
+		p.grouped = true
+		p.invertApl = true
+		for _, item := range p.Q.Projection {
+			c, ok := item.Expr.(expr.Column)
+			if !ok {
+				return fmt.Errorf("exec: distinct supports plain column projections only")
+			}
+			if c.Name == "timestamp" {
+				continue
+			}
+			fi := in.IndexOf(c.Name)
+			if fi < 0 {
+				return fmt.Errorf("exec: unknown distinct column %q", c.Name)
+			}
+			p.groupIdx = append(p.groupIdx, fi)
+			p.keyLen += in.Field(fi).Type.Size()
+		}
+		if p.keyLen == 0 {
+			return fmt.Errorf("exec: distinct needs at least one non-timestamp column")
+		}
+		return nil
+	}
+
+	for _, g := range p.Q.GroupBy {
+		_, fi, s, err := res.Resolve(g)
+		if err != nil {
+			return err
+		}
+		p.groupIdx = append(p.groupIdx, fi)
+		p.keyLen += s.Field(fi).Type.Size()
+	}
+	p.grouped = len(p.groupIdx) > 0
+
+	p.invertApl = true
+	outOff := 1 + len(p.groupIdx) // timestamp + group columns precede aggs
+	for i, a := range p.Q.Aggregates {
+		spec := aggSpec{fn: a.Func, outF: outOff + i}
+		switch a.Func {
+		case query.Count, query.Sum, query.Avg:
+			spec.op = OpAdd
+		case query.Min:
+			spec.op = OpMin
+			p.invertApl = false
+		case query.Max:
+			spec.op = OpMax
+			p.invertApl = false
+		}
+		if a.Arg != nil {
+			prog, err := expr.CompileNum(a.Arg, res)
+			if err != nil {
+				return err
+			}
+			spec.arg = prog
+		}
+		p.aggs = append(p.aggs, spec)
+		p.ops = append(p.ops, spec.op)
+	}
+	return nil
+}
+
+// InputSchema returns the schema of input i.
+func (p *Plan) InputSchema(i int) *schema.Schema { return p.in[i] }
+
+// OutputSchema returns the result schema.
+func (p *Plan) OutputSchema() *schema.Schema { return p.out }
+
+// Window returns the window definition of input i.
+func (p *Plan) Window(i int) window.Def { return p.windows[i] }
+
+// NumInputs returns 1 or 2.
+func (p *Plan) NumInputs() int { return len(p.Q.Inputs) }
+
+// RStream reports whether the plan emits per-window results (aggregations
+// and joins) rather than a per-tuple transformed stream.
+func (p *Plan) RStream() bool { return p.Kind != Map }
+
+// NewResult fetches a pooled TaskResult.
+func (p *Plan) NewResult() *TaskResult {
+	r := p.resultPool.Get().(*TaskResult)
+	r.Reset()
+	return r
+}
+
+// ReleaseResult returns a TaskResult and any tables it references to the
+// plan's pools.
+func (p *Plan) ReleaseResult(r *TaskResult) {
+	for i := range r.Partials {
+		if t := r.Partials[i].Table; t != nil {
+			p.releaseTable(t)
+			r.Partials[i].Table = nil
+		}
+	}
+	r.Reset()
+	p.resultPool.Put(r)
+}
+
+func (p *Plan) newTable() *HashTable {
+	t := p.tablePool.Get().(*HashTable)
+	t.Reset()
+	return t
+}
+
+func (p *Plan) releaseTable(t *HashTable) { p.tablePool.Put(t) }
+
+func (p *Plan) getScratch() *scratch  { return p.scratchPool.Get().(*scratch) }
+func (p *Plan) putScratch(s *scratch) { p.scratchPool.Put(s) }
+
+// Process evaluates the batch operator function over one task's batches,
+// appending results to res. It is the CPU execution path (paper §5.3); the
+// GPGPU path in internal/gpu produces bit-compatible results.
+func (p *Plan) Process(in [2]Batch, res *TaskResult) error {
+	switch p.Kind {
+	case Map:
+		p.processMap(in[0], res)
+	case Aggregate:
+		p.processAggregate(in[0], res)
+	case Join:
+		p.processJoin(in, res)
+	case UDFOp:
+		p.processUDF(in, res)
+	}
+	return nil
+}
+
+// writeOut appends the output tuple for the given input tuple(s).
+func (p *Plan) writeOut(dst []byte, l, r []byte) []byte {
+	if p.writers == nil {
+		dst = append(dst, l...)
+		return append(dst, r...)
+	}
+	base := len(dst)
+	dst = append(dst, make([]byte, p.out.TupleSize())...)
+	tuple := dst[base:]
+	for _, w := range p.writers {
+		if w.size > 0 {
+			src := l
+			if w.src == 1 {
+				src = r
+			}
+			copy(tuple[p.out.Offset(w.outIdx):p.out.Offset(w.outIdx)+w.size], src[w.srcOff:w.srcOff+w.size])
+			continue
+		}
+		if w.prog.IsInt() {
+			v := w.prog.EvalInt(l, r)
+			switch p.out.Field(w.outIdx).Type {
+			case schema.Int32:
+				p.out.WriteInt32(tuple, w.outIdx, int32(v))
+			case schema.Int64:
+				p.out.WriteInt64(tuple, w.outIdx, v)
+			default:
+				p.out.WriteFloat(tuple, w.outIdx, float64(v))
+			}
+		} else {
+			p.out.WriteFloat(tuple, w.outIdx, w.prog.EvalFloat(l, r))
+		}
+	}
+	return dst
+}
+
+// minInt64 is the MaxTS seed.
+const minInt64 = math.MinInt64

@@ -1,0 +1,89 @@
+package exec
+
+import (
+	"saber/internal/schema"
+	"saber/internal/window"
+)
+
+// Batch is one input stream's slice of data for a query task: a contiguous
+// run of serialised tuples plus the O(1) stream-position context the
+// dispatcher captured when it cut the batch (paper §4.1). All window
+// computation over the batch happens inside the task, in parallel.
+type Batch struct {
+	// Data holds packed fixed-width tuples.
+	Data []byte
+	// Ctx is the stream position of the batch.
+	Ctx window.Context
+}
+
+// Tuples returns the number of tuples given the stream's tuple size.
+func (b Batch) Tuples(tupleSize int) int { return len(b.Data) / tupleSize }
+
+// tsView adapts a packed batch to window.Timestamps.
+type tsView struct {
+	s    *schema.Schema
+	data []byte
+	n    int
+}
+
+func newTSView(s *schema.Schema, data []byte) tsView {
+	return tsView{s: s, data: data, n: len(data) / s.TupleSize()}
+}
+
+func (v tsView) Len() int { return v.n }
+
+func (v tsView) At(i int) int64 { return v.s.Timestamp(v.data[i*v.s.TupleSize():]) }
+
+// WindowPartial is the window fragment result a task produces for one
+// window (paper §3, f_f output). Its payload depends on the operator class:
+//
+//   - IStream operators (π, σ) bypass partials entirely — their output is
+//     TaskResult.Stream.
+//   - Aggregations carry either scalar accumulators (Count/Vals/MaxTS) or a
+//     group hash table (Table).
+//   - Joins carry the result tuples joined so far (Data) plus the window's
+//     raw input seen so far on each side (AData/BData) so that cross-task
+//     tuple pairs can be joined during assembly.
+type WindowPartial struct {
+	// Window is the window index k.
+	Window int64
+	// OpenedHere/ClosedHere mirror the fragment flags; for joins they are
+	// the conjunction across both inputs.
+	OpenedHere, ClosedHere bool
+
+	// Scalar aggregation payload.
+	Count int64
+	Vals  []float64
+	MaxTS int64
+
+	// Grouped aggregation payload.
+	Table *HashTable
+
+	// Join payload.
+	Data         []byte
+	AData, BData []byte
+	// ClosedSides tracks per-input close state: a join window may close
+	// on its two inputs in different tasks.
+	ClosedSides [2]bool
+}
+
+// TaskResult is the output of the batch operator function for one task.
+type TaskResult struct {
+	// Stream is the IStream output for π/σ tasks: transformed tuples in
+	// input order. Assembly for these operators is pure concatenation in
+	// task order.
+	Stream []byte
+	// Partials holds RStream window fragment results in window order.
+	Partials []WindowPartial
+	// FreeTo, per input, is the absolute ring-buffer offset up to which
+	// the input data is no longer needed once this result is consumed.
+	// Managed by the engine, carried here for the result stage.
+	FreeTo [2]int64
+}
+
+// Reset clears the result for reuse, retaining allocated capacity.
+func (r *TaskResult) Reset() {
+	r.Stream = r.Stream[:0]
+	r.Partials = r.Partials[:0]
+	r.FreeTo = [2]int64{}
+}

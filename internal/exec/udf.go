@@ -1,0 +1,84 @@
+package exec
+
+import "saber/internal/window"
+
+// processUDF runs a user-defined operator function's batch stage: the
+// batch's window fragments are computed exactly as for relational
+// operators, and the UDF's fragment function produces each fragment's
+// opaque partial.
+func (p *Plan) processUDF(in [2]Batch, res *TaskResult) {
+	if p.NumInputs() == 2 {
+		for _, pr := range p.JoinPairs(in) {
+			res.Partials = append(res.Partials, p.UDFPartialPair(pr, in))
+		}
+		return
+	}
+	for _, f := range p.udfFragments(in[0]) {
+		res.Partials = append(res.Partials, p.UDFPartialSingle(in[0], f))
+	}
+}
+
+// UDFPartialPair computes one window's partial for a two-input UDF task
+// (exported for the GPGPU kernel, which parallelises across windows).
+func (p *Plan) UDFPartialPair(pr JoinPair, in [2]Batch) WindowPartial {
+	udf := p.Q.UDF
+	sa, sb := p.in[0], p.in[1]
+	part := WindowPartial{
+		Window:     pr.Window,
+		OpenedHere: pr.Opened,
+		ClosedHere: pr.ClosedA && pr.ClosedB,
+		MaxTS:      minInt64,
+	}
+	part.ClosedSides[0] = pr.ClosedA
+	part.ClosedSides[1] = pr.ClosedB
+	var aData, bData []byte
+	if pr.HaveA {
+		aData = in[0].Data[pr.FA.Start*sa.TupleSize() : pr.FA.End*sa.TupleSize()]
+		if pr.FA.End > pr.FA.Start {
+			part.MaxTS = p.TimestampOf(0, in[0].Data, pr.FA.End-1)
+		}
+	}
+	if pr.HaveB {
+		bData = in[1].Data[pr.FB.Start*sb.TupleSize() : pr.FB.End*sb.TupleSize()]
+		if pr.FB.End > pr.FB.Start {
+			if ts := p.TimestampOf(1, in[1].Data, pr.FB.End-1); ts > part.MaxTS {
+				part.MaxTS = ts
+			}
+		}
+	}
+	part.Data = udf.ProcessFragment([][]byte{aData, bData})
+	return part
+}
+
+// UDFPartialSingle computes one window fragment's partial for a
+// single-input UDF task.
+func (p *Plan) UDFPartialSingle(in Batch, f window.Fragment) WindowPartial {
+	tsz := p.in[0].TupleSize()
+	view := newTSView(p.in[0], in.Data)
+	part := WindowPartial{
+		Window:     f.Window,
+		OpenedHere: f.Opens,
+		ClosedHere: f.Closes,
+		MaxTS:      fragLastTS(view, f.Start, f.End),
+	}
+	part.Data = p.Q.UDF.ProcessFragment([][]byte{in.Data[f.Start*tsz : f.End*tsz]})
+	return part
+}
+
+// mergeUDF folds the next partial into the accumulated one.
+func (p *Plan) mergeUDF(acc, next *WindowPartial) {
+	acc.Data = p.Q.UDF.Merge(acc.Data, next.Data)
+	next.Data = nil
+}
+
+// finalizeUDF renders a closed window.
+func (p *Plan) finalizeUDF(part *WindowPartial, dst []byte) []byte {
+	return append(dst, p.Q.UDF.Finalize(part.Data)...)
+}
+
+// udfFragments is a small helper for the GPGPU kernel: the per-window
+// work items of a single-input UDF task.
+func (p *Plan) udfFragments(in Batch) []window.Fragment {
+	view := newTSView(p.in[0], in.Data)
+	return p.windows[0].Fragments(nil, view.Len(), view, in.Ctx)
+}

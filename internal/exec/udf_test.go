@@ -1,0 +1,270 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+
+	"saber/internal/query"
+	"saber/internal/schema"
+	"saber/internal/window"
+)
+
+// medianUDF is the paper's example of an operator function that needs an
+// elaborate decomposition (§3): the fragment partial carries the raw
+// values; merge concatenates; finalize sorts and picks the median. Output
+// schema: (timestamp, median float64).
+func medianUDF(t *testing.T) *query.UDF {
+	t.Helper()
+	out := schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "median", Type: schema.Float64},
+	)
+	s := synSchema
+	return &query.UDF{
+		Name: "median",
+		Out:  out,
+		ProcessFragment: func(in [][]byte) []byte {
+			// Partial layout: maxTS int64, then float64 values.
+			data := in[0]
+			n := len(data) / s.TupleSize()
+			partial := make([]byte, 8+8*n)
+			maxTS := int64(math.MinInt64)
+			for i := 0; i < n; i++ {
+				tu := s.TupleAt(data, i)
+				if ts := s.Timestamp(tu); ts > maxTS {
+					maxTS = ts
+				}
+				binary.LittleEndian.PutUint64(partial[8+8*i:], math.Float64bits(float64(s.ReadFloat32(tu, 1))))
+			}
+			binary.LittleEndian.PutUint64(partial, uint64(maxTS))
+			return partial
+		},
+		Merge: func(acc, next []byte) []byte {
+			if len(acc) == 0 {
+				return next
+			}
+			if len(next) == 0 {
+				return acc
+			}
+			accTS := int64(binary.LittleEndian.Uint64(acc))
+			nextTS := int64(binary.LittleEndian.Uint64(next))
+			if nextTS > accTS {
+				binary.LittleEndian.PutUint64(acc, uint64(nextTS))
+			}
+			return append(acc, next[8:]...)
+		},
+		Finalize: func(partial []byte) []byte {
+			if len(partial) <= 8 {
+				return nil
+			}
+			vals := make([]float64, 0, (len(partial)-8)/8)
+			for o := 8; o+8 <= len(partial); o += 8 {
+				vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(partial[o:])))
+			}
+			sort.Float64s(vals)
+			med := vals[len(vals)/2]
+			row := make([]byte, out.TupleSize())
+			out.SetTimestamp(row, int64(binary.LittleEndian.Uint64(partial)))
+			out.WriteFloat64(row, 1, med)
+			return row
+		},
+	}
+}
+
+func TestUDFMedianAcrossBatchings(t *testing.T) {
+	q := query.NewBuilder("median").
+		From("S", synSchema, window.NewCount(50, 25)).
+		UDF(medianUDF(t)).
+		MustBuild()
+	if q.OutputSchema().NumFields() != 2 {
+		t.Fatalf("udf output schema = %s", q.OutputSchema())
+	}
+	p := mustCompile(t, q)
+	if p.Kind != UDFOp || !p.RStream() {
+		t.Fatalf("kind = %v", p.Kind)
+	}
+
+	stream := genStream(500, 31)
+	ref := runPlan(t, p, stream, 500) // single batch
+	for _, batch := range []int{7, 60, 123} {
+		got := runPlan(t, mustCompile(t, q), stream, batch)
+		if string(got) != string(ref) {
+			t.Fatalf("batch %d: UDF result depends on batching (%d vs %d bytes)", batch, len(got), len(ref))
+		}
+	}
+	// Spot-check one window against a direct median.
+	out := q.OutputSchema()
+	if len(ref) == 0 {
+		t.Fatal("no output")
+	}
+	first := ref[:out.TupleSize()]
+	var vals []float64
+	for i := 0; i < 50; i++ {
+		vals = append(vals, float64(synSchema.ReadFloat32(synSchema.TupleAt(stream, i), 1)))
+	}
+	sort.Float64s(vals)
+	if got := out.ReadFloat64(first, 1); got != vals[25] {
+		t.Fatalf("median = %g, want %g", got, vals[25])
+	}
+}
+
+// partitionJoinUDF is the paper's UDF example (§2.4): an n-ary partition
+// join — both windows are partitioned by a key, then corresponding
+// partitions are joined. Output: (timestamp, key, leftCount, rightCount)
+// per matched partition, which a plain θ-join cannot express.
+func partitionJoinUDF(t *testing.T) *query.UDF {
+	t.Helper()
+	out := schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "key", Type: schema.Int32},
+		schema.Field{Name: "leftCount", Type: schema.Int64},
+		schema.Field{Name: "rightCount", Type: schema.Int64},
+	)
+	left, right := leftSchema, rightSchema
+	// Partial layout: repeated records of (key int32, lc int64, rc int64,
+	// maxTS int64) = 28 bytes.
+	const rec = 28
+	fold := func(m map[int32][3]int64, s *schema.Schema, data []byte, side int) {
+		n := len(data) / s.TupleSize()
+		for i := 0; i < n; i++ {
+			tu := s.TupleAt(data, i)
+			k := s.ReadInt32(tu, 1)
+			e := m[k]
+			e[side]++
+			if ts := s.Timestamp(tu); ts > e[2] {
+				e[2] = ts
+			}
+			m[k] = e
+		}
+	}
+	encode := func(m map[int32][3]int64) []byte {
+		buf := make([]byte, 0, len(m)*rec)
+		keys := make([]int32, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			e := m[k]
+			var r [rec]byte
+			binary.LittleEndian.PutUint32(r[0:], uint32(k))
+			binary.LittleEndian.PutUint64(r[4:], uint64(e[0]))
+			binary.LittleEndian.PutUint64(r[12:], uint64(e[1]))
+			binary.LittleEndian.PutUint64(r[20:], uint64(e[2]))
+			buf = append(buf, r[:]...)
+		}
+		return buf
+	}
+	decode := func(b []byte) map[int32][3]int64 {
+		m := map[int32][3]int64{}
+		for o := 0; o+rec <= len(b); o += rec {
+			k := int32(binary.LittleEndian.Uint32(b[o:]))
+			m[k] = [3]int64{
+				int64(binary.LittleEndian.Uint64(b[o+4:])),
+				int64(binary.LittleEndian.Uint64(b[o+12:])),
+				int64(binary.LittleEndian.Uint64(b[o+20:])),
+			}
+		}
+		return m
+	}
+	return &query.UDF{
+		Name: "partitionJoin",
+		Out:  out,
+		ProcessFragment: func(in [][]byte) []byte {
+			m := map[int32][3]int64{}
+			fold(m, left, in[0], 0)
+			fold(m, right, in[1], 1)
+			return encode(m)
+		},
+		Merge: func(acc, next []byte) []byte {
+			m := decode(acc)
+			for k, e := range decode(next) {
+				a := m[k]
+				a[0] += e[0]
+				a[1] += e[1]
+				if e[2] > a[2] {
+					a[2] = e[2]
+				}
+				m[k] = a
+			}
+			return encode(m)
+		},
+		Finalize: func(partial []byte) []byte {
+			var dst []byte
+			m := decode(partial)
+			keys := make([]int32, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, k := range keys {
+				e := m[k]
+				if e[0] == 0 || e[1] == 0 {
+					continue // partition present on one side only
+				}
+				row := make([]byte, out.TupleSize())
+				out.SetTimestamp(row, e[2])
+				out.WriteInt32(row, 1, k)
+				out.WriteInt64(row, 2, e[0])
+				out.WriteInt64(row, 3, e[1])
+				dst = append(dst, row...)
+			}
+			return dst
+		},
+	}
+}
+
+func TestUDFPartitionJoin(t *testing.T) {
+	q := query.NewBuilder("pjoin").
+		FromAs("L", "L", leftSchema, window.NewCount(16, 16)).
+		FromAs("R", "R", rightSchema, window.NewCount(16, 16)).
+		UDF(partitionJoinUDF(t)).
+		MustBuild()
+	p := mustCompile(t, q)
+	l, r := genPair(64, 4)
+	ref := runPlanStreams(t, p, [2][]byte{l, r}, 64)
+	for _, batch := range []int{5, 16, 33} {
+		got := runPlanStreams(t, mustCompile(t, q), [2][]byte{l, r}, batch)
+		if string(got) != string(ref) {
+			t.Fatalf("batch %d: partition join depends on batching", batch)
+		}
+	}
+	// Each tumbling window of 16 has 4 keys with 4 tuples per side.
+	out := q.OutputSchema()
+	osz := out.TupleSize()
+	if len(ref)/osz != 4*4 { // 4 windows × 4 keys
+		t.Fatalf("rows = %d, want 16", len(ref)/osz)
+	}
+	for o := 0; o+osz <= len(ref); o += osz {
+		if out.ReadInt(ref[o:], 2) != 4 || out.ReadInt(ref[o:], 3) != 4 {
+			t.Fatalf("partition counts wrong: %s", out.Format(ref[o:o+osz]))
+		}
+	}
+}
+
+func TestUDFValidation(t *testing.T) {
+	bad := &query.UDF{Name: "x"}
+	q := query.NewBuilder("bad").
+		From("S", synSchema, window.NewCount(4, 4)).
+		UDF(bad)
+	if _, err := q.Build(); err == nil {
+		t.Error("incomplete UDF accepted")
+	}
+	full := medianUDF(t)
+	mixed := query.NewBuilder("mixed").
+		From("S", synSchema, window.NewCount(4, 4)).
+		Select("timestamp").
+		UDF(full)
+	if _, err := mixed.Build(); err == nil {
+		t.Error("UDF mixed with projection accepted")
+	}
+	noTS := *full
+	noTS.Out = schema.MustNew(schema.Field{Name: "x", Type: schema.Int32})
+	if _, err := (query.NewBuilder("nots").
+		From("S", synSchema, window.NewCount(4, 4)).
+		UDF(&noTS)).Build(); err == nil {
+		t.Error("UDF output without timestamp accepted")
+	}
+}

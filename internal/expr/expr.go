@@ -1,0 +1,253 @@
+// Package expr provides arithmetic expressions and boolean predicates over
+// SABER's binary tuples.
+//
+// Expressions are built (or parsed from CQL) as a small AST, then compiled
+// against one or two tuple schemas into closure-based evaluators that read
+// attribute values lazily from raw tuple bytes (paper §5.1): only the
+// attributes an expression touches are ever decoded, and only to
+// primitives. Integer expressions keep integer semantics (LRB1's
+// position/5280 relies on integer division).
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"saber/internal/schema"
+)
+
+// ArithOp is a binary arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+)
+
+func (o ArithOp) String() string {
+	return [...]string{"+", "-", "*", "/", "%"}[o]
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (o CmpOp) String() string {
+	return [...]string{"==", "!=", "<", "<=", ">", ">="}[o]
+}
+
+// Expr is a numeric expression AST node.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// Column references an attribute, optionally qualified with a stream alias
+// for join predicates ("L.vehicle").
+type Column struct {
+	Qualifier string
+	Name      string
+}
+
+func (Column) isExpr() {}
+
+func (c Column) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// Col is shorthand for an unqualified column reference.
+func Col(name string) Column { return Column{Name: name} }
+
+// QCol is shorthand for a qualified column reference.
+func QCol(qualifier, name string) Column { return Column{Qualifier: qualifier, Name: name} }
+
+// IntConst is an integer literal.
+type IntConst int64
+
+func (IntConst) isExpr() {}
+
+func (c IntConst) String() string { return fmt.Sprintf("%d", int64(c)) }
+
+// FloatConst is a floating-point literal.
+type FloatConst float64
+
+func (FloatConst) isExpr() {}
+
+func (c FloatConst) String() string { return fmt.Sprintf("%g", float64(c)) }
+
+// Arith applies a binary arithmetic operator.
+type Arith struct {
+	Op          ArithOp
+	Left, Right Expr
+}
+
+func (Arith) isExpr() {}
+
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.Left, a.Op, a.Right)
+}
+
+// Neg negates a numeric expression.
+type Neg struct{ E Expr }
+
+func (Neg) isExpr() {}
+
+func (n Neg) String() string { return fmt.Sprintf("(-%s)", n.E) }
+
+// Pred is a boolean predicate AST node.
+type Pred interface {
+	fmt.Stringer
+	isPred()
+}
+
+// Cmp compares two numeric expressions.
+type Cmp struct {
+	Op          CmpOp
+	Left, Right Expr
+}
+
+func (Cmp) isPred() {}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// And is the conjunction of its operands (true when empty).
+type And struct{ Preds []Pred }
+
+func (And) isPred() {}
+
+func (a And) String() string { return joinPreds(a.Preds, " and ") }
+
+// Or is the disjunction of its operands (false when empty).
+type Or struct{ Preds []Pred }
+
+func (Or) isPred() {}
+
+func (o Or) String() string { return joinPreds(o.Preds, " or ") }
+
+// Not negates a predicate.
+type Not struct{ P Pred }
+
+func (Not) isPred() {}
+
+func (n Not) String() string { return fmt.Sprintf("not (%s)", n.P) }
+
+func joinPreds(ps []Pred, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// Columns appends every column referenced by e to dst.
+func Columns(e Expr, dst []Column) []Column {
+	switch v := e.(type) {
+	case Column:
+		return append(dst, v)
+	case Arith:
+		return Columns(v.Right, Columns(v.Left, dst))
+	case Neg:
+		return Columns(v.E, dst)
+	}
+	return dst
+}
+
+// PredColumns appends every column referenced by p to dst.
+func PredColumns(p Pred, dst []Column) []Column {
+	switch v := p.(type) {
+	case Cmp:
+		return Columns(v.Right, Columns(v.Left, dst))
+	case And:
+		for _, q := range v.Preds {
+			dst = PredColumns(q, dst)
+		}
+	case Or:
+		for _, q := range v.Preds {
+			dst = PredColumns(q, dst)
+		}
+	case Not:
+		return PredColumns(v.P, dst)
+	}
+	return dst
+}
+
+// Resolver maps column references to a (side, field) location during
+// compilation. Side 0 is the only side for single-stream expressions;
+// joins use sides 0 (left) and 1 (right).
+type Resolver interface {
+	// Resolve returns the input side, field index, and schema holding the
+	// column, or an error for unknown/ambiguous references.
+	Resolve(c Column) (side, field int, s *schema.Schema, err error)
+}
+
+// SingleResolver resolves against one schema, ignoring qualifiers that
+// match Alias (or any qualifier when Alias is empty).
+type SingleResolver struct {
+	Schema *schema.Schema
+	Alias  string
+}
+
+// Resolve implements Resolver.
+func (r SingleResolver) Resolve(c Column) (int, int, *schema.Schema, error) {
+	if c.Qualifier != "" && r.Alias != "" && c.Qualifier != r.Alias {
+		return 0, 0, nil, fmt.Errorf("expr: unknown qualifier %q", c.Qualifier)
+	}
+	i := r.Schema.IndexOf(c.Name)
+	if i < 0 {
+		return 0, 0, nil, fmt.Errorf("expr: unknown column %q", c)
+	}
+	return 0, i, r.Schema, nil
+}
+
+// PairResolver resolves against two schemas for join predicates. Qualified
+// references select a side by alias; unqualified references must be
+// unambiguous.
+type PairResolver struct {
+	Left, Right           *schema.Schema
+	LeftAlias, RightAlias string
+}
+
+// Resolve implements Resolver.
+func (r PairResolver) Resolve(c Column) (int, int, *schema.Schema, error) {
+	switch c.Qualifier {
+	case "":
+		li, ri := r.Left.IndexOf(c.Name), r.Right.IndexOf(c.Name)
+		switch {
+		case li >= 0 && ri >= 0:
+			return 0, 0, nil, fmt.Errorf("expr: ambiguous column %q", c.Name)
+		case li >= 0:
+			return 0, li, r.Left, nil
+		case ri >= 0:
+			return 1, ri, r.Right, nil
+		}
+	case r.LeftAlias:
+		if i := r.Left.IndexOf(c.Name); i >= 0 {
+			return 0, i, r.Left, nil
+		}
+	case r.RightAlias:
+		if i := r.Right.IndexOf(c.Name); i >= 0 {
+			return 1, i, r.Right, nil
+		}
+	default:
+		return 0, 0, nil, fmt.Errorf("expr: unknown qualifier %q", c.Qualifier)
+	}
+	return 0, 0, nil, fmt.Errorf("expr: unknown column %q", c)
+}

@@ -1,0 +1,300 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"saber/internal/schema"
+)
+
+var testSchema = schema.MustNew(
+	schema.Field{Name: "timestamp", Type: schema.Int64},
+	schema.Field{Name: "a", Type: schema.Float32},
+	schema.Field{Name: "b", Type: schema.Int32},
+	schema.Field{Name: "c", Type: schema.Int32},
+	schema.Field{Name: "d", Type: schema.Float64},
+)
+
+func makeTuple(t *testing.T, ts int64, a float32, b, c int32, d float64) []byte {
+	t.Helper()
+	tu := make([]byte, testSchema.TupleSize())
+	testSchema.WriteInt64(tu, 0, ts)
+	testSchema.WriteFloat32(tu, 1, a)
+	testSchema.WriteInt32(tu, 2, b)
+	testSchema.WriteInt32(tu, 3, c)
+	testSchema.WriteFloat64(tu, 4, d)
+	return tu
+}
+
+func res() Resolver { return SingleResolver{Schema: testSchema} }
+
+func TestColumnEval(t *testing.T) {
+	tu := makeTuple(t, 9, 1.5, -3, 4, 2.25)
+	cases := []struct {
+		e       Expr
+		isInt   bool
+		wantI   int64
+		wantF   float64
+		typWant schema.Type
+	}{
+		{Col("timestamp"), true, 9, 9, schema.Int64},
+		{Col("a"), false, 1, 1.5, schema.Float32},
+		{Col("b"), true, -3, -3, schema.Int32},
+		{Col("d"), false, 2, 2.25, schema.Float64},
+	}
+	for _, c := range cases {
+		p, err := CompileNum(c.e, res())
+		if err != nil {
+			t.Fatalf("%v: %v", c.e, err)
+		}
+		if p.IsInt() != c.isInt || p.Type() != c.typWant {
+			t.Errorf("%v: IsInt=%v Type=%v", c.e, p.IsInt(), p.Type())
+		}
+		if got := p.EvalInt(tu, nil); got != c.wantI {
+			t.Errorf("%v EvalInt = %d, want %d", c.e, got, c.wantI)
+		}
+		if got := p.EvalFloat(tu, nil); got != c.wantF {
+			t.Errorf("%v EvalFloat = %g, want %g", c.e, got, c.wantF)
+		}
+	}
+}
+
+func TestArithInteger(t *testing.T) {
+	tu := makeTuple(t, 0, 0, 17, 5, 0)
+	cases := []struct {
+		e    Expr
+		want int64
+	}{
+		{Arith{Add, Col("b"), Col("c")}, 22},
+		{Arith{Sub, Col("b"), Col("c")}, 12},
+		{Arith{Mul, Col("b"), IntConst(2)}, 34},
+		{Arith{Div, Col("b"), Col("c")}, 3}, // integer division
+		{Arith{Mod, Col("b"), Col("c")}, 2},
+		{Arith{Div, Col("b"), IntConst(0)}, 0}, // guarded
+		{Arith{Mod, Col("b"), IntConst(0)}, 0},
+		{Neg{Col("c")}, -5},
+	}
+	for _, c := range cases {
+		p, err := CompileNum(c.e, res())
+		if err != nil {
+			t.Fatalf("%v: %v", c.e, err)
+		}
+		if !p.IsInt() {
+			t.Errorf("%v not integer-typed", c.e)
+		}
+		if got := p.EvalInt(tu, nil); got != c.want {
+			t.Errorf("%v = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestArithFloatPromotion(t *testing.T) {
+	tu := makeTuple(t, 0, 2.5, 4, 0, 0.5)
+	p, err := CompileNum(Arith{Mul, Col("a"), Col("b")}, res())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type() != schema.Float32 || p.IsInt() {
+		t.Errorf("float32*int32 type = %v", p.Type())
+	}
+	if got := p.EvalFloat(tu, nil); got != 10 {
+		t.Errorf("a*b = %g", got)
+	}
+	if got := p.EvalInt(tu, nil); got != 10 {
+		t.Errorf("EvalInt of float expr = %d", got)
+	}
+	p2, _ := CompileNum(Arith{Div, Col("d"), FloatConst(0.25)}, res())
+	if p2.Type() != schema.Float64 {
+		t.Errorf("float64 type = %v", p2.Type())
+	}
+	if got := p2.EvalFloat(tu, nil); got != 2 {
+		t.Errorf("d/0.25 = %g", got)
+	}
+	if neg, _ := CompileNum(Neg{Col("a")}, res()); neg.EvalFloat(tu, nil) != -2.5 {
+		t.Error("float negation")
+	}
+}
+
+func TestModFloatRejected(t *testing.T) {
+	if _, err := CompileNum(Arith{Mod, Col("a"), IntConst(2)}, res()); err == nil {
+		t.Fatal("float %% compiled")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	cases := []struct{ a, b, want schema.Type }{
+		{schema.Int32, schema.Int32, schema.Int32},
+		{schema.Int32, schema.Int64, schema.Int64},
+		{schema.Int64, schema.Float32, schema.Float32},
+		{schema.Float32, schema.Float64, schema.Float64},
+		{schema.Float64, schema.Int32, schema.Float64},
+	}
+	for _, c := range cases {
+		if got := Promote(c.a, c.b); got != c.want {
+			t.Errorf("Promote(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	tu := makeTuple(t, 0, 1.5, 3, 5, 0)
+	cases := []struct {
+		p    Pred
+		want bool
+	}{
+		{Cmp{Eq, Col("b"), IntConst(3)}, true},
+		{Cmp{Ne, Col("b"), IntConst(3)}, false},
+		{Cmp{Lt, Col("b"), Col("c")}, true},
+		{Cmp{Le, Col("c"), IntConst(5)}, true},
+		{Cmp{Gt, Col("a"), FloatConst(1.0)}, true},
+		{Cmp{Ge, Col("a"), FloatConst(2.0)}, false},
+		{Cmp{Eq, Col("a"), FloatConst(1.5)}, true},
+	}
+	for _, c := range cases {
+		p, err := CompilePred(c.p, res())
+		if err != nil {
+			t.Fatalf("%v: %v", c.p, err)
+		}
+		if got := p.EvalTuple(tu); got != c.want {
+			t.Errorf("%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestLogical(t *testing.T) {
+	tu := makeTuple(t, 0, 0, 3, 5, 0)
+	bIs3 := Cmp{Eq, Col("b"), IntConst(3)}
+	cIs9 := Cmp{Eq, Col("c"), IntConst(9)}
+	cases := []struct {
+		p    Pred
+		want bool
+	}{
+		{And{[]Pred{bIs3, cIs9}}, false},
+		{And{[]Pred{bIs3}}, true},
+		{And{nil}, true},
+		{Or{[]Pred{bIs3, cIs9}}, true},
+		{Or{[]Pred{cIs9}}, false},
+		{Or{nil}, false},
+		{Not{cIs9}, true},
+		{Not{bIs3}, false},
+		{And{[]Pred{bIs3, Or{[]Pred{cIs9, Not{cIs9}}}}}, true},
+	}
+	for _, c := range cases {
+		p, err := CompilePred(c.p, res())
+		if err != nil {
+			t.Fatalf("%v: %v", c.p, err)
+		}
+		if got := p.EvalTuple(tu); got != c.want {
+			t.Errorf("%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := CompileNum(Col("nope"), res()); err == nil {
+		t.Error("unknown column compiled")
+	}
+	if _, err := CompileNum(Arith{Add, Col("nope"), IntConst(1)}, res()); err == nil {
+		t.Error("unknown column in arith compiled")
+	}
+	if _, err := CompilePred(Cmp{Eq, Col("nope"), IntConst(1)}, res()); err == nil {
+		t.Error("unknown column in pred compiled")
+	}
+	if _, err := CompilePred(And{[]Pred{Cmp{Eq, Col("x"), IntConst(0)}}}, res()); err == nil {
+		t.Error("unknown column in and compiled")
+	}
+	if _, err := CompileNum(Col("a"), SingleResolver{Schema: testSchema, Alias: "S"}); err != nil {
+		t.Errorf("unqualified with alias: %v", err)
+	}
+	if _, err := CompileNum(QCol("T", "a"), SingleResolver{Schema: testSchema, Alias: "S"}); err == nil {
+		t.Error("wrong qualifier compiled")
+	}
+}
+
+func TestPairResolver(t *testing.T) {
+	left := schema.MustNew(schema.Field{Name: "timestamp", Type: schema.Int64}, schema.Field{Name: "v", Type: schema.Int32})
+	right := schema.MustNew(schema.Field{Name: "timestamp", Type: schema.Int64}, schema.Field{Name: "w", Type: schema.Int32})
+	r := PairResolver{Left: left, Right: right, LeftAlias: "L", RightAlias: "R"}
+
+	lt := make([]byte, left.TupleSize())
+	rt := make([]byte, right.TupleSize())
+	left.WriteInt32(lt, 1, 10)
+	right.WriteInt32(rt, 1, 10)
+	left.SetTimestamp(lt, 1)
+	right.SetTimestamp(rt, 2)
+
+	p, err := CompilePred(Cmp{Eq, Col("v"), Col("w")}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Eval(lt, rt) {
+		t.Error("v == w should hold")
+	}
+	p2, err := CompilePred(Cmp{Lt, QCol("L", "timestamp"), QCol("R", "timestamp")}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Eval(lt, rt) {
+		t.Error("L.timestamp < R.timestamp should hold")
+	}
+	if _, err := CompilePred(Cmp{Eq, Col("timestamp"), IntConst(0)}, r); err == nil {
+		t.Error("ambiguous column compiled")
+	}
+	if _, err := CompilePred(Cmp{Eq, QCol("X", "v"), IntConst(0)}, r); err == nil {
+		t.Error("unknown qualifier compiled")
+	}
+	if _, err := CompilePred(Cmp{Eq, QCol("L", "w"), IntConst(0)}, r); err == nil {
+		t.Error("column on wrong side compiled")
+	}
+}
+
+func TestColumnsCollection(t *testing.T) {
+	e := Arith{Add, Neg{Col("a")}, Arith{Mul, Col("b"), IntConst(2)}}
+	cols := Columns(e, nil)
+	if len(cols) != 2 || cols[0].Name != "a" || cols[1].Name != "b" {
+		t.Errorf("Columns = %v", cols)
+	}
+	p := And{[]Pred{
+		Cmp{Eq, Col("x"), IntConst(1)},
+		Or{[]Pred{Not{Cmp{Lt, Col("y"), Col("z")}}}},
+	}}
+	pcols := PredColumns(p, nil)
+	if len(pcols) != 3 {
+		t.Errorf("PredColumns = %v", pcols)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := Arith{Div, QCol("S", "position"), IntConst(5280)}
+	if got := e.String(); got != "(S.position / 5280)" {
+		t.Errorf("String = %q", got)
+	}
+	p := And{[]Pred{Cmp{Gt, Col("speed"), FloatConst(40)}, Not{Cmp{Eq, Col("lane"), IntConst(4)}}}}
+	s := p.String()
+	for _, want := range []string{"speed > 40", "not", "lane == 4", " and "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	if (Neg{Col("a")}).String() != "(-a)" {
+		t.Error("Neg.String")
+	}
+}
+
+// TestIntFloatConsistency: integer expressions evaluated via the float path
+// agree with the int path for values exactly representable in float64.
+func TestIntFloatConsistency(t *testing.T) {
+	f := func(b, c int32) bool {
+		tu := makeTuple(t, 0, 0, b, c, 0)
+		e := Arith{Add, Arith{Mul, Col("b"), IntConst(3)}, Col("c")}
+		p, err := CompileNum(e, res())
+		if err != nil {
+			return false
+		}
+		return p.EvalFloat(tu, nil) == float64(p.EvalInt(tu, nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,460 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"saber/internal/exec"
+	"saber/internal/expr"
+	"saber/internal/model"
+	"saber/internal/query"
+	"saber/internal/schema"
+	"saber/internal/window"
+)
+
+var syn = schema.MustNew(
+	schema.Field{Name: "timestamp", Type: schema.Int64},
+	schema.Field{Name: "a", Type: schema.Float32},
+	schema.Field{Name: "b", Type: schema.Int32},
+	schema.Field{Name: "c", Type: schema.Int32},
+)
+
+func genStream(n int, seed int64) []byte {
+	rnd := rand.New(rand.NewSource(seed))
+	b := schema.NewTupleBuilder(syn, n)
+	for i := 0; i < n; i++ {
+		b.Begin().
+			Timestamp(int64(i)).
+			Float32("a", float32(rnd.Intn(1000))/10).
+			Int32("b", int32(rnd.Intn(8))).
+			Int32("c", int32(rnd.Intn(50)))
+	}
+	return b.Bytes()
+}
+
+// fastDevice opens a device whose modelled times are negligible, so
+// correctness tests run quickly.
+func fastDevice(t *testing.T) *Device {
+	t.Helper()
+	d := Open(Config{SMs: 4, WorkgroupTuples: 16, Model: model.Default().Scaled(1e-6)})
+	t.Cleanup(d.Close)
+	return d
+}
+
+// runBoth executes the plan over the stream twice — CPU path and GPU
+// program — and returns both assembled outputs.
+func runBoth(t *testing.T, d *Device, p *exec.Plan, streams [2][]byte, batchTuples int) (cpu, gpu []byte) {
+	t.Helper()
+	prog := d.Compile(p)
+	for _, mode := range []string{"cpu", "gpu"} {
+		asm := exec.NewAssembler(p)
+		var out []byte
+		var pos [2]int
+		prevTS := [2]int64{window.NoPrev, window.NoPrev}
+		more := func() bool {
+			for i := 0; i < p.NumInputs(); i++ {
+				if pos[i]*p.InputSchema(i).TupleSize() < len(streams[i]) {
+					return true
+				}
+			}
+			return false
+		}
+		for more() {
+			var in [2]exec.Batch
+			for i := 0; i < p.NumInputs(); i++ {
+				s := p.InputSchema(i)
+				tsz := s.TupleSize()
+				total := len(streams[i]) / tsz
+				n := batchTuples
+				if pos[i]+n > total {
+					n = total - pos[i]
+				}
+				data := streams[i][pos[i]*tsz : (pos[i]+n)*tsz]
+				in[i] = exec.Batch{Data: data, Ctx: window.Context{
+					FirstIndex:    int64(pos[i]),
+					PrevTimestamp: prevTS[i],
+				}}
+				if n > 0 {
+					prevTS[i] = s.Timestamp(data[(n-1)*tsz:])
+				}
+				pos[i] += n
+			}
+			res := p.NewResult()
+			if mode == "cpu" {
+				if err := p.Process(in, res); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := prog.Run(in, res); err != nil {
+					t.Fatal(err)
+				}
+			}
+			out = asm.Drain(res, out)
+			p.ReleaseResult(res)
+		}
+		out = asm.Flush(out)
+		if mode == "cpu" {
+			cpu = out
+		} else {
+			gpu = out
+		}
+	}
+	return cpu, gpu
+}
+
+func mustCompile(t *testing.T, q *query.Query) *exec.Plan {
+	t.Helper()
+	p, err := exec.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMapKernelMatchesCPU(t *testing.T) {
+	d := fastDevice(t)
+	q := query.NewBuilder("sel").
+		From("S", syn, window.NewCount(8, 8)).
+		Where(expr.Cmp{Op: expr.Lt, Left: expr.Col("b"), Right: expr.IntConst(4)}).
+		Select("timestamp", "b").
+		SelectAs(expr.Arith{Op: expr.Mul, Left: expr.Col("a"), Right: expr.FloatConst(2)}, "a2").
+		MustBuild()
+	p := mustCompile(t, q)
+	stream := genStream(500, 1)
+	for _, batch := range []int{33, 128, 500} {
+		cpu, gpu := runBoth(t, d, p, [2][]byte{stream, nil}, batch)
+		if string(cpu) != string(gpu) {
+			t.Fatalf("batch %d: GPU selection output differs (%d vs %d bytes)", batch, len(gpu), len(cpu))
+		}
+	}
+}
+
+func TestMapKernelEmptyAndAllPass(t *testing.T) {
+	d := fastDevice(t)
+	qAll := query.NewBuilder("all").From("S", syn, window.NewCount(4, 4)).MustBuild()
+	pAll := mustCompile(t, qAll)
+	stream := genStream(64, 2)
+	cpu, gpu := runBoth(t, d, pAll, [2][]byte{stream, nil}, 10)
+	if string(cpu) != string(gpu) || len(gpu) != len(stream) {
+		t.Fatal("identity mismatch")
+	}
+	qNone := query.NewBuilder("none").
+		From("S", syn, window.NewCount(4, 4)).
+		Where(expr.Cmp{Op: expr.Lt, Left: expr.Col("b"), Right: expr.IntConst(-1)}).
+		MustBuild()
+	pNone := mustCompile(t, qNone)
+	cpu, gpu = runBoth(t, d, pNone, [2][]byte{stream, nil}, 10)
+	if len(cpu) != 0 || len(gpu) != 0 {
+		t.Fatal("all-filtered mismatch")
+	}
+}
+
+// rowsAsSet normalises rows for order-insensitive comparison with small
+// float tolerance via formatting.
+func rowsAsSet(p *exec.Plan, out []byte) []string {
+	s := p.OutputSchema()
+	osz := s.TupleSize()
+	var rows []string
+	for i := 0; i+osz <= len(out); i += osz {
+		var b []byte
+		for f := 0; f < s.NumFields(); f++ {
+			b = fmt.Appendf(b, "%s=%.3f;", s.Field(f).Name, s.ReadFloat(out[i:i+osz], f))
+		}
+		rows = append(rows, string(b))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+func TestAggScalarKernelMatchesCPU(t *testing.T) {
+	d := fastDevice(t)
+	for _, w := range []window.Def{window.NewCount(16, 16), window.NewCount(32, 8), window.NewTime(20, 5)} {
+		q := query.NewBuilder("agg").
+			From("S", syn, w).
+			Aggregate(query.Sum, expr.Col("a"), "s").
+			Aggregate(query.Count, nil, "n").
+			Aggregate(query.Min, expr.Col("a"), "lo").
+			Aggregate(query.Max, expr.Col("a"), "hi").
+			MustBuild()
+		p := mustCompile(t, q)
+		stream := genStream(300, 3)
+		cpu, gpu := runBoth(t, d, p, [2][]byte{stream, nil}, 47)
+		cr, gr := rowsAsSet(p, cpu), rowsAsSet(p, gpu)
+		if len(cr) != len(gr) {
+			t.Fatalf("%v: rows %d vs %d", w, len(cr), len(gr))
+		}
+		for i := range cr {
+			if cr[i] != gr[i] {
+				t.Fatalf("%v row %d:\n cpu %s\n gpu %s", w, i, cr[i], gr[i])
+			}
+		}
+	}
+}
+
+func TestAggGroupedKernelMatchesCPU(t *testing.T) {
+	d := fastDevice(t)
+	for _, w := range []window.Def{window.NewCount(25, 25), window.NewCount(40, 10)} {
+		q := query.NewBuilder("grp").
+			From("S", syn, w).
+			Where(expr.Cmp{Op: expr.Gt, Left: expr.Col("a"), Right: expr.FloatConst(5)}).
+			Aggregate(query.Avg, expr.Col("a"), "m").
+			Aggregate(query.Count, nil, "n").
+			GroupBy("b").
+			MustBuild()
+		p := mustCompile(t, q)
+		stream := genStream(400, 4)
+		cpu, gpu := runBoth(t, d, p, [2][]byte{stream, nil}, 61)
+		cr, gr := rowsAsSet(p, cpu), rowsAsSet(p, gpu)
+		if len(cr) != len(gr) {
+			t.Fatalf("%v: rows %d vs %d", w, len(cr), len(gr))
+		}
+		for i := range cr {
+			if cr[i] != gr[i] {
+				t.Fatalf("%v row %d:\n cpu %s\n gpu %s", w, i, cr[i], gr[i])
+			}
+		}
+	}
+}
+
+// TestAggGroupedManyGroupsSpill forces the fixed-capacity atomic table
+// into its spill path and checks nothing is lost.
+func TestAggGroupedManyGroupsSpill(t *testing.T) {
+	d := fastDevice(t)
+	wide := schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "g", Type: schema.Int32},
+	)
+	n := 3000
+	b := schema.NewTupleBuilder(wide, n)
+	for i := 0; i < n; i++ {
+		b.Begin().Timestamp(int64(i)).Int32("g", int32(i)) // all distinct
+	}
+	q := query.NewBuilder("spill").
+		From("S", wide, window.NewCount(int64(n), int64(n))).
+		CountAll("n").
+		GroupBy("g").
+		MustBuild()
+	p := mustCompile(t, q)
+	cpu, gpu := runBoth(t, d, p, [2][]byte{b.Bytes(), nil}, n)
+	if len(cpu) != len(gpu) || len(cpu)/p.OutputSchema().TupleSize() != n {
+		t.Fatalf("spill path lost groups: cpu %d gpu %d bytes", len(cpu), len(gpu))
+	}
+}
+
+func TestJoinKernelMatchesCPU(t *testing.T) {
+	d := fastDevice(t)
+	right := schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "w", Type: schema.Int32},
+	)
+	lb := schema.NewTupleBuilder(syn, 128)
+	rb := schema.NewTupleBuilder(right, 128)
+	rnd := rand.New(rand.NewSource(5))
+	for i := 0; i < 128; i++ {
+		lb.Begin().Timestamp(int64(i)).Int32("b", int32(rnd.Intn(4)))
+		rb.Begin().Timestamp(int64(i)).Int32("w", int32(rnd.Intn(4)))
+	}
+	q := query.NewBuilder("join").
+		FromAs("L", "L", syn, window.NewCount(16, 16)).
+		FromAs("R", "R", right, window.NewCount(16, 16)).
+		Join(expr.Cmp{Op: expr.Eq, Left: expr.Col("b"), Right: expr.Col("w")}).
+		MustBuild()
+	p := mustCompile(t, q)
+	for _, batch := range []int{5, 16, 128} {
+		cpu, gpu := runBoth(t, d, p, [2][]byte{lb.Bytes(), rb.Bytes()}, batch)
+		if string(cpu) != string(gpu) {
+			t.Fatalf("batch %d: join output differs (%d vs %d bytes)", batch, len(cpu), len(gpu))
+		}
+	}
+}
+
+// TestPipelineOverlap: with modelled stage times, a depth-4 pipeline must
+// finish a burst of tasks in much less time than the sequential device.
+func TestPipelineOverlap(t *testing.T) {
+	mk := func(depth int) time.Duration {
+		m := model.Default()
+		// Inflate transfers so each stage is ~5 ms for a 64 KB task.
+		m.PCIeNsPerByte = 80
+		m.HostCopyNsPerByte = 80
+		m.GPULaunchNs = 5e6
+		d := Open(Config{SMs: 2, PipelineDepth: depth, Model: m})
+		defer d.Close()
+		q := query.NewBuilder("id").From("S", syn, window.NewCount(8, 8)).MustBuild()
+		p := mustCompile(t, q)
+		prog := d.Compile(p)
+		stream := genStream(2730, 7) // ~64 KB
+		const tasks = 8
+		start := time.Now()
+		dones := make([]<-chan error, 0, tasks)
+		results := make([]*exec.TaskResult, 0, tasks)
+		for i := 0; i < tasks; i++ {
+			res := p.NewResult()
+			results = append(results, res)
+			dones = append(dones, prog.Submit([2]exec.Batch{{Data: stream, Ctx: window.Context{FirstIndex: int64(i * 2730), PrevTimestamp: int64(i*2730 - 1)}}, {}}, res))
+		}
+		for _, c := range dones {
+			if err := <-c; err != nil {
+				t.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		for _, r := range results {
+			p.ReleaseResult(r)
+		}
+		return elapsed
+	}
+	seq := mk(1)
+	pipe := mk(4)
+	if pipe*2 > seq {
+		t.Fatalf("pipelining ineffective: depth4 %v vs depth1 %v", pipe, seq)
+	}
+}
+
+func TestDeviceTelemetryAndClose(t *testing.T) {
+	d := Open(Config{SMs: 2, Model: model.Default().Scaled(1e-6)})
+	q := query.NewBuilder("id").From("S", syn, window.NewCount(8, 8)).MustBuild()
+	p := mustCompile(t, q)
+	prog := d.Compile(p)
+	res := p.NewResult()
+	stream := genStream(100, 8)
+	if err := prog.Run([2]exec.Batch{{Data: stream, Ctx: window.Context{PrevTimestamp: window.NoPrev}}, {}}, res); err != nil {
+		t.Fatal(err)
+	}
+	if d.TasksCompleted() != 1 || d.BytesMoved() == 0 {
+		t.Fatalf("telemetry: tasks=%d bytes=%d", d.TasksCompleted(), d.BytesMoved())
+	}
+	if d.String() == "" {
+		t.Error("String empty")
+	}
+	d.Close()
+	d.Close() // idempotent
+}
+
+func TestAtomicTableConcurrent(t *testing.T) {
+	tab := newAtomicTable(4, 1, 64)
+	ops := []exec.MergeOp{exec.OpAdd}
+	seed := []float64{0}
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			key := make([]byte, 4)
+			for i := 0; i < 1000; i++ {
+				key[0] = byte(i % 16)
+				if s := tab.upsert(key, seed); s >= 0 {
+					tab.fold(s, []float64{1}, ops, int64(i))
+				} else {
+					tab.foldSpill(key, []float64{1}, ops, int64(i), seed)
+				}
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if tab.len() != 16 {
+		t.Fatalf("groups = %d, want 16", tab.len())
+	}
+	dst := exec.NewHashTable(4, 1, 16)
+	tab.drainInto(dst, nil, ops)
+	total := int64(0)
+	dst.Range(func(s exec.Slot) {
+		total += s.Count()
+		if s.Val(0) != float64(s.Count()) {
+			t.Fatalf("count %d != sum %g", s.Count(), s.Val(0))
+		}
+	})
+	if total != 4000 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestAtomicHelpers(t *testing.T) {
+	var cell = newAtomicTable(1, 1, 4).vals[:1]
+	cell[0].Store(math.Float64bits(1))
+	atomicAddFloat64(&cell[0], 2)
+	if math.Float64frombits(cell[0].Load()) != 3 {
+		t.Fatal("add")
+	}
+	atomicMinFloat64(&cell[0], 10) // no-op
+	atomicMinFloat64(&cell[0], -1)
+	if math.Float64frombits(cell[0].Load()) != -1 {
+		t.Fatal("min")
+	}
+	atomicMaxFloat64(&cell[0], 7)
+	atomicMaxFloat64(&cell[0], 2) // no-op
+	if math.Float64frombits(cell[0].Load()) != 7 {
+		t.Fatal("max")
+	}
+}
+
+// TestUDFKernelMatchesCPU runs a single-input UDF (windowed value
+// histogram) on both paths.
+func TestUDFKernelMatchesCPU(t *testing.T) {
+	d := fastDevice(t)
+	out := schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "sum", Type: schema.Float64},
+	)
+	udf := &query.UDF{
+		Name: "sumBlob",
+		Out:  out,
+		ProcessFragment: func(in [][]byte) []byte {
+			var s float64
+			var maxTS int64 = math.MinInt64
+			n := len(in[0]) / syn.TupleSize()
+			for i := 0; i < n; i++ {
+				tu := syn.TupleAt(in[0], i)
+				s += float64(syn.ReadFloat32(tu, 1))
+				if ts := syn.Timestamp(tu); ts > maxTS {
+					maxTS = ts
+				}
+			}
+			b := make([]byte, 16)
+			binary.LittleEndian.PutUint64(b, uint64(maxTS))
+			binary.LittleEndian.PutUint64(b[8:], math.Float64bits(s))
+			return b
+		},
+		Merge: func(acc, next []byte) []byte {
+			if len(acc) == 0 {
+				return next
+			}
+			if len(next) == 0 {
+				return acc
+			}
+			at := int64(binary.LittleEndian.Uint64(acc))
+			nt := int64(binary.LittleEndian.Uint64(next))
+			if nt > at {
+				binary.LittleEndian.PutUint64(acc, uint64(nt))
+			}
+			s := math.Float64frombits(binary.LittleEndian.Uint64(acc[8:])) +
+				math.Float64frombits(binary.LittleEndian.Uint64(next[8:]))
+			binary.LittleEndian.PutUint64(acc[8:], math.Float64bits(s))
+			return acc
+		},
+		Finalize: func(partial []byte) []byte {
+			row := make([]byte, out.TupleSize())
+			out.SetTimestamp(row, int64(binary.LittleEndian.Uint64(partial)))
+			out.WriteFloat64(row, 1, math.Float64frombits(binary.LittleEndian.Uint64(partial[8:])))
+			return row
+		},
+	}
+	q := query.NewBuilder("udf").
+		From("S", syn, window.NewCount(40, 20)).
+		UDF(udf).
+		MustBuild()
+	p := mustCompile(t, q)
+	stream := genStream(400, 9)
+	cpu, gpu := runBoth(t, d, p, [2][]byte{stream, nil}, 57)
+	if string(cpu) != string(gpu) {
+		t.Fatalf("UDF kernel output differs: %d vs %d bytes", len(cpu), len(gpu))
+	}
+	if len(cpu) == 0 {
+		t.Fatal("no UDF output")
+	}
+}

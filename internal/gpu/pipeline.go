@@ -1,0 +1,144 @@
+package gpu
+
+import (
+	"time"
+
+	"saber/internal/exec"
+	"saber/internal/model"
+)
+
+// job is one query task travelling through the five pipeline stages. The
+// slot's buffers (pinned staging and device global memory) are owned by
+// the job while in flight and recycled when copyout completes.
+type job struct {
+	prog *Program
+	in   [2]exec.Batch
+	res  *exec.TaskResult
+	done chan error
+
+	slot    *slotBuffers
+	inBytes int
+	tuples  int
+
+	// devOut holds the kernel's stream output in device memory; moveout
+	// and copyout stage it back to the host. Structured partials are
+	// produced by the kernel and accounted for in outBytes.
+	outBytes    int
+	selectivity float64
+}
+
+// slotBuffers is one of the PipelineDepth in-flight buffer sets (the
+// paper's "buffer 1..4" in Fig. 6).
+type slotBuffers struct {
+	pinIn  [2][]byte
+	devIn  [2][]byte
+	devOut []byte
+	pinOut []byte
+}
+
+type pipeline struct {
+	d     *Device
+	slots chan *slotBuffers
+
+	cIn, cMove, cExec, cBack, cOut chan *job
+	quit                           chan struct{}
+}
+
+func newPipeline(d *Device) *pipeline {
+	p := &pipeline{
+		d:     d,
+		slots: make(chan *slotBuffers, d.cfg.PipelineDepth),
+		cIn:   make(chan *job),
+		cMove: make(chan *job),
+		cExec: make(chan *job),
+		cBack: make(chan *job),
+		cOut:  make(chan *job),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < d.cfg.PipelineDepth; i++ {
+		p.slots <- &slotBuffers{}
+	}
+	go p.copyin()
+	go p.movein()
+	go p.execute()
+	go p.moveout()
+	go p.copyout()
+	return p
+}
+
+func (p *pipeline) close() {
+	close(p.cIn) // cascades stage by stage
+}
+
+func (p *pipeline) submit(j *job) {
+	j.slot = <-p.slots
+	p.cIn <- j
+}
+
+// copyin: managed heap → pinned host memory.
+func (p *pipeline) copyin() {
+	defer close(p.cMove)
+	for j := range p.cIn {
+		start := time.Now()
+		j.inBytes = 0
+		for i := 0; i < 2; i++ {
+			j.slot.pinIn[i] = append(j.slot.pinIn[i][:0], j.in[i].Data...)
+			j.inBytes += len(j.in[i].Data)
+		}
+		model.Pad(start, p.d.cfg.Model.HostCopyTime(j.inBytes))
+		p.cMove <- j
+	}
+}
+
+// movein: pinned host memory → device global memory over the simulated
+// PCIe link.
+func (p *pipeline) movein() {
+	defer close(p.cExec)
+	for j := range p.cMove {
+		start := time.Now()
+		for i := 0; i < 2; i++ {
+			j.slot.devIn[i] = append(j.slot.devIn[i][:0], j.slot.pinIn[i]...)
+		}
+		p.d.bytesMoved.Add(int64(j.inBytes))
+		model.Pad(start, p.d.cfg.Model.PCIeTime(j.inBytes))
+		p.cExec <- j
+	}
+}
+
+// execute: run the kernels over device memory. Window boundaries are
+// computed host-side (as in the paper — the cause of Fig. 12c's GPGPU
+// collapse for very large join tasks).
+func (p *pipeline) execute() {
+	defer close(p.cBack)
+	for j := range p.cExec {
+		start := time.Now()
+		j.prog.runKernels(j)
+		cost := p.d.cfg.Model
+		model.Pad(start, cost.GPUKernelTime(j.prog.cost, j.tuples, j.selectivity))
+		p.cBack <- j
+	}
+}
+
+// moveout: device global memory → pinned host memory.
+func (p *pipeline) moveout() {
+	defer close(p.cOut)
+	for j := range p.cBack {
+		start := time.Now()
+		j.slot.pinOut = append(j.slot.pinOut[:0], j.slot.devOut...)
+		p.d.bytesMoved.Add(int64(j.outBytes))
+		model.Pad(start, p.d.cfg.Model.PCIeTime(j.outBytes))
+		p.cOut <- j
+	}
+}
+
+// copyout: pinned host memory → managed heap (the TaskResult).
+func (p *pipeline) copyout() {
+	for j := range p.cOut {
+		start := time.Now()
+		j.res.Stream = append(j.res.Stream, j.slot.pinOut...)
+		model.Pad(start, p.d.cfg.Model.HostCopyTime(j.outBytes))
+		p.slots <- j.slot
+		p.d.tasksDone.Add(1)
+		j.done <- nil
+	}
+}

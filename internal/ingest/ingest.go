@@ -1,0 +1,185 @@
+// Package ingest streams serialised tuples into the engine over TCP, the
+// way the paper's evaluation feeds SABER from a 10 Gbps NIC (§6.1).
+//
+// The wire protocol is minimal and allocation-friendly: a stream of
+// frames, each a 4-byte little-endian payload length followed by that
+// many bytes of whole tuples. Tuples stay in their binary schema layout
+// end to end — the receiver inserts the payload bytes directly into the
+// query's circular input buffer without deserialisation, preserving
+// SABER's lazy-deserialisation discipline (§5.1).
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxFrame bounds a single frame's payload (16 MiB).
+const MaxFrame = 16 << 20
+
+// Sink receives whole-tuple payloads in arrival order. A query handle's
+// Insert method satisfies it.
+type Sink interface {
+	Insert(data []byte)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(data []byte)
+
+// Insert implements Sink.
+func (f SinkFunc) Insert(data []byte) { f(data) }
+
+// Server accepts tuple streams and forwards them to a sink. Frames from
+// different connections interleave at frame granularity; per-connection
+// order is preserved. (The engine's per-query dispatcher requires a
+// single logical inserter, which the server's sink lock provides.)
+type Server struct {
+	l         net.Listener
+	sink      Sink
+	tupleSize int
+
+	sinkMu sync.Mutex
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// Telemetry.
+	bytesIn  atomic.Int64
+	framesIn atomic.Int64
+}
+
+// NewServer wraps an existing listener. tupleSize is the stream schema's
+// tuple size; frames that are not whole tuples are rejected and the
+// offending connection closed.
+func NewServer(l net.Listener, sink Sink, tupleSize int) (*Server, error) {
+	if tupleSize <= 0 {
+		return nil, fmt.Errorf("ingest: tuple size %d", tupleSize)
+	}
+	if sink == nil {
+		return nil, errors.New("ingest: nil sink")
+	}
+	return &Server{l: l, sink: sink, tupleSize: tupleSize}, nil
+}
+
+// Listen starts a server on the given TCP address (e.g. "127.0.0.1:0").
+func Listen(addr string, sink Sink, tupleSize int) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewServer(l, sink, tupleSize)
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.l.Addr() }
+
+// BytesIn returns the total payload bytes received.
+func (s *Server) BytesIn() int64 { return s.bytesIn.Load() }
+
+// Frames returns the number of frames received.
+func (s *Server) Frames() int64 { return s.framesIn.Load() }
+
+// Serve accepts connections until Close. It returns nil after Close and
+// the first accept error otherwise.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			if err := s.handle(conn); err != nil && !s.closed.Load() {
+				// A malformed or broken connection only affects itself.
+				_ = err
+			}
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.l.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) error {
+	var hdr [4]byte
+	buf := make([]byte, 64<<10)
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[:]))
+		switch {
+		case n == 0:
+			continue
+		case n > MaxFrame:
+			return fmt.Errorf("ingest: frame of %d bytes exceeds limit", n)
+		case n%s.tupleSize != 0:
+			return fmt.Errorf("ingest: frame of %d bytes is not whole %d-byte tuples", n, s.tupleSize)
+		}
+		if cap(buf) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return fmt.Errorf("ingest: truncated frame: %w", err)
+		}
+		s.bytesIn.Add(int64(n))
+		s.framesIn.Add(1)
+		s.sinkMu.Lock()
+		s.sink.Insert(buf)
+		s.sinkMu.Unlock()
+	}
+}
+
+// Client sends tuple frames to an ingest server.
+type Client struct {
+	conn net.Conn
+	hdr  [4]byte
+}
+
+// Dial connects to an ingest server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Send transmits one frame of whole tuples.
+func (c *Client) Send(tuples []byte) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	if len(tuples) > MaxFrame {
+		return fmt.Errorf("ingest: frame of %d bytes exceeds limit", len(tuples))
+	}
+	binary.LittleEndian.PutUint32(c.hdr[:], uint32(len(tuples)))
+	if _, err := c.conn.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(tuples)
+	return err
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,183 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, sink Sink, tupleSize int) *Server {
+	t.Helper()
+	s, err := Listen("127.0.0.1:0", sink, tupleSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.Serve() }()
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+type collectSink struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (c *collectSink) Insert(data []byte) {
+	c.mu.Lock()
+	c.buf = append(c.buf, data...)
+	c.mu.Unlock()
+}
+
+func (c *collectSink) bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]byte, len(c.buf))
+	copy(out, c.buf)
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	sink := &collectSink{}
+	srv := startServer(t, sink, 8)
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < 100; i++ {
+		frame := make([]byte, 8*(1+i%5))
+		for j := range frame {
+			frame[j] = byte(i + j)
+		}
+		if err := c.Send(frame); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, frame...)
+	}
+	if err := c.Send(nil); err != nil { // empty frame: no-op
+		t.Fatal(err)
+	}
+	c.Close()
+	srv.Close()
+
+	if !bytes.Equal(sink.bytes(), want) {
+		t.Fatalf("received %d bytes, want %d", len(sink.bytes()), len(want))
+	}
+	if srv.BytesIn() != int64(len(want)) || srv.Frames() != 100 {
+		t.Fatalf("telemetry: bytes=%d frames=%d", srv.BytesIn(), srv.Frames())
+	}
+}
+
+func TestRejectsPartialTuples(t *testing.T) {
+	sink := &collectSink{}
+	srv := startServer(t, sink, 8)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A 5-byte frame is not whole 8-byte tuples: the server must drop the
+	// connection without sinking anything.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 5)
+	conn.Write(hdr[:])
+	conn.Write([]byte{1, 2, 3, 4, 5})
+	// The server closes; a subsequent read observes EOF.
+	buf := make([]byte, 1)
+	conn.Read(buf)
+	if len(sink.bytes()) != 0 {
+		t.Fatal("partial tuple reached the sink")
+	}
+}
+
+func TestRejectsOversizedFrame(t *testing.T) {
+	c := &Client{}
+	if err := c.Send(make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("oversized frame accepted by client")
+	}
+	sink := &collectSink{}
+	srv := startServer(t, sink, 8)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrame+8)
+	conn.Write(hdr[:])
+	buf := make([]byte, 1)
+	conn.Read(buf) // server hangs up
+	if len(sink.bytes()) != 0 {
+		t.Fatal("oversized frame reached the sink")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	var total int
+	var mu sync.Mutex
+	srv := startServer(t, SinkFunc(func(data []byte) {
+		mu.Lock()
+		total += len(data)
+		mu.Unlock()
+	}), 8)
+
+	var wg sync.WaitGroup
+	const senders, frames = 4, 50
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			frame := make([]byte, 64)
+			for i := 0; i < frames; i++ {
+				if err := c.Send(frame); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Closing the listener drops connections that were not yet accepted,
+	// so wait for the payload to arrive before shutting down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		got := total
+		mu.Unlock()
+		if got == senders*frames*64 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("total = %d", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.Close()
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewServer(nil, nil, 8); err == nil {
+		t.Error("nil sink accepted")
+	}
+	l, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer l.Close()
+	if _, err := NewServer(l, &collectSink{}, 0); err == nil {
+		t.Error("zero tuple size accepted")
+	}
+	srv, err := NewServer(l, &collectSink{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+}

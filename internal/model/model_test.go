@@ -1,0 +1,184 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"saber/internal/expr"
+	"saber/internal/query"
+	"saber/internal/schema"
+	"saber/internal/window"
+)
+
+var syn = schema.MustNew(
+	schema.Field{Name: "timestamp", Type: schema.Int64},
+	schema.Field{Name: "a", Type: schema.Float32},
+	schema.Field{Name: "b", Type: schema.Int32},
+)
+
+func selectN(t *testing.T, n int) *query.Query {
+	t.Helper()
+	var preds []expr.Pred
+	for i := 0; i < n; i++ {
+		preds = append(preds, expr.Cmp{Op: expr.Gt, Left: expr.Col("a"), Right: expr.FloatConst(float64(i))})
+	}
+	return query.NewBuilder("sel").
+		From("S", syn, window.NewCount(1024, 1024)).
+		Where(expr.Or{Preds: preds}).
+		MustBuild()
+}
+
+// TestCrossoverShape locks the central Fig. 10a property into the model:
+// the CPU wins for few predicates, the GPGPU wins for many.
+func TestCrossoverShape(t *testing.T) {
+	p := Default()
+	const workers = 15
+	const tuples = 32768 // 1 MB of 32-byte tuples
+	const bytes = tuples * 32
+
+	cpuThroughput := func(n int) float64 {
+		c := Analyze(selectN(t, n))
+		perWorker := p.CPUTaskTime(c, tuples, 1)
+		return float64(bytes) * workers / perWorker.Seconds()
+	}
+	gpuThroughput := func(n int) float64 {
+		c := Analyze(selectN(t, n))
+		// Pipeline bottleneck: max of kernel and each transfer stage.
+		k := p.GPUKernelTime(c, tuples, 1)
+		tr := p.PCIeTime(bytes)
+		b := k
+		if tr > b {
+			b = tr
+		}
+		return float64(bytes) / b.Seconds()
+	}
+
+	if cpuThroughput(1) < gpuThroughput(1) {
+		t.Errorf("SELECT1: CPU %.2g should beat GPU %.2g", cpuThroughput(1), gpuThroughput(1))
+	}
+	if cpuThroughput(64) > gpuThroughput(64) {
+		t.Errorf("SELECT64: GPU %.2g should beat CPU %.2g", gpuThroughput(64), cpuThroughput(64))
+	}
+	// Monotone decline on the CPU, roughly flat on the GPGPU.
+	if cpuThroughput(64) > cpuThroughput(4)/4 {
+		t.Errorf("CPU throughput should collapse with predicate count: %g vs %g", cpuThroughput(64), cpuThroughput(4))
+	}
+	if gpuThroughput(64) < gpuThroughput(1)*0.5 {
+		t.Errorf("GPU throughput should stay near-flat: %g vs %g", gpuThroughput(64), gpuThroughput(1))
+	}
+}
+
+func TestAnalyzeComplexity(t *testing.T) {
+	q1 := selectN(t, 1)
+	q8 := selectN(t, 8)
+	c1, c8 := Analyze(q1), Analyze(q8)
+	if c8.Complexity-c1.Complexity != 7 {
+		t.Errorf("complexity delta = %g", c8.Complexity-c1.Complexity)
+	}
+	if c1.WindowDup != 1 || c1.FragsPerTuple != 0 {
+		t.Errorf("selection cost = %+v", c1)
+	}
+}
+
+func TestAnalyzeAggregation(t *testing.T) {
+	q := query.NewBuilder("agg").
+		From("S", syn, window.NewCount(1024, 32)).
+		Aggregate(query.Avg, expr.Col("a"), "m").
+		GroupBy("b").
+		MustBuild()
+	c := Analyze(q)
+	if c.WindowDup != 32 { // 1024/32
+		t.Errorf("WindowDup = %g", c.WindowDup)
+	}
+	if c.FragsPerTuple != 1.0/32 {
+		t.Errorf("FragsPerTuple = %g", c.FragsPerTuple)
+	}
+	if c.Complexity < 5 { // base 1 + agg 2 + grouped 3
+		t.Errorf("Complexity = %g", c.Complexity)
+	}
+}
+
+func TestAnalyzeJoin(t *testing.T) {
+	right := schema.MustNew(schema.Field{Name: "timestamp", Type: schema.Int64}, schema.Field{Name: "w", Type: schema.Int32})
+	q := query.NewBuilder("j").
+		FromAs("L", "L", syn, window.NewCount(128, 128)).
+		FromAs("R", "R", right, window.NewCount(128, 128)).
+		Join(expr.Cmp{Op: expr.Eq, Left: expr.Col("b"), Right: expr.Col("w")}).
+		MustBuild()
+	c := Analyze(q)
+	if c.JoinWindowTuples != 128 {
+		t.Errorf("JoinWindowTuples = %g", c.JoinWindowTuples)
+	}
+}
+
+// TestSlideShapes locks the Fig. 11 property: selection time is
+// slide-invariant; GPU aggregation work falls as the slide grows.
+func TestSlideShapes(t *testing.T) {
+	p := Default()
+	aggWith := func(slide int64) QueryCost {
+		q := query.NewBuilder("agg").
+			From("S", syn, window.NewCount(1024, slide)).
+			Aggregate(query.Avg, expr.Col("a"), "m").
+			MustBuild()
+		return Analyze(q)
+	}
+	small := p.GPUKernelTime(aggWith(1), 4096, 1)
+	large := p.GPUKernelTime(aggWith(1024), 4096, 1)
+	if small <= large {
+		t.Errorf("GPU agg with 1-tuple slide (%v) must cost more than tumbling (%v)", small, large)
+	}
+	selCost := Analyze(selectN(t, 10))
+	if selCost.WindowDup != 1 {
+		t.Error("selection must not duplicate work across windows")
+	}
+}
+
+func TestTimeScale(t *testing.T) {
+	p := Default()
+	half := p.Scaled(0.5)
+	c := QueryCost{Complexity: 4, WindowDup: 1}
+	if half.CPUTaskTime(c, 1000, 1)*2 != p.CPUTaskTime(c, 1000, 1) {
+		t.Error("TimeScale not linear")
+	}
+	if half.TimeScale != 0.5 || p.TimeScale != 1.0 {
+		t.Error("Scaled mutated receiver")
+	}
+}
+
+func TestDispatchAndCopies(t *testing.T) {
+	p := Default()
+	if p.DispatchTime(1<<30) <= 0 || p.PCIeTime(1<<20) <= 0 || p.HostCopyTime(1<<20) <= 0 {
+		t.Error("non-positive modelled durations")
+	}
+	// Dispatcher bound ≈ 6.5 GB/s: 1 GB should take ~150 ms.
+	d := p.DispatchTime(1 << 30)
+	if d < 100*time.Millisecond || d > 250*time.Millisecond {
+		t.Errorf("dispatch of 1 GB = %v", d)
+	}
+}
+
+func TestPad(t *testing.T) {
+	start := time.Now()
+	got := Pad(start, 30*time.Millisecond)
+	if got < 30*time.Millisecond {
+		t.Errorf("Pad returned %v", got)
+	}
+	if real := time.Since(start); real < 25*time.Millisecond {
+		t.Errorf("Pad slept only %v", real)
+	}
+	// Already-exceeded target: no sleep.
+	start2 := time.Now().Add(-time.Second)
+	if got := Pad(start2, time.Millisecond); got < time.Second {
+		t.Errorf("Pad with exceeded target = %v", got)
+	}
+}
+
+func TestSelectivityScalesCost(t *testing.T) {
+	p := Default()
+	c := Analyze(selectN(t, 500))
+	cheap := p.CPUTaskTime(c, 10000, 0.01)
+	dear := p.CPUTaskTime(c, 10000, 1.0)
+	if dear < 10*cheap {
+		t.Errorf("selectivity scaling too weak: %v vs %v", dear, cheap)
+	}
+}

@@ -1,0 +1,113 @@
+package query
+
+import (
+	"saber/internal/expr"
+	"saber/internal/schema"
+	"saber/internal/window"
+)
+
+// Builder assembles a Query fluently. It never fails mid-chain; errors
+// surface from Build, which validates the finished query.
+type Builder struct {
+	q Query
+}
+
+// NewBuilder starts a query with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{q: Query{Name: name}}
+}
+
+// From adds an input stream.
+func (b *Builder) From(name string, s *schema.Schema, w window.Def) *Builder {
+	b.q.Inputs = append(b.q.Inputs, Input{Name: name, Schema: s, Window: w})
+	return b
+}
+
+// FromAs adds an aliased input stream.
+func (b *Builder) FromAs(name, alias string, s *schema.Schema, w window.Def) *Builder {
+	b.q.Inputs = append(b.q.Inputs, Input{Name: name, Alias: alias, Schema: s, Window: w})
+	return b
+}
+
+// Where sets the selection predicate.
+func (b *Builder) Where(p expr.Pred) *Builder {
+	b.q.Where = p
+	return b
+}
+
+// Join sets the θ-join predicate (requires two inputs).
+func (b *Builder) Join(p expr.Pred) *Builder {
+	b.q.JoinPred = p
+	return b
+}
+
+// Select appends plain column projections.
+func (b *Builder) Select(cols ...string) *Builder {
+	for _, c := range cols {
+		b.q.Projection = append(b.q.Projection, ProjectionItem{Expr: expr.Col(c)})
+	}
+	return b
+}
+
+// SelectAs appends a computed projection with an output name.
+func (b *Builder) SelectAs(e expr.Expr, as string) *Builder {
+	b.q.Projection = append(b.q.Projection, ProjectionItem{Expr: e, As: as})
+	return b
+}
+
+// Distinct deduplicates projection output within each window.
+func (b *Builder) Distinct() *Builder {
+	b.q.Distinct = true
+	return b
+}
+
+// Aggregate appends an aggregation function.
+func (b *Builder) Aggregate(f AggFunc, arg expr.Expr, as string) *Builder {
+	b.q.Aggregates = append(b.q.Aggregates, Aggregate{Func: f, Arg: arg, As: as})
+	return b
+}
+
+// CountAll appends count(*).
+func (b *Builder) CountAll(as string) *Builder {
+	return b.Aggregate(Count, nil, as)
+}
+
+// GroupBy sets the grouping columns.
+func (b *Builder) GroupBy(cols ...string) *Builder {
+	for _, c := range cols {
+		b.q.GroupBy = append(b.q.GroupBy, expr.Col(c))
+	}
+	return b
+}
+
+// Having sets the post-aggregation filter.
+func (b *Builder) Having(p expr.Pred) *Builder {
+	b.q.Having = p
+	return b
+}
+
+// UDF installs a user-defined operator function in place of the
+// relational operators.
+func (b *Builder) UDF(u *UDF) *Builder {
+	b.q.UDF = u
+	return b
+}
+
+// Build validates and returns the query.
+func (b *Builder) Build() (*Query, error) {
+	q := b.q // copy so the builder can be reused
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+// MustBuild is Build that panics on error; for tests and workloads with
+// statically known-good queries.
+func (b *Builder) MustBuild() *Query {
+	q, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

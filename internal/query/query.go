@@ -1,0 +1,381 @@
+// Package query defines SABER's logical query model (paper §2.4): window-
+// based continuous queries over relational streams, composed of projection
+// (π), selection (σ), aggregation (α, with GROUP BY and HAVING) and
+// windowed θ-join (⋈) operators, plus user-defined window functions.
+//
+// A Query is a declarative description; planning/compilation into batch,
+// fragment and assembly operator functions happens in internal/exec (CPU)
+// and internal/gpu (GPGPU).
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"saber/internal/expr"
+	"saber/internal/schema"
+	"saber/internal/window"
+)
+
+// AggFunc identifies an aggregation function. All of them decompose into
+// commutative/associative partial aggregates, which is what lets fragment
+// results be assembled pairwise (paper §3).
+type AggFunc uint8
+
+// Aggregation functions.
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// String names the function as in CQL.
+func (f AggFunc) String() string {
+	return [...]string{"count", "sum", "avg", "min", "max"}[f]
+}
+
+// Aggregate is one aggregation in a SELECT list, e.g. sum(cpu) as totalCpu.
+type Aggregate struct {
+	Func AggFunc
+	// Arg is the aggregated expression; nil only for Count.
+	Arg expr.Expr
+	// As names the output column. Defaults to the function name.
+	As string
+}
+
+// Name returns the output column name.
+func (a Aggregate) Name() string {
+	if a.As != "" {
+		return a.As
+	}
+	return a.Func.String()
+}
+
+func (a Aggregate) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	s := fmt.Sprintf("%s(%s)", a.Func, arg)
+	if a.As != "" {
+		s += " as " + a.As
+	}
+	return s
+}
+
+// ProjectionItem is one non-aggregate SELECT list entry.
+type ProjectionItem struct {
+	Expr expr.Expr
+	// As names the output column. Defaults to the expression's column name
+	// for plain column references.
+	As string
+}
+
+// Name returns the output column name, or "" when the item needs an
+// explicit alias (computed expressions).
+func (p ProjectionItem) Name() string {
+	if p.As != "" {
+		return p.As
+	}
+	if c, ok := p.Expr.(expr.Column); ok {
+		return c.Name
+	}
+	return ""
+}
+
+// Input is one stream source of a query.
+type Input struct {
+	// Name is the stream's registered name.
+	Name string
+	// Alias is the optional FROM-clause alias used in qualified columns.
+	Alias string
+	// Schema is the stream's tuple schema.
+	Schema *schema.Schema
+	// Window is the window definition applied to this input.
+	Window window.Def
+}
+
+func (in Input) alias() string {
+	if in.Alias != "" {
+		return in.Alias
+	}
+	return in.Name
+}
+
+// Query is a window-based continuous query over one or two input streams.
+// Evaluation order: WHERE selection → join (two inputs) → aggregation with
+// GROUP BY → HAVING → projection. Queries with an aggregation emit with
+// RStream semantics (one result set per window); others with IStream
+// semantics (paper §2.4 default combinations).
+type Query struct {
+	// Name identifies the query; used in scheduling and metrics.
+	Name string
+	// Inputs holds one or two sources.
+	Inputs []Input
+	// Where is the optional selection predicate (σ), applied per tuple
+	// before any join or aggregation.
+	Where expr.Pred
+	// JoinPred is the θ-join predicate; required iff there are two inputs.
+	JoinPred expr.Pred
+	// Projection lists non-aggregate output expressions. For aggregation
+	// queries it must be empty or list exactly the GROUP BY columns (plus
+	// timestamp), as in the paper's Appendix A queries.
+	Projection []ProjectionItem
+	// Distinct deduplicates projection output rows within a window.
+	Distinct bool
+	// Aggregates lists aggregation functions; empty for π/σ/⋈ queries.
+	Aggregates []Aggregate
+	// GroupBy lists grouping columns for the aggregation.
+	GroupBy []expr.Column
+	// Having filters aggregation results; it references the aggregation
+	// output schema (group columns and aggregate names).
+	Having expr.Pred
+	// UDF replaces the relational operator function with a user-defined
+	// one (paper §2.4); it is mutually exclusive with Where/Projection/
+	// Aggregates/JoinPred.
+	UDF *UDF
+
+	// output is the validated output schema, set by Validate.
+	output *schema.Schema
+}
+
+// HasGroupColumn reports whether name is one of the GROUP BY columns.
+func (q *Query) HasGroupColumn(name string) bool {
+	for _, g := range q.GroupBy {
+		if g.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsJoin reports whether the query joins two inputs.
+func (q *Query) IsJoin() bool { return len(q.Inputs) == 2 }
+
+// IsAggregation reports whether the query aggregates.
+func (q *Query) IsAggregation() bool { return len(q.Aggregates) > 0 }
+
+// OutputSchema returns the query's result schema. Validate must have
+// succeeded first.
+func (q *Query) OutputSchema() *schema.Schema { return q.output }
+
+// Resolver returns the column resolver for the query's pre-aggregation
+// stage (input tuples).
+func (q *Query) Resolver() expr.Resolver {
+	if q.IsJoin() {
+		return expr.PairResolver{
+			Left: q.Inputs[0].Schema, Right: q.Inputs[1].Schema,
+			LeftAlias: q.Inputs[0].alias(), RightAlias: q.Inputs[1].alias(),
+		}
+	}
+	return expr.SingleResolver{Schema: q.Inputs[0].Schema, Alias: q.Inputs[0].alias()}
+}
+
+// JoinedSchema returns the concatenated schema a join produces before
+// projection; right-side name collisions get the right alias as prefix.
+func (q *Query) JoinedSchema() (*schema.Schema, error) {
+	if !q.IsJoin() {
+		return q.Inputs[0].Schema, nil
+	}
+	return q.Inputs[0].Schema.Concat(q.Inputs[1].Schema, q.Inputs[1].alias()+"_")
+}
+
+// Validate checks the query's shape, resolves every expression, and
+// computes the output schema.
+func (q *Query) Validate() error {
+	if q.Name == "" {
+		return fmt.Errorf("query: missing name")
+	}
+	if len(q.Inputs) == 0 || len(q.Inputs) > 2 {
+		return fmt.Errorf("query %s: %d inputs, want 1 or 2", q.Name, len(q.Inputs))
+	}
+	for i, in := range q.Inputs {
+		if in.Schema == nil {
+			return fmt.Errorf("query %s: input %d has no schema", q.Name, i)
+		}
+		if !in.Schema.HasTimestamp() {
+			return fmt.Errorf("query %s: input %q does not start with a long timestamp", q.Name, in.Name)
+		}
+		if err := in.Window.Validate(); err != nil {
+			return fmt.Errorf("query %s input %q: %w", q.Name, in.Name, err)
+		}
+	}
+	if q.UDF != nil {
+		if err := q.UDF.Validate(); err != nil {
+			return fmt.Errorf("query %s: %w", q.Name, err)
+		}
+		if q.Where != nil || q.JoinPred != nil || len(q.Projection) > 0 ||
+			len(q.Aggregates) > 0 || len(q.GroupBy) > 0 || q.Having != nil || q.Distinct {
+			return fmt.Errorf("query %s: UDF queries cannot combine relational operators", q.Name)
+		}
+		if !q.UDF.Out.HasTimestamp() {
+			return fmt.Errorf("query %s: UDF output must start with a long timestamp", q.Name)
+		}
+		q.output = q.UDF.Out
+		return nil
+	}
+	if q.IsJoin() != (q.JoinPred != nil) {
+		return fmt.Errorf("query %s: join predicate and two inputs must come together", q.Name)
+	}
+	if q.IsJoin() && q.IsAggregation() {
+		return fmt.Errorf("query %s: join plus aggregation in one query is unsupported; chain two queries", q.Name)
+	}
+	if q.Distinct && q.IsAggregation() {
+		return fmt.Errorf("query %s: distinct with aggregation is unsupported", q.Name)
+	}
+	if !q.IsAggregation() && (len(q.GroupBy) > 0 || q.Having != nil) {
+		return fmt.Errorf("query %s: GROUP BY/HAVING require an aggregation", q.Name)
+	}
+
+	res := q.Resolver()
+	if q.Where != nil {
+		if _, err := expr.CompilePred(q.Where, res); err != nil {
+			return fmt.Errorf("query %s where: %w", q.Name, err)
+		}
+	}
+	if q.JoinPred != nil {
+		if _, err := expr.CompilePred(q.JoinPred, res); err != nil {
+			return fmt.Errorf("query %s join: %w", q.Name, err)
+		}
+	}
+
+	out, err := q.computeOutputSchema(res)
+	if err != nil {
+		return err
+	}
+	q.output = out
+
+	if q.Having != nil {
+		havingRes := expr.SingleResolver{Schema: out}
+		if _, err := expr.CompilePred(q.Having, havingRes); err != nil {
+			return fmt.Errorf("query %s having: %w", q.Name, err)
+		}
+	}
+	return nil
+}
+
+func (q *Query) computeOutputSchema(res expr.Resolver) (*schema.Schema, error) {
+	if q.IsAggregation() {
+		// Canonical aggregation output: timestamp, group columns, one
+		// column per aggregate (Appendix A shape).
+		fields := []schema.Field{{Name: "timestamp", Type: schema.Int64}}
+		for _, g := range q.GroupBy {
+			_, fi, s, err := res.Resolve(g)
+			if err != nil {
+				return nil, fmt.Errorf("query %s group by: %w", q.Name, err)
+			}
+			fields = append(fields, schema.Field{Name: g.Name, Type: s.Field(fi).Type})
+		}
+		for _, a := range q.Aggregates {
+			if a.Func != Count {
+				if a.Arg == nil {
+					return nil, fmt.Errorf("query %s: %s requires an argument", q.Name, a.Func)
+				}
+				if _, err := expr.CompileNum(a.Arg, res); err != nil {
+					return nil, fmt.Errorf("query %s aggregate %s: %w", q.Name, a, err)
+				}
+			}
+			typ := schema.Float32
+			if a.Func == Count {
+				typ = schema.Int64
+			}
+			fields = append(fields, schema.Field{Name: a.Name(), Type: typ})
+		}
+		s, err := schema.New(fields...)
+		if err != nil {
+			return nil, fmt.Errorf("query %s output: %w", q.Name, err)
+		}
+		return s, nil
+	}
+
+	// Projection (possibly over a join). An empty projection selects all
+	// columns of the (joined) input.
+	base, err := q.JoinedSchema()
+	if err != nil {
+		return nil, fmt.Errorf("query %s: %w", q.Name, err)
+	}
+	if len(q.Projection) == 0 {
+		return base, nil
+	}
+	fields := make([]schema.Field, 0, len(q.Projection))
+	for i, item := range q.Projection {
+		p, err := expr.CompileNum(item.Expr, res)
+		if err != nil {
+			return nil, fmt.Errorf("query %s projection %d: %w", q.Name, i, err)
+		}
+		name := item.Name()
+		if name == "" {
+			return nil, fmt.Errorf("query %s projection %d: computed expression needs an alias", q.Name, i)
+		}
+		fields = append(fields, schema.Field{Name: name, Type: p.Type()})
+	}
+	s, err := schema.New(fields...)
+	if err != nil {
+		return nil, fmt.Errorf("query %s output: %w", q.Name, err)
+	}
+	return s, nil
+}
+
+// String renders the query roughly as CQL, for logs and debugging.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	if q.Distinct {
+		b.WriteString("distinct ")
+	}
+	var items []string
+	for _, p := range q.Projection {
+		s := p.Expr.String()
+		if p.As != "" {
+			s += " as " + p.As
+		}
+		items = append(items, s)
+	}
+	for _, a := range q.Aggregates {
+		items = append(items, a.String())
+	}
+	if len(items) == 0 {
+		items = []string{"*"}
+	}
+	b.WriteString(strings.Join(items, ", "))
+	b.WriteString(" from ")
+	var srcs []string
+	for _, in := range q.Inputs {
+		s := fmt.Sprintf("%s [%s]", in.Name, windowSpec(in.Window))
+		if in.Alias != "" {
+			s += " as " + in.Alias
+		}
+		srcs = append(srcs, s)
+	}
+	b.WriteString(strings.Join(srcs, ", "))
+	if q.Where != nil {
+		b.WriteString(" where " + q.Where.String())
+	}
+	if q.JoinPred != nil {
+		b.WriteString(" where " + q.JoinPred.String())
+	}
+	if len(q.GroupBy) > 0 {
+		var cols []string
+		for _, c := range q.GroupBy {
+			cols = append(cols, c.String())
+		}
+		b.WriteString(" group by " + strings.Join(cols, ", "))
+	}
+	if q.Having != nil {
+		b.WriteString(" having " + q.Having.String())
+	}
+	return b.String()
+}
+
+func windowSpec(d window.Def) string {
+	switch d.Kind {
+	case window.Unbounded:
+		return "range unbounded"
+	case window.Time:
+		return fmt.Sprintf("range %d slide %d", d.Size, d.Slide)
+	default:
+		return fmt.Sprintf("rows %d slide %d", d.Size, d.Slide)
+	}
+}

@@ -1,0 +1,268 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"saber/internal/expr"
+	"saber/internal/schema"
+	"saber/internal/window"
+)
+
+var taskEvents = schema.MustNew(
+	schema.Field{Name: "timestamp", Type: schema.Int64},
+	schema.Field{Name: "jobId", Type: schema.Int64},
+	schema.Field{Name: "eventType", Type: schema.Int32},
+	schema.Field{Name: "category", Type: schema.Int32},
+	schema.Field{Name: "cpu", Type: schema.Float32},
+)
+
+func TestCM1Shape(t *testing.T) {
+	// CM1: select timestamp, category, sum(cpu) group by category.
+	q, err := NewBuilder("CM1").
+		From("TaskEvents", taskEvents, window.NewTime(60, 1)).
+		Aggregate(Sum, expr.Col("cpu"), "totalCpu").
+		GroupBy("category").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := q.OutputSchema()
+	want := []string{"timestamp", "category", "totalCpu"}
+	if out.NumFields() != 3 {
+		t.Fatalf("output schema = %s", out)
+	}
+	for i, n := range want {
+		if out.Field(i).Name != n {
+			t.Errorf("field %d = %q, want %q", i, out.Field(i).Name, n)
+		}
+	}
+	if out.Field(2).Type != schema.Float32 {
+		t.Errorf("sum type = %v", out.Field(2).Type)
+	}
+	if !q.IsAggregation() || q.IsJoin() {
+		t.Error("classification wrong")
+	}
+}
+
+func TestCM2Shape(t *testing.T) {
+	q, err := NewBuilder("CM2").
+		From("TaskEvents", taskEvents, window.NewTime(60, 1)).
+		Where(expr.Cmp{Op: expr.Eq, Left: expr.Col("eventType"), Right: expr.IntConst(1)}).
+		Aggregate(Avg, expr.Col("cpu"), "avgCpu").
+		GroupBy("jobId").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OutputSchema().Field(1).Type != schema.Int64 {
+		t.Errorf("jobId type = %v", q.OutputSchema().Field(1).Type)
+	}
+}
+
+func TestProjectionQuery(t *testing.T) {
+	q, err := NewBuilder("LRB1").
+		From("PosSpeedStr", lrbSchema(t), window.NewUnbounded()).
+		Select("timestamp", "vehicle", "speed").
+		SelectAs(expr.Arith{Op: expr.Div, Left: expr.Col("position"), Right: expr.IntConst(5280)}, "segment").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := q.OutputSchema()
+	if out.NumFields() != 4 || out.Field(3).Name != "segment" {
+		t.Fatalf("output = %s", out)
+	}
+	// position is int32, 5280 is int64 const: promoted to int64.
+	if out.Field(3).Type != schema.Int64 {
+		t.Errorf("segment type = %v", out.Field(3).Type)
+	}
+}
+
+func lrbSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "vehicle", Type: schema.Int32},
+		schema.Field{Name: "speed", Type: schema.Float32},
+		schema.Field{Name: "highway", Type: schema.Int32},
+		schema.Field{Name: "lane", Type: schema.Int32},
+		schema.Field{Name: "direction", Type: schema.Int32},
+		schema.Field{Name: "position", Type: schema.Int32},
+	)
+}
+
+func TestJoinQuery(t *testing.T) {
+	global := schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "globalAvgLoad", Type: schema.Float32},
+	)
+	local := schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "house", Type: schema.Int32},
+		schema.Field{Name: "localAvgLoad", Type: schema.Float32},
+	)
+	q, err := NewBuilder("SG3join").
+		FromAs("LocalLoadStr", "L", local, window.NewTime(1, 1)).
+		FromAs("GlobalLoadStr", "G", global, window.NewTime(1, 1)).
+		Join(expr.Cmp{Op: expr.Gt, Left: expr.Col("localAvgLoad"), Right: expr.Col("globalAvgLoad")}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsJoin() {
+		t.Fatal("not classified as join")
+	}
+	out := q.OutputSchema()
+	// Full concatenation: L fields then G fields, timestamp deduped.
+	if out.NumFields() != 5 {
+		t.Fatalf("output = %s", out)
+	}
+	if out.IndexOf("G_timestamp") < 0 {
+		t.Errorf("missing prefixed right timestamp in %s", out)
+	}
+	js, err := q.JoinedSchema()
+	if err != nil || !js.Equal(out) {
+		t.Errorf("JoinedSchema = %v, %v", js, err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	noTS := schema.MustNew(schema.Field{Name: "x", Type: schema.Int32})
+	mk := func(mut func(b *Builder)) error {
+		b := NewBuilder("bad").From("S", taskEvents, window.NewCount(4, 2))
+		mut(b)
+		_, err := b.Build()
+		return err
+	}
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"no inputs", func() error { _, err := NewBuilder("q").Build(); return err }()},
+		{"no name", func() error {
+			_, err := NewBuilder("").From("S", taskEvents, window.NewCount(1, 1)).Build()
+			return err
+		}()},
+		{"no timestamp", func() error {
+			_, err := NewBuilder("q").From("S", noTS, window.NewCount(1, 1)).Build()
+			return err
+		}()},
+		{"bad window", mk(func(b *Builder) { b.q.Inputs[0].Window = window.NewCount(0, 0) })},
+		{"join pred single input", mk(func(b *Builder) { b.Join(expr.Cmp{Op: expr.Eq, Left: expr.Col("cpu"), Right: expr.Col("cpu")}) })},
+		{"groupby without agg", mk(func(b *Builder) { b.GroupBy("category") })},
+		{"having without agg", mk(func(b *Builder) { b.Having(expr.Cmp{Op: expr.Gt, Left: expr.Col("cpu"), Right: expr.IntConst(0)}) })},
+		{"bad where column", mk(func(b *Builder) { b.Where(expr.Cmp{Op: expr.Eq, Left: expr.Col("zzz"), Right: expr.IntConst(0)}) })},
+		{"bad groupby column", mk(func(b *Builder) { b.Aggregate(Sum, expr.Col("cpu"), "s").GroupBy("zzz") })},
+		{"bad agg arg", mk(func(b *Builder) { b.Aggregate(Sum, expr.Col("zzz"), "s") })},
+		{"sum without arg", mk(func(b *Builder) { b.Aggregate(Sum, nil, "s") })},
+		{"expr without alias", mk(func(b *Builder) {
+			b.q.Projection = append(b.q.Projection, ProjectionItem{Expr: expr.Arith{Op: expr.Add, Left: expr.Col("cpu"), Right: expr.IntConst(1)}})
+		})},
+		{"bad having column", mk(func(b *Builder) {
+			b.Aggregate(Sum, expr.Col("cpu"), "s").Having(expr.Cmp{Op: expr.Gt, Left: expr.Col("nope"), Right: expr.IntConst(0)})
+		})},
+		{"distinct with agg", mk(func(b *Builder) { b.Distinct().Aggregate(Sum, expr.Col("cpu"), "s") })},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestHavingResolvesAgainstOutput(t *testing.T) {
+	// LRB3-style: having avgSpeed < 40 where avgSpeed is the agg output.
+	q, err := NewBuilder("LRB3").
+		From("SegSpeedStr", lrbSchema(t), window.NewTime(300, 1)).
+		Aggregate(Avg, expr.Col("speed"), "avgSpeed").
+		GroupBy("highway", "direction").
+		Having(expr.Cmp{Op: expr.Lt, Left: expr.Col("avgSpeed"), Right: expr.FloatConst(40)}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Having == nil {
+		t.Fatal("having dropped")
+	}
+}
+
+func TestCountAllOutput(t *testing.T) {
+	q, err := NewBuilder("cnt").
+		From("S", taskEvents, window.NewCount(8, 8)).
+		CountAll("n").
+		GroupBy("category").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := q.OutputSchema().Field(2)
+	if f.Name != "n" || f.Type != schema.Int64 {
+		t.Errorf("count field = %+v", f)
+	}
+}
+
+func TestDefaultAggregateName(t *testing.T) {
+	a := Aggregate{Func: Max, Arg: expr.Col("cpu")}
+	if a.Name() != "max" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	if !strings.Contains(a.String(), "max(cpu)") {
+		t.Errorf("String = %q", a.String())
+	}
+	c := Aggregate{Func: Count}
+	if !strings.Contains(c.String(), "count(*)") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestBuilderReuse(t *testing.T) {
+	b := NewBuilder("q").From("S", taskEvents, window.NewCount(4, 4)).Select("timestamp")
+	q1 := b.MustBuild()
+	q2 := b.MustBuild()
+	if q1 == q2 {
+		t.Fatal("Build returned shared query")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	NewBuilder("").MustBuild()
+}
+
+func TestQueryString(t *testing.T) {
+	q := NewBuilder("CM1").
+		From("TaskEvents", taskEvents, window.NewTime(60, 1)).
+		Aggregate(Sum, expr.Col("cpu"), "totalCpu").
+		GroupBy("category").
+		MustBuild()
+	s := q.String()
+	for _, want := range []string{"select", "sum(cpu) as totalCpu", "TaskEvents", "range 60 slide 1", "group by category"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	sel := NewBuilder("sel").
+		From("S", taskEvents, window.NewCount(4, 2)).
+		Where(expr.Cmp{Op: expr.Gt, Left: expr.Col("cpu"), Right: expr.FloatConst(0.5)}).
+		MustBuild()
+	if !strings.Contains(sel.String(), "select * from") || !strings.Contains(sel.String(), "where") {
+		t.Errorf("String = %q", sel.String())
+	}
+}
+
+func TestProjectionItemName(t *testing.T) {
+	if (ProjectionItem{Expr: expr.Col("a")}).Name() != "a" {
+		t.Error("column name not defaulted")
+	}
+	if (ProjectionItem{Expr: expr.IntConst(1)}).Name() != "" {
+		t.Error("computed item has implicit name")
+	}
+	if (ProjectionItem{Expr: expr.IntConst(1), As: "one"}).Name() != "one" {
+		t.Error("alias ignored")
+	}
+}

@@ -1,0 +1,50 @@
+package query
+
+import (
+	"fmt"
+
+	"saber/internal/schema"
+)
+
+// UDF is a user-defined operator function (paper §2.4): bespoke
+// computation per window, decomposed — like the built-in operators — into
+// a fragment operator function, a pairwise assembly (merge) function and
+// a finalisation step, so UDF queries enjoy the same data-parallel
+// execution, incremental assembly and hybrid scheduling as relational
+// operators.
+//
+// A UDF's partial results are opaque byte blobs. ProcessFragment receives
+// one window fragment's raw tuples per input stream and returns the
+// fragment's partial; Merge folds two partials (in query-task order);
+// Finalize renders a closed window's partial into output tuples of Out.
+// If the computation needs raw tuples across task boundaries (as an
+// n-ary partition join does), the partial must carry them.
+type UDF struct {
+	// Name identifies the UDF in plans and logs.
+	Name string
+	// Out is the output tuple schema.
+	Out *schema.Schema
+	// ProcessFragment computes a window fragment's partial from the raw
+	// fragment tuples (one packed slice per input; the slices alias
+	// engine buffers and must not be retained).
+	ProcessFragment func(in [][]byte) []byte
+	// Merge combines the accumulated partial with the next fragment's,
+	// returning the new accumulated partial (may reuse acc's storage).
+	Merge func(acc, next []byte) []byte
+	// Finalize renders the final partial into packed output tuples.
+	Finalize func(partial []byte) []byte
+}
+
+// Validate checks the UDF's shape.
+func (u *UDF) Validate() error {
+	if u.Name == "" {
+		return fmt.Errorf("udf: missing name")
+	}
+	if u.Out == nil {
+		return fmt.Errorf("udf %s: missing output schema", u.Name)
+	}
+	if u.ProcessFragment == nil || u.Merge == nil || u.Finalize == nil {
+		return fmt.Errorf("udf %s: ProcessFragment, Merge and Finalize are all required", u.Name)
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+package ringbuf
+
+import "runtime"
+
+// spinYield yields the processor while the writer waits for free space.
+// Gosched keeps the scheduler responsive without burning a full core in a
+// tight loop.
+func spinYield() { runtime.Gosched() }

@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"sync"
+
+	"saber/internal/task"
+)
+
+// HLS is the heterogeneous lookahead scheduling algorithm (paper Alg. 1).
+//
+// A worker that became idle on processor p scans the system-wide queue in
+// order. For each task it determines the preferred processor from the
+// throughput matrix. The task is selected when
+//
+//   - p is preferred and the query's run streak on p is below the switch
+//     threshold, or
+//   - p is not preferred, but either the streak on the preferred
+//     processor reached the switch threshold (forcing exploration), or
+//     the work already queued ahead for the preferred processor delays
+//     this task by more than executing it here would take.
+//
+// Otherwise the task is planned for the other processor: its estimated
+// service time is added to that processor's accumulated delay and the
+// scan moves on. The switch threshold guarantees both matrix columns keep
+// receiving fresh observations.
+type HLS struct {
+	C  *Matrix
+	St int // switch threshold
+	// MaxLookahead bounds how deep into the queue the scan reaches
+	// (0 = unbounded). The engine sets it below the result-buffer size so
+	// out-of-order execution stays within the reordering window.
+	MaxLookahead int
+
+	mu    sync.Mutex
+	count [][numProcs]int
+}
+
+// NewHLS creates the scheduler for n queries with the given matrix and
+// switch threshold.
+func NewHLS(n int, c *Matrix, st int) *HLS {
+	return &HLS{C: c, St: st, count: make([][numProcs]int, n)}
+}
+
+// Name implements Policy.
+func (h *HLS) Name() string { return "hls" }
+
+// Next implements Policy with Alg. 1. It returns nil when no queued task
+// should run on p yet (the worker re-invokes after a short wait, which
+// plays the role of the algorithm's implicit re-entry).
+func (h *HLS) Next(q *task.Queue, p Processor) *task.Task {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return q.Select(func(items []*task.Task) int {
+		if h.MaxLookahead > 0 && len(items) > h.MaxLookahead {
+			items = items[:h.MaxLookahead]
+		}
+		delay := 0.0
+		for pos, v := range items {
+			qi := v.Query
+			pref := h.C.Preferred(qi)
+
+			selected := false
+			if p == pref {
+				selected = h.count[qi][p] < h.St
+			} else {
+				selected = h.count[qi][pref] >= h.St || delay >= 1/h.C.Rate(qi, p)
+			}
+			if selected {
+				if h.count[qi][pref] >= h.St {
+					h.count[qi][pref] = 0 // reset after forced switch
+				}
+				h.count[qi][p]++
+				return pos
+			}
+			// Planned for the preferred processor: accumulate the work
+			// queued ahead of it.
+			delay += 1 / h.C.Rate(qi, pref)
+		}
+		return -1
+	})
+}
+
+// ResetCounts clears the per-query execution streaks (for tests).
+func (h *HLS) ResetCounts() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.count {
+		h.count[i] = [numProcs]int{}
+	}
+}

@@ -1,0 +1,172 @@
+// Package sched implements SABER's scheduling stage (paper §4.2): the
+// query task throughput matrix and the heterogeneous (hybrid) lookahead
+// scheduling algorithm, HLS (Alg. 1), plus the FCFS and Static baseline
+// policies used in the paper's Fig. 15 comparison.
+package sched
+
+import (
+	"sync"
+
+	"saber/internal/task"
+)
+
+// Processor identifies a heterogeneous processor class: all CPU cores
+// together count as one class; the GPGPU is the other.
+type Processor uint8
+
+// Processor classes.
+const (
+	CPU Processor = iota
+	GPU
+	numProcs
+)
+
+// String names the processor.
+func (p Processor) String() string {
+	if p == CPU {
+		return "cpu"
+	}
+	return "gpu"
+}
+
+// Matrix is the query task throughput matrix C: for every query and
+// processor, the observed rate of query tasks per second. It is updated
+// continuously from task completions with an exponentially weighted
+// moving average, so scheduling adapts to workload changes without an
+// offline performance model.
+type Matrix struct {
+	mu    sync.RWMutex
+	alpha float64
+	rows  [][numProcs]float64
+	seen  [][numProcs]bool
+	// capacity converts one completion's service time into a class
+	// throughput: the CPU class completes tasks on every core in
+	// parallel, the GPGPU across its pipeline depth.
+	capacity [numProcs]float64
+}
+
+// NewMatrix creates a matrix for n queries, initialised under the uniform
+// assumption (paper §4.2) with the given rate for every entry.
+func NewMatrix(n int, initialRate, alpha float64, cpuCapacity, gpuCapacity float64) *Matrix {
+	m := &Matrix{
+		alpha:    alpha,
+		rows:     make([][numProcs]float64, n),
+		seen:     make([][numProcs]bool, n),
+		capacity: [numProcs]float64{cpuCapacity, gpuCapacity},
+	}
+	for i := range m.rows {
+		m.rows[i] = [numProcs]float64{initialRate, initialRate}
+	}
+	return m
+}
+
+// Observe records a completed task of query q on processor p that took
+// serviceSeconds of wall time.
+func (m *Matrix) Observe(q int, p Processor, serviceSeconds float64) {
+	if serviceSeconds <= 0 {
+		return
+	}
+	rate := m.capacity[p] / serviceSeconds
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.seen[q][p] {
+		// First real observation replaces the uniform prior outright.
+		m.rows[q][p] = rate
+		m.seen[q][p] = true
+		return
+	}
+	m.rows[q][p] = m.alpha*rate + (1-m.alpha)*m.rows[q][p]
+}
+
+// Rate returns ρ(q, p).
+func (m *Matrix) Rate(q int, p Processor) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.rows[q][p]
+}
+
+// Preferred returns the processor with the highest observed throughput
+// for query q.
+func (m *Matrix) Preferred(q int) Processor {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.rows[q][GPU] > m.rows[q][CPU] {
+		return GPU
+	}
+	return CPU
+}
+
+// Snapshot returns a copy of the matrix rows (for logging and tests).
+func (m *Matrix) Snapshot() [][numProcs]float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([][numProcs]float64, len(m.rows))
+	copy(out, m.rows)
+	return out
+}
+
+// Policy selects the next task a worker on processor p should execute.
+// Implementations must be safe for concurrent use.
+type Policy interface {
+	// Next removes and returns the chosen task, or nil if the policy
+	// declines every queued task for this processor right now.
+	Next(q *task.Queue, p Processor) *task.Task
+	// Name identifies the policy in logs and benchmarks.
+	Name() string
+}
+
+// FCFS takes the queue head regardless of processor: the paper's
+// first-come-first-served baseline.
+type FCFS struct{}
+
+// Next implements Policy.
+func (FCFS) Next(q *task.Queue, _ Processor) *task.Task { return q.PopHead() }
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Greedy always takes the first task whose preferred processor matches
+// the worker — no lookahead, no switch threshold. It is the ablation
+// baseline for HLS's delay estimation (BenchmarkAblationLookahead): a
+// worker on the non-preferred processor idles even when it could finish
+// queued work earlier.
+type Greedy struct {
+	C *Matrix
+}
+
+// Next implements Policy.
+func (g Greedy) Next(q *task.Queue, p Processor) *task.Task {
+	return q.Select(func(items []*task.Task) int {
+		for i, t := range items {
+			if g.C.Preferred(t.Query) == p {
+				return i
+			}
+		}
+		return -1
+	})
+}
+
+// Name implements Policy.
+func (g Greedy) Name() string { return "greedy" }
+
+// Static executes each query's tasks only on its statically assigned
+// processor (the paper's infeasible-in-practice baseline).
+type Static struct {
+	// Assign maps query index to processor.
+	Assign []Processor
+}
+
+// Next implements Policy.
+func (s Static) Next(q *task.Queue, p Processor) *task.Task {
+	return q.Select(func(items []*task.Task) int {
+		for i, t := range items {
+			if s.Assign[t.Query] == p {
+				return i
+			}
+		}
+		return -1
+	})
+}
+
+// Name implements Policy.
+func (s Static) Name() string { return "static" }

@@ -1,0 +1,67 @@
+package schema
+
+// TupleBuilder incrementally assembles packed tuple batches for a schema.
+// It is used by the workload generators and tests; the engine itself never
+// builds tuples attribute-by-attribute on the hot path.
+type TupleBuilder struct {
+	s   *Schema
+	buf []byte
+	cur []byte
+}
+
+// NewTupleBuilder returns a builder for the given schema with capacity for
+// hint tuples pre-allocated.
+func NewTupleBuilder(s *Schema, hint int) *TupleBuilder {
+	return &TupleBuilder{s: s, buf: make([]byte, 0, hint*s.TupleSize())}
+}
+
+// Begin starts a new tuple. Fields default to zero.
+func (b *TupleBuilder) Begin() *TupleBuilder {
+	n := len(b.buf)
+	b.buf = append(b.buf, make([]byte, b.s.TupleSize())...)
+	b.cur = b.buf[n : n+b.s.TupleSize()]
+	return b
+}
+
+// Int32 sets the named field of the current tuple.
+func (b *TupleBuilder) Int32(name string, v int32) *TupleBuilder {
+	b.s.WriteInt32(b.cur, b.s.IndexOf(name), v)
+	return b
+}
+
+// Int64 sets the named field of the current tuple.
+func (b *TupleBuilder) Int64(name string, v int64) *TupleBuilder {
+	b.s.WriteInt64(b.cur, b.s.IndexOf(name), v)
+	return b
+}
+
+// Float32 sets the named field of the current tuple.
+func (b *TupleBuilder) Float32(name string, v float32) *TupleBuilder {
+	b.s.WriteFloat32(b.cur, b.s.IndexOf(name), v)
+	return b
+}
+
+// Float64 sets the named field of the current tuple.
+func (b *TupleBuilder) Float64(name string, v float64) *TupleBuilder {
+	b.s.WriteFloat64(b.cur, b.s.IndexOf(name), v)
+	return b
+}
+
+// Timestamp sets the timestamp (first) field of the current tuple.
+func (b *TupleBuilder) Timestamp(ts int64) *TupleBuilder {
+	b.s.SetTimestamp(b.cur, ts)
+	return b
+}
+
+// Bytes returns the packed batch built so far. The returned slice aliases
+// the builder's buffer; call Reset before reusing the builder.
+func (b *TupleBuilder) Bytes() []byte { return b.buf }
+
+// Count returns the number of tuples built so far.
+func (b *TupleBuilder) Count() int { return len(b.buf) / b.s.TupleSize() }
+
+// Reset discards all built tuples, retaining capacity.
+func (b *TupleBuilder) Reset() {
+	b.buf = b.buf[:0]
+	b.cur = nil
+}

@@ -1,0 +1,366 @@
+// Package schema defines tuple schemas and the fixed-width binary tuple
+// layout used throughout SABER.
+//
+// SABER stores stream tuples in their serialised byte representation and
+// deserialises attribute values lazily, only if and when an operator needs
+// them (paper §5.1). A Schema describes the byte layout of one tuple:
+// fields are packed in declaration order with no padding, and every field
+// has a fixed width, so attribute access is a constant-offset read into a
+// byte slice.
+package schema
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Type identifies the primitive type of a field. All types have a fixed
+// byte width so tuples are fixed size.
+type Type uint8
+
+// Supported primitive field types.
+const (
+	Int32 Type = iota // 4-byte signed integer
+	Int64             // 8-byte signed integer (also used for timestamps)
+	Float32
+	Float64
+	Undefined
+)
+
+// Size returns the number of bytes a value of this type occupies in a tuple.
+func (t Type) Size() int {
+	switch t {
+	case Int32, Float32:
+		return 4
+	case Int64, Float64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// String returns the lower-case name of the type as used in CQL schemas.
+func (t Type) String() string {
+	switch t {
+	case Int32:
+		return "int"
+	case Int64:
+		return "long"
+	case Float32:
+		return "float"
+	case Float64:
+		return "double"
+	default:
+		return "undefined"
+	}
+}
+
+// ParseType maps a CQL type name to a Type.
+func ParseType(s string) (Type, error) {
+	switch strings.ToLower(s) {
+	case "int", "int32":
+		return Int32, nil
+	case "long", "int64":
+		return Int64, nil
+	case "float", "float32":
+		return Float32, nil
+	case "double", "float64":
+		return Float64, nil
+	default:
+		return Undefined, fmt.Errorf("schema: unknown type %q", s)
+	}
+}
+
+// Field is a single named attribute of a tuple.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema describes the binary layout of a tuple: an ordered list of fields,
+// each at a fixed byte offset.
+type Schema struct {
+	fields  []Field
+	offsets []int
+	size    int
+	index   map[string]int
+}
+
+// New builds a Schema from an ordered field list. Field names must be
+// unique (case-sensitive) and non-empty.
+func New(fields ...Field) (*Schema, error) {
+	s := &Schema{
+		fields:  make([]Field, len(fields)),
+		offsets: make([]int, len(fields)),
+		index:   make(map[string]int, len(fields)),
+	}
+	copy(s.fields, fields)
+	off := 0
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("schema: field %d has empty name", i)
+		}
+		if f.Type.Size() == 0 {
+			return nil, fmt.Errorf("schema: field %q has undefined type", f.Name)
+		}
+		if _, dup := s.index[f.Name]; dup {
+			return nil, fmt.Errorf("schema: duplicate field %q", f.Name)
+		}
+		s.index[f.Name] = i
+		s.offsets[i] = off
+		off += f.Type.Size()
+	}
+	s.size = off
+	if s.size == 0 {
+		return nil, fmt.Errorf("schema: no fields")
+	}
+	return s, nil
+}
+
+// MustNew is like New but panics on error. Intended for package-level
+// schema literals in tests and workload definitions.
+func MustNew(fields ...Field) *Schema {
+	s, err := New(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TupleSize returns the fixed byte size of one tuple.
+func (s *Schema) TupleSize() int { return s.size }
+
+// NumFields returns the number of fields.
+func (s *Schema) NumFields() int { return len(s.fields) }
+
+// Field returns the i-th field.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Fields returns a copy of the field list.
+func (s *Schema) Fields() []Field {
+	out := make([]Field, len(s.fields))
+	copy(out, s.fields)
+	return out
+}
+
+// Offset returns the byte offset of the i-th field within a tuple.
+func (s *Schema) Offset(i int) int { return s.offsets[i] }
+
+// IndexOf returns the position of the named field, or -1 if absent.
+func (s *Schema) IndexOf(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasField reports whether the schema contains the named field.
+func (s *Schema) HasField(name string) bool { return s.IndexOf(name) >= 0 }
+
+// Project returns a new schema consisting of the named fields, in the given
+// order. Projection may repeat or reorder fields.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	fields := make([]Field, 0, len(names))
+	for _, n := range names {
+		i := s.IndexOf(n)
+		if i < 0 {
+			return nil, fmt.Errorf("schema: no field %q", n)
+		}
+		fields = append(fields, s.fields[i])
+	}
+	return New(fields...)
+}
+
+// String renders the schema as "name type, name type, ...".
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", f.Name, f.Type)
+	}
+	return b.String()
+}
+
+// Equal reports whether two schemas have identical field lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if o == nil || len(s.fields) != len(o.fields) {
+		return false
+	}
+	for i := range s.fields {
+		if s.fields[i] != o.fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concat returns a schema whose fields are s's followed by o's. Name
+// collisions are resolved by prefixing the right-hand fields with prefix
+// (used for join output schemas).
+func (s *Schema) Concat(o *Schema, prefix string) (*Schema, error) {
+	fields := s.Fields()
+	for _, f := range o.fields {
+		name := f.Name
+		if s.HasField(name) {
+			name = prefix + name
+		}
+		fields = append(fields, Field{Name: name, Type: f.Type})
+	}
+	return New(fields...)
+}
+
+// --- Tuple access -----------------------------------------------------------
+//
+// Tuples are raw byte slices of length TupleSize, little-endian. The
+// accessors below implement the lazy-deserialisation discipline: only the
+// attribute that an operator touches is decoded, and only to a primitive.
+
+// ReadInt32 decodes field i of the tuple.
+func (s *Schema) ReadInt32(tuple []byte, i int) int32 {
+	return int32(binary.LittleEndian.Uint32(tuple[s.offsets[i]:]))
+}
+
+// ReadInt64 decodes field i of the tuple.
+func (s *Schema) ReadInt64(tuple []byte, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(tuple[s.offsets[i]:]))
+}
+
+// ReadFloat32 decodes field i of the tuple.
+func (s *Schema) ReadFloat32(tuple []byte, i int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(tuple[s.offsets[i]:]))
+}
+
+// ReadFloat64 decodes field i of the tuple.
+func (s *Schema) ReadFloat64(tuple []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(tuple[s.offsets[i]:]))
+}
+
+// WriteInt32 encodes v into field i of the tuple.
+func (s *Schema) WriteInt32(tuple []byte, i int, v int32) {
+	binary.LittleEndian.PutUint32(tuple[s.offsets[i]:], uint32(v))
+}
+
+// WriteInt64 encodes v into field i of the tuple.
+func (s *Schema) WriteInt64(tuple []byte, i int, v int64) {
+	binary.LittleEndian.PutUint64(tuple[s.offsets[i]:], uint64(v))
+}
+
+// WriteFloat32 encodes v into field i of the tuple.
+func (s *Schema) WriteFloat32(tuple []byte, i int, v float32) {
+	binary.LittleEndian.PutUint32(tuple[s.offsets[i]:], math.Float32bits(v))
+}
+
+// WriteFloat64 encodes v into field i of the tuple.
+func (s *Schema) WriteFloat64(tuple []byte, i int, v float64) {
+	binary.LittleEndian.PutUint64(tuple[s.offsets[i]:], math.Float64bits(v))
+}
+
+// ReadFloat reads field i as float64 regardless of its numeric type. This
+// is what aggregation operators use so that sum/avg work uniformly.
+func (s *Schema) ReadFloat(tuple []byte, i int) float64 {
+	switch s.fields[i].Type {
+	case Int32:
+		return float64(s.ReadInt32(tuple, i))
+	case Int64:
+		return float64(s.ReadInt64(tuple, i))
+	case Float32:
+		return float64(s.ReadFloat32(tuple, i))
+	case Float64:
+		return s.ReadFloat64(tuple, i)
+	}
+	return 0
+}
+
+// WriteFloat writes v into field i, converting to the field's numeric type.
+func (s *Schema) WriteFloat(tuple []byte, i int, v float64) {
+	switch s.fields[i].Type {
+	case Int32:
+		s.WriteInt32(tuple, i, int32(v))
+	case Int64:
+		s.WriteInt64(tuple, i, int64(v))
+	case Float32:
+		s.WriteFloat32(tuple, i, float32(v))
+	case Float64:
+		s.WriteFloat64(tuple, i, v)
+	}
+}
+
+// ReadInt reads field i as int64 regardless of its numeric type, truncating
+// floats. Used for GROUP-BY keys and join predicates over integer columns.
+func (s *Schema) ReadInt(tuple []byte, i int) int64 {
+	switch s.fields[i].Type {
+	case Int32:
+		return int64(s.ReadInt32(tuple, i))
+	case Int64:
+		return s.ReadInt64(tuple, i)
+	case Float32:
+		return int64(s.ReadFloat32(tuple, i))
+	case Float64:
+		return int64(s.ReadFloat64(tuple, i))
+	}
+	return 0
+}
+
+// Timestamp returns the tuple's timestamp. By SABER convention (paper §2.4)
+// the first field of every stream schema is a 64-bit logical timestamp.
+func (s *Schema) Timestamp(tuple []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(tuple))
+}
+
+// SetTimestamp overwrites the tuple's timestamp.
+func (s *Schema) SetTimestamp(tuple []byte, ts int64) {
+	binary.LittleEndian.PutUint64(tuple, uint64(ts))
+}
+
+// HasTimestamp reports whether the schema follows the timestamp convention:
+// the first field is an Int64.
+func (s *Schema) HasTimestamp() bool {
+	return len(s.fields) > 0 && s.fields[0].Type == Int64
+}
+
+// CopyTuple appends the i-th tuple of a packed batch to dst and returns the
+// extended slice. A packed batch is a byte slice holding contiguous tuples.
+func (s *Schema) CopyTuple(dst, batch []byte, i int) []byte {
+	start := i * s.size
+	return append(dst, batch[start:start+s.size]...)
+}
+
+// TupleAt returns a subslice of the packed batch holding the i-th tuple.
+func (s *Schema) TupleAt(batch []byte, i int) []byte {
+	start := i * s.size
+	return batch[start : start+s.size]
+}
+
+// TupleCount returns the number of whole tuples in a packed batch.
+func (s *Schema) TupleCount(batch []byte) int { return len(batch) / s.size }
+
+// Format renders tuple values as a human-readable row, for debugging and the
+// example programs. It deliberately allocates; never used on the hot path.
+func (s *Schema) Format(tuple []byte) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch f.Type {
+		case Int32:
+			fmt.Fprintf(&b, "%s=%d", f.Name, s.ReadInt32(tuple, i))
+		case Int64:
+			fmt.Fprintf(&b, "%s=%d", f.Name, s.ReadInt64(tuple, i))
+		case Float32:
+			fmt.Fprintf(&b, "%s=%g", f.Name, s.ReadFloat32(tuple, i))
+		case Float64:
+			fmt.Fprintf(&b, "%s=%g", f.Name, s.ReadFloat64(tuple, i))
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,285 @@
+package schema
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := New(
+		Field{"timestamp", Int64},
+		Field{"a", Float32},
+		Field{"b", Int32},
+		Field{"c", Int32},
+		Field{"d", Float64},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestNewLayout(t *testing.T) {
+	s := testSchema(t)
+	if got := s.TupleSize(); got != 8+4+4+4+8 {
+		t.Fatalf("TupleSize = %d, want 28", got)
+	}
+	wantOffsets := []int{0, 8, 12, 16, 20}
+	for i, w := range wantOffsets {
+		if got := s.Offset(i); got != w {
+			t.Errorf("Offset(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if s.NumFields() != 5 {
+		t.Errorf("NumFields = %d, want 5", s.NumFields())
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		fields []Field
+	}{
+		{"empty", nil},
+		{"emptyName", []Field{{"", Int32}}},
+		{"dup", []Field{{"x", Int32}, {"x", Int64}}},
+		{"undefinedType", []Field{{"x", Undefined}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.fields...); err == nil {
+			t.Errorf("New(%s): expected error", c.name)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on invalid schema")
+		}
+	}()
+	MustNew(Field{"", Int32})
+}
+
+func TestIndexOf(t *testing.T) {
+	s := testSchema(t)
+	if i := s.IndexOf("c"); i != 3 {
+		t.Errorf("IndexOf(c) = %d, want 3", i)
+	}
+	if i := s.IndexOf("missing"); i != -1 {
+		t.Errorf("IndexOf(missing) = %d, want -1", i)
+	}
+	if !s.HasField("a") || s.HasField("z") {
+		t.Error("HasField mismatch")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	tuple := make([]byte, s.TupleSize())
+	s.WriteInt64(tuple, 0, -42)
+	s.WriteFloat32(tuple, 1, 3.25)
+	s.WriteInt32(tuple, 2, math.MaxInt32)
+	s.WriteInt32(tuple, 3, math.MinInt32)
+	s.WriteFloat64(tuple, 4, -1e300)
+
+	if got := s.ReadInt64(tuple, 0); got != -42 {
+		t.Errorf("ReadInt64 = %d", got)
+	}
+	if got := s.ReadFloat32(tuple, 1); got != 3.25 {
+		t.Errorf("ReadFloat32 = %g", got)
+	}
+	if got := s.ReadInt32(tuple, 2); got != math.MaxInt32 {
+		t.Errorf("ReadInt32 = %d", got)
+	}
+	if got := s.ReadInt32(tuple, 3); got != math.MinInt32 {
+		t.Errorf("ReadInt32 = %d", got)
+	}
+	if got := s.ReadFloat64(tuple, 4); got != -1e300 {
+		t.Errorf("ReadFloat64 = %g", got)
+	}
+}
+
+func TestReadWriteRoundTripQuick(t *testing.T) {
+	s := testSchema(t)
+	f := func(ts int64, a float32, b, c int32, d float64) bool {
+		tuple := make([]byte, s.TupleSize())
+		s.WriteInt64(tuple, 0, ts)
+		s.WriteFloat32(tuple, 1, a)
+		s.WriteInt32(tuple, 2, b)
+		s.WriteInt32(tuple, 3, c)
+		s.WriteFloat64(tuple, 4, d)
+		readBack := s.ReadInt64(tuple, 0) == ts &&
+			s.ReadInt32(tuple, 2) == b && s.ReadInt32(tuple, 3) == c
+		// NaN != NaN; compare bit patterns for floats.
+		readBack = readBack &&
+			math.Float32bits(s.ReadFloat32(tuple, 1)) == math.Float32bits(a) &&
+			math.Float64bits(s.ReadFloat64(tuple, 4)) == math.Float64bits(d)
+		return readBack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenericFloatIntAccess(t *testing.T) {
+	s := testSchema(t)
+	tuple := make([]byte, s.TupleSize())
+	s.WriteFloat(tuple, 2, 7.9) // Int32 field: truncates
+	if got := s.ReadInt(tuple, 2); got != 7 {
+		t.Errorf("ReadInt over int32 = %d, want 7", got)
+	}
+	s.WriteFloat(tuple, 1, 2.5) // Float32 field
+	if got := s.ReadFloat(tuple, 1); got != 2.5 {
+		t.Errorf("ReadFloat over float32 = %g, want 2.5", got)
+	}
+	s.WriteFloat(tuple, 0, 123) // Int64 field
+	if got := s.ReadFloat(tuple, 0); got != 123 {
+		t.Errorf("ReadFloat over int64 = %g, want 123", got)
+	}
+	s.WriteFloat(tuple, 4, -0.5)
+	if got := s.ReadInt(tuple, 4); got != 0 {
+		t.Errorf("ReadInt over float64 = %d, want 0", got)
+	}
+}
+
+func TestTimestampConvention(t *testing.T) {
+	s := testSchema(t)
+	if !s.HasTimestamp() {
+		t.Fatal("HasTimestamp = false for timestamp-led schema")
+	}
+	tuple := make([]byte, s.TupleSize())
+	s.SetTimestamp(tuple, 99)
+	if got := s.Timestamp(tuple); got != 99 {
+		t.Errorf("Timestamp = %d", got)
+	}
+	noTS := MustNew(Field{"x", Int32})
+	if noTS.HasTimestamp() {
+		t.Error("HasTimestamp = true for int32-led schema")
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := testSchema(t)
+	p, err := s.Project("c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumFields() != 2 || p.Field(0).Name != "c" || p.Field(1).Name != "a" {
+		t.Fatalf("Project fields = %v", p.Fields())
+	}
+	if p.TupleSize() != 8 {
+		t.Errorf("projected TupleSize = %d, want 8", p.TupleSize())
+	}
+	if _, err := s.Project("nope"); err == nil {
+		t.Error("Project(missing) did not error")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	left := MustNew(Field{"timestamp", Int64}, Field{"v", Int32})
+	right := MustNew(Field{"timestamp", Int64}, Field{"w", Int32})
+	j, err := left.Concat(right, "r_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"timestamp", "v", "r_timestamp", "w"}
+	for i, n := range want {
+		if j.Field(i).Name != n {
+			t.Errorf("Concat field %d = %q, want %q", i, j.Field(i).Name, n)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := testSchema(t)
+	b := testSchema(t)
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	c := MustNew(Field{"timestamp", Int64})
+	if a.Equal(c) || a.Equal(nil) {
+		t.Error("different schemas reported Equal")
+	}
+}
+
+func TestPackedBatchHelpers(t *testing.T) {
+	s := MustNew(Field{"timestamp", Int64}, Field{"v", Int32})
+	b := NewTupleBuilder(s, 4)
+	for i := 0; i < 4; i++ {
+		b.Begin().Timestamp(int64(i)).Int32("v", int32(i*10))
+	}
+	batch := b.Bytes()
+	if got := s.TupleCount(batch); got != 4 {
+		t.Fatalf("TupleCount = %d", got)
+	}
+	for i := 0; i < 4; i++ {
+		tu := s.TupleAt(batch, i)
+		if s.Timestamp(tu) != int64(i) || s.ReadInt32(tu, 1) != int32(i*10) {
+			t.Errorf("tuple %d = %s", i, s.Format(tu))
+		}
+	}
+	var dst []byte
+	dst = s.CopyTuple(dst, batch, 2)
+	if s.Timestamp(dst) != 2 {
+		t.Errorf("CopyTuple copied wrong tuple: %s", s.Format(dst))
+	}
+}
+
+func TestBuilderResetAndCount(t *testing.T) {
+	s := MustNew(Field{"timestamp", Int64})
+	b := NewTupleBuilder(s, 2)
+	b.Begin().Timestamp(1)
+	b.Begin().Timestamp(2)
+	if b.Count() != 2 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	b.Reset()
+	if b.Count() != 0 || len(b.Bytes()) != 0 {
+		t.Error("Reset did not clear builder")
+	}
+	b.Begin().Timestamp(7)
+	if s.Timestamp(b.Bytes()) != 7 {
+		t.Error("builder unusable after Reset")
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for name, want := range map[string]Type{
+		"int": Int32, "long": Int64, "float": Float32, "double": Float64,
+		"INT": Int32, "Int64": Int64,
+	} {
+		got, err := ParseType(name)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseType("varchar"); err == nil {
+		t.Error("ParseType(varchar) did not error")
+	}
+}
+
+func TestStringAndFormat(t *testing.T) {
+	s := MustNew(Field{"timestamp", Int64}, Field{"cpu", Float32})
+	if got := s.String(); got != "timestamp long, cpu float" {
+		t.Errorf("String = %q", got)
+	}
+	tuple := make([]byte, s.TupleSize())
+	s.SetTimestamp(tuple, 5)
+	s.WriteFloat32(tuple, 1, 0.5)
+	if got := s.Format(tuple); !strings.Contains(got, "timestamp=5") || !strings.Contains(got, "cpu=0.5") {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestTypeSizeAndString(t *testing.T) {
+	if Int32.Size() != 4 || Int64.Size() != 8 || Float32.Size() != 4 || Float64.Size() != 8 {
+		t.Error("Type.Size mismatch")
+	}
+	if Undefined.Size() != 0 || Undefined.String() != "undefined" {
+		t.Error("Undefined type behaviour mismatch")
+	}
+}

@@ -1,0 +1,98 @@
+// Package task defines SABER's query tasks and the single, system-wide
+// task queue the scheduling stage operates on (paper §3, §4.1).
+package task
+
+import (
+	"sync"
+
+	"saber/internal/exec"
+)
+
+// Task is one schedulable unit: a query's compiled operator function
+// bundled with one stream batch per input. Tasks of a query are totally
+// ordered by ID; the result stage uses the order to reorder out-of-order
+// completions.
+type Task struct {
+	// Query is the engine-assigned dense query index.
+	Query int
+	// ID is the per-query task sequence number, from 0.
+	ID int64
+	// In holds one batch per input stream.
+	In [2]exec.Batch
+	// FreeTo, per input, is the ring-buffer offset that can be released
+	// once this task's results have been consumed (paper §4.1's free
+	// pointer).
+	FreeTo [2]int64
+	// Created is a logical enqueue stamp used for latency accounting
+	// (nanoseconds).
+	Created int64
+}
+
+// Queue is the system-wide query task queue. Workers remove tasks through
+// a scheduling policy that may inspect (look ahead into) the queue, so the
+// queue exposes an indexed snapshot under its lock rather than just
+// pop-head.
+type Queue struct {
+	mu     sync.Mutex
+	items  []*Task
+	closed bool
+}
+
+// NewQueue creates an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Push appends a task. Pushing to a closed queue panics (engine bug).
+func (q *Queue) Push(t *Task) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		panic("task: Push on closed queue")
+	}
+	q.items = append(q.items, t)
+}
+
+// Close marks the queue as draining: no more pushes will happen.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+}
+
+// Closed reports whether the queue is draining.
+func (q *Queue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Len returns the number of queued tasks.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Select runs fn over the queued tasks under the queue lock. fn returns
+// the index of the task to remove, or -1 to leave the queue unchanged.
+// Select returns the removed task, or nil.
+func (q *Queue) Select(fn func(items []*Task) int) *Task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	i := fn(q.items)
+	if i < 0 || i >= len(q.items) {
+		return nil
+	}
+	t := q.items[i]
+	q.items = append(q.items[:i], q.items[i+1:]...)
+	return t
+}
+
+// PopHead removes and returns the first task, or nil when empty.
+func (q *Queue) PopHead() *Task {
+	return q.Select(func(items []*Task) int {
+		if len(items) == 0 {
+			return -1
+		}
+		return 0
+	})
+}

@@ -1,0 +1,309 @@
+// Package window implements SABER's window model (paper §2.4, §3): count-
+// and time-based sliding windows, and the decomposition of windows into
+// per-batch window fragments.
+//
+// The central invariant of the hybrid processing model is that stream
+// batches are sized independently of window definitions. A batch therefore
+// contains arbitrary window *fragments*; this package computes, for one
+// batch, the set of windows that intersect it, the tuple range each window
+// covers inside the batch, and whether the window opens and/or closes
+// within the batch. The computation is deliberately pure and cheap to call
+// from the parallel task-execution stage, which is how SABER postpones
+// window-boundary computation out of the sequential dispatcher (§4.1).
+package window
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind distinguishes count-based (row) and time-based (range) windows, plus
+// the degenerate unbounded window used by queries like LRB1.
+type Kind uint8
+
+const (
+	// Count windows contain a fixed number of tuples.
+	Count Kind = iota
+	// Time windows contain the tuples of a fixed span of logical time.
+	Time
+	// Unbounded is a single window covering the whole stream; operators
+	// over it behave as per-tuple streaming transforms.
+	Unbounded
+)
+
+// String names the kind as in CQL ("rows"/"range"/"unbounded").
+func (k Kind) String() string {
+	switch k {
+	case Count:
+		return "rows"
+	case Time:
+		return "range"
+	default:
+		return "unbounded"
+	}
+}
+
+// Def is a window definition ω(size, slide).
+type Def struct {
+	Kind  Kind
+	Size  int64 // tuples (Count) or time units (Time)
+	Slide int64
+}
+
+// NewCount returns a count-based window definition.
+func NewCount(size, slide int64) Def { return Def{Kind: Count, Size: size, Slide: slide} }
+
+// NewTime returns a time-based window definition.
+func NewTime(size, slide int64) Def { return Def{Kind: Time, Size: size, Slide: slide} }
+
+// NewUnbounded returns the unbounded window definition.
+func NewUnbounded() Def { return Def{Kind: Unbounded} }
+
+// Validate reports whether the definition is well-formed.
+func (d Def) Validate() error {
+	if d.Kind == Unbounded {
+		return nil
+	}
+	if d.Size <= 0 || d.Slide <= 0 {
+		return fmt.Errorf("window: size %d and slide %d must be positive", d.Size, d.Slide)
+	}
+	if d.Slide > d.Size {
+		return fmt.Errorf("window: slide %d larger than size %d (sampling windows unsupported)", d.Slide, d.Size)
+	}
+	return nil
+}
+
+// Tumbling reports whether the window is tumbling (slide == size).
+func (d Def) Tumbling() bool { return d.Kind != Unbounded && d.Slide == d.Size }
+
+// Start returns the start boundary (tuple index or timestamp) of window k.
+func (d Def) Start(k int64) int64 { return k * d.Slide }
+
+// End returns the exclusive end boundary of window k.
+func (d Def) End(k int64) int64 { return k*d.Slide + d.Size }
+
+// String renders the definition like the paper's ω(s,l) notation.
+func (d Def) String() string {
+	if d.Kind == Unbounded {
+		return "ω∞"
+	}
+	return fmt.Sprintf("ω(%s %d slide %d)", d.Kind, d.Size, d.Slide)
+}
+
+// Fragment is the part of one window that falls inside one stream batch.
+type Fragment struct {
+	// Window is the window index k; window k spans
+	// [k*Slide, k*Slide+Size) in tuple indices (Count) or time (Time).
+	Window int64
+	// Start and End delimit the tuples of this fragment as indices into
+	// the batch, [Start, End). The range may be empty for a time window
+	// that closes in a batch containing none of its tuples.
+	Start, End int
+	// Opens reports that no earlier batch contributed to this window.
+	Opens bool
+	// Closes reports that no later batch will contribute to this window.
+	Closes bool
+}
+
+// State classifies a fragment the way the result stage buckets them
+// (paper §5.3): a window that opens and closes in the same batch is
+// complete; one that only opens here is opening; only closes here is
+// closing; neither is pending.
+type State uint8
+
+// Fragment states, see State.
+const (
+	Pending State = iota
+	Opening
+	Closing
+	Complete
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Opening:
+		return "opening"
+	case Closing:
+		return "closing"
+	case Complete:
+		return "complete"
+	default:
+		return "pending"
+	}
+}
+
+// State returns the fragment's classification.
+func (f Fragment) State() State {
+	switch {
+	case f.Opens && f.Closes:
+		return Complete
+	case f.Opens:
+		return Opening
+	case f.Closes:
+		return Closing
+	default:
+		return Pending
+	}
+}
+
+// Tuples returns the number of tuples in the fragment.
+func (f Fragment) Tuples() int { return f.End - f.Start }
+
+// NoPrev is the Context.PrevTimestamp sentinel for the first batch of a
+// stream. Logical timestamps are non-negative, so any real timestamp
+// exceeds it.
+const NoPrev = int64(math.MinInt64)
+
+// Context carries the per-batch stream position needed to compute
+// fragments. The dispatcher captures it in O(1) when it cuts a batch; the
+// expensive per-tuple work happens later, inside the task.
+type Context struct {
+	// FirstIndex is the absolute stream index of the batch's first tuple.
+	FirstIndex int64
+	// PrevTimestamp is the timestamp of the last tuple of the previous
+	// batch, or NoPrev for the first batch of the stream.
+	PrevTimestamp int64
+}
+
+// Timestamps exposes the (ordered) tuple timestamps of a batch to the
+// fragment computation without forcing a materialised []int64.
+type Timestamps interface {
+	// Len returns the number of tuples in the batch.
+	Len() int
+	// At returns the timestamp of tuple i.
+	At(i int) int64
+}
+
+// Int64Timestamps adapts a []int64 to the Timestamps interface.
+type Int64Timestamps []int64
+
+// Len implements Timestamps.
+func (t Int64Timestamps) Len() int { return len(t) }
+
+// At implements Timestamps.
+func (t Int64Timestamps) At(i int) int64 { return t[i] }
+
+// Fragments computes the window fragments of one batch, appending to dst
+// (which may be nil) and returning it. Fragments are produced in window
+// order. For Count windows ts may be nil; for Time windows it must hold
+// the batch's tuple timestamps in non-decreasing order.
+func (d Def) Fragments(dst []Fragment, n int, ts Timestamps, ctx Context) []Fragment {
+	switch d.Kind {
+	case Unbounded:
+		if n == 0 {
+			return dst
+		}
+		opens := ctx.FirstIndex == 0 && ctx.PrevTimestamp == NoPrev
+		return append(dst, Fragment{Window: 0, Start: 0, End: n, Opens: opens})
+	case Count:
+		return d.countFragments(dst, n, ctx)
+	case Time:
+		return d.timeFragments(dst, n, ts, ctx)
+	}
+	return dst
+}
+
+func (d Def) countFragments(dst []Fragment, n int, ctx Context) []Fragment {
+	if n == 0 {
+		return dst
+	}
+	b := ctx.FirstIndex // first absolute tuple index in batch
+	e := b + int64(n)   // one past last
+	s, l := d.Size, d.Slide
+
+	// Windows intersecting [b, e): end > b and start < e.
+	kMin := int64(0)
+	if b >= s {
+		// smallest k with k*l+s > b  <=>  k > (b-s)/l
+		kMin = floorDiv(b-s, l) + 1
+	}
+	kMax := floorDiv(e-1, l)
+	for k := kMin; k <= kMax; k++ {
+		ws, we := d.Start(k), d.End(k)
+		f := Fragment{
+			Window: k,
+			Start:  int(max64(ws, b) - b),
+			End:    int(min64(we, e) - b),
+			Opens:  ws >= b,
+			Closes: we <= e,
+		}
+		dst = append(dst, f)
+	}
+	return dst
+}
+
+func (d Def) timeFragments(dst []Fragment, n int, ts Timestamps, ctx Context) []Fragment {
+	if n == 0 {
+		return dst
+	}
+	s, l := d.Size, d.Slide
+	first := ts.At(0)
+	last := ts.At(n - 1)
+
+	// A window is relevant if it has not fully closed before this batch
+	// (end > PrevTimestamp) and it has started by the batch's last tuple
+	// (start <= last). For the first batch, windows that ended before the
+	// first tuple never held data and are skipped entirely.
+	horizon := ctx.PrevTimestamp
+	if horizon == NoPrev {
+		// Windows with end <= first (end is exclusive) can never hold a
+		// tuple of this stream; skip them.
+		horizon = first
+	}
+	// smallest k with k*l+s > horizon  <=>  k > (horizon-s)/l
+	kMin := floorDiv(horizon-s, l) + 1
+	if kMin < 0 {
+		kMin = 0
+	}
+	kMax := floorDiv(last, l)
+	if kMax < kMin-1 {
+		kMax = kMin - 1
+	}
+
+	// Two-pointer sweep: window boundaries are monotonically increasing
+	// in k, and timestamps are ordered, so each pointer only advances.
+	lo, hi := 0, 0
+	for k := kMin; k <= kMax; k++ {
+		ws, we := d.Start(k), d.End(k)
+		for lo < n && ts.At(lo) < ws {
+			lo++
+		}
+		if hi < lo {
+			hi = lo
+		}
+		for hi < n && ts.At(hi) < we {
+			hi++
+		}
+		dst = append(dst, Fragment{
+			Window: k,
+			Start:  lo,
+			End:    hi,
+			Opens:  ctx.PrevTimestamp == NoPrev || ws > ctx.PrevTimestamp,
+			Closes: last >= we,
+		})
+	}
+	return dst
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,345 @@
+package window
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		d  Def
+		ok bool
+	}{
+		{NewCount(3, 1), true},
+		{NewCount(3, 3), true},
+		{NewTime(60, 1), true},
+		{NewUnbounded(), true},
+		{NewCount(0, 1), false},
+		{NewCount(3, 0), false},
+		{NewCount(2, 3), false},
+		{NewTime(-1, 1), false},
+	}
+	for _, c := range cases {
+		if err := c.d.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%v) = %v, want ok=%v", c.d, err, c.ok)
+		}
+	}
+	if !NewCount(4, 4).Tumbling() || NewCount(4, 2).Tumbling() || NewUnbounded().Tumbling() {
+		t.Error("Tumbling misclassification")
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	d := NewCount(7, 2)
+	if d.Start(3) != 6 || d.End(3) != 13 {
+		t.Errorf("window 3 = [%d,%d)", d.Start(3), d.End(3))
+	}
+}
+
+// TestPaperFigure2Small replays Fig. 2's first example: 5-tuple batches with
+// ω(3,1). Batch b1 has 3 complete windows and 2 opening fragments.
+func TestPaperFigure2Small(t *testing.T) {
+	d := NewCount(3, 1)
+	got := d.Fragments(nil, 5, nil, Context{FirstIndex: 0, PrevTimestamp: NoPrev})
+	want := []Fragment{
+		{Window: 0, Start: 0, End: 3, Opens: true, Closes: true},
+		{Window: 1, Start: 1, End: 4, Opens: true, Closes: true},
+		{Window: 2, Start: 2, End: 5, Opens: true, Closes: true},
+		{Window: 3, Start: 3, End: 5, Opens: true},
+		{Window: 4, Start: 4, End: 5, Opens: true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("b1 fragments = %+v", got)
+	}
+	// Batch b2 continues at index 5: windows 3,4 close there.
+	got = d.Fragments(nil, 5, nil, Context{FirstIndex: 5, PrevTimestamp: 4})
+	if got[0].Window != 3 || got[0].Opens || !got[0].Closes || got[0].Start != 0 || got[0].End != 1 {
+		t.Errorf("w3 continuation = %+v", got[0])
+	}
+	if got[1].Window != 4 || got[1].Opens || !got[1].Closes || got[1].End != 2 {
+		t.Errorf("w4 continuation = %+v", got[1])
+	}
+}
+
+// TestPaperFigure2Large replays Fig. 2's second example: ω(7,2) over
+// 5-tuple batches — the first batch contains only opening fragments.
+func TestPaperFigure2Large(t *testing.T) {
+	d := NewCount(7, 2)
+	got := d.Fragments(nil, 5, nil, Context{FirstIndex: 0, PrevTimestamp: NoPrev})
+	if len(got) != 3 {
+		t.Fatalf("fragments = %+v", got)
+	}
+	for i, f := range got {
+		if f.Window != int64(i) || !f.Opens || f.Closes {
+			t.Errorf("fragment %d = %+v, want opening only", i, f)
+		}
+		if f.State() != Opening {
+			t.Errorf("fragment %d state = %v", i, f.State())
+		}
+	}
+}
+
+func TestFragmentStates(t *testing.T) {
+	cases := []struct {
+		f    Fragment
+		want State
+	}{
+		{Fragment{Opens: true, Closes: true}, Complete},
+		{Fragment{Opens: true}, Opening},
+		{Fragment{Closes: true}, Closing},
+		{Fragment{}, Pending},
+	}
+	for _, c := range cases {
+		if got := c.f.State(); got != c.want {
+			t.Errorf("State(%+v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+	for _, s := range []State{Pending, Opening, Closing, Complete} {
+		if s.String() == "" {
+			t.Error("State.String empty")
+		}
+	}
+}
+
+// TestCountPendingState checks that a window spanning three batches is
+// pending in the middle one.
+func TestCountPendingState(t *testing.T) {
+	d := NewCount(10, 10)
+	// Window 0 covers indices [0,10); batches of 4, 3, 3 tuples.
+	b1 := d.Fragments(nil, 4, nil, Context{FirstIndex: 0, PrevTimestamp: NoPrev})
+	b2 := d.Fragments(nil, 3, nil, Context{FirstIndex: 4})
+	b3 := d.Fragments(nil, 3, nil, Context{FirstIndex: 7})
+	if b1[0].State() != Opening {
+		t.Errorf("b1 = %+v", b1[0])
+	}
+	if len(b2) != 1 || b2[0].State() != Pending {
+		t.Errorf("b2 = %+v", b2)
+	}
+	if b3[0].State() != Closing || b3[0].End != 3 {
+		t.Errorf("b3 = %+v", b3)
+	}
+}
+
+func TestTimeFragmentsBasic(t *testing.T) {
+	d := NewTime(10, 5)
+	ts := Int64Timestamps{0, 3, 7, 12, 14}
+	got := d.Fragments(nil, len(ts), ts, Context{PrevTimestamp: NoPrev})
+	// Windows: k=0 [0,10) -> tuples 0,3,7; closes (last=14>=10).
+	// k=1 [5,15) -> tuples 7,12,14; open. k=2 [10,20) -> 12,14; open.
+	want := []Fragment{
+		{Window: 0, Start: 0, End: 3, Opens: true, Closes: true},
+		{Window: 1, Start: 2, End: 5, Opens: true},
+		{Window: 2, Start: 3, End: 5, Opens: true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fragments = %+v", got)
+	}
+}
+
+func TestTimeFragmentsAcrossBatches(t *testing.T) {
+	d := NewTime(10, 5)
+	// Continue the stream above: next batch ts 16..22.
+	ts := Int64Timestamps{16, 20, 22}
+	got := d.Fragments(nil, len(ts), ts, Context{PrevTimestamp: 14})
+	// k=1 [5,15): closes here with no tuples. k=2 [10,20): tuple 16, closes.
+	// k=3 [15,25): 16,20,22, opens here (start 15 > 14). k=4 [20,30): opens.
+	want := []Fragment{
+		{Window: 1, Start: 0, End: 0, Closes: true},
+		{Window: 2, Start: 0, End: 1, Closes: true},
+		{Window: 3, Start: 0, End: 3, Opens: true},
+		{Window: 4, Start: 1, End: 3, Opens: true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fragments = %+v", got)
+	}
+}
+
+func TestTimeFirstBatchSkipsAncientWindows(t *testing.T) {
+	d := NewTime(10, 1)
+	// Stream starts at t=1000: windows ending before 1000 must not appear.
+	ts := Int64Timestamps{1000, 1001}
+	got := d.Fragments(nil, len(ts), ts, Context{PrevTimestamp: NoPrev})
+	if len(got) == 0 {
+		t.Fatal("no fragments")
+	}
+	if got[0].Window != 991 { // first window with end > 1000: k*1+10 > 1000
+		t.Errorf("first window = %d, want 991", got[0].Window)
+	}
+	for _, f := range got {
+		if !f.Opens {
+			t.Errorf("first-batch fragment %+v not opening", f)
+		}
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	d := NewUnbounded()
+	got := d.Fragments(nil, 7, nil, Context{FirstIndex: 0, PrevTimestamp: NoPrev})
+	if len(got) != 1 || got[0].Tuples() != 7 || !got[0].Opens || got[0].Closes {
+		t.Fatalf("fragments = %+v", got)
+	}
+	got = d.Fragments(nil, 3, nil, Context{FirstIndex: 7, PrevTimestamp: 99})
+	if len(got) != 1 || got[0].Opens {
+		t.Fatalf("continuation fragments = %+v", got)
+	}
+	if got := d.Fragments(nil, 0, nil, Context{}); len(got) != 0 {
+		t.Fatalf("empty batch fragments = %+v", got)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	for _, d := range []Def{NewCount(3, 1), NewTime(3, 1)} {
+		if got := d.Fragments(nil, 0, nil, Context{}); len(got) != 0 {
+			t.Errorf("%v empty batch = %+v", d, got)
+		}
+	}
+}
+
+// reconstruct runs Fragments over a batching of the stream and
+// concatenates each window's fragment tuple ranges.
+func reconstruct(d Def, ts []int64, batchSizes []int) (content map[int64][]int64, opens, closes map[int64]int) {
+	content = map[int64][]int64{}
+	opens, closes = map[int64]int{}, map[int64]int{}
+	idx := 0
+	prev := NoPrev
+	for _, n := range batchSizes {
+		if idx >= len(ts) {
+			break
+		}
+		if idx+n > len(ts) {
+			n = len(ts) - idx
+		}
+		batch := ts[idx : idx+n]
+		frags := d.Fragments(nil, n, Int64Timestamps(batch), Context{FirstIndex: int64(idx), PrevTimestamp: prev})
+		for _, f := range frags {
+			content[f.Window] = append(content[f.Window], batch[f.Start:f.End]...)
+			if f.Opens {
+				opens[f.Window]++
+			}
+			if f.Closes {
+				closes[f.Window]++
+			}
+		}
+		prev = batch[n-1]
+		idx += n
+	}
+	return content, opens, closes
+}
+
+// directWindows computes window contents without batching, as ground truth.
+func directWindows(d Def, ts []int64) map[int64][]int64 {
+	out := map[int64][]int64{}
+	switch d.Kind {
+	case Count:
+		for k := int64(0); d.Start(k) < int64(len(ts)); k++ {
+			for i := d.Start(k); i < d.End(k) && i < int64(len(ts)); i++ {
+				out[k] = append(out[k], ts[i])
+			}
+		}
+	case Time:
+		if len(ts) == 0 {
+			return out
+		}
+		first, last := ts[0], ts[len(ts)-1]
+		for k := int64(0); d.Start(k) <= last; k++ {
+			if d.End(k) <= first {
+				// Predates the stream; the assigner skips it too.
+				continue
+			}
+			if _, seen := out[k]; !seen {
+				out[k] = []int64{}
+			}
+			for _, v := range ts {
+				if v >= d.Start(k) && v < d.End(k) {
+					out[k] = append(out[k], v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestFragmentConcatenationProperty is the DESIGN.md invariant: for any
+// batching, concatenating a window's fragments reproduces the window, and
+// every window that closes opens exactly once and closes exactly once.
+func TestFragmentConcatenationProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	f := func(sizeSeed, slideSeed, kindSeed uint8, nTuples uint8) bool {
+		size := int64(sizeSeed%20) + 1
+		slide := int64(slideSeed)%size + 1
+		n := int(nTuples%120) + 1
+		d := NewCount(size, slide)
+		ts := make([]int64, n)
+		cur := int64(rnd.Intn(5))
+		for i := range ts {
+			ts[i] = cur
+			cur += int64(rnd.Intn(3)) // non-decreasing, with duplicates
+		}
+		if kindSeed%2 == 1 {
+			d = NewTime(size, slide)
+		}
+		var batches []int
+		for left := n; left > 0; {
+			b := rnd.Intn(9) + 1
+			if b > left {
+				b = left
+			}
+			batches = append(batches, b)
+			left -= b
+		}
+		content, opens, closes := reconstruct(d, ts, batches)
+		truth := directWindows(d, ts)
+		for k, want := range truth {
+			got := content[k]
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		for k, c := range opens {
+			if c != 1 {
+				t.Logf("window %d opened %d times (def %v)", k, c, d)
+				return false
+			}
+		}
+		for k, c := range closes {
+			if c != 1 {
+				t.Logf("window %d closed %d times (def %v)", k, c, d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {-7, 2, -4}, {-4, 2, -2}, {0, 3, 0}, {-1, 5, -1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDefString(t *testing.T) {
+	if NewUnbounded().String() != "ω∞" {
+		t.Error("unbounded String")
+	}
+	if s := NewCount(3, 1).String(); s != "ω(rows 3 slide 1)" {
+		t.Errorf("String = %q", s)
+	}
+	if s := NewTime(60, 5).String(); s != "ω(range 60 slide 5)" {
+		t.Errorf("String = %q", s)
+	}
+}

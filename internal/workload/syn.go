@@ -1,0 +1,180 @@
+// Package workload provides the four workloads of the paper's evaluation
+// (Table 1): the synthetic parameter-sweep queries (Syn), compute cluster
+// monitoring (CM), smart-grid anomaly detection (SG) and the Linear Road
+// Benchmark (LRB) — each as a data generator with the paper's schema plus
+// ready-made query constructors.
+package workload
+
+import (
+	"math/rand"
+
+	"saber/internal/expr"
+	"saber/internal/query"
+	"saber/internal/schema"
+	"saber/internal/window"
+)
+
+// SynSchema is the paper's synthetic tuple: a 64-bit timestamp and six
+// 32-bit attributes, the first a float (32 bytes total).
+var SynSchema = schema.MustNew(
+	schema.Field{Name: "timestamp", Type: schema.Int64},
+	schema.Field{Name: "a1", Type: schema.Float32},
+	schema.Field{Name: "a2", Type: schema.Int32},
+	schema.Field{Name: "a3", Type: schema.Int32},
+	schema.Field{Name: "a4", Type: schema.Int32},
+	schema.Field{Name: "a5", Type: schema.Int32},
+	schema.Field{Name: "a6", Type: schema.Int32},
+)
+
+// SynTupleSize is the synthetic tuple's byte size (32).
+const SynTupleSize = 32
+
+// SynGen streams synthetic tuples with uniformly distributed values.
+type SynGen struct {
+	rnd *rand.Rand
+	ts  int64
+	// Groups bounds a2's domain (GROUP-BY cardinality); 0 means the full
+	// int32 range.
+	Groups int32
+	// TuplesPerTimeUnit controls timestamp density (default 1).
+	TuplesPerTimeUnit int
+	inUnit            int
+}
+
+// NewSynGen creates a generator with a fixed seed for reproducibility.
+func NewSynGen(seed int64) *SynGen {
+	return &SynGen{rnd: rand.New(rand.NewSource(seed)), TuplesPerTimeUnit: 1}
+}
+
+// Next appends n tuples to dst and returns it.
+func (g *SynGen) Next(dst []byte, n int) []byte {
+	b := schema.NewTupleBuilder(SynSchema, n)
+	for i := 0; i < n; i++ {
+		a2 := g.rnd.Int31()
+		if g.Groups > 0 {
+			a2 = g.rnd.Int31n(g.Groups)
+		}
+		b.Begin().
+			Timestamp(g.ts).
+			Float32("a1", g.rnd.Float32()*100).
+			Int32("a2", a2).
+			Int32("a3", g.rnd.Int31n(1024)).
+			Int32("a4", g.rnd.Int31n(1024)).
+			Int32("a5", g.rnd.Int31()).
+			Int32("a6", g.rnd.Int31())
+		g.inUnit++
+		if g.inUnit >= g.TuplesPerTimeUnit {
+			g.inUnit = 0
+			g.ts++
+		}
+	}
+	return append(dst, b.Bytes()...)
+}
+
+// Proj returns PROJ_m: a projection of the timestamp plus m arithmetic
+// expressions over a1 (paper Table 1). exprsPerAttr stacks extra
+// arithmetic per attribute (PROJ6* in Fig. 15 uses 100).
+func Proj(m, exprsPerAttr int, w window.Def) *query.Query {
+	b := query.NewBuilder(synName("PROJ", m)).
+		From("Syn", SynSchema, w).
+		Select("timestamp")
+	for i := 0; i < m; i++ {
+		var e expr.Expr = expr.Col("a1")
+		n := exprsPerAttr
+		if n < 1 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			e = expr.Arith{Op: expr.Add, Left: expr.Arith{Op: expr.Mul, Left: e, Right: expr.FloatConst(3)}, Right: expr.FloatConst(float64(i + j))}
+		}
+		b.SelectAs(e, synName("p", i))
+	}
+	return b.MustBuild()
+}
+
+// Select returns SELECT_n: a selection with n predicates over a3
+// (disjunction, ~50% selective overall).
+func Select(n int, w window.Def) *query.Query {
+	preds := make([]expr.Pred, n)
+	for i := 0; i < n; i++ {
+		preds[i] = expr.Cmp{Op: expr.Lt, Left: expr.Col("a3"), Right: expr.IntConst(int64(512 / (i + 1)))}
+	}
+	return query.NewBuilder(synName("SELECT", n)).
+		From("Syn", SynSchema, w).
+		Where(expr.Or{Preds: preds}).
+		MustBuild()
+}
+
+// GuardedSelect returns the Fig. 16 query shape: p1 ∧ (p2 ∨ … ∨ pn), so
+// the n-1 inner predicates are evaluated only when the guard passes.
+// guardThreshold tunes p1's selectivity over a4 ∈ [0, 1024).
+func GuardedSelect(n int, guardThreshold int64, w window.Def) *query.Query {
+	inner := make([]expr.Pred, n-1)
+	for i := range inner {
+		inner[i] = expr.Cmp{Op: expr.Gt, Left: expr.Col("a3"), Right: expr.IntConst(int64(1024 - i))}
+	}
+	return query.NewBuilder(synName("GSELECT", n)).
+		From("Syn", SynSchema, w).
+		Where(expr.And{Preds: []expr.Pred{
+			expr.Cmp{Op: expr.Lt, Left: expr.Col("a4"), Right: expr.IntConst(guardThreshold)},
+			expr.Or{Preds: inner},
+		}}).
+		MustBuild()
+}
+
+// Agg returns AGG_f: a windowed aggregation with function f over a1.
+func Agg(f query.AggFunc, w window.Def) *query.Query {
+	return query.NewBuilder("AGG"+f.String()).
+		From("Syn", SynSchema, w).
+		Aggregate(f, expr.Col("a1"), "v").
+		MustBuild()
+}
+
+// GroupBy returns GROUP-BY_o over a2 with o groups (pair the generator's
+// Groups knob with o) computing the given aggregates.
+func GroupBy(funcs []query.AggFunc, o int, w window.Def) *query.Query {
+	b := query.NewBuilder(synName("GROUP-BY", o)).
+		From("Syn", SynSchema, w).
+		GroupBy("a2")
+	for i, f := range funcs {
+		arg := expr.Expr(expr.Col("a1"))
+		if f == query.Count {
+			arg = nil
+		}
+		b.Aggregate(f, arg, synName("v", i))
+	}
+	return b.MustBuild()
+}
+
+// Join returns JOIN_r: a windowed θ-join with r predicates between two
+// synthetic streams.
+func Join(r int, w window.Def) *query.Query {
+	preds := make([]expr.Pred, r)
+	preds[0] = expr.Cmp{Op: expr.Eq, Left: expr.QCol("A", "a3"), Right: expr.QCol("B", "a3")}
+	for i := 1; i < r; i++ {
+		preds[i] = expr.Cmp{Op: expr.Ge, Left: expr.QCol("A", "a4"), Right: expr.IntConst(int64(i))}
+	}
+	return query.NewBuilder(synName("JOIN", r)).
+		FromAs("SynA", "A", SynSchema, w).
+		FromAs("SynB", "B", SynSchema, w).
+		Join(expr.And{Preds: preds}).
+		SelectAs(expr.QCol("A", "timestamp"), "timestamp").
+		SelectAs(expr.QCol("A", "a3"), "a3").
+		SelectAs(expr.QCol("B", "timestamp"), "ts2").
+		MustBuild()
+}
+
+func synName(prefix string, n int) string {
+	const digits = "0123456789"
+	if n == 0 {
+		return prefix + "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return prefix + string(buf[i:])
+}

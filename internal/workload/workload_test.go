@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"testing"
+
+	"saber/internal/exec"
+	"saber/internal/query"
+	"saber/internal/schema"
+	"saber/internal/window"
+)
+
+func TestSynGenShape(t *testing.T) {
+	g := NewSynGen(1)
+	data := g.Next(nil, 1000)
+	if len(data) != 1000*SynTupleSize {
+		t.Fatalf("bytes = %d", len(data))
+	}
+	if SynSchema.TupleSize() != SynTupleSize {
+		t.Fatalf("schema size = %d", SynSchema.TupleSize())
+	}
+	// Timestamps non-decreasing, one per tuple by default.
+	prev := int64(-1)
+	for i := 0; i < 1000; i++ {
+		ts := SynSchema.Timestamp(SynSchema.TupleAt(data, i))
+		if ts < prev {
+			t.Fatal("timestamps regress")
+		}
+		prev = ts
+	}
+	g2 := NewSynGen(2)
+	g2.Groups = 8
+	d2 := g2.Next(nil, 500)
+	for i := 0; i < 500; i++ {
+		if v := SynSchema.ReadInt32(SynSchema.TupleAt(d2, i), 2); v < 0 || v >= 8 {
+			t.Fatalf("a2 out of group range: %d", v)
+		}
+	}
+}
+
+func TestSynQueriesCompile(t *testing.T) {
+	w := window.NewCount(1024, 1024)
+	queries := []*query.Query{
+		Proj(4, 1, w),
+		Proj(6, 100, w),
+		Select(1, w),
+		Select(64, w),
+		GuardedSelect(500, 100, w),
+		Agg(query.Sum, w),
+		Agg(query.Avg, w),
+		Agg(query.Min, w),
+		GroupBy([]query.AggFunc{query.Count, query.Sum}, 8, w),
+		Join(1, w),
+		Join(64, w),
+	}
+	for _, q := range queries {
+		if _, err := exec.Compile(q); err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+		}
+	}
+}
+
+func TestSynQueryNames(t *testing.T) {
+	if Select(16, window.NewCount(4, 4)).Name != "SELECT16" {
+		t.Error("name")
+	}
+	if Proj(0, 0, window.NewCount(4, 4)).Name != "PROJ0" {
+		t.Error("zero name")
+	}
+}
+
+func runQueryOver(t *testing.T, q *query.Query, data []byte, batch int) []byte {
+	t.Helper()
+	p, err := exec.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := exec.NewAssembler(p)
+	var out []byte
+	s := p.InputSchema(0)
+	tsz := s.TupleSize()
+	total := len(data) / tsz
+	prev := window.NoPrev
+	for pos := 0; pos < total; {
+		n := batch
+		if pos+n > total {
+			n = total - pos
+		}
+		chunk := data[pos*tsz : (pos+n)*tsz]
+		res := p.NewResult()
+		var in [2]exec.Batch
+		in[0] = exec.Batch{Data: chunk, Ctx: window.Context{FirstIndex: int64(pos), PrevTimestamp: prev}}
+		if p.NumInputs() == 2 {
+			in[1] = in[0] // self-join over the same synthetic stream
+		}
+		if err := p.Process(in, res); err != nil {
+			t.Fatal(err)
+		}
+		out = asm.Drain(res, out)
+		p.ReleaseResult(res)
+		prev = s.Timestamp(chunk[(n-1)*tsz:])
+		pos += n
+	}
+	return asm.Flush(out)
+}
+
+func TestCMGenAndQueries(t *testing.T) {
+	g := NewCMGen(1)
+	data := g.Next(nil, 5000)
+	if len(data) != 5000*CMSchema.TupleSize() {
+		t.Fatal("size")
+	}
+	fails := 0
+	for i := 0; i < 5000; i++ {
+		if CMSchema.ReadInt32(CMSchema.TupleAt(data, i), 4) == CMEventFail {
+			fails++
+		}
+	}
+	if fails == 0 || fails > 1000 {
+		t.Fatalf("failures = %d at rate 0.02", fails)
+	}
+
+	out1 := runQueryOver(t, CM1(), data, 700)
+	if len(out1) == 0 {
+		t.Fatal("CM1 emitted nothing")
+	}
+	s1 := CM1().OutputSchema()
+	// Per-window per-category rows: category ∈ [0, 4).
+	for i := 0; i+s1.TupleSize() <= len(out1); i += s1.TupleSize() {
+		if c := s1.ReadInt32(out1[i:], 1); c < 0 || c >= 4 {
+			t.Fatalf("category %d", c)
+		}
+	}
+	if len(runQueryOver(t, CM2(), data, 700)) == 0 {
+		t.Fatal("CM2 emitted nothing")
+	}
+}
+
+func TestCMFailureSurge(t *testing.T) {
+	g := NewCMGen(2)
+	g.FailureRate = 0.9
+	data := g.Next(nil, 1000)
+	fails := 0
+	for i := 0; i < 1000; i++ {
+		if CMSchema.ReadInt32(CMSchema.TupleAt(data, i), 4) == CMEventFail {
+			fails++
+		}
+	}
+	if fails < 800 {
+		t.Fatalf("surge failures = %d", fails)
+	}
+}
+
+func TestSGGenAndQueries(t *testing.T) {
+	g := NewSGGen(1)
+	data := g.Next(nil, 8000)
+	out := runQueryOver(t, SG1(100), data, 900)
+	s := SG1(100).OutputSchema()
+	if len(out) == 0 {
+		t.Fatal("SG1 emitted nothing")
+	}
+	// Load values are positive and bounded by the generator's model.
+	for i := 0; i+s.TupleSize() <= len(out); i += s.TupleSize() {
+		v := s.ReadFloat(out[i:], 1)
+		if v <= 0 || v > 200 {
+			t.Fatalf("globalAvgLoad = %g", v)
+		}
+	}
+	if len(runQueryOver(t, SG2(100), data, 900)) == 0 {
+		t.Fatal("SG2 emitted nothing")
+	}
+	if _, err := exec.Compile(SG3Join()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Compile(SG3Count()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRBGenAndQueries(t *testing.T) {
+	g := NewLRBGen(1, 200)
+	data := g.Next(nil, 20000)
+
+	lrb1 := LRB1()
+	out := runQueryOver(t, lrb1, data, 3000)
+	if len(out) != 20000*LRBSegSchema.TupleSize() {
+		t.Fatalf("LRB1 out bytes = %d", len(out))
+	}
+	segs := lrb1.OutputSchema()
+	if !segs.Equal(LRBSegSchema) {
+		t.Fatalf("LRB1 output schema %s != SegSpeedStr %s", segs, LRBSegSchema)
+	}
+	// Segments derived by integer division.
+	for i := 0; i < 100; i++ {
+		in := LRBSchema.TupleAt(data, i)
+		o := LRBSegSchema.TupleAt(out, i)
+		if LRBSegSchema.ReadInt(o, 6) != int64(LRBSchema.ReadInt32(in, 6)/5280) {
+			t.Fatalf("segment mismatch at %d", i)
+		}
+	}
+
+	// LRB3 finds the simulated congestion (segments 20–25).
+	out3 := runQueryOver(t, LRB3(), out, 2000)
+	s3 := LRB3().OutputSchema()
+	if len(out3) == 0 {
+		t.Fatal("LRB3 found no congestion")
+	}
+	for i := 0; i+s3.TupleSize() <= len(out3); i += s3.TupleSize() {
+		if v := s3.ReadFloat(out3[i:], 4); v >= 40 {
+			t.Fatalf("HAVING leak: avgSpeed %g", v)
+		}
+	}
+
+	if len(runQueryOver(t, LRB4(), out, 2000)) == 0 {
+		t.Fatal("LRB4 emitted nothing")
+	}
+	if _, err := exec.Compile(LRB2()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemas32Bytes(t *testing.T) {
+	// The paper's Table 1 tuple widths: CM 12 attributes, SG/LRB 7.
+	if CMSchema.NumFields() != 12 {
+		t.Errorf("CM fields = %d", CMSchema.NumFields())
+	}
+	if SGSchema.NumFields() != 7 || LRBSchema.NumFields() != 7 {
+		t.Error("SG/LRB field counts")
+	}
+	var _ = schema.Schema{}
+}

@@ -1,0 +1,261 @@
+// Package saber is a from-scratch Go reproduction of SABER, the
+// window-based hybrid relational stream processing engine for
+// heterogeneous architectures (Koliousis et al., SIGMOD 2016).
+//
+// SABER executes windowed streaming SQL queries as fixed-size query tasks
+// that can run on any available processor — a pool of CPU workers or a
+// (here: simulated) GPGPU — and schedules them with the heterogeneous
+// lookahead scheduling (HLS) algorithm, which continuously measures per-
+// query task throughput on each processor instead of relying on an
+// offline performance model.
+//
+// Quick start:
+//
+//	eng := saber.New(saber.Config{CPUWorkers: 4})
+//	eng.DeclareStream("S", saber.MustSchema(
+//		saber.Field{Name: "timestamp", Type: saber.Int64},
+//		saber.Field{Name: "value", Type: saber.Float32},
+//	))
+//	q, err := eng.Query("avg", `
+//		select timestamp, avg(value) as avgValue
+//		from S [rows 1024 slide 256]`)
+//	q.OnResult(func(rows []byte) { ... })
+//	eng.Start()
+//	q.Insert(tuples)
+//	eng.Drain()
+//	eng.Close()
+//
+// See DESIGN.md for the architecture and the mapping from the paper's
+// sections to the packages under internal/.
+package saber
+
+import (
+	"fmt"
+
+	"saber/internal/cql"
+	"saber/internal/engine"
+	"saber/internal/gpu"
+	"saber/internal/model"
+	"saber/internal/query"
+	"saber/internal/sched"
+	"saber/internal/schema"
+	"saber/internal/window"
+)
+
+// Re-exported substrate types, so applications only import this package.
+type (
+	// Schema describes a stream's fixed-width binary tuple layout.
+	Schema = schema.Schema
+	// Field is one attribute of a tuple schema.
+	Field = schema.Field
+	// Type is a primitive field type.
+	Type = schema.Type
+	// Window is a window definition ω(size, slide).
+	Window = window.Def
+	// Query is a validated logical query.
+	Query = query.Query
+	// QueryBuilder builds queries programmatically (the CQL front end
+	// covers the common cases).
+	QueryBuilder = query.Builder
+	// UDF is a user-defined window operator function (paper §2.4),
+	// installed with QueryBuilder.UDF.
+	UDF = query.UDF
+	// Stats is a per-query counter snapshot.
+	Stats = engine.Stats
+	// GPUDevice is a simulated GPGPU accelerator.
+	GPUDevice = gpu.Device
+	// GPUConfig configures a simulated GPGPU.
+	GPUConfig = gpu.Config
+	// ModelParams is the calibrated performance model.
+	ModelParams = model.Params
+	// Processor identifies a processor class for static scheduling.
+	Processor = sched.Processor
+)
+
+// Field type constants.
+const (
+	Int32   = schema.Int32
+	Int64   = schema.Int64
+	Float32 = schema.Float32
+	Float64 = schema.Float64
+)
+
+// Processor classes for Config.StaticAssign.
+const (
+	OnCPU = sched.CPU
+	OnGPU = sched.GPU
+)
+
+// NewSchema builds a schema from fields; the first field of a stream
+// schema must be a long timestamp.
+func NewSchema(fields ...Field) (*Schema, error) { return schema.New(fields...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(fields ...Field) *Schema { return schema.MustNew(fields...) }
+
+// CountWindow returns a count-based window of size tuples sliding by
+// slide tuples.
+func CountWindow(size, slide int64) Window { return window.NewCount(size, slide) }
+
+// TimeWindow returns a time-based window over the tuples' logical
+// timestamps.
+func TimeWindow(size, slide int64) Window { return window.NewTime(size, slide) }
+
+// UnboundedWindow returns the whole-stream window (per-tuple streaming
+// operators).
+func UnboundedWindow() Window { return window.NewUnbounded() }
+
+// NewQuery starts a programmatic query builder.
+func NewQuery(name string) *QueryBuilder { return query.NewBuilder(name) }
+
+// OpenGPU starts a simulated GPGPU device. Pass it in Config.GPU and
+// Close it after the engine.
+func OpenGPU(cfg GPUConfig) *GPUDevice { return gpu.Open(cfg) }
+
+// DefaultModel returns the paper-calibrated performance model; use
+// Scaled to shrink experiment wall time.
+func DefaultModel() ModelParams { return model.Default() }
+
+// Config tunes the engine; the zero value reproduces the paper's setup
+// (15 CPU workers, 1 MiB tasks, HLS scheduling, calibrated model).
+type Config struct {
+	// CPUWorkers is the number of CPU worker threads (default 15).
+	CPUWorkers int
+	// GPU attaches a simulated GPGPU; nil runs CPU-only.
+	GPU *GPUDevice
+	// TaskSize is ϕ, the query task size in bytes (default 1 MiB).
+	TaskSize int
+	// Policy is "hls" (default), "fcfs", or "static".
+	Policy string
+	// StaticAssign maps query registration order to processors for the
+	// static policy.
+	StaticAssign []Processor
+	// SwitchThreshold is HLS's exploration threshold (default 10).
+	SwitchThreshold int
+	// Model calibrates simulated performance; zero selects DefaultModel.
+	Model ModelParams
+	// NativeSpeed disables the performance model's padding and runs at
+	// raw Go speed (for correctness tests; relative performance then
+	// reflects this host, not the paper's hardware).
+	NativeSpeed bool
+	// InputBufferSize and ResultSlots override engine internals; zero
+	// selects defaults.
+	InputBufferSize int
+	ResultSlots     int
+}
+
+// Engine is a SABER instance: declare streams, register queries, start,
+// ingest, drain.
+type Engine struct {
+	e       *engine.Engine
+	catalog cql.Catalog
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	return &Engine{
+		e: engine.New(engine.Config{
+			CPUWorkers:      cfg.CPUWorkers,
+			GPU:             cfg.GPU,
+			TaskSize:        cfg.TaskSize,
+			InputBufferSize: cfg.InputBufferSize,
+			ResultSlots:     cfg.ResultSlots,
+			Policy:          cfg.Policy,
+			StaticAssign:    cfg.StaticAssign,
+			SwitchThreshold: cfg.SwitchThreshold,
+			Model:           cfg.Model,
+			DisablePad:      cfg.NativeSpeed,
+		}),
+		catalog: cql.Catalog{},
+	}
+}
+
+// DeclareStream names a stream schema for use in CQL FROM clauses.
+func (e *Engine) DeclareStream(name string, s *Schema) {
+	e.catalog[name] = s
+}
+
+// Query parses a CQL query against the declared streams, compiles it and
+// registers it. Must be called before Start.
+func (e *Engine) Query(name, src string) (*QueryHandle, error) {
+	q, err := cql.Parse(name, src, e.catalog)
+	if err != nil {
+		return nil, err
+	}
+	return e.RegisterQuery(q)
+}
+
+// MustQuery is Query that panics on error.
+func (e *Engine) MustQuery(name, src string) *QueryHandle {
+	h, err := e.Query(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// RegisterQuery registers a programmatically built query.
+func (e *Engine) RegisterQuery(q *Query) (*QueryHandle, error) {
+	h, err := e.e.Register(q)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryHandle{h: h}, nil
+}
+
+// Start launches the worker threads; no further queries can be added.
+func (e *Engine) Start() error { return e.e.Start() }
+
+// Drain finishes all buffered and in-flight work and flushes open
+// windows. Call after the last Insert.
+func (e *Engine) Drain() { e.e.Drain() }
+
+// Close stops the engine's workers.
+func (e *Engine) Close() { e.e.Close() }
+
+// QueueLen reports the system-wide task queue depth (telemetry).
+func (e *Engine) QueueLen() int { return e.e.QueueLen() }
+
+// ThroughputMatrix returns the HLS throughput matrix rows as
+// [query][cpu, gpu] rates (telemetry, Fig. 16).
+func (e *Engine) ThroughputMatrix() [][2]float64 {
+	m := e.e.Matrix()
+	if m == nil {
+		return nil
+	}
+	snap := m.Snapshot()
+	out := make([][2]float64, len(snap))
+	for i, row := range snap {
+		out[i] = [2]float64{row[sched.CPU], row[sched.GPU]}
+	}
+	return out
+}
+
+// QueryHandle ingests data into a query and exposes its ordered result
+// stream and statistics.
+type QueryHandle struct {
+	h *engine.Handle
+}
+
+// Insert appends serialised tuples to the query's (single) input.
+func (q *QueryHandle) Insert(data []byte) { q.h.Insert(data) }
+
+// InsertInto appends tuples to input side 0 or 1 of a join query.
+func (q *QueryHandle) InsertInto(side int, data []byte) { q.h.InsertInto(side, data) }
+
+// OnResult installs an ordered result sink. fn must not retain the slice.
+func (q *QueryHandle) OnResult(fn func(rows []byte)) { q.h.OnResult(fn) }
+
+// OutputSchema returns the result tuple layout.
+func (q *QueryHandle) OutputSchema() *Schema { return q.h.OutputSchema() }
+
+// Name returns the query's name.
+func (q *QueryHandle) Name() string { return q.h.Name() }
+
+// Stats snapshots the query's counters.
+func (q *QueryHandle) Stats() Stats { return q.h.Stats() }
+
+// String describes the handle.
+func (q *QueryHandle) String() string {
+	return fmt.Sprintf("query(%s)", q.h.Name())
+}
