@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the binary was built with the race
+// detector, whose instrumentation slows compute enough to invalidate
+// timing-shape assertions.
+const raceEnabled = true

@@ -1,0 +1,85 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse feeds arbitrary query text through the full lexer + parser +
+// validation path. The contract under fuzzing: malformed input must come
+// back as an error — never a panic, hang or out-of-range access — and
+// parsing must be deterministic (same input, same outcome), since the
+// engine exposes Parse to application-supplied query strings.
+func FuzzParse(f *testing.F) {
+	// Well-formed queries covering every clause the dialect has...
+	f.Add(`select * from TaskEvents [rows 1024 slide 512] where cpu > 0.5`)
+	f.Add(`select timestamp, category, count(*) as n from TaskEvents [rows 8] group by category`)
+	f.Add(`select distinct vehicle from PosSpeedStr [rows 16]`)
+	f.Add(`select sum(cpu) as c, avg(ram) as r from TaskEvents [range 60 slide 1] group by jobId having c > 10.0`)
+	f.Add(`select * from TaskEvents [rows 4] where cpu > -0.5 and -priority < 0 or not (ram >= 1.0)`)
+	f.Add(`select (cpu + ram) * 2.0 as load from TaskEvents [rows 4] -- comment`)
+	f.Add(`select * from SmartGridStr [range unbounded]`)
+	f.Add(`select timestamp, value from SmartGridStr [range 3600 slide 1] where house = 7`)
+	// ...and malformed ones seeding the error paths.
+	f.Add(`from TaskEvents [rows 4]`)
+	f.Add(`select * from Nope [rows 4]`)
+	f.Add(`select * from TaskEvents [banana 4]`)
+	f.Add(`select * from TaskEvents [rows 4] where cpu >`)
+	f.Add(`select # from TaskEvents [rows 4]`)
+	f.Add(`select * from TaskEvents [rows 4] where (cpu > 1`)
+	f.Add(`select * from TaskEvents [rows 99999999999999999999999]`)
+	f.Add(`select sum(`)
+	f.Add(`[[[[`)
+	f.Add(strings.Repeat(`(`, 1000))
+	f.Add("select * from TaskEvents [rows 4]\x00")
+
+	cat := catalog()
+	f.Fuzz(func(t *testing.T, src string) {
+		q1, err1 := Parse("fuzz", src, cat)
+		if err1 == nil && q1 == nil {
+			t.Fatalf("nil query without error for %q", src)
+		}
+		// Determinism: a second parse of the same input must agree.
+		q2, err2 := Parse("fuzz", src, cat)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("non-deterministic outcome for %q: %v vs %v", src, err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if q2 == nil || q1.Name != q2.Name || len(q1.Inputs) != len(q2.Inputs) {
+			t.Fatalf("non-deterministic parse for %q", src)
+		}
+		// An accepted query must have survived its own validation.
+		if err := q1.Validate(); err != nil {
+			t.Fatalf("accepted query fails validation: %q: %v", src, err)
+		}
+	})
+}
+
+// FuzzLex isolates the tokenizer: it must terminate and either reject or
+// fully consume every byte sequence, including invalid UTF-8.
+func FuzzLex(f *testing.F) {
+	f.Add(`select * from S [rows 4] where a > 1.5e3 -- tail`)
+	f.Add("\xff\xfe")
+	f.Add(`"unterminated`)
+	f.Add(`a.b.c 1..2 <= >= != <>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatalf("token stream for %q does not end in EOF", src)
+		}
+		for _, tok := range toks {
+			if tok.pos < 0 || tok.pos > len(src) {
+				t.Fatalf("token %q position %d outside source of %d bytes", tok.text, tok.pos, len(src))
+			}
+			if tok.kind == tokIdent && !utf8.ValidString(tok.text) && utf8.ValidString(src) {
+				t.Fatalf("lexer fabricated invalid UTF-8 in %q from valid input", tok.text)
+			}
+		}
+	})
+}

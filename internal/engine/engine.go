@@ -71,6 +71,15 @@ func (c Config) withDefaults() Config {
 	if c.ResultSlots <= 0 {
 		c.ResultSlots = 256
 	}
+	// The result buffer is indexed by task ID modulo its size, so round a
+	// non-power-of-two request up rather than mis-masking.
+	if c.ResultSlots&(c.ResultSlots-1) != 0 {
+		v := 1
+		for v < c.ResultSlots {
+			v <<= 1
+		}
+		c.ResultSlots = v
+	}
 	for c.ResultSlots <= c.CPUWorkers+1 {
 		c.ResultSlots <<= 1
 	}
@@ -227,6 +236,10 @@ func (e *Engine) Close() {
 
 // Matrix exposes the throughput matrix (telemetry, Fig. 16).
 func (e *Engine) Matrix() *sched.Matrix { return e.matrix }
+
+// Policy exposes the scheduling policy chosen at Start (telemetry), or
+// nil before Start.
+func (e *Engine) Policy() sched.Policy { return e.policy }
 
 // QueueLen reports the current task queue depth.
 func (e *Engine) QueueLen() int { return e.queue.Len() }

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"fmt"
+
+	"saber/internal/inv"
+)
+
+// Invariant and debug hooks for the stress harness (internal/harness).
+// resultStage satisfies the inv.Checker contract structurally; Engine
+// aggregates every concurrency-bearing subsystem it owns.
+
+// Invariants returns the invariant checkers of everything the engine
+// wires together: each query's result stage and input ring buffers, the
+// scheduling policy (when it exposes invariants) and the GPGPU device.
+// Call it after Start, when the policy exists; the harness polls the
+// returned checkers while the engine runs.
+func (e *Engine) Invariants() []inv.Checker {
+	var cs []inv.Checker
+	for _, r := range e.quer {
+		cs = append(cs, r.result)
+		for i := 0; i < r.plan.NumInputs(); i++ {
+			cs = append(cs, r.ins[i].ring)
+		}
+	}
+	if c, ok := e.policy.(inv.Checker); ok {
+		cs = append(cs, c)
+	}
+	if e.cfg.GPU != nil {
+		cs = append(cs, e.cfg.GPU)
+	}
+	return cs
+}
+
+// InvariantName implements the inv.Checker contract.
+func (rs *resultStage) InvariantName() string {
+	return fmt.Sprintf("engine.result[q%d]", rs.r.idx)
+}
+
+// CheckInvariants verifies the result stage's reorder bookkeeping with
+// race-safe load orderings (both counters are monotonic, and the drainer
+// advances next before drained, so loading drained first can never
+// observe drained > next):
+//
+//   - drained <= next <= tasks created;
+//   - no overflow entry sits behind the drain frontier (an entry is
+//     removed under overflowMu before next advances past its ID, so a
+//     behind-frontier entry is a lost result, not a race);
+//   - slot control flags are either free or full.
+func (rs *resultStage) CheckInvariants() error {
+	drained := rs.drained.Load()
+	next := rs.next.Load()
+	if drained > next {
+		return fmt.Errorf("drained %d ahead of next %d", drained, next)
+	}
+	if seq := rs.r.taskSeq.Load(); next > seq {
+		return fmt.Errorf("next %d ahead of %d tasks created", next, seq)
+	}
+
+	frontier := rs.next.Load()
+	rs.overflowMu.Lock()
+	var stuck int64 = -1
+	for id := range rs.overflow {
+		if id < frontier {
+			stuck = id
+			break
+		}
+	}
+	rs.overflowMu.Unlock()
+	if stuck >= 0 {
+		return fmt.Errorf("overflow entry %d behind drain frontier %d (lost result)", stuck, frontier)
+	}
+
+	for i := range rs.slots {
+		if st := rs.slots[i].state.Load(); st != 0 && st != 1 {
+			return fmt.Errorf("slot %d control flag %d", i, st)
+		}
+	}
+	return nil
+}
+
+// Debug is a point-in-time snapshot of one query's concurrency counters,
+// exposed for the stress harness and for debugging.
+type Debug struct {
+	// TasksCreated, Drained and NextID mirror the dispatch/drain
+	// frontier: after a clean Drain all three are equal.
+	TasksCreated int64
+	Drained      int64
+	NextID       int64
+	// OverflowDeliveries counts results that arrived from beyond the
+	// reordering window and took the overflow-map path.
+	OverflowDeliveries int64
+	// OverflowPending is the number of results currently parked in the
+	// overflow map.
+	OverflowPending int
+	// RingWraps, RingStart and RingEnd describe each input ring buffer.
+	RingWraps []int64
+	RingStart []int64
+	RingEnd   []int64
+}
+
+// Debug snapshots the query's concurrency counters.
+func (h *Handle) Debug() Debug {
+	r := h.r
+	rs := r.result
+	rs.overflowMu.Lock()
+	pending := len(rs.overflow)
+	rs.overflowMu.Unlock()
+	d := Debug{
+		TasksCreated:       r.taskSeq.Load(),
+		Drained:            rs.drained.Load(),
+		NextID:             rs.next.Load(),
+		OverflowDeliveries: rs.overflowed.Load(),
+		OverflowPending:    pending,
+	}
+	for i := 0; i < r.plan.NumInputs(); i++ {
+		ring := r.ins[i].ring
+		d.RingWraps = append(d.RingWraps, ring.Wraps())
+		d.RingStart = append(d.RingStart, ring.Start())
+		d.RingEnd = append(d.RingEnd, ring.End())
+	}
+	return d
+}
+
+// CheckQuiesced verifies the end-of-stream invariants after Drain: every
+// created task was drained exactly once, the overflow map and result
+// slots are empty, and all input data has been released back to the
+// rings. Calling it while the engine is still processing reports
+// violations spuriously — it is a post-Drain check.
+func (h *Handle) CheckQuiesced() error {
+	r := h.r
+	rs := r.result
+	seq, drained, next := r.taskSeq.Load(), rs.drained.Load(), rs.next.Load()
+	if drained != seq || next != seq {
+		return fmt.Errorf("drain frontier %d/%d != %d tasks created", drained, next, seq)
+	}
+	rs.overflowMu.Lock()
+	pending := len(rs.overflow)
+	rs.overflowMu.Unlock()
+	if pending != 0 {
+		return fmt.Errorf("%d results stuck in overflow map", pending)
+	}
+	for i := range rs.slots {
+		if rs.slots[i].state.Load() != 0 {
+			return fmt.Errorf("result slot %d still full", i)
+		}
+	}
+	for i := 0; i < r.plan.NumInputs(); i++ {
+		if sz := r.ins[i].ring.Size(); sz != 0 {
+			return fmt.Errorf("input %d ring retains %d bytes", i, sz)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,7 @@ func newRegistered(e *Engine, idx int, plan *exec.Plan) *registered {
 			tupleSize: plan.InputSchema(i).TupleSize(),
 			prevTS:    window.NoPrev,
 		}
+		r.ins[i].ring.SetInvariantName(fmt.Sprintf("ringbuf[q%d/in%d]", idx, i))
 	}
 	r.result = newResultStage(r, e.cfg.ResultSlots)
 	return r

@@ -28,9 +28,11 @@ type resultStage struct {
 
 	// overflow holds results delivered from beyond the slot window (rare:
 	// HLS lookahead is bounded below the window, but scheduling races can
-	// still land a result a few IDs past it).
+	// still land a result a few IDs past it). overflowed counts deliveries
+	// that took this path (stress-harness telemetry; see invariant.go).
 	overflowMu sync.Mutex
 	overflow   map[int64]overflowEntry
+	overflowed atomic.Int64
 
 	sinkMu sync.RWMutex
 	sink   func([]byte)
@@ -70,6 +72,7 @@ func (rs *resultStage) deliver(t *task.Task, res *exec.TaskResult) {
 		}
 		rs.overflow[t.ID] = overflowEntry{res: res, freeTo: t.FreeTo, start: t.Created}
 		rs.overflowMu.Unlock()
+		rs.overflowed.Add(1)
 		rs.tryDrain()
 		return
 	}

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"saber/internal/exec"
+	"saber/internal/query"
+	"saber/internal/task"
+	"saber/internal/window"
+)
+
+// overflowFixture compiles a tumbling COUNT(*) query on a 4-slot result
+// buffer and pre-processes the stream into per-task results, so tests
+// can hand results to resultStage.deliver in any adversarial order.
+type overflowFixture struct {
+	h       *Handle
+	rs      *resultStage
+	tasks   []*task.Task
+	results []*exec.TaskResult
+	want    []byte
+}
+
+func newOverflowFixture(t *testing.T, nTasks, batchTuples int) *overflowFixture {
+	t.Helper()
+	mk := func() *query.Query {
+		return query.NewBuilder("overflow").
+			From("S", syn, window.NewCount(100, 100)).
+			Aggregate(query.Count, nil, "n").
+			MustBuild()
+	}
+	cfg := fastConfig(2)
+	cfg.ResultSlots = 4 // the smallest window the defaults allow for 2 workers
+	eng := New(cfg)
+	h, err := eng.Register(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.r
+	if len(r.result.slots) != 4 {
+		t.Fatalf("result slots = %d, want 4", len(r.result.slots))
+	}
+
+	stream := genStream(nTasks*batchTuples, 42)
+	f := &overflowFixture{h: h, rs: r.result}
+	f.want = directRun(t, mk(), [2][]byte{stream, nil}, batchTuples)
+
+	tsz := syn.TupleSize()
+	prevTS := int64(window.NoPrev)
+	for i := 0; i < nTasks; i++ {
+		data := stream[i*batchTuples*tsz : (i+1)*batchTuples*tsz]
+		tk := &task.Task{
+			Query: 0,
+			ID:    int64(i),
+			In: [2]exec.Batch{{Data: data, Ctx: window.Context{
+				FirstIndex:    int64(i * batchTuples),
+				PrevTimestamp: prevTS,
+			}}},
+		}
+		prevTS = syn.Timestamp(data[(batchTuples-1)*tsz:])
+		res := r.plan.NewResult()
+		if err := r.plan.Process(tk.In, res); err != nil {
+			t.Fatal(err)
+		}
+		f.tasks = append(f.tasks, tk)
+		f.results = append(f.results, res)
+	}
+	// deliver bypassed the dispatcher, so mirror its task accounting for
+	// the quiesced-state check.
+	r.taskSeq.Store(int64(nTasks))
+	return f
+}
+
+func (f *overflowFixture) run(t *testing.T, order []int) {
+	t.Helper()
+	var mu sync.Mutex
+	var got []byte
+	f.rs.setSink(func(rows []byte) {
+		mu.Lock()
+		got = append(got, rows...)
+		mu.Unlock()
+	})
+	for _, id := range order {
+		f.rs.deliver(f.tasks[id], f.results[id])
+	}
+	f.rs.flush()
+
+	if n := f.rs.drained.Load(); n != int64(len(f.tasks)) {
+		t.Fatalf("drained %d of %d tasks", n, len(f.tasks))
+	}
+	if err := f.h.CheckQuiesced(); err != nil {
+		t.Fatalf("quiesce after drain: %v", err)
+	}
+	if err := f.rs.CheckInvariants(); err != nil {
+		t.Fatalf("result stage invariants: %v", err)
+	}
+	if !bytes.Equal(got, f.want) {
+		t.Fatalf("reordered delivery changed output: got %d bytes, want %d", len(got), len(f.want))
+	}
+}
+
+// TestResultStageOverflowDescending delivers every task result in
+// reverse order: all but the first window's worth of IDs land beyond the
+// 4-slot reordering window and must park in the overflow map, then drain
+// ordered and loss-free once task 0 arrives (regression test for the
+// previously uncovered overflow path in resultStage.deliver).
+func TestResultStageOverflowDescending(t *testing.T) {
+	const nTasks = 16
+	f := newOverflowFixture(t, nTasks, 128)
+	order := make([]int, nTasks)
+	for i := range order {
+		order[i] = nTasks - 1 - i
+	}
+	f.run(t, order)
+	// IDs 4..15 were delivered while next=0, all beyond the slot window.
+	if got := f.rs.overflowed.Load(); got != nTasks-4 {
+		t.Fatalf("overflow deliveries = %d, want %d", got, nTasks-4)
+	}
+}
+
+// TestResultStageOverflowInterleaved delivers odd IDs first (pushing the
+// tail far past the window), then even IDs, so the drain advances in
+// bursts that consume from slots and the overflow map alternately.
+func TestResultStageOverflowInterleaved(t *testing.T) {
+	const nTasks = 16
+	f := newOverflowFixture(t, nTasks, 128)
+	var order []int
+	for i := 1; i < nTasks; i += 2 {
+		order = append(order, i)
+	}
+	for i := 0; i < nTasks; i += 2 {
+		order = append(order, i)
+	}
+	f.run(t, order)
+	if got := f.rs.overflowed.Load(); got == 0 {
+		t.Fatal("interleaved delivery never used the overflow map")
+	}
+}
+
+// TestResultStageOverflowConcurrent hammers deliver from many goroutines
+// in a scrambled order under -race: the control flags, overflow map and
+// drain handoff must serialise into one ordered, exactly-once output.
+func TestResultStageOverflowConcurrent(t *testing.T) {
+	const nTasks = 64
+	f := newOverflowFixture(t, nTasks, 128)
+
+	var mu sync.Mutex
+	var got []byte
+	f.rs.setSink(func(rows []byte) {
+		mu.Lock()
+		got = append(got, rows...)
+		mu.Unlock()
+	})
+	// Four deliverers, each handed a stride of task IDs high-to-low, so
+	// early IDs arrive last and the overflow map stays busy.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := nTasks - 1 - w; i >= 0; i -= 4 {
+				f.rs.deliver(f.tasks[i], f.results[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	f.rs.flush()
+
+	if n := f.rs.drained.Load(); n != nTasks {
+		t.Fatalf("drained %d of %d tasks", n, nTasks)
+	}
+	if err := f.h.CheckQuiesced(); err != nil {
+		t.Fatalf("quiesce after drain: %v", err)
+	}
+	if !bytes.Equal(got, f.want) {
+		t.Fatalf("concurrent delivery changed output: got %d bytes, want %d", len(got), len(f.want))
+	}
+	if f.rs.overflowed.Load() == 0 {
+		t.Fatal("concurrent delivery never used the overflow map")
+	}
+}

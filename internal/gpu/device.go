@@ -64,6 +64,14 @@ type Device struct {
 	// Telemetry.
 	tasksDone  atomic.Int64
 	bytesMoved atomic.Int64
+	inflight   atomic.Int64 // tasks holding a pipeline slot right now
+
+	// chk holds the invariant checker's monotonicity watermark; the mutex
+	// serialises CheckInvariants callers (see invariant.go).
+	chk struct {
+		mu   sync.Mutex
+		done int64
+	}
 }
 
 type workgroup struct {

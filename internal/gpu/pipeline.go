@@ -72,6 +72,7 @@ func (p *pipeline) close() {
 
 func (p *pipeline) submit(j *job) {
 	j.slot = <-p.slots
+	p.d.inflight.Add(1)
 	p.cIn <- j
 }
 
@@ -137,6 +138,7 @@ func (p *pipeline) copyout() {
 		start := time.Now()
 		j.res.Stream = append(j.res.Stream, j.slot.pinOut...)
 		model.Pad(start, p.d.cfg.Model.HostCopyTime(j.outBytes))
+		p.d.inflight.Add(-1)
 		p.slots <- j.slot
 		p.d.tasksDone.Add(1)
 		j.done <- nil

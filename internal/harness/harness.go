@@ -1,0 +1,344 @@
+// Package harness is SABER's concurrency correctness harness: it drives
+// the full pipeline — ingest → dispatch → scheduling (HLS/FCFS) →
+// CPU/sim-GPU workers → slotted result stage → assembly — under
+// adversarial configurations (tiny reordering windows that force the
+// overflow map, wrap-heavy ring buffers, content-derived worker jitter,
+// forced backend flips) and checks machine-verifiable invariants instead
+// of golden outputs: per-tuple checksums, exactly-once sequence coverage,
+// output-order monotonicity, tuple conservation, ring-buffer accounting
+// and clean end-of-stream flush.
+//
+// Every run is deterministic given Config.Seed (jitter is derived from
+// tuple content, not wall clock), so a failing run reproduces with
+//
+//	go test ./internal/harness/ -run <Test> -harness.seed=<seed>
+//
+// Subsystems expose their invariants through the inv.Checker contract
+// (internal/inv); the harness polls every checker the engine aggregates
+// plus any the caller registers via Config.Extra, so future subsystems
+// plug in without touching this package.
+package harness
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"saber/internal/engine"
+	"saber/internal/gpu"
+	"saber/internal/inv"
+	"saber/internal/model"
+	"saber/internal/sched"
+)
+
+var flagSeed = flag.Int64("harness.seed", 0,
+	"override the stress harness seed (0 uses each test's default) to reproduce a failure")
+
+// Seed returns the -harness.seed flag value, or def when the flag is
+// unset. Tests route their default seeds through this so any failure's
+// reported seed can be replayed from the command line.
+func Seed(def int64) int64 {
+	if *flagSeed != 0 {
+		return *flagSeed
+	}
+	return def
+}
+
+// Config tunes one stress run. The zero value is not runnable; use
+// (Config).withDefaults via Run.
+type Config struct {
+	// Seed drives every random choice: stream payloads, insert chunking
+	// and the jitter workload's delays.
+	Seed int64
+	// Workload selects the query shape: WorkloadPassthrough (default),
+	// WorkloadJitter or WorkloadAgg.
+	Workload string
+	// Tuples is the number of input tuples per query. Default 50000.
+	Tuples int
+	// Queries is the number of identical queries registered and fed
+	// concurrently. Default 1.
+	Queries int
+	// Workers is the engine's CPU worker count. Default 4.
+	Workers int
+	// TaskSize is ϕ in bytes. Small values maximise task boundaries.
+	// Default 1024 (32 tuples).
+	TaskSize int
+	// ResultSlots sizes the per-query reordering window. Tiny values
+	// (e.g. 4) force the overflow map. Default 0 (engine default).
+	ResultSlots int
+	// InputBufferSize sizes the input rings. Small values force
+	// wrap-heavy operation and backpressure. Default 1<<14.
+	InputBufferSize int
+	// WindowSize is the tumbling window size in tuples. Default 64.
+	WindowSize int64
+	// GPU attaches a simulated GPGPU device (hybrid execution).
+	GPU bool
+	// SwitchThreshold is HLS's switch threshold (hybrid runs). Default
+	// engine default.
+	SwitchThreshold int
+	// MaxJitter bounds the jitter workload's per-fragment delay.
+	// Default 2ms.
+	MaxJitter time.Duration
+	// PollInterval is the invariant poller's period. Default 200µs.
+	PollInterval time.Duration
+	// InsertMaxTuples bounds the seeded random Insert chunk size.
+	// Default 300.
+	InsertMaxTuples int
+	// Extra invariant checkers polled alongside the engine's own —
+	// the hook point for future subsystems.
+	Extra []inv.Checker
+	// MutateOutput, when set, rewrites every output chunk before it
+	// reaches the invariant checkers. It exists for harness self-tests:
+	// injecting a reorder/corruption here proves the invariants can
+	// catch the bug class they claim to.
+	MutateOutput func(chunk []byte) []byte
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workload == "" {
+		c.Workload = WorkloadPassthrough
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Tuples <= 0 {
+		c.Tuples = 50000
+	}
+	if c.Queries <= 0 {
+		c.Queries = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.TaskSize <= 0 {
+		c.TaskSize = 1024
+	}
+	if c.InputBufferSize <= 0 {
+		c.InputBufferSize = 1 << 14
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = 64
+	}
+	if c.MaxJitter <= 0 {
+		c.MaxJitter = 2 * time.Millisecond
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 200 * time.Microsecond
+	}
+	if c.InsertMaxTuples <= 0 {
+		c.InsertMaxTuples = 300
+	}
+	return c
+}
+
+// Report aggregates a run's counters and invariant violations. The
+// counters double as evidence that the adversarial configuration really
+// exercised the paths it targets (e.g. OverflowDeliveries > 0 proves the
+// overflow map saw traffic).
+type Report struct {
+	Seed      int64
+	TuplesIn  int64
+	TuplesOut int64
+	// TasksCreated and Drained must match after a clean run.
+	TasksCreated int64
+	Drained      int64
+	// OverflowDeliveries counts results that bypassed the slot window.
+	OverflowDeliveries int64
+	// RingWraps counts input-ring writes that wrapped the backing array.
+	RingWraps int64
+	// BackendFlips counts HLS forced backend switches (hybrid runs).
+	BackendFlips int64
+	TasksCPU     int64
+	TasksGPU     int64
+	// InvariantChecks is the number of poller sweeps that ran.
+	InvariantChecks int64
+	// Violations holds every invariant violation observed, polling-time
+	// and end-of-stream alike. Empty means the run was clean.
+	Violations []error
+}
+
+// Err joins the violations into one error, or returns nil for a clean
+// run.
+func (r *Report) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("harness(seed=%d): %w", r.Seed, errors.Join(r.Violations...))
+}
+
+// String summarises the run's counters for logs.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"seed=%d tuples=%d/%d tasks=%d drained=%d overflow=%d wraps=%d flips=%d cpu=%d gpu=%d checks=%d violations=%d",
+		r.Seed, r.TuplesIn, r.TuplesOut, r.TasksCreated, r.Drained, r.OverflowDeliveries,
+		r.RingWraps, r.BackendFlips, r.TasksCPU, r.TasksGPU, r.InvariantChecks, len(r.Violations))
+}
+
+// Run executes one stress run to completion and reports what happened.
+// It returns an error only for configuration mistakes; invariant
+// violations are data, reported in Report.Violations so tests can log
+// the seed before failing.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{Seed: cfg.Seed}
+
+	ecfg := engine.Config{
+		CPUWorkers:      cfg.Workers,
+		TaskSize:        cfg.TaskSize,
+		InputBufferSize: cfg.InputBufferSize,
+		ResultSlots:     cfg.ResultSlots,
+		SwitchThreshold: cfg.SwitchThreshold,
+		DisablePad:      true,
+		Model:           model.Default(),
+	}
+	var dev *gpu.Device
+	if cfg.GPU {
+		// The scaled model makes the simulated device fast enough to
+		// compete with unpadded CPU workers, so HLS keeps both classes
+		// busy and flips backends (as in the engine's hybrid tests).
+		dev = gpu.Open(gpu.Config{SMs: 2, Model: model.Default().Scaled(1e-6)})
+		defer dev.Close()
+		ecfg.GPU = dev
+	}
+	eng := engine.New(ecfg)
+
+	type queryRun struct {
+		handle      *engine.Handle
+		checker     streamChecker
+		stream      []byte
+		fingerprint int64
+	}
+	runs := make([]*queryRun, cfg.Queries)
+	for i := range runs {
+		q, err := buildQuery(cfg, fmt.Sprintf("stress-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		h, err := eng.Register(q)
+		if err != nil {
+			return nil, err
+		}
+		qr := &queryRun{handle: h}
+		// Distinct sub-seed per query so concurrent queries do not march
+		// in lockstep.
+		qr.stream, qr.fingerprint = genStream(cfg.Tuples, cfg.Seed+int64(i)*7919)
+		switch cfg.Workload {
+		case WorkloadAgg:
+			qr.checker = &aggChecker{out: q.OutputSchema()}
+		default:
+			qr.checker = &passthroughChecker{}
+		}
+		mutate := cfg.MutateOutput
+		checker := qr.checker
+		h.OnResult(func(rows []byte) {
+			if mutate != nil {
+				rows = mutate(rows)
+			}
+			checker.consume(rows)
+		})
+		runs[i] = qr
+	}
+
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+
+	// Poll every invariant the engine aggregates — result stages, ring
+	// buffers, scheduler, device — plus the caller's, while the stress
+	// load runs.
+	checkers := append(eng.Invariants(), cfg.Extra...)
+	var pollViolations []error
+	var pollMu sync.Mutex
+	pollDone := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		seen := make(map[string]bool)
+		for {
+			select {
+			case <-pollDone:
+				return
+			case <-time.After(cfg.PollInterval):
+			}
+			rep.InvariantChecks++
+			for _, c := range checkers {
+				if err := c.CheckInvariants(); err != nil {
+					pollMu.Lock()
+					// One report per checker: a violated invariant stays
+					// violated and would otherwise flood the log.
+					if !seen[c.InvariantName()] {
+						seen[c.InvariantName()] = true
+						pollViolations = append(pollViolations,
+							fmt.Errorf("%s: %w", c.InvariantName(), err))
+					}
+					pollMu.Unlock()
+				}
+			}
+		}
+	}()
+
+	// Feed every query concurrently in seeded, uneven, tuple-aligned
+	// chunks; Insert's backpressure throttles the feeders naturally.
+	var feeders sync.WaitGroup
+	for i, qr := range runs {
+		feeders.Add(1)
+		go func(i int, qr *queryRun) {
+			defer feeders.Done()
+			rnd := rand.New(rand.NewSource(cfg.Seed ^ int64(i)<<32))
+			tsz := StreamSchema.TupleSize()
+			for off := 0; off < len(qr.stream); {
+				n := (1 + rnd.Intn(cfg.InsertMaxTuples)) * tsz
+				if off+n > len(qr.stream) {
+					n = len(qr.stream) - off
+				}
+				qr.handle.Insert(qr.stream[off : off+n])
+				off += n
+			}
+		}(i, qr)
+	}
+	feeders.Wait()
+	eng.Drain()
+
+	close(pollDone)
+	pollWG.Wait()
+	rep.Violations = append(rep.Violations, pollViolations...)
+
+	// End-of-stream: one final invariant sweep, the quiesced-state checks
+	// and each stream checker's conservation verdict.
+	for _, c := range checkers {
+		if err := c.CheckInvariants(); err != nil {
+			rep.Violations = append(rep.Violations, fmt.Errorf("%s (final): %w", c.InvariantName(), err))
+		}
+	}
+	for i, qr := range runs {
+		if err := qr.handle.CheckQuiesced(); err != nil {
+			rep.Violations = append(rep.Violations, fmt.Errorf("query %d quiesce: %w", i, err))
+		}
+		qr.checker.finish(int64(cfg.Tuples), qr.fingerprint)
+		for _, err := range qr.checker.violations() {
+			rep.Violations = append(rep.Violations, fmt.Errorf("query %d: %w", i, err))
+		}
+		rep.TuplesOut += qr.checker.tuplesOut()
+		rep.TuplesIn += int64(cfg.Tuples)
+
+		d := qr.handle.Debug()
+		rep.TasksCreated += d.TasksCreated
+		rep.Drained += d.Drained
+		rep.OverflowDeliveries += d.OverflowDeliveries
+		for _, w := range d.RingWraps {
+			rep.RingWraps += w
+		}
+		st := qr.handle.Stats()
+		rep.TasksCPU += st.TasksCPU
+		rep.TasksGPU += st.TasksGPU
+	}
+	if hls, ok := eng.Policy().(*sched.HLS); ok {
+		rep.BackendFlips = hls.Flips()
+	}
+	eng.Close()
+	return rep, nil
+}

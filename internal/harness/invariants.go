@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"saber/internal/schema"
+)
+
+// streamChecker validates one query's output stream incrementally as the
+// engine's drain emits chunks, and once more at end of stream. Checkers
+// verify machine-checkable invariants, never golden outputs.
+type streamChecker interface {
+	// consume validates the next ordered chunk of packed output tuples.
+	// The engine serialises sink calls (one drainer at a time), but
+	// implementations lock anyway so a broken drain that calls the sink
+	// concurrently corrupts no checker state and still surfaces as an
+	// invariant violation rather than a checker race.
+	consume(rows []byte)
+	// finish validates the end-of-stream invariants given the number of
+	// tuples fed to the query and the input fingerprint.
+	finish(tuplesIn int64, fingerprint int64)
+	// tuplesOut returns the number of output tuples seen.
+	tuplesOut() int64
+	// violations returns the recorded invariant violations.
+	violations() []error
+}
+
+// violationLog caps recorded violations so a systemic failure reports the
+// first occurrences instead of flooding memory.
+type violationLog struct {
+	errs    []error
+	dropped int
+}
+
+const maxViolations = 16
+
+func (l *violationLog) addf(format string, args ...any) {
+	if len(l.errs) >= maxViolations {
+		l.dropped++
+		return
+	}
+	l.errs = append(l.errs, fmt.Errorf(format, args...))
+}
+
+func (l *violationLog) list() []error {
+	if l.dropped > 0 {
+		return append(l.errs[:len(l.errs):len(l.errs)],
+			fmt.Errorf("... and %d further violations suppressed", l.dropped))
+	}
+	return l.errs
+}
+
+// passthroughChecker verifies the identity workloads (passthrough,
+// jitter): the output must be the input stream, exactly once, in order.
+//
+//   - tuple integrity: every output tuple's checksum field matches its
+//     content (catches torn reads, buffer corruption, wrap-around bugs);
+//   - exactly-once + total order: the seq field must count 0,1,2,...
+//     with no gap, repeat or inversion (catches drops, duplicates and
+//     reordering at the first divergent tuple);
+//   - timestamp monotonicity: non-decreasing across the whole stream;
+//   - conservation: the XOR of output tuple checksums equals the input
+//     fingerprint and the tuple count equals the input count.
+type passthroughChecker struct {
+	mu          sync.Mutex
+	log         violationLog
+	nextSeq     int64
+	lastTS      int64
+	fingerprint int64
+	n           int64
+	done        bool
+}
+
+func (c *passthroughChecker) consume(rows []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tsz := StreamSchema.TupleSize()
+	if len(rows)%tsz != 0 {
+		c.log.addf("output chunk of %d bytes is not whole tuples (tuple size %d)", len(rows), tsz)
+	}
+	for i := 0; i+tsz <= len(rows); i += tsz {
+		t := rows[i : i+tsz]
+		ts := StreamSchema.ReadInt64(t, 0)
+		seq := StreamSchema.ReadInt64(t, 1)
+		val := StreamSchema.ReadInt64(t, 2)
+		sum := StreamSchema.ReadInt64(t, 3)
+		if want := tupleChecksum(ts, seq, val); sum != want {
+			c.log.addf("tuple %d (seq %d): checksum %#x, want %#x (corrupted tuple)", c.n, seq, sum, want)
+		}
+		switch {
+		case seq == c.nextSeq:
+			c.nextSeq++
+		case seq < c.nextSeq:
+			c.log.addf("tuple %d: seq %d after %d already emitted (duplicate or reorder)", c.n, seq, c.nextSeq)
+		default:
+			c.log.addf("tuple %d: seq %d skips ahead of %d (lost tuples or reorder)", c.n, seq, c.nextSeq)
+			c.nextSeq = seq + 1 // resync so one gap reports once
+		}
+		if ts < c.lastTS {
+			c.log.addf("tuple %d: timestamp %d after %d (output order not monotonic)", c.n, ts, c.lastTS)
+		}
+		c.lastTS = ts
+		c.fingerprint ^= sum
+		c.n++
+	}
+}
+
+func (c *passthroughChecker) finish(tuplesIn, fingerprint int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done = true
+	if c.n != tuplesIn {
+		c.log.addf("conservation: %d tuples out, %d in", c.n, tuplesIn)
+	}
+	if c.fingerprint != fingerprint {
+		c.log.addf("conservation: output fingerprint %#x != input %#x", c.fingerprint, fingerprint)
+	}
+}
+
+func (c *passthroughChecker) tuplesOut() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *passthroughChecker) violations() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log.list()
+}
+
+// aggChecker verifies the tumbling COUNT(*) workload: window timestamps
+// must be non-decreasing and the counts must add up to exactly the number
+// of input tuples — every tuple lands in exactly one tumbling window, so
+// any drop or duplicate anywhere in the pipeline shifts the total.
+type aggChecker struct {
+	mu     sync.Mutex
+	log    violationLog
+	out    *schema.Schema
+	total  int64
+	lastTS int64
+	n      int64
+}
+
+func (c *aggChecker) consume(rows []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	osz := c.out.TupleSize()
+	if len(rows)%osz != 0 {
+		c.log.addf("output chunk of %d bytes is not whole tuples (tuple size %d)", len(rows), osz)
+	}
+	for i := 0; i+osz <= len(rows); i += osz {
+		t := rows[i : i+osz]
+		ts := c.out.Timestamp(t)
+		if ts < c.lastTS {
+			c.log.addf("window %d: timestamp %d after %d (output order not monotonic)", c.n, ts, c.lastTS)
+		}
+		c.lastTS = ts
+		c.total += c.out.ReadInt(t, 1)
+		c.n++
+	}
+}
+
+func (c *aggChecker) finish(tuplesIn, _ int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.total != tuplesIn {
+		c.log.addf("conservation: window counts add up to %d, %d tuples in", c.total, tuplesIn)
+	}
+}
+
+func (c *aggChecker) tuplesOut() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *aggChecker) violations() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log.list()
+}

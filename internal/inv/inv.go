@@ -1,0 +1,78 @@
+// Package inv defines the invariant-checker contract shared by SABER's
+// concurrency-bearing subsystems (ringbuf, engine, sched, gpu) and the
+// stress harness in internal/harness.
+//
+// A subsystem exposes machine-verifiable invariants by implementing
+// Checker on one of its types — no import of this package is required,
+// the interface is satisfied structurally — and the harness polls every
+// registered checker while the system runs under adversarial load.
+// CheckInvariants implementations must be safe to call concurrently with
+// normal operation and must only report violations that are stable under
+// races (e.g. compare monotonic counters in a race-safe load order).
+package inv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Checker is one subsystem's invariant hook.
+type Checker interface {
+	// InvariantName identifies the checker in violation reports, e.g.
+	// "ringbuf[q0/in0]" or "engine.result[q0]".
+	InvariantName() string
+	// CheckInvariants returns nil when every invariant holds right now,
+	// or an error describing the violated invariant. It may be called at
+	// any time from any goroutine while the subsystem is running.
+	CheckInvariants() error
+}
+
+// CheckFunc adapts a name and a function to the Checker interface, for
+// ad-hoc invariants that do not belong to a single struct.
+type CheckFunc struct {
+	Name string
+	Fn   func() error
+}
+
+// InvariantName implements Checker.
+func (c CheckFunc) InvariantName() string { return c.Name }
+
+// CheckInvariants implements Checker.
+func (c CheckFunc) CheckInvariants() error { return c.Fn() }
+
+// Registry is a concurrency-safe collection of checkers. Future
+// subsystems register their invariants here; the harness sweeps the
+// registry from its polling goroutine.
+type Registry struct {
+	mu       sync.Mutex
+	checkers []Checker
+}
+
+// Register adds checkers to the registry.
+func (r *Registry) Register(cs ...Checker) {
+	r.mu.Lock()
+	r.checkers = append(r.checkers, cs...)
+	r.mu.Unlock()
+}
+
+// Checkers returns a snapshot of the registered checkers.
+func (r *Registry) Checkers() []Checker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Checker, len(r.checkers))
+	copy(out, r.checkers)
+	return out
+}
+
+// CheckAll runs every registered checker once and returns the joined
+// violations, each prefixed with the checker's name, or nil.
+func (r *Registry) CheckAll() error {
+	var errs []error
+	for _, c := range r.Checkers() {
+		if err := c.CheckInvariants(); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", c.InvariantName(), err))
+		}
+	}
+	return errors.Join(errs...)
+}

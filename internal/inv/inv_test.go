@@ -1,0 +1,48 @@
+package inv
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCheckAll(t *testing.T) {
+	var r Registry
+	if err := r.CheckAll(); err != nil {
+		t.Fatalf("empty registry: %v", err)
+	}
+	r.Register(
+		CheckFunc{Name: "ok", Fn: func() error { return nil }},
+		CheckFunc{Name: "broken", Fn: func() error { return errors.New("boom") }},
+	)
+	err := r.CheckAll()
+	if err == nil {
+		t.Fatal("violation not reported")
+	}
+	if !strings.Contains(err.Error(), "broken: boom") {
+		t.Fatalf("violation not attributed to its checker: %v", err)
+	}
+	if len(r.Checkers()) != 2 {
+		t.Fatalf("checkers = %d", len(r.Checkers()))
+	}
+}
+
+func TestRegistryConcurrentRegister(t *testing.T) {
+	var r Registry
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Register(CheckFunc{Name: "c", Fn: func() error { return nil }})
+				_ = r.CheckAll()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Checkers()); got != 800 {
+		t.Fatalf("checkers = %d, want 800", got)
+	}
+}

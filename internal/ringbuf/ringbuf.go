@@ -13,6 +13,7 @@ package ringbuf
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -28,6 +29,19 @@ type Buffer struct {
 	// Release (result stage). start <= end <= start+capacity always holds.
 	start atomic.Int64
 	end   atomic.Int64
+
+	// wraps counts writes that crossed the physical end of the backing
+	// array (stress-harness telemetry; see invariant.go).
+	wraps atomic.Int64
+
+	// chk holds the invariant checker's monotonicity watermarks. The
+	// mutex serialises CheckInvariants callers so watermark comparisons
+	// cannot observe stale loads (see CheckInvariants).
+	chk struct {
+		mu           sync.Mutex
+		start, end   int64
+		name         string
+	}
 }
 
 // New creates a buffer with the given capacity, which must be a power of
@@ -99,6 +113,7 @@ func (b *Buffer) copyIn(off int64, p []byte) {
 	n := copy(b.data[i:], p)
 	if n < len(p) {
 		copy(b.data, p[n:])
+		b.wraps.Add(1)
 	}
 }
 

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"saber/internal/task"
 )
@@ -33,6 +34,12 @@ type HLS struct {
 
 	mu    sync.Mutex
 	count [][numProcs]int
+
+	// selected counts tasks handed to workers; flips counts forced
+	// backend switches (streak reached the switch threshold). Telemetry
+	// for the stress harness; see invariant.go.
+	selected atomic.Int64
+	flips    atomic.Int64
 }
 
 // NewHLS creates the scheduler for n queries with the given matrix and
@@ -68,8 +75,10 @@ func (h *HLS) Next(q *task.Queue, p Processor) *task.Task {
 			if selected {
 				if h.count[qi][pref] >= h.St {
 					h.count[qi][pref] = 0 // reset after forced switch
+					h.flips.Add(1)
 				}
 				h.count[qi][p]++
+				h.selected.Add(1)
 				return pos
 			}
 			// Planned for the preferred processor: accumulate the work

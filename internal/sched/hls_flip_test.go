@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"saber/internal/task"
+)
+
+// TestHLSFlipExactlyOnce drives HLS from two concurrent workers — one
+// per processor class — while the throughput matrix's preference is
+// flipped back and forth mid-stream, and asserts the scheduler's core
+// safety property: every queued task is handed out exactly once (no task
+// lost, none double-executed), no matter how often the preferred backend
+// changes under the workers' feet. It also verifies the forced-switch
+// counter and the scheduler's own invariants along the way.
+func TestHLSFlipExactlyOnce(t *testing.T) {
+	const nTasks = 400
+	m := NewMatrix(1, 1000, 0.5, 1, 1)
+	h := NewHLS(1, m, 3)
+	q := task.NewQueue()
+	for i := 0; i < nTasks; i++ {
+		q.Push(&task.Task{Query: 0, ID: int64(i)})
+	}
+	q.Close()
+
+	var mu sync.Mutex
+	got := make(map[int64]int)
+	var wg sync.WaitGroup
+	for _, p := range []Processor{CPU, GPU} {
+		wg.Add(1)
+		go func(p Processor) {
+			defer wg.Done()
+			other := CPU
+			if p == CPU {
+				other = GPU
+			}
+			taken := 0
+			for {
+				tk := h.Next(q, p)
+				if tk == nil {
+					if q.Len() == 0 {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				mu.Lock()
+				got[tk.ID]++
+				mu.Unlock()
+				taken++
+				if taken%7 == 0 {
+					// Flip the preference towards the other class: a fast
+					// observation there, a slow one here. The scheduler
+					// must re-route without dropping queued work.
+					m.Observe(0, other, 0.0001)
+					m.Observe(0, p, 0.1)
+				}
+				if err := h.CheckInvariants(); err != nil {
+					t.Errorf("mid-run invariants on %s: %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	if len(got) != nTasks {
+		t.Fatalf("selected %d distinct tasks, want %d (tasks lost)", len(got), nTasks)
+	}
+	for id, n := range got {
+		if n != 1 {
+			t.Fatalf("task %d selected %d times (double execution)", id, n)
+		}
+	}
+	if h.Selected() != nTasks {
+		t.Fatalf("Selected() = %d, want %d", h.Selected(), nTasks)
+	}
+	if h.Flips() == 0 {
+		t.Fatal("preference flipping never forced a backend switch")
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("final invariants: %v", err)
+	}
+	t.Logf("selected %d tasks with %d forced backend switches", h.Selected(), h.Flips())
+}
+
+// TestHLSFlipWithLookahead repeats the exactly-once property with a
+// bounded lookahead (as the engine configures it, tied to the result
+// buffer size): bounding the scan must never strand tasks at the head of
+// the queue.
+func TestHLSFlipWithLookahead(t *testing.T) {
+	const nTasks = 200
+	m := NewMatrix(2, 1000, 0.5, 1, 1)
+	h := NewHLS(2, m, 2)
+	h.MaxLookahead = 4
+	q := task.NewQueue()
+	for i := 0; i < nTasks; i++ {
+		q.Push(&task.Task{Query: i % 2, ID: int64(i)})
+	}
+	q.Close()
+
+	var mu sync.Mutex
+	seen := 0
+	var wg sync.WaitGroup
+	for _, p := range []Processor{CPU, GPU} {
+		wg.Add(1)
+		go func(p Processor) {
+			defer wg.Done()
+			for {
+				tk := h.Next(q, p)
+				if tk == nil {
+					if q.Len() == 0 {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				mu.Lock()
+				seen++
+				mu.Unlock()
+				m.Observe(tk.Query, p, 0.001)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if seen != nTasks {
+		t.Fatalf("selected %d tasks, want %d", seen, nTasks)
+	}
+}

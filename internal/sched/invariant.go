@@ -1,0 +1,47 @@
+package sched
+
+import "fmt"
+
+// Invariant hooks for the stress harness (internal/harness). HLS
+// satisfies the inv.Checker contract structurally.
+
+// Selected returns the number of tasks HLS has handed to workers.
+func (h *HLS) Selected() int64 { return h.selected.Load() }
+
+// Flips returns the number of forced backend switches: selections where a
+// query's run streak on its preferred processor had reached the switch
+// threshold, sending the task to the other processor class. The harness
+// uses it to prove a hybrid stress run really flipped backends mid-stream.
+func (h *HLS) Flips() int64 { return h.flips.Load() }
+
+// InvariantName implements the inv.Checker contract.
+func (h *HLS) InvariantName() string { return "sched.hls" }
+
+// CheckInvariants verifies the scheduler's bookkeeping:
+//
+//   - run streaks are non-negative and no streak exceeds the total number
+//     of selections (a streak only grows by one per selection);
+//   - the streak on a processor never exceeds the switch threshold when
+//     that processor is currently preferred would be racy to assert (the
+//     preference moves with the matrix), so only the stable bound
+//     streak <= selected is checked alongside non-negativity.
+func (h *HLS) CheckInvariants() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Selections mutate streaks and the counter under h.mu, so reading
+	// both under the lock yields a consistent snapshot.
+	total := h.selected.Load()
+	for qi := range h.count {
+		for p := 0; p < int(numProcs); p++ {
+			c := h.count[qi][p]
+			if c < 0 {
+				return fmt.Errorf("query %d: negative run streak %d on %s", qi, c, Processor(p))
+			}
+			if int64(c) > total {
+				return fmt.Errorf("query %d: run streak %d on %s exceeds %d total selections",
+					qi, c, Processor(p), total)
+			}
+		}
+	}
+	return nil
+}
