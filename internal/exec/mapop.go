@@ -2,9 +2,31 @@ package exec
 
 // processMap runs projection/selection over a batch. These operators are
 // stateless and use IStream semantics, so the window definition does not
-// influence the output (which is why Fig. 11a is flat): the batch operator
-// function is a single scan, and assembly is concatenation in task order.
+// influence the output (which is why Fig. 11a is flat).
+//
+// The vectorized path mirrors the GPU's two-pass count+compact kernel
+// (§5.4): a batch predicate evaluation fills the selection vector, then
+// writeOutBatch compacts the selected rows column-at-a-time. The scalar
+// per-tuple loop remains the reference implementation.
 func (p *Plan) processMap(in Batch, res *TaskResult) {
+	if !p.vec {
+		p.processMapScalar(in, res)
+		return
+	}
+	s := p.in[0]
+	tsz := s.TupleSize()
+	n := len(in.Data) / tsz
+	if n == 0 {
+		return
+	}
+	sc := p.getScratch()
+	sel, all := p.filterSel(sc, in.Data, tsz, n)
+	res.Stream = p.writeOutBatch(res.Stream, in.Data, tsz, n, sel, all, sc)
+	p.putScratch(sc)
+}
+
+// processMapScalar is the per-tuple reference path (SetVectorized(false)).
+func (p *Plan) processMapScalar(in Batch, res *TaskResult) {
 	s := p.in[0]
 	ts := s.TupleSize()
 	n := len(in.Data) / ts

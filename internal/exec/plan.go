@@ -1,9 +1,11 @@
 package exec
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"saber/internal/expr"
 	"saber/internal/query"
@@ -50,6 +52,9 @@ type fieldWriter struct {
 	// Computed path.
 	prog   *expr.NumProgram
 	outIdx int
+	// Precomputed output location (outOff = out.Offset(outIdx)).
+	outOff int
+	outTyp schema.Type
 }
 
 // Plan is a compiled query: the batch operator function (Process), the
@@ -75,9 +80,25 @@ type Plan struct {
 	invertApl bool              // incremental (rolling) computation applies
 	having    *expr.PredProgram // over the output schema
 
+	// vec selects the vectorized batch operators; the per-tuple scalar
+	// path stays behind SetVectorized(false) as the reference
+	// implementation for differential tests and ablation.
+	vec bool
+	// eqJoin, when ok, is the bucketed fast path for equality join
+	// predicates on integer columns.
+	eqJoin eqJoinInfo
+
 	resultPool  sync.Pool // *TaskResult
 	tablePool   sync.Pool // *HashTable
 	scratchPool sync.Pool // *scratch
+}
+
+// eqJoinInfo locates the integer key columns of an equality join
+// conjunct, one per side.
+type eqJoinInfo struct {
+	ok         bool
+	aOff, bOff int
+	aTyp, bTyp schema.Type
 }
 
 type scratch struct {
@@ -85,9 +106,44 @@ type scratch struct {
 	fragsB  []window.Fragment
 	prefixC []int64   // prefix counts
 	prefixV []float64 // prefix sums, nAggs-strided
-	prefTS  []int64   // per-tuple pass/fail timestamps
 	rolling *HashTable
+
+	// Vectorized-path scratch: the register columns behind batch
+	// evaluation, the selection vectors, and the per-batch value columns.
+	// All are owned by one Process call at a time via the scratch pool.
+	vec  expr.VecScratch
+	sel  []int32   // filter selection vector
+	selJ []int32   // join inner-pass selection vector
+	cols []float64 // aggregate argument columns, col-major (arg a at [a*n:(a+1)*n])
+	icol []int64   // computed projection column (integer programs)
+	fcol []float64 // computed projection column (float programs)
+
+	// Join scratch: reused fragment pairing and equality buckets.
+	pairs  []JoinPair
+	eqHead map[int64]int32
+	eqNext []int32
 }
+
+// defaultVec is the package-wide default for newly compiled plans.
+var defaultVec atomic.Bool
+
+func init() { defaultVec.Store(true) }
+
+// SetDefaultVectorized toggles whether newly compiled plans use the
+// vectorized batch operators (the default) or the per-tuple scalar
+// reference path. Exposed for end-to-end differential tests and
+// ablation runs; existing plans are unaffected.
+func SetDefaultVectorized(on bool) { defaultVec.Store(on) }
+
+// DefaultVectorized reports the current compile-time default.
+func DefaultVectorized() bool { return defaultVec.Load() }
+
+// SetVectorized switches this plan between the vectorized operators and
+// the scalar reference path. Not safe to call concurrently with Process.
+func (p *Plan) SetVectorized(on bool) { p.vec = on }
+
+// Vectorized reports which path the plan runs.
+func (p *Plan) Vectorized() bool { return p.vec }
 
 // Compile builds an executable plan from a validated query.
 func Compile(q *query.Query) (*Plan, error) {
@@ -96,7 +152,7 @@ func Compile(q *query.Query) (*Plan, error) {
 			return nil, err
 		}
 	}
-	p := &Plan{Q: q, out: q.OutputSchema()}
+	p := &Plan{Q: q, out: q.OutputSchema(), vec: DefaultVectorized()}
 	for i, in := range q.Inputs {
 		p.in[i] = in.Schema
 		p.windows[i] = in.Window
@@ -124,6 +180,7 @@ func Compile(q *query.Query) (*Plan, error) {
 		if p.joinPred, err = expr.CompilePred(q.JoinPred, res); err != nil {
 			return nil, err
 		}
+		p.eqJoin = detectEquiJoin(q.JoinPred, res)
 		if err := p.compileWriters(res); err != nil {
 			return nil, err
 		}
@@ -164,7 +221,7 @@ func (p *Plan) compileWriters(res expr.Resolver) error {
 	}
 	out := p.out
 	for i, item := range p.Q.Projection {
-		w := fieldWriter{outIdx: i}
+		w := fieldWriter{outIdx: i, outOff: out.Offset(i), outTyp: out.Field(i).Type}
 		if c, ok := item.Expr.(expr.Column); ok {
 			side, fi, s, err := res.Resolve(c)
 			if err != nil {
@@ -186,6 +243,66 @@ func (p *Plan) compileWriters(res expr.Resolver) error {
 		p.writers = append(p.writers, w)
 	}
 	return nil
+}
+
+// detectEquiJoin looks for an equality conjunct over integer columns on
+// opposite sides of the join predicate — either the predicate itself or
+// any top-level AND conjunct. Such a conjunct lets joinCross bucket the
+// right fragment by key instead of testing every pair; the remaining
+// conjuncts are applied to the (few) key-equal candidates.
+func detectEquiJoin(pred expr.Pred, res expr.Resolver) eqJoinInfo {
+	var conjuncts []expr.Pred
+	switch v := pred.(type) {
+	case expr.Cmp:
+		conjuncts = []expr.Pred{v}
+	case expr.And:
+		conjuncts = v.Preds
+	default:
+		return eqJoinInfo{}
+	}
+	for _, c := range conjuncts {
+		cmp, ok := c.(expr.Cmp)
+		if !ok || cmp.Op != expr.Eq {
+			continue
+		}
+		lc, lok := cmp.Left.(expr.Column)
+		rc, rok := cmp.Right.(expr.Column)
+		if !lok || !rok {
+			continue
+		}
+		lSide, lf, ls, err := res.Resolve(lc)
+		if err != nil {
+			continue
+		}
+		rSide, rf, rs, err := res.Resolve(rc)
+		if err != nil || lSide == rSide {
+			continue
+		}
+		lTyp, rTyp := ls.Field(lf).Type, rs.Field(rf).Type
+		isInt := func(t schema.Type) bool { return t == schema.Int32 || t == schema.Int64 }
+		if !isInt(lTyp) || !isInt(rTyp) {
+			continue // float equality keeps scalar compare semantics (NaN)
+		}
+		info := eqJoinInfo{ok: true}
+		if lSide == 0 {
+			info.aOff, info.aTyp = ls.Offset(lf), lTyp
+			info.bOff, info.bTyp = rs.Offset(rf), rTyp
+		} else {
+			info.aOff, info.aTyp = rs.Offset(rf), rTyp
+			info.bOff, info.bTyp = ls.Offset(lf), lTyp
+		}
+		return info
+	}
+	return eqJoinInfo{}
+}
+
+// readIntKey reads an integer column as a sign-extended int64 — the
+// integer-compare domain both scalar and vectorized equality use.
+func readIntKey(tuple []byte, off int, typ schema.Type) int64 {
+	if typ == schema.Int32 {
+		return int64(int32(binary.LittleEndian.Uint32(tuple[off:])))
+	}
+	return int64(binary.LittleEndian.Uint64(tuple[off:]))
 }
 
 func (p *Plan) compileAggregation(res expr.Resolver) error {
@@ -337,12 +454,12 @@ func (p *Plan) writeOut(dst []byte, l, r []byte) []byte {
 			if w.src == 1 {
 				src = r
 			}
-			copy(tuple[p.out.Offset(w.outIdx):p.out.Offset(w.outIdx)+w.size], src[w.srcOff:w.srcOff+w.size])
+			copy(tuple[w.outOff:w.outOff+w.size], src[w.srcOff:w.srcOff+w.size])
 			continue
 		}
 		if w.prog.IsInt() {
 			v := w.prog.EvalInt(l, r)
-			switch p.out.Field(w.outIdx).Type {
+			switch w.outTyp {
 			case schema.Int32:
 				p.out.WriteInt32(tuple, w.outIdx, int32(v))
 			case schema.Int64:
@@ -352,6 +469,170 @@ func (p *Plan) writeOut(dst []byte, l, r []byte) []byte {
 			}
 		} else {
 			p.out.WriteFloat(tuple, w.outIdx, w.prog.EvalFloat(l, r))
+		}
+	}
+	return dst
+}
+
+// filterSel batch-evaluates the WHERE predicate over a packed batch into
+// the scratch selection vector. all=true (and a nil vector) means the
+// plan has no filter and every row passes.
+func (p *Plan) filterSel(sc *scratch, data []byte, tsz, n int) (sel []int32, all bool) {
+	if p.filter == nil {
+		return nil, true
+	}
+	sc.sel = p.filter.EvalBatch(&sc.vec, sc.sel, expr.BatchInput{L: data, LStride: tsz, N: n})
+	return sc.sel, false
+}
+
+// identitySel materialises the all-rows selection vector; the grouped
+// aggregation paths use it so filtered and unfiltered batches share one
+// code path.
+func (sc *scratch) identitySel(n int) []int32 {
+	if cap(sc.sel) < n {
+		sc.sel = make([]int32, n)
+	}
+	sc.sel = sc.sel[:n]
+	for i := range sc.sel {
+		sc.sel[i] = int32(i)
+	}
+	return sc.sel
+}
+
+// writeOutBatch appends the output tuples for the selected rows of a
+// packed batch: the compact half of select-then-compact. Identity
+// projections become run-coalesced copies; forwarded columns are copied
+// column-at-a-time with width-specialised loops; computed columns are
+// batch-evaluated once into a scratch column and then stored.
+func (p *Plan) writeOutBatch(dst []byte, data []byte, tsz, n int, sel []int32, all bool, sc *scratch) []byte {
+	rows := len(sel)
+	if all {
+		rows = n
+	}
+	if rows == 0 {
+		return dst
+	}
+	if p.writers == nil {
+		if all {
+			return append(dst, data[:n*tsz]...)
+		}
+		// Copy runs of consecutive selected rows in one memmove each.
+		for k := 0; k < len(sel); {
+			run := k + 1
+			for run < len(sel) && sel[run] == sel[run-1]+1 {
+				run++
+			}
+			lo, hi := int(sel[k]), int(sel[run-1])+1
+			dst = append(dst, data[lo*tsz:hi*tsz]...)
+			k = run
+		}
+		return dst
+	}
+
+	osz := p.out.TupleSize()
+	base := len(dst)
+	dst = append(dst, make([]byte, rows*osz)...)
+	out := dst[base:]
+	in := expr.BatchInput{L: data, LStride: tsz, N: n}
+	for _, w := range p.writers {
+		switch {
+		case w.size == 8:
+			if all {
+				so, oo := w.srcOff, w.outOff
+				for r := 0; r < rows; r++ {
+					binary.LittleEndian.PutUint64(out[oo:], binary.LittleEndian.Uint64(data[so:]))
+					so += tsz
+					oo += osz
+				}
+			} else {
+				oo := w.outOff
+				for _, i := range sel {
+					binary.LittleEndian.PutUint64(out[oo:], binary.LittleEndian.Uint64(data[int(i)*tsz+w.srcOff:]))
+					oo += osz
+				}
+			}
+		case w.size == 4:
+			if all {
+				so, oo := w.srcOff, w.outOff
+				for r := 0; r < rows; r++ {
+					binary.LittleEndian.PutUint32(out[oo:], binary.LittleEndian.Uint32(data[so:]))
+					so += tsz
+					oo += osz
+				}
+			} else {
+				oo := w.outOff
+				for _, i := range sel {
+					binary.LittleEndian.PutUint32(out[oo:], binary.LittleEndian.Uint32(data[int(i)*tsz+w.srcOff:]))
+					oo += osz
+				}
+			}
+		case w.prog.IsInt():
+			// One batch evaluation per column, then a typed store pass
+			// with the same conversions as the scalar writeOut; the output
+			// type dispatch is hoisted out of the row loop.
+			sc.icol = w.prog.EvalBatchInt(&sc.vec, sc.icol, in)
+			icol := sc.icol
+			oo := w.outOff
+			for r := 0; r < rows; r++ {
+				i := r
+				if !all {
+					i = int(sel[r])
+				}
+				v := icol[i]
+				switch w.outTyp {
+				case schema.Int32:
+					binary.LittleEndian.PutUint32(out[oo:], uint32(int32(v)))
+				case schema.Int64:
+					binary.LittleEndian.PutUint64(out[oo:], uint64(v))
+				case schema.Float32:
+					binary.LittleEndian.PutUint32(out[oo:], math.Float32bits(float32(v)))
+				default:
+					binary.LittleEndian.PutUint64(out[oo:], math.Float64bits(float64(v)))
+				}
+				oo += osz
+			}
+		default:
+			sc.fcol = w.prog.EvalBatchFloat(&sc.vec, sc.fcol, in)
+			fcol := sc.fcol
+			oo := w.outOff
+			switch w.outTyp {
+			case schema.Int32:
+				for r := 0; r < rows; r++ {
+					i := r
+					if !all {
+						i = int(sel[r])
+					}
+					binary.LittleEndian.PutUint32(out[oo:], uint32(int32(fcol[i])))
+					oo += osz
+				}
+			case schema.Int64:
+				for r := 0; r < rows; r++ {
+					i := r
+					if !all {
+						i = int(sel[r])
+					}
+					binary.LittleEndian.PutUint64(out[oo:], uint64(int64(fcol[i])))
+					oo += osz
+				}
+			case schema.Float32:
+				for r := 0; r < rows; r++ {
+					i := r
+					if !all {
+						i = int(sel[r])
+					}
+					binary.LittleEndian.PutUint32(out[oo:], math.Float32bits(float32(fcol[i])))
+					oo += osz
+				}
+			default:
+				for r := 0; r < rows; r++ {
+					i := r
+					if !all {
+						i = int(sel[r])
+					}
+					binary.LittleEndian.PutUint64(out[oo:], math.Float64bits(fcol[i]))
+					oo += osz
+				}
+			}
 		}
 	}
 	return dst

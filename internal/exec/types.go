@@ -79,6 +79,39 @@ type TaskResult struct {
 	// the input data is no longer needed once this result is consumed.
 	// Managed by the engine, carried here for the result stage.
 	FreeTo [2]int64
+
+	// valsArena backs the Vals slices of scalar-aggregation partials so
+	// per-fragment accumulator allocation is amortised across the
+	// result's pooled lifetime. Consumers that keep a partial beyond the
+	// result (the assembler's pending map) must copy Vals out.
+	valsArena []float64
+}
+
+// AllocVals carves a zeroed m-wide accumulator slice out of the result's
+// arena. The slice is valid until the result is reset or released.
+func (r *TaskResult) AllocVals(m int) []float64 {
+	if m == 0 {
+		return nil
+	}
+	if cap(r.valsArena)-len(r.valsArena) < m {
+		// Start a fresh chunk; slices handed out earlier keep the old
+		// chunk alive through their partials.
+		c := 2 * cap(r.valsArena)
+		if c < 64 {
+			c = 64
+		}
+		if c < m {
+			c = m
+		}
+		r.valsArena = make([]float64, 0, c)
+	}
+	base := len(r.valsArena)
+	r.valsArena = r.valsArena[: base+m : base+m]
+	vals := r.valsArena[base:]
+	for i := range vals {
+		vals[i] = 0
+	}
+	return vals
 }
 
 // Reset clears the result for reuse, retaining allocated capacity.
@@ -86,4 +119,5 @@ func (r *TaskResult) Reset() {
 	r.Stream = r.Stream[:0]
 	r.Partials = r.Partials[:0]
 	r.FreeTo = [2]int64{}
+	r.valsArena = r.valsArena[:0]
 }

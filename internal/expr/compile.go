@@ -7,11 +7,14 @@ import (
 )
 
 // NumProgram is a compiled numeric expression. Evaluation takes the raw
-// tuple bytes of each input side (pass nil for unused sides).
+// tuple bytes of each input side (pass nil for unused sides). Per-tuple
+// evaluation runs the closure tree; EvalBatchFloat/EvalBatchInt run the
+// flat batch program (vector.go) when the expression lowered to one.
 type NumProgram struct {
-	typ schema.Type
-	fi  func(l, r []byte) int64
-	ff  func(l, r []byte) float64
+	typ   schema.Type
+	fi    func(l, r []byte) int64
+	ff    func(l, r []byte) float64
+	batch *numBatchProg
 }
 
 // Type returns the static result type of the expression (Int32, Int64,
@@ -37,9 +40,14 @@ func (p *NumProgram) EvalFloat(l, r []byte) float64 {
 	return float64(p.fi(l, r))
 }
 
-// PredProgram is a compiled boolean predicate.
+// PredProgram is a compiled boolean predicate. Per-tuple evaluation runs
+// the closure tree; EvalBatch prefers the fused compare leaves, then the
+// flat batch program (vector.go).
 type PredProgram struct {
-	fn func(l, r []byte) bool
+	fn     func(l, r []byte) bool
+	fused  bool
+	leaves []leafCmp
+	batch  *predBatchProg
 }
 
 // Eval evaluates the predicate over the input tuples.
@@ -50,7 +58,12 @@ func (p *PredProgram) EvalTuple(t []byte) bool { return p.fn(t, nil) }
 
 // CompileNum compiles a numeric expression with the given resolver.
 func CompileNum(e Expr, r Resolver) (*NumProgram, error) {
-	return compileNum(e, r)
+	p, err := compileNum(e, r)
+	if err != nil {
+		return nil, err
+	}
+	p.batch = compileNumBatch(e, r)
+	return p, nil
 }
 
 // CompilePred compiles a predicate with the given resolver.
@@ -59,7 +72,13 @@ func CompilePred(p Pred, r Resolver) (*PredProgram, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PredProgram{fn: fn}, nil
+	prog := &PredProgram{fn: fn}
+	if leaves, ok := flattenAndLeaves(p, r, nil); ok {
+		prog.fused, prog.leaves = true, leaves
+	} else {
+		prog.batch = compilePredBatch(p, r)
+	}
+	return prog, nil
 }
 
 func compileNum(e Expr, r Resolver) (*NumProgram, error) {

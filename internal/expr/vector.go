@@ -1,0 +1,1262 @@
+// Vectorized batch evaluation (the CPU analogue of the paper's batch-wide
+// GPGPU kernels, §5.3/§5.4). CompileNum and CompilePred additionally lower
+// the expression tree into a flat register program that evaluates a whole
+// strided tuple batch column-at-a-time: each program op is one tight loop
+// over raw tuple bytes, so the per-tuple cost of the closure-tree
+// interpreter (an indirect call per AST node per tuple) disappears from
+// the batch operator hot path.
+//
+// Two layers of lowering:
+//
+//   - Fused fast paths for the dominant shapes. A predicate that is a
+//     single column⋈constant compare — or an AND of such compares — skips
+//     program execution entirely: EvalBatch runs one loop over the raw
+//     bytes, filling the selection vector directly. A numeric expression
+//     that is a plain fixed-offset column load fills the value column in
+//     one typed loop.
+//   - A general flat program. Arbitrary arithmetic/boolean trees compile
+//     to a register machine over int64/float64/bool columns; execution
+//     dispatches once per op per batch instead of once per node per tuple.
+//
+// The scalar closure evaluators remain the reference semantics: the batch
+// layer mirrors their promotions (per-node int/float domains, truncating
+// int conversions, division-by-zero yielding 0) exactly, and falls back to
+// them per-tuple for any shape it cannot lower, so batch and scalar
+// evaluation are bit-identical by construction and verified by the
+// differential tests.
+package expr
+
+import (
+	"encoding/binary"
+	"math"
+
+	"saber/internal/schema"
+)
+
+// BatchInput describes one batch of tuple rows for vectorized evaluation.
+// L and R hold the packed bytes of the two input sides (R is nil for
+// single-stream expressions). A stride of 0 broadcasts that side's single
+// tuple to every row — the join inner pass pins one left tuple against a
+// whole right fragment this way. N is the row count.
+type BatchInput struct {
+	L, R             []byte
+	LStride, RStride int
+	N                int
+}
+
+func (in BatchInput) side(s uint8) (data []byte, stride int) {
+	if s == 0 {
+		return in.L, in.LStride
+	}
+	return in.R, in.RStride
+}
+
+// row returns the scalar-evaluator view of row i (used by the per-tuple
+// fallback path).
+func (in BatchInput) row(i int) (l, r []byte) {
+	l, r = in.L, in.R
+	if in.LStride > 0 {
+		l = in.L[i*in.LStride:]
+	}
+	if in.RStride > 0 {
+		r = in.R[i*in.RStride:]
+	}
+	return l, r
+}
+
+// VecScratch holds the reusable register columns that batch evaluation
+// runs on. Callers keep one per worker-scratch and pass it to every
+// EvalBatch* call; steady state allocates nothing. The zero value is
+// ready. Not safe for concurrent use.
+type VecScratch struct {
+	ints   [][]int64
+	floats [][]float64
+	masks  [][]bool
+	selTmp []int32
+}
+
+func (vs *VecScratch) intReg(i, n int) []int64 {
+	for len(vs.ints) <= i {
+		vs.ints = append(vs.ints, nil)
+	}
+	if cap(vs.ints[i]) < n {
+		vs.ints[i] = make([]int64, n)
+	}
+	vs.ints[i] = vs.ints[i][:n]
+	return vs.ints[i]
+}
+
+func (vs *VecScratch) floatReg(i, n int) []float64 {
+	for len(vs.floats) <= i {
+		vs.floats = append(vs.floats, nil)
+	}
+	if cap(vs.floats[i]) < n {
+		vs.floats[i] = make([]float64, n)
+	}
+	vs.floats[i] = vs.floats[i][:n]
+	return vs.floats[i]
+}
+
+func (vs *VecScratch) maskReg(i, n int) []bool {
+	for len(vs.masks) <= i {
+		vs.masks = append(vs.masks, nil)
+	}
+	if cap(vs.masks[i]) < n {
+		vs.masks[i] = make([]bool, n)
+	}
+	vs.masks[i] = vs.masks[i][:n]
+	return vs.masks[i]
+}
+
+// --- Flat program representation --------------------------------------------
+
+type vecOpCode uint8
+
+const (
+	vLoadI32 vecOpCode = iota // intReg[dst] = sign-extended int32 column
+	vLoadI64                  // intReg[dst] = int64 column
+	vLoadF32                  // floatReg[dst] = float64(float32 column)
+	vLoadF64                  // floatReg[dst] = float64 column
+	vConstI                   // intReg[dst] = ci
+	vConstF                   // floatReg[dst] = cf
+	vConstM                   // maskReg[dst] = ci != 0
+	vCastIF                   // floatReg[dst] = float64(intReg[a])
+	vCastFI                   // intReg[dst] = int64(floatReg[a])
+	vNegI                     // intReg[dst] = -intReg[dst]
+	vNegF                     // floatReg[dst] = -floatReg[dst]
+	vArithI                   // intReg[dst] = intReg[a] op intReg[b]
+	vArithF                   // floatReg[dst] = floatReg[a] op floatReg[b]
+	vCmpI                     // maskReg[dst] = intReg[a] cmp intReg[b]
+	vCmpF                     // maskReg[dst] = floatReg[a] cmp floatReg[b]
+	vAndM                     // maskReg[dst] = maskReg[dst] && maskReg[b]
+	vOrM                      // maskReg[dst] = maskReg[dst] || maskReg[b]
+	vNotM                     // maskReg[dst] = !maskReg[dst]
+)
+
+type vecOp struct {
+	code        vecOpCode
+	dst, adr, b uint8
+	side        uint8
+	arith       ArithOp
+	cmp         CmpOp
+	off         int32
+	ci          int64
+	cf          float64
+}
+
+// maxVecRegs bounds the register-stack depth per bank; deeper trees fall
+// back to per-tuple scalar evaluation (never hit by the paper's queries).
+const maxVecRegs = 16
+
+// numBatchProg is a compiled numeric batch program; the result lands in
+// intReg[0] or floatReg[0] depending on isInt.
+type numBatchProg struct {
+	ops   []vecOp
+	isInt bool
+}
+
+// predBatchProg is a compiled predicate batch program; the result lands in
+// maskReg[0].
+type predBatchProg struct {
+	ops []vecOp
+}
+
+// --- Compilation ------------------------------------------------------------
+
+type vecBuilder struct {
+	r   Resolver
+	ops []vecOp
+}
+
+func (b *vecBuilder) emit(op vecOp) { b.ops = append(b.ops, op) }
+
+// num lowers e so its value lands in intReg[di] (returning isInt=true) or
+// floatReg[df] (isInt=false). Registers above the frame are free.
+func (b *vecBuilder) num(e Expr, di, df int) (isInt, ok bool) {
+	if di+1 >= maxVecRegs || df+1 >= maxVecRegs {
+		return false, false
+	}
+	switch v := e.(type) {
+	case Column:
+		side, field, s, err := b.r.Resolve(v)
+		if err != nil {
+			return false, false
+		}
+		op := vecOp{dst: uint8(di), side: uint8(side), off: int32(s.Offset(field))}
+		switch s.Field(field).Type {
+		case schema.Int32:
+			op.code = vLoadI32
+		case schema.Int64:
+			op.code = vLoadI64
+		case schema.Float32:
+			op.code, op.dst = vLoadF32, uint8(df)
+		case schema.Float64:
+			op.code, op.dst = vLoadF64, uint8(df)
+		default:
+			return false, false
+		}
+		b.emit(op)
+		return op.code == vLoadI32 || op.code == vLoadI64, true
+
+	case IntConst:
+		b.emit(vecOp{code: vConstI, dst: uint8(di), ci: int64(v)})
+		return true, true
+
+	case FloatConst:
+		b.emit(vecOp{code: vConstF, dst: uint8(df), cf: float64(v)})
+		return false, true
+
+	case Neg:
+		inInt, ok := b.num(v.E, di, df)
+		if !ok {
+			return false, false
+		}
+		if inInt {
+			b.emit(vecOp{code: vNegI, dst: uint8(di)})
+		} else {
+			b.emit(vecOp{code: vNegF, dst: uint8(df)})
+		}
+		return inInt, true
+
+	case Arith:
+		lInt, ok := b.num(v.Left, di, df)
+		if !ok {
+			return false, false
+		}
+		rInt, ok := b.num(v.Right, di+1, df+1)
+		if !ok {
+			return false, false
+		}
+		if lInt && rInt {
+			b.emit(vecOp{code: vArithI, arith: v.Op, dst: uint8(di), adr: uint8(di), b: uint8(di + 1)})
+			return true, true
+		}
+		if v.Op == Mod {
+			return false, false // float % is a compile error in the scalar path too
+		}
+		// Mirror the scalar promotion: int subtrees convert to float at
+		// this node.
+		if lInt {
+			b.emit(vecOp{code: vCastIF, dst: uint8(df), adr: uint8(di)})
+		}
+		if rInt {
+			b.emit(vecOp{code: vCastIF, dst: uint8(df + 1), adr: uint8(di + 1)})
+		}
+		b.emit(vecOp{code: vArithF, arith: v.Op, dst: uint8(df), adr: uint8(df), b: uint8(df + 1)})
+		return false, true
+	}
+	return false, false
+}
+
+// pred lowers p so its verdict lands in maskReg[dm]. Numeric registers are
+// scratch across predicate children (masks persist in their own bank).
+func (b *vecBuilder) pred(p Pred, dm int) bool {
+	if dm+1 >= maxVecRegs {
+		return false
+	}
+	switch v := p.(type) {
+	case Cmp:
+		lInt, ok := b.num(v.Left, 0, 0)
+		if !ok {
+			return false
+		}
+		rInt, ok := b.num(v.Right, 1, 1)
+		if !ok {
+			return false
+		}
+		if lInt && rInt {
+			b.emit(vecOp{code: vCmpI, cmp: v.Op, dst: uint8(dm), adr: 0, b: 1})
+			return true
+		}
+		if lInt {
+			b.emit(vecOp{code: vCastIF, dst: 0, adr: 0})
+		}
+		if rInt {
+			b.emit(vecOp{code: vCastIF, dst: 1, adr: 1})
+		}
+		b.emit(vecOp{code: vCmpF, cmp: v.Op, dst: uint8(dm), adr: 0, b: 1})
+		return true
+
+	case And:
+		if len(v.Preds) == 0 {
+			b.emit(vecOp{code: vConstM, dst: uint8(dm), ci: 1})
+			return true
+		}
+		if !b.pred(v.Preds[0], dm) {
+			return false
+		}
+		for _, q := range v.Preds[1:] {
+			if !b.pred(q, dm+1) {
+				return false
+			}
+			b.emit(vecOp{code: vAndM, dst: uint8(dm), b: uint8(dm + 1)})
+		}
+		return true
+
+	case Or:
+		if len(v.Preds) == 0 {
+			b.emit(vecOp{code: vConstM, dst: uint8(dm), ci: 0})
+			return true
+		}
+		if !b.pred(v.Preds[0], dm) {
+			return false
+		}
+		for _, q := range v.Preds[1:] {
+			if !b.pred(q, dm+1) {
+				return false
+			}
+			b.emit(vecOp{code: vOrM, dst: uint8(dm), b: uint8(dm + 1)})
+		}
+		return true
+
+	case Not:
+		if !b.pred(v.P, dm) {
+			return false
+		}
+		b.emit(vecOp{code: vNotM, dst: uint8(dm)})
+		return true
+	}
+	return false
+}
+
+func compileNumBatch(e Expr, r Resolver) *numBatchProg {
+	b := vecBuilder{r: r}
+	isInt, ok := b.num(e, 0, 0)
+	if !ok {
+		return nil
+	}
+	return &numBatchProg{ops: b.ops, isInt: isInt}
+}
+
+func compilePredBatch(p Pred, r Resolver) *predBatchProg {
+	b := vecBuilder{r: r}
+	if !b.pred(p, 0) {
+		return nil
+	}
+	return &predBatchProg{ops: b.ops}
+}
+
+// --- Fused compare leaves ---------------------------------------------------
+
+// leafCmp is one column⋈constant compare of a fused predicate. isInt
+// selects integer-domain comparison (both operands integer in the scalar
+// path); otherwise the column value is converted to float64 exactly as
+// the scalar evaluator would.
+type leafCmp struct {
+	side  uint8
+	typ   schema.Type
+	isInt bool
+	op    CmpOp
+	off   int
+	ci    int64
+	cf    float64
+}
+
+func flipCmp(op CmpOp) CmpOp {
+	switch op {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	}
+	return op // Eq, Ne are symmetric
+}
+
+func leafFromCmp(c Cmp, r Resolver) (leafCmp, bool) {
+	col, colOK := c.Left.(Column)
+	cst := c.Right
+	op := c.Op
+	if !colOK {
+		// Constant on the left: flip into column-first form.
+		if col, colOK = c.Right.(Column); !colOK {
+			return leafCmp{}, false
+		}
+		cst = c.Left
+		op = flipCmp(op)
+	}
+	switch cst.(type) {
+	case IntConst, FloatConst:
+	default:
+		return leafCmp{}, false
+	}
+	side, field, s, err := r.Resolve(col)
+	if err != nil {
+		return leafCmp{}, false
+	}
+	typ := s.Field(field).Type
+	lf := leafCmp{side: uint8(side), typ: typ, op: op, off: s.Offset(field)}
+	colInt := typ == schema.Int32 || typ == schema.Int64
+	switch k := cst.(type) {
+	case IntConst:
+		if colInt {
+			lf.isInt, lf.ci = true, int64(k)
+		} else {
+			lf.cf = float64(int64(k))
+		}
+	case FloatConst:
+		lf.cf = float64(k)
+	}
+	return lf, true
+}
+
+// flattenAndLeaves lowers p into AND-of-leaves form, or reports failure.
+func flattenAndLeaves(p Pred, r Resolver, dst []leafCmp) ([]leafCmp, bool) {
+	switch v := p.(type) {
+	case Cmp:
+		lf, ok := leafFromCmp(v, r)
+		if !ok {
+			return nil, false
+		}
+		return append(dst, lf), true
+	case And:
+		var ok bool
+		for _, q := range v.Preds {
+			if dst, ok = flattenAndLeaves(q, r, dst); !ok {
+				return nil, false
+			}
+		}
+		return dst, true
+	}
+	return nil, false
+}
+
+// --- Program execution ------------------------------------------------------
+
+var le = binary.LittleEndian
+
+func runVec(ops []vecOp, vs *VecScratch, in BatchInput) {
+	n := in.N
+	for oi := range ops {
+		op := &ops[oi]
+		switch op.code {
+		case vLoadI32:
+			dst := vs.intReg(int(op.dst), n)
+			data, stride := in.side(op.side)
+			o := int(op.off)
+			if stride == 0 {
+				v := int64(int32(le.Uint32(data[o:])))
+				for i := range dst {
+					dst[i] = v
+				}
+				continue
+			}
+			for i := 0; i < n; i++ {
+				dst[i] = int64(int32(le.Uint32(data[o:])))
+				o += stride
+			}
+		case vLoadI64:
+			dst := vs.intReg(int(op.dst), n)
+			data, stride := in.side(op.side)
+			o := int(op.off)
+			if stride == 0 {
+				v := int64(le.Uint64(data[o:]))
+				for i := range dst {
+					dst[i] = v
+				}
+				continue
+			}
+			for i := 0; i < n; i++ {
+				dst[i] = int64(le.Uint64(data[o:]))
+				o += stride
+			}
+		case vLoadF32:
+			dst := vs.floatReg(int(op.dst), n)
+			data, stride := in.side(op.side)
+			o := int(op.off)
+			if stride == 0 {
+				v := float64(math.Float32frombits(le.Uint32(data[o:])))
+				for i := range dst {
+					dst[i] = v
+				}
+				continue
+			}
+			for i := 0; i < n; i++ {
+				dst[i] = float64(math.Float32frombits(le.Uint32(data[o:])))
+				o += stride
+			}
+		case vLoadF64:
+			dst := vs.floatReg(int(op.dst), n)
+			data, stride := in.side(op.side)
+			o := int(op.off)
+			if stride == 0 {
+				v := math.Float64frombits(le.Uint64(data[o:]))
+				for i := range dst {
+					dst[i] = v
+				}
+				continue
+			}
+			for i := 0; i < n; i++ {
+				dst[i] = math.Float64frombits(le.Uint64(data[o:]))
+				o += stride
+			}
+		case vConstI:
+			dst := vs.intReg(int(op.dst), n)
+			for i := range dst {
+				dst[i] = op.ci
+			}
+		case vConstF:
+			dst := vs.floatReg(int(op.dst), n)
+			for i := range dst {
+				dst[i] = op.cf
+			}
+		case vConstM:
+			dst := vs.maskReg(int(op.dst), n)
+			v := op.ci != 0
+			for i := range dst {
+				dst[i] = v
+			}
+		case vCastIF:
+			src := vs.intReg(int(op.adr), n)
+			dst := vs.floatReg(int(op.dst), n)
+			for i := range dst {
+				dst[i] = float64(src[i])
+			}
+		case vCastFI:
+			src := vs.floatReg(int(op.adr), n)
+			dst := vs.intReg(int(op.dst), n)
+			for i := range dst {
+				dst[i] = int64(src[i])
+			}
+		case vNegI:
+			dst := vs.intReg(int(op.dst), n)
+			for i := range dst {
+				dst[i] = -dst[i]
+			}
+		case vNegF:
+			dst := vs.floatReg(int(op.dst), n)
+			for i := range dst {
+				dst[i] = -dst[i]
+			}
+		case vArithI:
+			a := vs.intReg(int(op.adr), n)
+			bb := vs.intReg(int(op.b), n)
+			dst := vs.intReg(int(op.dst), n)
+			switch op.arith {
+			case Add:
+				for i := range dst {
+					dst[i] = a[i] + bb[i]
+				}
+			case Sub:
+				for i := range dst {
+					dst[i] = a[i] - bb[i]
+				}
+			case Mul:
+				for i := range dst {
+					dst[i] = a[i] * bb[i]
+				}
+			case Div:
+				for i := range dst {
+					if bb[i] == 0 {
+						dst[i] = 0
+					} else {
+						dst[i] = a[i] / bb[i]
+					}
+				}
+			case Mod:
+				for i := range dst {
+					if bb[i] == 0 {
+						dst[i] = 0
+					} else {
+						dst[i] = a[i] % bb[i]
+					}
+				}
+			}
+		case vArithF:
+			a := vs.floatReg(int(op.adr), n)
+			bb := vs.floatReg(int(op.b), n)
+			dst := vs.floatReg(int(op.dst), n)
+			switch op.arith {
+			case Add:
+				for i := range dst {
+					dst[i] = a[i] + bb[i]
+				}
+			case Sub:
+				for i := range dst {
+					dst[i] = a[i] - bb[i]
+				}
+			case Mul:
+				for i := range dst {
+					dst[i] = a[i] * bb[i]
+				}
+			case Div:
+				for i := range dst {
+					dst[i] = a[i] / bb[i]
+				}
+			}
+		case vCmpI:
+			a := vs.intReg(int(op.adr), n)
+			bb := vs.intReg(int(op.b), n)
+			dst := vs.maskReg(int(op.dst), n)
+			switch op.cmp {
+			case Eq:
+				for i := range dst {
+					dst[i] = a[i] == bb[i]
+				}
+			case Ne:
+				for i := range dst {
+					dst[i] = a[i] != bb[i]
+				}
+			case Lt:
+				for i := range dst {
+					dst[i] = a[i] < bb[i]
+				}
+			case Le:
+				for i := range dst {
+					dst[i] = a[i] <= bb[i]
+				}
+			case Gt:
+				for i := range dst {
+					dst[i] = a[i] > bb[i]
+				}
+			case Ge:
+				for i := range dst {
+					dst[i] = a[i] >= bb[i]
+				}
+			}
+		case vCmpF:
+			a := vs.floatReg(int(op.adr), n)
+			bb := vs.floatReg(int(op.b), n)
+			dst := vs.maskReg(int(op.dst), n)
+			switch op.cmp {
+			case Eq:
+				for i := range dst {
+					dst[i] = a[i] == bb[i]
+				}
+			case Ne:
+				for i := range dst {
+					dst[i] = a[i] != bb[i]
+				}
+			case Lt:
+				for i := range dst {
+					dst[i] = a[i] < bb[i]
+				}
+			case Le:
+				for i := range dst {
+					dst[i] = a[i] <= bb[i]
+				}
+			case Gt:
+				for i := range dst {
+					dst[i] = a[i] > bb[i]
+				}
+			case Ge:
+				for i := range dst {
+					dst[i] = a[i] >= bb[i]
+				}
+			}
+		case vAndM:
+			bb := vs.maskReg(int(op.b), n)
+			dst := vs.maskReg(int(op.dst), n)
+			for i := range dst {
+				dst[i] = dst[i] && bb[i]
+			}
+		case vOrM:
+			bb := vs.maskReg(int(op.b), n)
+			dst := vs.maskReg(int(op.dst), n)
+			for i := range dst {
+				dst[i] = dst[i] || bb[i]
+			}
+		case vNotM:
+			dst := vs.maskReg(int(op.dst), n)
+			for i := range dst {
+				dst[i] = !dst[i]
+			}
+		}
+	}
+}
+
+// --- Fused selection loops --------------------------------------------------
+
+// The single column⋈constant compare is the dominant predicate shape
+// (paper Table 1's SELECT/GSELECT and every application filter), so each
+// (type, op) pair gets a dedicated loop over the raw bytes.
+
+func selI32(sel []int32, data []byte, off, stride, n int, op CmpOp, c int64) []int32 {
+	o := off
+	switch op {
+	case Eq:
+		for i := 0; i < n; i++ {
+			if int64(int32(le.Uint32(data[o:]))) == c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Ne:
+		for i := 0; i < n; i++ {
+			if int64(int32(le.Uint32(data[o:]))) != c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Lt:
+		for i := 0; i < n; i++ {
+			if int64(int32(le.Uint32(data[o:]))) < c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Le:
+		for i := 0; i < n; i++ {
+			if int64(int32(le.Uint32(data[o:]))) <= c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Gt:
+		for i := 0; i < n; i++ {
+			if int64(int32(le.Uint32(data[o:]))) > c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Ge:
+		for i := 0; i < n; i++ {
+			if int64(int32(le.Uint32(data[o:]))) >= c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	}
+	return sel
+}
+
+func selI64(sel []int32, data []byte, off, stride, n int, op CmpOp, c int64) []int32 {
+	o := off
+	switch op {
+	case Eq:
+		for i := 0; i < n; i++ {
+			if int64(le.Uint64(data[o:])) == c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Ne:
+		for i := 0; i < n; i++ {
+			if int64(le.Uint64(data[o:])) != c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Lt:
+		for i := 0; i < n; i++ {
+			if int64(le.Uint64(data[o:])) < c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Le:
+		for i := 0; i < n; i++ {
+			if int64(le.Uint64(data[o:])) <= c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Gt:
+		for i := 0; i < n; i++ {
+			if int64(le.Uint64(data[o:])) > c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Ge:
+		for i := 0; i < n; i++ {
+			if int64(le.Uint64(data[o:])) >= c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	}
+	return sel
+}
+
+func selF32(sel []int32, data []byte, off, stride, n int, op CmpOp, c float64) []int32 {
+	o := off
+	switch op {
+	case Eq:
+		for i := 0; i < n; i++ {
+			if float64(math.Float32frombits(le.Uint32(data[o:]))) == c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Ne:
+		for i := 0; i < n; i++ {
+			if float64(math.Float32frombits(le.Uint32(data[o:]))) != c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Lt:
+		for i := 0; i < n; i++ {
+			if float64(math.Float32frombits(le.Uint32(data[o:]))) < c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Le:
+		for i := 0; i < n; i++ {
+			if float64(math.Float32frombits(le.Uint32(data[o:]))) <= c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Gt:
+		for i := 0; i < n; i++ {
+			if float64(math.Float32frombits(le.Uint32(data[o:]))) > c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Ge:
+		for i := 0; i < n; i++ {
+			if float64(math.Float32frombits(le.Uint32(data[o:]))) >= c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	}
+	return sel
+}
+
+func selF64(sel []int32, data []byte, off, stride, n int, op CmpOp, c float64) []int32 {
+	o := off
+	switch op {
+	case Eq:
+		for i := 0; i < n; i++ {
+			if math.Float64frombits(le.Uint64(data[o:])) == c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Ne:
+		for i := 0; i < n; i++ {
+			if math.Float64frombits(le.Uint64(data[o:])) != c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Lt:
+		for i := 0; i < n; i++ {
+			if math.Float64frombits(le.Uint64(data[o:])) < c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Le:
+		for i := 0; i < n; i++ {
+			if math.Float64frombits(le.Uint64(data[o:])) <= c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Gt:
+		for i := 0; i < n; i++ {
+			if math.Float64frombits(le.Uint64(data[o:])) > c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	case Ge:
+		for i := 0; i < n; i++ {
+			if math.Float64frombits(le.Uint64(data[o:])) >= c {
+				sel = append(sel, int32(i))
+			}
+			o += stride
+		}
+	}
+	return sel
+}
+
+// leafValue decodes the leaf's column for row i in the leaf's comparison
+// domain.
+func (lf *leafCmp) passAt(in BatchInput, i int) bool {
+	data, stride := in.side(lf.side)
+	o := lf.off + i*stride
+	if lf.isInt {
+		var v int64
+		if lf.typ == schema.Int32 {
+			v = int64(int32(le.Uint32(data[o:])))
+		} else {
+			v = int64(le.Uint64(data[o:]))
+		}
+		switch lf.op {
+		case Eq:
+			return v == lf.ci
+		case Ne:
+			return v != lf.ci
+		case Lt:
+			return v < lf.ci
+		case Le:
+			return v <= lf.ci
+		case Gt:
+			return v > lf.ci
+		case Ge:
+			return v >= lf.ci
+		}
+		return false
+	}
+	var v float64
+	switch lf.typ {
+	case schema.Int32:
+		v = float64(int32(le.Uint32(data[o:])))
+	case schema.Int64:
+		v = float64(int64(le.Uint64(data[o:])))
+	case schema.Float32:
+		v = float64(math.Float32frombits(le.Uint32(data[o:])))
+	default:
+		v = math.Float64frombits(le.Uint64(data[o:]))
+	}
+	switch lf.op {
+	case Eq:
+		return v == lf.cf
+	case Ne:
+		return v != lf.cf
+	case Lt:
+		return v < lf.cf
+	case Le:
+		return v <= lf.cf
+	case Gt:
+		return v > lf.cf
+	case Ge:
+		return v >= lf.cf
+	}
+	return false
+}
+
+// selLeaf runs one leaf's specialized typed comparison loop over the full
+// batch, appending passing rows to sel. ok is false when the leaf has no
+// specialization (an integer column compared in the float domain).
+func selLeaf(lf *leafCmp, sel []int32, data []byte, stride, n int) ([]int32, bool) {
+	if lf.isInt {
+		switch lf.typ {
+		case schema.Int32:
+			return selI32(sel, data, lf.off, stride, n, lf.op, lf.ci), true
+		case schema.Int64:
+			return selI64(sel, data, lf.off, stride, n, lf.op, lf.ci), true
+		}
+	} else {
+		switch lf.typ {
+		case schema.Float32:
+			return selF32(sel, data, lf.off, stride, n, lf.op, lf.cf), true
+		case schema.Float64:
+			return selF64(sel, data, lf.off, stride, n, lf.op, lf.cf), true
+		}
+	}
+	return sel, false
+}
+
+// intersectSel compacts a in place to the values also present in b; both
+// inputs are ascending, as produced by the selection loops.
+func intersectSel(a, b []int32) []int32 {
+	w, j := 0, 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j == len(b) {
+			break
+		}
+		if b[j] == v {
+			a[w] = v
+			w++
+			j++
+		}
+	}
+	return a[:w]
+}
+
+func evalLeafSel(vs *VecScratch, leaves []leafCmp, sel []int32, in BatchInput) []int32 {
+	n := in.N
+	// Broadcast leaves (a join's pinned left tuple) are row-invariant:
+	// evaluate once and either fold the leaf out or reject the whole batch.
+	// Unspecializable leaves force the generic per-row loop below.
+	specializable := true
+	for k := range leaves {
+		lf := &leaves[k]
+		_, stride := in.side(lf.side)
+		if stride == 0 {
+			if !lf.passAt(in, 0) {
+				return sel
+			}
+			continue
+		}
+		if lf.isInt {
+			continue
+		}
+		if lf.typ != schema.Float32 && lf.typ != schema.Float64 {
+			specializable = false
+		}
+	}
+	if specializable {
+		// One tight typed pass per leaf; conjunction by intersecting the
+		// sorted selection vectors.
+		first := true
+		for k := range leaves {
+			lf := &leaves[k]
+			data, stride := in.side(lf.side)
+			if stride == 0 {
+				continue
+			}
+			if first {
+				sel, _ = selLeaf(lf, sel, data, stride, n)
+				first = false
+			} else {
+				vs.selTmp, _ = selLeaf(lf, vs.selTmp[:0], data, stride, n)
+				sel = intersectSel(sel, vs.selTmp)
+			}
+			if len(sel) == 0 && !first {
+				return sel
+			}
+		}
+		if first { // every leaf was a passing broadcast: all rows qualify
+			for i := 0; i < n; i++ {
+				sel = append(sel, int32(i))
+			}
+		}
+		return sel
+	}
+	// AND of leaves with a mixed-domain column: one loop over the raw
+	// bytes, dispatching by leaf code — no per-tuple function calls into a
+	// closure tree.
+	for i := 0; i < n; i++ {
+		pass := true
+		for k := range leaves {
+			if !leaves[k].passAt(in, i) {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}
+
+// --- Public batch entry points ----------------------------------------------
+
+// EvalBatch evaluates the predicate over every row of the batch and
+// appends the indices of passing rows to sel[:0], returning the filled
+// selection vector. Results are bit-identical to calling Eval per row.
+func (p *PredProgram) EvalBatch(vs *VecScratch, sel []int32, in BatchInput) []int32 {
+	sel = sel[:0]
+	n := in.N
+	if n == 0 {
+		return sel
+	}
+	if p.fused {
+		if len(p.leaves) == 0 {
+			for i := 0; i < n; i++ {
+				sel = append(sel, int32(i))
+			}
+			return sel
+		}
+		return evalLeafSel(vs, p.leaves, sel, in)
+	}
+	if p.batch != nil {
+		runVec(p.batch.ops, vs, in)
+		mask := vs.maskReg(0, n)
+		for i := 0; i < n; i++ {
+			if mask[i] {
+				sel = append(sel, int32(i))
+			}
+		}
+		return sel
+	}
+	for i := 0; i < n; i++ {
+		l, r := in.row(i)
+		if p.fn(l, r) {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}
+
+// EvalBatchFloat evaluates the expression for every row into dst (grown
+// to N), with float64 semantics identical to per-row EvalFloat.
+func (p *NumProgram) EvalBatchFloat(vs *VecScratch, dst []float64, in BatchInput) []float64 {
+	n := in.N
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	if p.batch != nil {
+		if len(p.batch.ops) == 1 {
+			if fillColumnFloat(dst, &p.batch.ops[0], in) {
+				return dst
+			}
+		}
+		runVec(p.batch.ops, vs, in)
+		if p.batch.isInt {
+			src := vs.intReg(0, n)
+			for i := range dst {
+				dst[i] = float64(src[i])
+			}
+		} else {
+			copy(dst, vs.floatReg(0, n))
+		}
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		l, r := in.row(i)
+		dst[i] = p.EvalFloat(l, r)
+	}
+	return dst
+}
+
+// EvalBatchInt evaluates the expression for every row into dst (grown to
+// N), with integer semantics identical to per-row EvalInt.
+func (p *NumProgram) EvalBatchInt(vs *VecScratch, dst []int64, in BatchInput) []int64 {
+	n := in.N
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	if p.batch != nil {
+		if len(p.batch.ops) == 1 {
+			if fillColumnInt(dst, &p.batch.ops[0], in) {
+				return dst
+			}
+		}
+		runVec(p.batch.ops, vs, in)
+		if p.batch.isInt {
+			copy(dst, vs.intReg(0, n))
+		} else {
+			src := vs.floatReg(0, n)
+			for i := range dst {
+				dst[i] = int64(src[i])
+			}
+		}
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		l, r := in.row(i)
+		dst[i] = p.EvalInt(l, r)
+	}
+	return dst
+}
+
+// fillColumnFloat is the fused fixed-offset column-load path: a program
+// that is a single load or constant fills dst in one typed loop.
+func fillColumnFloat(dst []float64, op *vecOp, in BatchInput) bool {
+	n := in.N
+	data, stride := in.side(op.side)
+	o := int(op.off)
+	switch op.code {
+	case vLoadI32:
+		if stride == 0 {
+			fillF(dst, float64(int32(le.Uint32(data[o:]))))
+			return true
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = float64(int32(le.Uint32(data[o:])))
+			o += stride
+		}
+	case vLoadI64:
+		if stride == 0 {
+			fillF(dst, float64(int64(le.Uint64(data[o:]))))
+			return true
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = float64(int64(le.Uint64(data[o:])))
+			o += stride
+		}
+	case vLoadF32:
+		if stride == 0 {
+			fillF(dst, float64(math.Float32frombits(le.Uint32(data[o:]))))
+			return true
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = float64(math.Float32frombits(le.Uint32(data[o:])))
+			o += stride
+		}
+	case vLoadF64:
+		if stride == 0 {
+			fillF(dst, math.Float64frombits(le.Uint64(data[o:])))
+			return true
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = math.Float64frombits(le.Uint64(data[o:]))
+			o += stride
+		}
+	case vConstI:
+		fillF(dst, float64(op.ci))
+	case vConstF:
+		fillF(dst, op.cf)
+	default:
+		return false
+	}
+	return true
+}
+
+func fillColumnInt(dst []int64, op *vecOp, in BatchInput) bool {
+	n := in.N
+	data, stride := in.side(op.side)
+	o := int(op.off)
+	switch op.code {
+	case vLoadI32:
+		if stride == 0 {
+			fillI(dst, int64(int32(le.Uint32(data[o:]))))
+			return true
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = int64(int32(le.Uint32(data[o:])))
+			o += stride
+		}
+	case vLoadI64:
+		if stride == 0 {
+			fillI(dst, int64(le.Uint64(data[o:])))
+			return true
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = int64(le.Uint64(data[o:]))
+			o += stride
+		}
+	case vLoadF32:
+		if stride == 0 {
+			fillI(dst, int64(math.Float32frombits(le.Uint32(data[o:]))))
+			return true
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = int64(math.Float32frombits(le.Uint32(data[o:])))
+			o += stride
+		}
+	case vLoadF64:
+		if stride == 0 {
+			fillI(dst, int64(math.Float64frombits(le.Uint64(data[o:]))))
+			return true
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = int64(math.Float64frombits(le.Uint64(data[o:])))
+			o += stride
+		}
+	case vConstI:
+		fillI(dst, op.ci)
+	case vConstF:
+		fillI(dst, int64(op.cf))
+	default:
+		return false
+	}
+	return true
+}
+
+func fillF(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+func fillI(dst []int64, v int64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}

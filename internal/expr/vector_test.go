@@ -1,0 +1,320 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"saber/internal/schema"
+)
+
+// randSchema builds a schema with a timestamp and nf random-typed fields.
+func randSchema(rnd *rand.Rand, nf int) *schema.Schema {
+	fields := []schema.Field{{Name: "ts", Type: schema.Int64}}
+	types := []schema.Type{schema.Int32, schema.Int64, schema.Float32, schema.Float64}
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i := 0; i < nf; i++ {
+		fields = append(fields, schema.Field{Name: names[i], Type: types[rnd.Intn(len(types))]})
+	}
+	return schema.MustNew(fields...)
+}
+
+// randBatch fills a packed batch of n tuples, seeding a mix of small
+// values (so integer == hits), zeros (division guards) and NaNs/infs.
+func randBatch(rnd *rand.Rand, s *schema.Schema, n int) []byte {
+	data := make([]byte, n*s.TupleSize())
+	for i := 0; i < n; i++ {
+		t := data[i*s.TupleSize():]
+		for f := 0; f < s.NumFields(); f++ {
+			switch s.Field(f).Type {
+			case schema.Int32:
+				s.WriteInt32(t, f, int32(rnd.Intn(9)-4))
+			case schema.Int64:
+				s.WriteInt64(t, f, int64(rnd.Intn(9)-4))
+			case schema.Float32:
+				switch rnd.Intn(8) {
+				case 0:
+					s.WriteFloat32(t, f, float32(math.NaN()))
+				case 1:
+					s.WriteFloat32(t, f, float32(math.Inf(1)))
+				default:
+					s.WriteFloat32(t, f, float32(rnd.NormFloat64()))
+				}
+			case schema.Float64:
+				switch rnd.Intn(8) {
+				case 0:
+					s.WriteFloat64(t, f, math.NaN())
+				case 1:
+					s.WriteFloat64(t, f, math.Inf(-1))
+				default:
+					s.WriteFloat64(t, f, rnd.NormFloat64())
+				}
+			}
+		}
+	}
+	return data
+}
+
+// randExpr generates a random numeric expression tree over s.
+func randExpr(rnd *rand.Rand, s *schema.Schema, depth int) Expr {
+	if depth <= 0 || rnd.Intn(3) == 0 {
+		switch rnd.Intn(4) {
+		case 0:
+			return IntConst(rnd.Intn(7) - 3)
+		case 1:
+			if rnd.Intn(6) == 0 {
+				return FloatConst(math.NaN())
+			}
+			return FloatConst(rnd.NormFloat64())
+		default:
+			return Col(s.Field(rnd.Intn(s.NumFields())).Name)
+		}
+	}
+	if rnd.Intn(6) == 0 {
+		return Neg{E: randExpr(rnd, s, depth-1)}
+	}
+	op := ArithOp(rnd.Intn(5))
+	return Arith{Op: op, Left: randExpr(rnd, s, depth-1), Right: randExpr(rnd, s, depth-1)}
+}
+
+// randPred generates a random predicate tree over s.
+func randPred(rnd *rand.Rand, s *schema.Schema, depth int) Pred {
+	if depth <= 0 || rnd.Intn(3) == 0 {
+		return Cmp{Op: CmpOp(rnd.Intn(6)), Left: randExpr(rnd, s, 1), Right: randExpr(rnd, s, 1)}
+	}
+	switch rnd.Intn(4) {
+	case 0:
+		return Not{P: randPred(rnd, s, depth-1)}
+	case 1:
+		n := rnd.Intn(3)
+		ps := make([]Pred, n)
+		for i := range ps {
+			ps[i] = randPred(rnd, s, depth-1)
+		}
+		return Or{Preds: ps}
+	default:
+		n := rnd.Intn(3)
+		ps := make([]Pred, n)
+		for i := range ps {
+			ps[i] = randPred(rnd, s, depth-1)
+		}
+		return And{Preds: ps}
+	}
+}
+
+// validExpr reports whether e compiles in the scalar path (float %
+// is a static error there).
+func compileOK(e Expr, r Resolver) (*NumProgram, bool) {
+	p, err := CompileNum(e, r)
+	return p, err == nil
+}
+
+// TestVectorNumDifferential: random trees over random schemas/batches —
+// batch float/int evaluation must be bit-identical to per-tuple scalar.
+func TestVectorNumDifferential(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	var vs VecScratch
+	trees, lowered := 0, 0
+	for iter := 0; iter < 400; iter++ {
+		s := randSchema(rnd, 1+rnd.Intn(6))
+		r := SingleResolver{Schema: s}
+		e := randExpr(rnd, s, 1+rnd.Intn(3))
+		p, ok := compileOK(e, r)
+		if !ok {
+			continue
+		}
+		trees++
+		if p.batch != nil {
+			lowered++
+		}
+		n := rnd.Intn(64) // includes empty batches
+		data := randBatch(rnd, s, n)
+		in := BatchInput{L: data, LStride: s.TupleSize(), N: n}
+
+		fcol := p.EvalBatchFloat(&vs, nil, in)
+		icol := p.EvalBatchInt(&vs, nil, in)
+		if len(fcol) != n || len(icol) != n {
+			t.Fatalf("expr %v: column length %d/%d, want %d", e, len(fcol), len(icol), n)
+		}
+		for i := 0; i < n; i++ {
+			tuple := data[i*s.TupleSize():]
+			wantF := p.EvalFloat(tuple, nil)
+			wantI := p.EvalInt(tuple, nil)
+			// Bitwise equality, except that any NaN matches any NaN: when
+			// both operands of a commutative op are NaN, which payload
+			// propagates depends on operand register order, which the
+			// compiler is free to choose differently for the closure and
+			// the loop. Comparisons and conversions treat all NaNs alike,
+			// so this is not an observable semantic difference.
+			if math.Float64bits(fcol[i]) != math.Float64bits(wantF) &&
+				!(math.IsNaN(fcol[i]) && math.IsNaN(wantF)) {
+				t.Fatalf("expr %v row %d: batch float %v (%x), scalar %v (%x)",
+					e, i, fcol[i], math.Float64bits(fcol[i]), wantF, math.Float64bits(wantF))
+			}
+			if icol[i] != wantI {
+				t.Fatalf("expr %v row %d: batch int %d, scalar %d", e, i, icol[i], wantI)
+			}
+		}
+	}
+	if trees == 0 || lowered == 0 {
+		t.Fatalf("degenerate run: %d trees compiled, %d lowered to batch programs", trees, lowered)
+	}
+}
+
+// TestVectorPredDifferential: random predicates — EvalBatch's selection
+// vector must match per-tuple Eval exactly, including NaN compares.
+func TestVectorPredDifferential(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	var vs VecScratch
+	var sel []int32
+	preds, fused, programs := 0, 0, 0
+	for iter := 0; iter < 400; iter++ {
+		s := randSchema(rnd, 1+rnd.Intn(6))
+		r := SingleResolver{Schema: s}
+		pr := randPred(rnd, s, 1+rnd.Intn(3))
+		p, err := CompilePred(pr, r)
+		if err != nil {
+			continue
+		}
+		preds++
+		if p.fused {
+			fused++
+		}
+		if p.batch != nil {
+			programs++
+		}
+		n := rnd.Intn(64)
+		data := randBatch(rnd, s, n)
+		in := BatchInput{L: data, LStride: s.TupleSize(), N: n}
+
+		sel = p.EvalBatch(&vs, sel, in)
+		var want []int32
+		for i := 0; i < n; i++ {
+			if p.EvalTuple(data[i*s.TupleSize():]) {
+				want = append(want, int32(i))
+			}
+		}
+		if len(sel) != len(want) {
+			t.Fatalf("pred %v: selection %v, want %v", pr, sel, want)
+		}
+		for i := range sel {
+			if sel[i] != want[i] {
+				t.Fatalf("pred %v: selection %v, want %v", pr, sel, want)
+			}
+		}
+	}
+	if preds == 0 || fused == 0 || programs == 0 {
+		t.Fatalf("degenerate run: %d preds, %d fused, %d programs", preds, fused, programs)
+	}
+}
+
+// TestVectorFusedShapes pins the fused fast paths: single column⋈constant
+// compares of every type and op, const-on-left flips, AND-of-compares,
+// all-rejected and empty And/Or.
+func TestVectorFusedShapes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	s := schema.MustNew(
+		schema.Field{Name: "ts", Type: schema.Int64},
+		schema.Field{Name: "i32", Type: schema.Int32},
+		schema.Field{Name: "i64", Type: schema.Int64},
+		schema.Field{Name: "f32", Type: schema.Float32},
+		schema.Field{Name: "f64", Type: schema.Float64},
+	)
+	r := SingleResolver{Schema: s}
+	n := 257
+	data := randBatch(rnd, s, n)
+	in := BatchInput{L: data, LStride: s.TupleSize(), N: n}
+
+	var cases []Pred
+	for _, col := range []string{"i32", "i64", "f32", "f64"} {
+		for op := Eq; op <= Ge; op++ {
+			cases = append(cases,
+				Cmp{Op: op, Left: Col(col), Right: IntConst(1)},
+				Cmp{Op: op, Left: Col(col), Right: FloatConst(0.25)},
+				Cmp{Op: op, Left: FloatConst(math.NaN()), Right: Col(col)},
+				Cmp{Op: op, Left: IntConst(-2), Right: Col(col)}, // const-on-left flip
+			)
+		}
+	}
+	cases = append(cases,
+		And{}, // empty: all pass
+		Or{},  // empty: all reject
+		Cmp{Op: Lt, Left: Col("i64"), Right: IntConst(math.MinInt32)}, // all rejected
+		And{Preds: []Pred{
+			Cmp{Op: Ge, Left: Col("i32"), Right: IntConst(0)},
+			Cmp{Op: Lt, Left: Col("f64"), Right: FloatConst(1)},
+			Cmp{Op: Ne, Left: Col("i64"), Right: IntConst(2)},
+		}},
+	)
+
+	var vs VecScratch
+	var sel []int32
+	for _, pr := range cases {
+		p, err := CompilePred(pr, r)
+		if err != nil {
+			t.Fatalf("compile %v: %v", pr, err)
+		}
+		sel = p.EvalBatch(&vs, sel, in)
+		j := 0
+		for i := 0; i < n; i++ {
+			pass := p.EvalTuple(data[i*s.TupleSize():])
+			inSel := j < len(sel) && sel[j] == int32(i)
+			if inSel {
+				j++
+			}
+			if pass != inSel {
+				t.Fatalf("pred %v row %d: scalar %v, selected %v", pr, i, pass, inSel)
+			}
+		}
+		if j != len(sel) {
+			t.Fatalf("pred %v: %d extra selection entries", pr, len(sel)-j)
+		}
+	}
+}
+
+// TestVectorBroadcast pins the stride-0 broadcast path used by the join
+// inner pass: one left tuple against a whole right batch.
+func TestVectorBroadcast(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	ls := randSchema(rnd, 4)
+	rs := randSchema(rnd, 4)
+	r := PairResolver{Left: ls, Right: rs, LeftAlias: "L", RightAlias: "R"}
+	n := 100
+	lData := randBatch(rnd, ls, 3)
+	rData := randBatch(rnd, rs, n)
+
+	preds := []Pred{
+		Cmp{Op: Le, Left: QCol("L", "a"), Right: QCol("R", "a")},
+		And{Preds: []Pred{
+			Cmp{Op: Ge, Left: QCol("L", "b"), Right: QCol("R", "b")},
+			Cmp{Op: Lt, Left: QCol("R", "a"), Right: FloatConst(0.5)},
+		}},
+	}
+	var vs VecScratch
+	var sel []int32
+	for _, pr := range preds {
+		p, err := CompilePred(pr, r)
+		if err != nil {
+			t.Fatalf("compile %v: %v", pr, err)
+		}
+		for ti := 0; ti < 3; ti++ {
+			left := lData[ti*ls.TupleSize() : (ti+1)*ls.TupleSize()]
+			in := BatchInput{L: left, LStride: 0, R: rData, RStride: rs.TupleSize(), N: n}
+			sel = p.EvalBatch(&vs, sel, in)
+			var want []int32
+			for i := 0; i < n; i++ {
+				if p.Eval(left, rData[i*rs.TupleSize():]) {
+					want = append(want, int32(i))
+				}
+			}
+			if len(sel) != len(want) {
+				t.Fatalf("pred %v left %d: selection %v, want %v", pr, ti, sel, want)
+			}
+			for i := range sel {
+				if sel[i] != want[i] {
+					t.Fatalf("pred %v left %d: selection %v, want %v", pr, ti, sel, want)
+				}
+			}
+		}
+	}
+}

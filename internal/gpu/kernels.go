@@ -121,14 +121,13 @@ func (p *Program) mapKernel(j *job) {
 	counts := make([]int, nGroups)
 
 	p.d.launch(n, func(lo, hi int) {
-		cnt := 0
-		for i := lo; i < hi; i++ {
-			if plan.EvalFilter(data[i*tsz : (i+1)*tsz]) {
-				flags[i] = 1
-				cnt++
-			}
+		// Batch-evaluate the predicate over the workgroup's range — the
+		// same vectorized selection the CPU path runs.
+		sel := plan.FilterSelect(nil, data, lo, hi)
+		for _, i := range sel {
+			flags[i] = 1
 		}
-		counts[lo/gs] = cnt
+		counts[lo/gs] = len(sel)
 	})
 
 	// Scan the workgroup counts (small, done by the host like the
@@ -213,19 +212,25 @@ func (p *Program) aggKernelScalar(j *job, data []byte, tsz int, frags []window.F
 	plan := p.plan
 	m := plan.NumAggs()
 	ops := plan.AggOps()
+	// Carve every fragment's accumulators out of the result's arena
+	// before the launch: AllocVals is not safe from concurrent work
+	// items.
+	for fi := range parts {
+		part := &parts[fi]
+		part.Vals = j.res.AllocVals(m)
+		for a, op := range ops {
+			switch op {
+			case exec.OpMin:
+				part.Vals[a] = math.Inf(1)
+			case exec.OpMax:
+				part.Vals[a] = math.Inf(-1)
+			}
+		}
+	}
 	p.d.launch(len(frags), func(lo, hi int) {
 		for fi := lo; fi < hi; fi++ {
 			f := frags[fi]
 			part := &parts[fi]
-			part.Vals = make([]float64, m)
-			for a, op := range ops {
-				switch op {
-				case exec.OpMin:
-					part.Vals[a] = math.Inf(1)
-				case exec.OpMax:
-					part.Vals[a] = math.Inf(-1)
-				}
-			}
 			// Reduction over the fragment's tuples.
 			for i := f.Start; i < f.End; i++ {
 				tuple := data[i*tsz : (i+1)*tsz]

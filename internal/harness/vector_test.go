@@ -1,0 +1,34 @@
+package harness
+
+import (
+	"testing"
+
+	"saber/internal/exec"
+)
+
+// TestVectorizedMatchesScalarEndToEnd runs the same seeded workloads
+// through the full engine twice — CPU operators pinned to the per-tuple
+// scalar reference, then to the vectorized batch kernels. Both runs must
+// be invariant-clean and conserve identical tuple volumes, tying the
+// vectorized path's correctness to the concurrent engine, not just to
+// single-threaded Plan.Process calls.
+func TestVectorizedMatchesScalarEndToEnd(t *testing.T) {
+	defer exec.SetDefaultVectorized(exec.DefaultVectorized())
+	for _, wl := range []string{WorkloadPassthrough, WorkloadAgg} {
+		cfg := Config{
+			Seed:     Seed(404),
+			Workload: wl,
+			Tuples:   scale(20000, 60000),
+			Workers:  6,
+			TaskSize: 1024,
+		}
+		exec.SetDefaultVectorized(false)
+		scalar := runClean(t, cfg)
+		exec.SetDefaultVectorized(true)
+		vec := runClean(t, cfg)
+		if vec.TuplesIn != scalar.TuplesIn || vec.TuplesOut != scalar.TuplesOut {
+			t.Fatalf("%s: vectorized run diverges from scalar: in %d/%d, out %d/%d",
+				wl, vec.TuplesIn, scalar.TuplesIn, vec.TuplesOut, scalar.TuplesOut)
+		}
+	}
+}
