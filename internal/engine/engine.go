@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"saber/internal/exec"
+	"saber/internal/fault"
 	"saber/internal/gpu"
 	"saber/internal/model"
 	"saber/internal/query"
@@ -50,6 +51,26 @@ type Config struct {
 	// native speed instead (correctness tests).
 	Model      model.Params
 	DisablePad bool
+
+	// MaxTaskRetries bounds how many times a failing task is re-executed
+	// before it is quarantined (its window range is recorded as a gap and
+	// assembly continues past it). Default 3.
+	MaxTaskRetries int
+	// GPUTaskTimeout is how long the GPU worker waits for a submitted task
+	// before declaring the device hung and failing the task over to the
+	// CPU. Default 2s.
+	GPUTaskTimeout time.Duration
+	// BreakerThreshold is the number of consecutive GPGPU task failures
+	// that open the circuit breaker (hybrid hls/fcfs modes only).
+	// Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before letting a
+	// half-open probe through. Default 50ms.
+	BreakerCooldown time.Duration
+	// Fault optionally injects plan-execution faults on the CPU path; the
+	// GPU device takes its own injector via gpu.Config. nil runs
+	// fault-free.
+	Fault *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +116,18 @@ func (c Config) withDefaults() Config {
 	if c.Model.TimeScale == 0 {
 		c.Model = model.Default()
 	}
+	if c.MaxTaskRetries <= 0 {
+		c.MaxTaskRetries = 3
+	}
+	if c.GPUTaskTimeout <= 0 {
+		c.GPUTaskTimeout = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 50 * time.Millisecond
+	}
 	return c
 }
 
@@ -108,6 +141,21 @@ type Engine struct {
 	queue  *task.Queue
 	matrix *sched.Matrix
 	policy sched.Policy
+
+	// breaker is the GPGPU circuit breaker; nil in single-processor modes
+	// and under policies that cannot reroute (static, greedy).
+	breaker *sched.Breaker
+
+	// gpuInflight counts tasks currently owned by the GPU worker. CPU
+	// workers may only exit once it reaches zero: a failing GPU task is
+	// requeued (pinned CPUOnly) even after the queue closed, and someone
+	// must still be around to run it.
+	gpuInflight atomic.Int64
+
+	// lateWG tracks goroutines waiting on timed-out GPU submissions so a
+	// hung device's eventual (discarded) late results are accounted for
+	// before Close returns.
+	lateWG sync.WaitGroup
 
 	started atomic.Bool
 	stopped atomic.Bool
@@ -197,6 +245,20 @@ func (e *Engine) Start() error {
 		return fmt.Errorf("engine: unknown policy %q", e.cfg.Policy)
 	}
 
+	// The circuit breaker only makes sense when failed GPU work can be
+	// rerouted: hybrid mode under a policy that lets the CPU absorb it.
+	// Static and greedy assignments would starve GPU-pinned queries while
+	// the breaker is open, so they run without one.
+	if e.cfg.GPU != nil && e.cfg.CPUWorkers > 0 {
+		switch e.policy.(type) {
+		case *sched.HLS:
+			e.breaker = sched.NewBreaker(e.cfg.BreakerThreshold, e.cfg.BreakerCooldown)
+			e.policy.(*sched.HLS).Breaker = e.breaker
+		case sched.FCFS:
+			e.breaker = sched.NewBreaker(e.cfg.BreakerThreshold, e.cfg.BreakerCooldown)
+		}
+	}
+
 	for i := 0; i < e.cfg.CPUWorkers; i++ {
 		e.workers.Add(1)
 		go e.cpuWorker()
@@ -224,18 +286,26 @@ func (e *Engine) Drain() {
 	}
 }
 
-// Close stops the workers. Drain first for a clean shutdown; Close alone
-// abandons queued work.
+// Close stops the workers and waits for any late results from timed-out
+// GPGPU tasks to be collected and discarded. Drain first for a clean
+// shutdown; Close alone abandons queued work. Close the engine before
+// closing the GPU device — the late-result collectors block on the
+// device's pipeline.
 func (e *Engine) Close() {
 	if e.stopped.Swap(true) {
 		return
 	}
 	e.queue.Close()
 	e.workers.Wait()
+	e.lateWG.Wait()
 }
 
 // Matrix exposes the throughput matrix (telemetry, Fig. 16).
 func (e *Engine) Matrix() *sched.Matrix { return e.matrix }
+
+// Breaker exposes the GPGPU circuit breaker, or nil when the engine runs
+// without one (single-processor modes, static/greedy policies).
+func (e *Engine) Breaker() *sched.Breaker { return e.breaker }
 
 // Policy exposes the scheduling policy chosen at Start (telemetry), or
 // nil before Start.

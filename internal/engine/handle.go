@@ -32,6 +32,10 @@ func (h *Handle) OutputSchema() *schema.Schema { return h.r.OutputSchema() }
 // Name returns the query name.
 func (h *Handle) Name() string { return h.r.plan.Q.Name }
 
+// RecentFailures returns the most recent task-execution errors recorded
+// for this query (at most a handful are retained), newest last.
+func (h *Handle) RecentFailures() []error { return h.r.recentFailures() }
+
 // statsCounters are the per-query atomic counters.
 type statsCounters struct {
 	bytesIn      atomic.Int64
@@ -42,6 +46,14 @@ type statsCounters struct {
 	tasksGPU     atomic.Int64
 	latencyNs    atomic.Int64
 	latencyN     atomic.Int64
+
+	// Fault-tolerance counters.
+	tasksFailed      atomic.Int64 // failed execution attempts (all causes)
+	tasksRetried     atomic.Int64 // failed attempts that were requeued
+	tasksQuarantined atomic.Int64 // tasks given up on after MaxTaskRetries
+	tuplesShed       atomic.Int64 // input tuples covered by quarantined tasks
+	gpuFailovers     atomic.Int64 // GPU-failed tasks pinned to the CPU class
+	gpuTimeouts      atomic.Int64 // device hangs detected by GPUTaskTimeout
 }
 
 // Stats is a point-in-time snapshot of one query's counters.
@@ -54,6 +66,22 @@ type Stats struct {
 	TasksGPU     int64
 	// AvgLatency is the mean task-creation→result-emission latency.
 	AvgLatency time.Duration
+
+	// TasksFailed counts failed execution attempts (several per task when
+	// it is retried); TasksRetried the attempts requeued for another go;
+	// TasksQuarantined the tasks abandoned after MaxTaskRetries, with
+	// TuplesShed the input tuples their gap entries cover.
+	TasksFailed      int64
+	TasksRetried     int64
+	TasksQuarantined int64
+	TuplesShed       int64
+	// GPUFailovers counts GPU-failed tasks pinned over to the CPU class;
+	// GPUTimeouts the device hangs detected by GPUTaskTimeout.
+	GPUFailovers int64
+	GPUTimeouts  int64
+	// DuplicateResults counts deliveries the result stage discarded to
+	// keep assembly exactly-once (late results racing their CPU retry).
+	DuplicateResults int64
 }
 
 // GPUShare is the fraction of executed tasks that ran on the GPGPU.
@@ -69,12 +97,19 @@ func (s Stats) GPUShare() float64 {
 func (h *Handle) Stats() Stats {
 	c := &h.r.stats
 	s := Stats{
-		BytesIn:      c.bytesIn.Load(),
-		BytesOut:     c.bytesOut.Load(),
-		TuplesOut:    c.tuplesOut.Load(),
-		TasksCreated: c.tasksCreated.Load(),
-		TasksCPU:     c.tasksCPU.Load(),
-		TasksGPU:     c.tasksGPU.Load(),
+		BytesIn:          c.bytesIn.Load(),
+		BytesOut:         c.bytesOut.Load(),
+		TuplesOut:        c.tuplesOut.Load(),
+		TasksCreated:     c.tasksCreated.Load(),
+		TasksCPU:         c.tasksCPU.Load(),
+		TasksGPU:         c.tasksGPU.Load(),
+		TasksFailed:      c.tasksFailed.Load(),
+		TasksRetried:     c.tasksRetried.Load(),
+		TasksQuarantined: c.tasksQuarantined.Load(),
+		TuplesShed:       c.tuplesShed.Load(),
+		GPUFailovers:     c.gpuFailovers.Load(),
+		GPUTimeouts:      c.gpuTimeouts.Load(),
+		DuplicateResults: h.r.result.duplicates.Load(),
 	}
 	if n := c.latencyN.Load(); n > 0 {
 		s.AvgLatency = time.Duration(c.latencyNs.Load() / n)

@@ -26,6 +26,9 @@ func (e *Engine) Invariants() []inv.Checker {
 	if c, ok := e.policy.(inv.Checker); ok {
 		cs = append(cs, c)
 	}
+	if e.breaker != nil {
+		cs = append(cs, e.breaker)
+	}
 	if e.cfg.GPU != nil {
 		cs = append(cs, e.cfg.GPU)
 	}
@@ -46,7 +49,8 @@ func (rs *resultStage) InvariantName() string {
 //   - no overflow entry sits behind the drain frontier (an entry is
 //     removed under overflowMu before next advances past its ID, so a
 //     behind-frontier entry is a lost result, not a race);
-//   - slot control flags are either free or full.
+//   - slot control flags are free, full or claimed (a claimed slot is a
+//     deliverer mid-publish; it transitions to full or back to free).
 func (rs *resultStage) CheckInvariants() error {
 	drained := rs.drained.Load()
 	next := rs.next.Load()
@@ -72,7 +76,8 @@ func (rs *resultStage) CheckInvariants() error {
 	}
 
 	for i := range rs.slots {
-		if st := rs.slots[i].state.Load(); st != 0 && st != 1 {
+		st := rs.slots[i].state.Load()
+		if st != slotFree && st != slotFull && st != slotClaimed {
 			return fmt.Errorf("slot %d control flag %d", i, st)
 		}
 	}
@@ -93,6 +98,9 @@ type Debug struct {
 	// OverflowPending is the number of results currently parked in the
 	// overflow map.
 	OverflowPending int
+	// DuplicateResults counts deliveries discarded by the exactly-once
+	// guard (retries and late results losing the slot claim).
+	DuplicateResults int64
 	// RingWraps, RingStart and RingEnd describe each input ring buffer.
 	RingWraps []int64
 	RingStart []int64
@@ -112,6 +120,7 @@ func (h *Handle) Debug() Debug {
 		NextID:             rs.next.Load(),
 		OverflowDeliveries: rs.overflowed.Load(),
 		OverflowPending:    pending,
+		DuplicateResults:   rs.duplicates.Load(),
 	}
 	for i := 0; i < r.plan.NumInputs(); i++ {
 		ring := r.ins[i].ring

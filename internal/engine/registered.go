@@ -31,6 +31,37 @@ type registered struct {
 	taskSeq atomic.Int64
 	result  *resultStage
 	stats   statsCounters
+
+	// failMu guards failLog, a small ring of the most recent task errors
+	// (diagnostics; counters carry the volume).
+	failMu  sync.Mutex
+	failLog []error
+}
+
+// maxFailLog bounds the retained per-query error history.
+const maxFailLog = 8
+
+// recordFailure appends a task error to the bounded failure log.
+func (r *registered) recordFailure(err error) {
+	if err == nil {
+		return
+	}
+	r.failMu.Lock()
+	if len(r.failLog) == maxFailLog {
+		copy(r.failLog, r.failLog[1:])
+		r.failLog = r.failLog[:maxFailLog-1]
+	}
+	r.failLog = append(r.failLog, err)
+	r.failMu.Unlock()
+}
+
+// recentFailures snapshots the failure log, newest last.
+func (r *registered) recentFailures() []error {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	out := make([]error, len(r.failLog))
+	copy(out, r.failLog)
+	return out
 }
 
 type inputStream struct {

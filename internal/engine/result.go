@@ -15,6 +15,14 @@ import (
 // workers deposit out-of-order results without blocking each other, and
 // whichever worker holds the next in-order slot drains it — running the
 // assembly operator function and appending to the output stream.
+//
+// With task failover (GPU → CPU retries, late results from a hung
+// device) the same task ID can be delivered more than once; the stage
+// guarantees exactly-once assembly: a delivery must CAS-claim its slot
+// (or insert first into the overflow map), and every losing delivery is
+// discarded. Quarantined tasks deposit a gap entry that releases the
+// task's inputs and advances the drain frontier without emitting output,
+// so a poisoned task cannot wedge assembly.
 type resultStage struct {
 	r     *registered
 	slots []resultSlot
@@ -34,6 +42,11 @@ type resultStage struct {
 	overflow   map[int64]overflowEntry
 	overflowed atomic.Int64
 
+	// duplicates counts deliveries discarded because another attempt of
+	// the same task already claimed the slot (or the task had already
+	// drained) — the exactly-once guarantee at work.
+	duplicates atomic.Int64
+
 	sinkMu sync.RWMutex
 	sink   func([]byte)
 }
@@ -42,51 +55,149 @@ type overflowEntry struct {
 	res    *exec.TaskResult
 	freeTo [2]int64
 	start  int64
+	gap    bool
 }
 
+// Slot control-flag states (the paper's control buffer, extended with a
+// claim state so concurrent re-deliveries of one task resolve by CAS).
+const (
+	slotFree    int32 = 0
+	slotFull    int32 = 1
+	slotClaimed int32 = 2 // a deliverer won the CAS and is writing fields
+)
+
 type resultSlot struct {
-	state  atomic.Int32 // 0 free, 1 full (the paper's control buffer)
+	state  atomic.Int32
+	id     atomic.Int64 // task ID occupying the slot (valid once claimed)
 	res    *exec.TaskResult
 	freeTo [2]int64
 	start  int64 // task creation stamp for latency accounting
+	gap    bool  // quarantined task: release inputs, skip assembly
 }
 
 func newResultStage(r *registered, slots int) *resultStage {
-	return &resultStage{
+	rs := &resultStage{
 		r:     r,
 		slots: make([]resultSlot, slots),
 		mask:  int64(slots) - 1,
 		asm:   exec.NewAssembler(r.plan),
 	}
+	for i := range rs.slots {
+		rs.slots[i].id.Store(-1)
+	}
+	return rs
 }
 
 // deliver stores a completed task's result in its slot (task ID modulo
-// the buffer size) and attempts an in-order drain. Results from beyond
-// the current reordering window go to the overflow map so that no worker
-// ever blocks on a slot owned by an earlier, still-missing task.
-func (rs *resultStage) deliver(t *task.Task, res *exec.TaskResult) {
-	if t.ID >= rs.next.Load()+int64(len(rs.slots)) {
-		rs.overflowMu.Lock()
-		if rs.overflow == nil {
-			rs.overflow = make(map[int64]overflowEntry)
+// the buffer size) and attempts an in-order drain. It reports whether
+// this delivery won the slot; a false return means another attempt of
+// the same task delivered first (or the task already drained) and res
+// was discarded — the caller must not count the task as executed.
+func (rs *resultStage) deliver(t *task.Task, res *exec.TaskResult) bool {
+	return rs.deposit(t, res, false)
+}
+
+// deliverGap records a quarantined task: its inputs are released and the
+// drain frontier advances past it without emitting output. Returns false
+// if a real result for the task already claimed the slot.
+func (rs *resultStage) deliverGap(t *task.Task) bool {
+	return rs.deposit(t, nil, true)
+}
+
+// deposit routes a delivery to its slot or the overflow map with
+// exactly-once semantics. Within the reordering window [next,
+// next+slots) each ID maps to a unique slot, and an occupied in-window
+// slot can only hold the same ID (the previous occupant, ID-slots, must
+// have drained for the window to reach this ID) — so claim conflicts are
+// always same-task duplicates, never different tasks.
+func (rs *resultStage) deposit(t *task.Task, res *exec.TaskResult, gap bool) bool {
+	for {
+		next := rs.next.Load()
+		if t.ID < next {
+			// Already drained: a late duplicate (e.g. a hung GPU task
+			// completing after its CPU retry). Discard.
+			rs.discardDup(res)
+			return false
 		}
-		rs.overflow[t.ID] = overflowEntry{res: res, freeTo: t.FreeTo, start: t.Created}
-		rs.overflowMu.Unlock()
-		rs.overflowed.Add(1)
+		if t.ID >= next+int64(len(rs.slots)) {
+			if rs.depositOverflow(t, res, gap) {
+				rs.overflowed.Add(1)
+				rs.tryDrain()
+				return true
+			}
+			// Re-routed (window moved) or duplicate; depositOverflow
+			// discarded duplicates itself.
+			if rs.isDuplicate(t.ID) {
+				rs.discardDup(res)
+				return false
+			}
+			continue
+		}
+		s := &rs.slots[t.ID&rs.mask]
+		if !s.state.CompareAndSwap(slotFree, slotClaimed) {
+			// Slot occupied: within the window that can only be another
+			// attempt of this very task (claimed or full, possibly being
+			// drained right now). Once its ID is visible, discard ours;
+			// until then the occupant is still publishing — retry.
+			if s.id.Load() == t.ID {
+				rs.discardDup(res)
+				return false
+			}
+			runtime.Gosched()
+			continue
+		}
+		// Claim won. Publish the ID first so racing duplicates can see
+		// who owns the slot, then re-validate: the frontier may have
+		// passed this ID (drained via a duplicate that went through the
+		// overflow map), or such a duplicate may still sit in overflow.
+		s.id.Store(t.ID)
+		if t.ID < rs.next.Load() || rs.overflowHas(t.ID) {
+			s.state.Store(slotFree)
+			rs.discardDup(res)
+			return false
+		}
+		s.res = res
+		s.freeTo = t.FreeTo
+		s.start = t.Created
+		s.gap = gap
+		s.state.Store(slotFull)
 		rs.tryDrain()
-		return
+		return true
 	}
-	s := &rs.slots[t.ID&rs.mask]
-	// Within the window the slot is free or in the act of being drained;
-	// the brief spin cannot starve.
-	for s.state.Load() != 0 {
-		runtime.Gosched()
+}
+
+// depositOverflow inserts into the overflow map iff the ID is still
+// beyond the window and not already present; all checks happen under
+// overflowMu so concurrent duplicates serialise.
+func (rs *resultStage) depositOverflow(t *task.Task, res *exec.TaskResult, gap bool) bool {
+	rs.overflowMu.Lock()
+	defer rs.overflowMu.Unlock()
+	if t.ID < rs.next.Load()+int64(len(rs.slots)) {
+		return false // window caught up; take the slot path instead
 	}
-	s.res = res
-	s.freeTo = t.FreeTo
-	s.start = t.Created
-	s.state.Store(1)
-	rs.tryDrain()
+	if _, dup := rs.overflow[t.ID]; dup {
+		return false
+	}
+	if rs.overflow == nil {
+		rs.overflow = make(map[int64]overflowEntry)
+	}
+	rs.overflow[t.ID] = overflowEntry{res: res, freeTo: t.FreeTo, start: t.Created, gap: gap}
+	return true
+}
+
+// isDuplicate reports whether id already drained or sits in overflow.
+func (rs *resultStage) isDuplicate(id int64) bool {
+	if id < rs.next.Load() {
+		return true
+	}
+	return rs.overflowHas(id)
+}
+
+func (rs *resultStage) discardDup(res *exec.TaskResult) {
+	rs.duplicates.Add(1)
+	if res != nil {
+		rs.r.plan.ReleaseResult(res)
+	}
 }
 
 // tryDrain drains consecutive in-order results while any are available.
@@ -96,7 +207,7 @@ func (rs *resultStage) deliver(t *task.Task, res *exec.TaskResult) {
 func (rs *resultStage) tryDrain() {
 	for {
 		n := rs.next.Load()
-		if rs.slots[n&rs.mask].state.Load() != 1 && !rs.overflowHas(n) {
+		if rs.slots[n&rs.mask].state.Load() != slotFull && !rs.overflowHas(n) {
 			return
 		}
 		if !rs.drainMu.TryLock() {
@@ -122,8 +233,8 @@ func (rs *resultStage) drainLocked() {
 		s := &rs.slots[n&rs.mask]
 		var e overflowEntry
 		switch {
-		case s.state.Load() == 1:
-			e = overflowEntry{res: s.res, freeTo: s.freeTo, start: s.start}
+		case s.state.Load() == slotFull && s.id.Load() == n:
+			e = overflowEntry{res: s.res, freeTo: s.freeTo, start: s.start, gap: s.gap}
 			s.res = nil
 		default:
 			rs.overflowMu.Lock()
@@ -138,20 +249,27 @@ func (rs *resultStage) drainLocked() {
 			}
 		}
 
-		rs.emit(rs.asm.Drain(e.res, nil))
+		if e.gap {
+			// Quarantined task: the gap is recorded in the query's shed
+			// counters; assembly simply continues past it.
+		} else {
+			rs.emit(rs.asm.Drain(e.res, nil))
+		}
 
 		// Release input data up to the task's free pointers and recycle
 		// the result.
 		for i := 0; i < r.plan.NumInputs(); i++ {
 			r.ins[i].ring.Release(e.freeTo[i])
 		}
-		r.plan.ReleaseResult(e.res)
-		if e.start > 0 {
+		if e.res != nil {
+			r.plan.ReleaseResult(e.res)
+		}
+		if e.start > 0 && !e.gap {
 			r.stats.latencyNs.Add(time.Now().UnixNano() - e.start)
 			r.stats.latencyN.Add(1)
 		}
-		if s.state.Load() == 1 {
-			s.state.Store(0)
+		if s.state.Load() == slotFull && s.id.Load() == n {
+			s.state.Store(slotFree)
 		}
 		rs.next.Add(1)
 		rs.drained.Add(1)

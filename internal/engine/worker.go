@@ -1,44 +1,109 @@
 package engine
 
 import (
+	"fmt"
 	"time"
 
 	"saber/internal/exec"
+	"saber/internal/fault"
 	"saber/internal/sched"
 	"saber/internal/task"
 )
+
+// idleBackoff paces a worker's poll loop while the queue yields nothing:
+// starting at 20µs and doubling to a 1ms cap, so an idle worker burns far
+// fewer wakeups than a fixed-period spin while still reacting to new work
+// within a millisecond. Any successful dequeue resets it.
+type idleBackoff struct {
+	d time.Duration
+}
+
+const (
+	idleBackoffMin = 20 * time.Microsecond
+	idleBackoffMax = time.Millisecond
+)
+
+func (b *idleBackoff) sleep() {
+	if b.d == 0 {
+		b.d = idleBackoffMin
+	}
+	time.Sleep(b.d)
+	b.d *= 2
+	if b.d > idleBackoffMax {
+		b.d = idleBackoffMax
+	}
+}
+
+func (b *idleBackoff) reset() { b.d = 0 }
 
 // cpuWorker is one CPU worker thread: it runs the full task lifecycle —
 // schedule, execute, store result, assemble, emit — per paper §4's worker
 // model, then pads the execution to the calibrated model's duration so
 // the machine reproduces the paper's performance surface.
+//
+// A failing task (plan error, injected fault, or a GPGPU task failed over
+// to this class) goes through failTask: bounded retries, then quarantine.
+// The worker may only exit once no GPU task is in flight — a device
+// failure requeues its task here even after the queue has closed.
 func (e *Engine) cpuWorker() {
 	defer e.workers.Done()
+	var idle idleBackoff
 	for {
 		t := e.policy.Next(e.queue, sched.CPU)
 		if t == nil {
-			if e.queue.Closed() && e.queue.Len() == 0 {
+			if e.queue.Closed() && e.queue.Len() == 0 && e.gpuInflight.Load() == 0 {
 				return
 			}
 			if e.stopped.Load() {
 				return
 			}
-			time.Sleep(50 * time.Microsecond)
+			idle.sleep()
 			continue
 		}
+		idle.reset()
 		r := e.quer[t.Query]
 		start := time.Now()
 		res := r.plan.NewResult()
-		if err := r.plan.Process(t.In, res); err != nil {
-			// Compiled plans cannot fail at runtime; a failure here is an
-			// engine bug, surfaced loudly.
-			panic(err)
+		err := r.plan.Process(t.In, res)
+		if err == nil && e.cfg.Fault.Decide(fault.PlanExec) {
+			err = fault.Errorf(fault.PlanExec, "injected plan failure (task %d, attempt %d)", t.ID, t.Attempts+1)
+		}
+		if err != nil {
+			r.plan.ReleaseResult(res)
+			e.failTask(t, sched.CPU, err)
+			continue
 		}
 		elapsed := e.padCPU(r, t, res, start)
 		e.observe(t.Query, sched.CPU, elapsed)
-		r.stats.tasksCPU.Add(1)
-		r.result.deliver(t, res)
+		if r.result.deliver(t, res) {
+			r.stats.tasksCPU.Add(1)
+		}
 	}
+}
+
+// failTask handles one failed execution attempt: record it, pin a
+// GPU-failed task to the CPU class, then either requeue for another
+// attempt or — once MaxTaskRetries attempts have failed — quarantine the
+// task by depositing a gap so assembly continues past its window range
+// instead of wedging the drain frontier.
+func (e *Engine) failTask(t *task.Task, p sched.Processor, err error) {
+	r := e.quer[t.Query]
+	r.stats.tasksFailed.Add(1)
+	r.recordFailure(err)
+	t.Attempts++
+	if p == sched.GPU && e.cfg.CPUWorkers > 0 {
+		t.CPUOnly = true
+		r.stats.gpuFailovers.Add(1)
+	}
+	if int(t.Attempts) >= e.cfg.MaxTaskRetries {
+		if r.result.deliverGap(t) {
+			r.stats.tasksQuarantined.Add(1)
+			r.stats.tuplesShed.Add(int64(taskTuples(r, t)))
+		}
+		return
+	}
+	r.stats.tasksRetried.Add(1)
+	e.queue.Requeue(t)
 }
 
 // padCPU stretches the task to the model's CPU duration; the measured
@@ -84,34 +149,56 @@ func measuredSelectivity(r *registered, res *exec.TaskResult, tuples int) float6
 	return sel
 }
 
+// gpuInflightEntry is one task submitted to the device pipeline.
+type gpuInflightEntry struct {
+	t     *task.Task
+	res   *exec.TaskResult
+	done  <-chan error
+	start time.Time
+	probe bool // this submission is the breaker's half-open probe
+}
+
 // gpuWorker is the single worker thread that fronts the GPGPU. To keep
 // the five-stage pipeline busy it keeps up to the pipeline depth of tasks
 // in flight, completing them in submission order (paper §5.2).
+//
+// Fault handling: every submission first asks the circuit breaker for
+// permission; device-side failures and timeouts feed back into it and
+// into failTask (GPU→CPU failover). A task that exceeds GPUTaskTimeout is
+// failed over immediately, and a detached collector waits for the
+// device's eventual late completion and discards it (counted as a
+// duplicate) — the CPU retry owns the task from the moment it is failed
+// over.
 func (e *Engine) gpuWorker() {
 	defer e.workers.Done()
-	type inflight struct {
-		t     *task.Task
-		res   *exec.TaskResult
-		done  <-chan error
-		start time.Time
-	}
-	var fly []inflight
+	var fly []gpuInflightEntry
 	const depth = 4
+	var idle idleBackoff
 
 	for {
 		for len(fly) < depth {
-			t := e.policy.Next(e.queue, sched.GPU)
-			if t == nil {
+			allow, probe := e.breaker.Acquire()
+			if !allow {
 				break
 			}
+			t := e.policy.Next(e.queue, sched.GPU)
+			if t == nil {
+				e.breaker.CancelProbe(probe)
+				break
+			}
+			e.gpuInflight.Add(1)
 			r := e.quer[t.Query]
 			res := r.plan.NewResult()
-			fly = append(fly, inflight{
+			fly = append(fly, gpuInflightEntry{
 				t:     t,
 				res:   res,
 				done:  r.prog.Submit(t.In, res),
 				start: time.Now(),
+				probe: probe,
 			})
+			if probe {
+				break // the single probe decides recovery; don't pile on
+			}
 		}
 		if len(fly) == 0 {
 			if e.queue.Closed() && e.queue.Len() == 0 {
@@ -120,15 +207,70 @@ func (e *Engine) gpuWorker() {
 			if e.stopped.Load() {
 				return
 			}
-			time.Sleep(50 * time.Microsecond)
+			idle.sleep()
 			continue
 		}
+		idle.reset()
 		f := fly[0]
 		fly = fly[1:]
-		<-f.done
-		r := e.quer[f.t.Query]
-		e.observe(f.t.Query, sched.GPU, time.Since(f.start))
-		r.stats.tasksGPU.Add(1)
-		r.result.deliver(f.t, f.res)
+		e.completeGPU(f)
 	}
+}
+
+// completeGPU waits for one in-flight device task (bounded by the
+// remaining share of GPUTaskTimeout) and resolves it: success, device
+// failure, or hang-timeout with failover and late-result collection.
+func (e *Engine) completeGPU(f gpuInflightEntry) {
+	var err error
+	timedOut := false
+	if remaining := e.cfg.GPUTaskTimeout - time.Since(f.start); remaining <= 0 {
+		select {
+		case err = <-f.done:
+		default:
+			timedOut = true
+		}
+	} else {
+		timer := time.NewTimer(remaining)
+		select {
+		case err = <-f.done:
+			timer.Stop()
+		case <-timer.C:
+			timedOut = true
+		}
+	}
+
+	r := e.quer[f.t.Query]
+	switch {
+	case timedOut:
+		e.breaker.RecordFailure(f.probe)
+		r.stats.gpuTimeouts.Add(1)
+		e.failTask(f.t, sched.GPU, fmt.Errorf("gpu: task %d timed out after %v", f.t.ID, e.cfg.GPUTaskTimeout))
+		// The device owns staged copies of the inputs and will eventually
+		// complete; collect that late completion off-thread and discard it.
+		// It must NOT be delivered: the failed-over CPU retry is now the
+		// sole owner of the task's ring region, and a late delivery winning
+		// the slot would advance the drain frontier and release that region
+		// while the retry is still reading it.
+		e.lateWG.Add(1)
+		go func() {
+			defer e.lateWG.Done()
+			lateErr := <-f.done
+			if lateErr == nil {
+				r.result.discardDup(f.res)
+			} else {
+				r.plan.ReleaseResult(f.res)
+			}
+		}()
+	case err != nil:
+		e.breaker.RecordFailure(f.probe)
+		r.plan.ReleaseResult(f.res)
+		e.failTask(f.t, sched.GPU, err)
+	default:
+		e.breaker.RecordSuccess(f.probe)
+		e.observe(f.t.Query, sched.GPU, time.Since(f.start))
+		if r.result.deliver(f.t, f.res) {
+			r.stats.tasksGPU.Add(1)
+		}
+	}
+	e.gpuInflight.Add(-1)
 }

@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Decide(GPUKernel) {
+		t.Error("nil injector decided to inject")
+	}
+	if d := in.Stall(GPUHang); d != 0 {
+		t.Errorf("nil injector stalled %v", d)
+	}
+	if in.TotalInjections() != 0 || in.Injections(PlanExec) != 0 || in.Decisions(PlanExec) != 0 {
+		t.Error("nil injector has counters")
+	}
+	if in.Snapshot() != nil {
+		t.Error("nil injector has a snapshot")
+	}
+}
+
+func TestUnarmedSiteNeverInjects(t *testing.T) {
+	in := New(42)
+	for i := 0; i < 1000; i++ {
+		if in.Decide(GPUKernel) {
+			t.Fatal("unarmed site injected")
+		}
+	}
+	if in.Decisions(GPUKernel) != 0 {
+		t.Error("unarmed site counted decisions")
+	}
+}
+
+func TestDecideIsDeterministicInSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed)
+		in.Arm(PlanExec, Spec{Rate: 0.3})
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i] = in.Decide(PlanExec)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical seeds", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical decision sequences")
+	}
+}
+
+func TestRateRoughlyHolds(t *testing.T) {
+	in := New(3)
+	in.Arm(GPUCopyIn, Spec{Rate: 0.25})
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if in.Decide(GPUCopyIn) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.2 || frac > 0.3 {
+		t.Errorf("rate 0.25 produced %g", frac)
+	}
+	if got := in.Injections(GPUCopyIn); got != int64(hits) {
+		t.Errorf("Injections = %d, want %d", got, hits)
+	}
+	if got := in.Decisions(GPUCopyIn); got != int64(n) {
+		t.Errorf("Decisions = %d, want %d", got, n)
+	}
+}
+
+func TestAfterAndLimit(t *testing.T) {
+	in := New(5)
+	in.Arm(GPUKernel, Spec{Rate: 1, After: 10, Limit: 3})
+	var hits []int
+	for i := 0; i < 100; i++ {
+		if in.Decide(GPUKernel) {
+			hits = append(hits, i)
+		}
+	}
+	if len(hits) != 3 {
+		t.Fatalf("limit 3 produced %d injections", len(hits))
+	}
+	for _, i := range hits {
+		if i < 10 {
+			t.Errorf("injection at decision %d before After=10", i)
+		}
+	}
+	if in.TotalInjections() != 3 {
+		t.Errorf("TotalInjections = %d", in.TotalInjections())
+	}
+}
+
+func TestLimitUnderConcurrency(t *testing.T) {
+	in := New(11)
+	in.Arm(PlanExec, Spec{Rate: 1, Limit: 50})
+	var hits int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < 1000; i++ {
+				if in.Decide(PlanExec) {
+					local++
+				}
+			}
+			mu.Lock()
+			hits += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if hits != 50 {
+		t.Errorf("concurrent limit 50 produced %d injections", hits)
+	}
+}
+
+func TestStallReturnsDelay(t *testing.T) {
+	in := New(9)
+	in.Arm(GPUHang, Spec{Rate: 1, Delay: 5 * time.Millisecond})
+	if d := in.Stall(GPUHang); d != 5*time.Millisecond {
+		t.Errorf("Stall = %v", d)
+	}
+	in.Arm(IngestStall, Spec{Rate: 0, Delay: time.Millisecond})
+	if d := in.Stall(IngestStall); d != 0 {
+		t.Errorf("rate-0 Stall = %v", d)
+	}
+}
+
+func TestErrorTagging(t *testing.T) {
+	err := Errorf(GPUKernel, "boom %d", 7)
+	if !Injected(err) {
+		t.Error("Errorf result not recognised as injected")
+	}
+	if !Injected(fmt.Errorf("wrapped: %w", err)) {
+		t.Error("wrapped fault not recognised")
+	}
+	if Injected(errors.New("organic")) {
+		t.Error("organic error recognised as injected")
+	}
+	if got := err.Error(); got != "fault[gpu.kernel]: boom 7" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestDisarmStopsInjection(t *testing.T) {
+	in := New(13)
+	in.Arm(IngestDrop, Spec{Rate: 1})
+	if !in.Decide(IngestDrop) {
+		t.Fatal("armed rate-1 site did not inject")
+	}
+	in.Disarm(IngestDrop)
+	if in.Decide(IngestDrop) {
+		t.Error("disarmed site injected")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"saber/internal/fault"
 	"saber/internal/model"
 )
 
@@ -31,6 +32,9 @@ type Config struct {
 	PipelineDepth int
 	// Model supplies the timing behaviour.
 	Model model.Params
+	// Fault optionally injects device faults (DMA errors, kernel faults,
+	// hangs) at the pipeline's stages; nil runs fault-free.
+	Fault *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -62,9 +66,11 @@ type Device struct {
 	closed atomic.Bool
 
 	// Telemetry.
-	tasksDone  atomic.Int64
-	bytesMoved atomic.Int64
-	inflight   atomic.Int64 // tasks holding a pipeline slot right now
+	tasksDone   atomic.Int64
+	tasksFailed atomic.Int64 // tasks that left the pipeline with an error
+	hangs       atomic.Int64 // injected execute-stage stalls
+	bytesMoved  atomic.Int64
+	inflight    atomic.Int64 // tasks holding a pipeline slot right now
 
 	// chk holds the invariant checker's monotonicity watermark; the mutex
 	// serialises CheckInvariants callers (see invariant.go).
@@ -109,6 +115,13 @@ func (d *Device) Close() {
 
 // TasksCompleted returns the number of tasks the device has finished.
 func (d *Device) TasksCompleted() int64 { return d.tasksDone.Load() }
+
+// TasksFailed returns the number of tasks that left the pipeline with a
+// (injected) device fault.
+func (d *Device) TasksFailed() int64 { return d.tasksFailed.Load() }
+
+// Hangs returns the number of injected execute-stage stalls.
+func (d *Device) Hangs() int64 { return d.hangs.Load() }
 
 // BytesMoved returns the number of bytes DMA-transferred in either
 // direction.

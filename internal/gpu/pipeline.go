@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"saber/internal/exec"
+	"saber/internal/fault"
 	"saber/internal/model"
 )
 
@@ -19,6 +20,11 @@ type job struct {
 	slot    *slotBuffers
 	inBytes int
 	tuples  int
+
+	// err marks the job failed; later stages pass a failed job through
+	// without touching its buffers, and copyout reports the error on the
+	// completion channel instead of a result.
+	err error
 
 	// devOut holds the kernel's stream output in device memory; moveout
 	// and copyout stage it back to the host. Structured partials are
@@ -72,20 +78,32 @@ func (p *pipeline) close() {
 
 func (p *pipeline) submit(j *job) {
 	j.slot = <-p.slots
+	// Snapshot the task's input into the slot's pinned staging buffers
+	// while the submitter still owns the task's ring region. After submit
+	// returns the pipeline touches only slot-owned memory, so a task that
+	// is failed over during a device hang — its ring region released and
+	// rewritten by the feeder — cannot race a stalled copy stage.
+	j.inBytes = 0
+	for i := 0; i < 2; i++ {
+		j.slot.pinIn[i] = append(j.slot.pinIn[i][:0], j.in[i].Data...)
+		j.inBytes += len(j.in[i].Data)
+		j.in[i].Data = nil
+	}
 	p.d.inflight.Add(1)
 	p.cIn <- j
 }
 
-// copyin: managed heap → pinned host memory.
+// copyin: managed heap → pinned host memory (the copy itself happened at
+// submit; this stage models its cost and injects DMA faults).
 func (p *pipeline) copyin() {
 	defer close(p.cMove)
 	for j := range p.cIn {
-		start := time.Now()
-		j.inBytes = 0
-		for i := 0; i < 2; i++ {
-			j.slot.pinIn[i] = append(j.slot.pinIn[i][:0], j.in[i].Data...)
-			j.inBytes += len(j.in[i].Data)
+		if p.d.cfg.Fault.Decide(fault.GPUCopyIn) {
+			j.err = fault.Errorf(fault.GPUCopyIn, "DMA copy-in error")
+			p.cMove <- j
+			continue
 		}
+		start := time.Now()
 		model.Pad(start, p.d.cfg.Model.HostCopyTime(j.inBytes))
 		p.cMove <- j
 	}
@@ -96,6 +114,10 @@ func (p *pipeline) copyin() {
 func (p *pipeline) movein() {
 	defer close(p.cExec)
 	for j := range p.cMove {
+		if j.err != nil {
+			p.cExec <- j
+			continue
+		}
 		start := time.Now()
 		for i := 0; i < 2; i++ {
 			j.slot.devIn[i] = append(j.slot.devIn[i][:0], j.slot.pinIn[i]...)
@@ -112,6 +134,23 @@ func (p *pipeline) movein() {
 func (p *pipeline) execute() {
 	defer close(p.cBack)
 	for j := range p.cExec {
+		if j.err != nil {
+			p.cBack <- j
+			continue
+		}
+		// An injected hang stalls the whole pipeline behind this task —
+		// exactly how a wedged kernel starves the real device. The job
+		// still completes afterwards, typically long after the engine's
+		// GPU timeout failed it over, exercising late-result dedup.
+		if d := p.d.cfg.Fault.Stall(fault.GPUHang); d > 0 {
+			p.d.hangs.Add(1)
+			time.Sleep(d)
+		}
+		if p.d.cfg.Fault.Decide(fault.GPUKernel) {
+			j.err = fault.Errorf(fault.GPUKernel, "kernel fault")
+			p.cBack <- j
+			continue
+		}
 		start := time.Now()
 		j.prog.runKernels(j)
 		cost := p.d.cfg.Model
@@ -124,6 +163,10 @@ func (p *pipeline) execute() {
 func (p *pipeline) moveout() {
 	defer close(p.cOut)
 	for j := range p.cBack {
+		if j.err != nil {
+			p.cOut <- j
+			continue
+		}
 		start := time.Now()
 		j.slot.pinOut = append(j.slot.pinOut[:0], j.slot.devOut...)
 		p.d.bytesMoved.Add(int64(j.outBytes))
@@ -135,6 +178,13 @@ func (p *pipeline) moveout() {
 // copyout: pinned host memory → managed heap (the TaskResult).
 func (p *pipeline) copyout() {
 	for j := range p.cOut {
+		if j.err != nil {
+			p.d.inflight.Add(-1)
+			p.slots <- j.slot
+			p.d.tasksFailed.Add(1)
+			j.done <- j.err
+			continue
+		}
 		start := time.Now()
 		j.res.Stream = append(j.res.Stream, j.slot.pinOut...)
 		model.Pad(start, p.d.cfg.Model.HostCopyTime(j.outBytes))

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"saber/internal/fault"
+)
+
+// TestChaosScenarios runs the seeded chaos suite: under injected GPU
+// stage faults, device hangs, CPU plan errors and ingest disconnects,
+// every invariant must hold — per-tuple checksums, exactly-once sequence
+// coverage, ordering, conservation, clean quiesce — with zero tuples
+// lost, duplicated or quarantined, and each scenario must prove its
+// targeted fault path actually fired.
+func TestChaosScenarios(t *testing.T) {
+	for _, sc := range ChaosScenarios(Seed(7001)) {
+		t.Run(sc.Name, func(t *testing.T) {
+			cfg := sc.Cfg
+			if testing.Short() {
+				cfg.Tuples /= 4
+			}
+			rep := runClean(t, cfg)
+			if rep.FaultsInjected == 0 {
+				t.Fatal("chaos scenario injected zero faults; it proved nothing")
+			}
+			if rep.TasksQuarantined != 0 || rep.TuplesShed != 0 {
+				t.Fatalf("unexpected quarantine: %s", rep)
+			}
+			if rep.TuplesOut != rep.TuplesIn && sc.Cfg.Workload != WorkloadAgg {
+				t.Fatalf("conservation under chaos: %d tuples out of %d in", rep.TuplesOut, rep.TuplesIn)
+			}
+			if err := sc.Check(rep); err != nil {
+				t.Fatalf("%v: %s", err, rep)
+			}
+		})
+	}
+}
+
+// TestChaosBreakerOpensAndRecovers forces a burst of consecutive GPU
+// failures: the circuit breaker must open (shedding all work to the CPU
+// class), probe the device after the cooldown, and close again once the
+// fault burst is exhausted — with the stream's invariants intact and the
+// device demonstrably back in service.
+func TestChaosBreakerOpensAndRecovers(t *testing.T) {
+	inj := fault.New(Seed(7100))
+	inj.Arm(fault.GPUKernel, fault.Spec{Rate: 1, Limit: 12})
+	// Not scaled down under -short: the stream must outlast the 12-failure
+	// burst by enough tasks for the half-open probe to find work, succeed,
+	// and re-close the breaker before the queue drains.
+	rep := runClean(t, Config{
+		Seed:             Seed(7100),
+		Workload:         WorkloadJitter,
+		Tuples:           30000,
+		Workers:          4,
+		TaskSize:         1024,
+		GPU:              true,
+		SwitchThreshold:  3,
+		MaxJitter:        time.Millisecond,
+		Chaos:            inj,
+		MaxTaskRetries:   6,
+		BreakerThreshold: 4,
+		BreakerCooldown:  2 * time.Millisecond,
+	})
+	if rep.BreakerOpens == 0 {
+		t.Fatalf("12 consecutive GPU failures never opened the breaker: %s", rep)
+	}
+	if rep.BreakerCloses == 0 || rep.BreakerState != "closed" {
+		t.Fatalf("breaker never recovered (state=%s closes=%d): %s", rep.BreakerState, rep.BreakerCloses, rep)
+	}
+	if rep.TasksGPU == 0 {
+		t.Fatalf("device never returned to service after recovery: %s", rep)
+	}
+	if rep.TasksQuarantined != 0 || rep.TuplesOut != rep.TuplesIn {
+		t.Fatalf("chaos burst lost work: %s", rep)
+	}
+}
+
+// TestChaosSeedDeterminism re-runs one chaos scenario with the same seed
+// and asserts the injected-fault schedule is identical — the property
+// that makes a chaos failure replayable from its logged seed.
+func TestChaosSeedDeterminism(t *testing.T) {
+	run := func() *Report {
+		inj := fault.New(4242)
+		inj.Arm(fault.PlanExec, fault.Spec{Rate: 0.05, Limit: 50})
+		return runClean(t, Config{
+			Seed:     4242,
+			Workload: WorkloadPassthrough,
+			Tuples:   scale(5000, 20000),
+			Workers:  4,
+			Chaos:    inj,
+		})
+	}
+	a, b := run(), run()
+	if a.FaultsInjected != b.FaultsInjected || a.TasksCreated != b.TasksCreated {
+		t.Fatalf("same seed, different chaos: %s vs %s", a, b)
+	}
+}

@@ -28,7 +28,9 @@ import (
 	"time"
 
 	"saber/internal/engine"
+	"saber/internal/fault"
 	"saber/internal/gpu"
+	"saber/internal/ingest"
 	"saber/internal/inv"
 	"saber/internal/model"
 	"saber/internal/sched"
@@ -87,6 +89,22 @@ type Config struct {
 	// InsertMaxTuples bounds the seeded random Insert chunk size.
 	// Default 300.
 	InsertMaxTuples int
+	// Chaos arms seeded fault injection across the pipeline: GPU stage
+	// faults and hangs, CPU plan-execution errors, and (with Ingest)
+	// mid-frame connection drops. nil runs fault-free. The injector's own
+	// seed governs which decisions fire; Config.Seed governs the data.
+	Chaos *fault.Injector
+	// GPUTaskTimeout, MaxTaskRetries, BreakerThreshold and BreakerCooldown
+	// pass through to the engine's fault-tolerance knobs (zero = engine
+	// default).
+	GPUTaskTimeout   time.Duration
+	MaxTaskRetries   int
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Ingest feeds each query over a real TCP loopback connection through
+	// internal/ingest (reconnecting client, read-deadline-guarded server)
+	// instead of direct Insert calls — the path chaos disconnects target.
+	Ingest bool
 	// Extra invariant checkers polled alongside the engine's own —
 	// the hook point for future subsystems.
 	Extra []inv.Checker
@@ -155,6 +173,21 @@ type Report struct {
 	TasksGPU     int64
 	// InvariantChecks is the number of poller sweeps that ran.
 	InvariantChecks int64
+
+	// Fault-tolerance telemetry (chaos runs).
+	FaultsInjected      int64 // decisions where the injector fired
+	TasksFailed         int64 // failed execution attempts
+	TasksRetried        int64 // attempts requeued for retry
+	TasksQuarantined    int64 // tasks abandoned after MaxTaskRetries
+	TuplesShed          int64 // input tuples covered by quarantined tasks
+	GPUFailovers        int64 // GPU-failed tasks pinned to the CPU class
+	GPUTimeouts         int64 // device hangs detected by the task timeout
+	DuplicatesDiscarded int64 // deliveries dropped by exactly-once dedup
+	BreakerOpens        int64
+	BreakerCloses       int64
+	BreakerState        string // final breaker state ("" without a breaker)
+	IngestReconnects    int64  // successful feeder redials (Ingest runs)
+
 	// Violations holds every invariant violation observed, polling-time
 	// and end-of-stream alike. Empty means the run was clean.
 	Violations []error
@@ -171,10 +204,18 @@ func (r *Report) Err() error {
 
 // String summarises the run's counters for logs.
 func (r *Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"seed=%d tuples=%d/%d tasks=%d drained=%d overflow=%d wraps=%d flips=%d cpu=%d gpu=%d checks=%d violations=%d",
 		r.Seed, r.TuplesIn, r.TuplesOut, r.TasksCreated, r.Drained, r.OverflowDeliveries,
 		r.RingWraps, r.BackendFlips, r.TasksCPU, r.TasksGPU, r.InvariantChecks, len(r.Violations))
+	if r.FaultsInjected > 0 || r.BreakerState != "" {
+		s += fmt.Sprintf(
+			" | chaos: injected=%d failed=%d retried=%d quarantined=%d shed=%d failovers=%d timeouts=%d dups=%d breaker=%s(opens=%d,closes=%d) reconnects=%d",
+			r.FaultsInjected, r.TasksFailed, r.TasksRetried, r.TasksQuarantined, r.TuplesShed,
+			r.GPUFailovers, r.GPUTimeouts, r.DuplicatesDiscarded,
+			r.BreakerState, r.BreakerOpens, r.BreakerCloses, r.IngestReconnects)
+	}
+	return s
 }
 
 // Run executes one stress run to completion and reports what happened.
@@ -186,20 +227,25 @@ func Run(cfg Config) (*Report, error) {
 	rep := &Report{Seed: cfg.Seed}
 
 	ecfg := engine.Config{
-		CPUWorkers:      cfg.Workers,
-		TaskSize:        cfg.TaskSize,
-		InputBufferSize: cfg.InputBufferSize,
-		ResultSlots:     cfg.ResultSlots,
-		SwitchThreshold: cfg.SwitchThreshold,
-		DisablePad:      true,
-		Model:           model.Default(),
+		CPUWorkers:       cfg.Workers,
+		TaskSize:         cfg.TaskSize,
+		InputBufferSize:  cfg.InputBufferSize,
+		ResultSlots:      cfg.ResultSlots,
+		SwitchThreshold:  cfg.SwitchThreshold,
+		DisablePad:       true,
+		Model:            model.Default(),
+		Fault:            cfg.Chaos,
+		GPUTaskTimeout:   cfg.GPUTaskTimeout,
+		MaxTaskRetries:   cfg.MaxTaskRetries,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
 	}
 	var dev *gpu.Device
 	if cfg.GPU {
 		// The scaled model makes the simulated device fast enough to
 		// compete with unpadded CPU workers, so HLS keeps both classes
 		// busy and flips backends (as in the engine's hybrid tests).
-		dev = gpu.Open(gpu.Config{SMs: 2, Model: model.Default().Scaled(1e-6)})
+		dev = gpu.Open(gpu.Config{SMs: 2, Model: model.Default().Scaled(1e-6), Fault: cfg.Chaos})
 		defer dev.Close()
 		ecfg.GPU = dev
 	}
@@ -282,12 +328,54 @@ func Run(cfg Config) (*Report, error) {
 	}()
 
 	// Feed every query concurrently in seeded, uneven, tuple-aligned
-	// chunks; Insert's backpressure throttles the feeders naturally.
+	// chunks — directly via Insert, or over TCP loopback through the
+	// reconnecting ingest client (Ingest mode); Insert's backpressure
+	// throttles the feeders naturally either way.
+	var servers []*ingest.Server
+	var feedErrs []error
+	var feedMu sync.Mutex
 	var feeders sync.WaitGroup
+	var reconnects int64
 	for i, qr := range runs {
+		var send func([]byte) error
+		var cleanup func()
+		if cfg.Ingest {
+			h := qr.handle
+			srv, err := ingest.Listen("127.0.0.1:0", ingest.SinkFunc(func(data []byte) {
+				h.Insert(data)
+			}), StreamSchema.TupleSize())
+			if err != nil {
+				return nil, err
+			}
+			// Generous relative to injected stalls: the deadline is a
+			// liveness backstop, not part of the chaos schedule.
+			srv.SetReadTimeout(time.Second)
+			go func() { _ = srv.Serve() }()
+			servers = append(servers, srv)
+			rc, err := ingest.DialReconnect(srv.Addr().String(), ingest.ReconnectConfig{
+				Seed:  cfg.Seed ^ int64(i),
+				Fault: cfg.Chaos,
+			})
+			if err != nil {
+				return nil, err
+			}
+			send = rc.Send
+			cleanup = func() {
+				feedMu.Lock()
+				reconnects += rc.Reconnects()
+				feedMu.Unlock()
+				rc.Close()
+			}
+		} else {
+			h := qr.handle
+			send = func(data []byte) error { h.Insert(data); return nil }
+		}
 		feeders.Add(1)
-		go func(i int, qr *queryRun) {
+		go func(i int, qr *queryRun, send func([]byte) error, cleanup func()) {
 			defer feeders.Done()
+			if cleanup != nil {
+				defer cleanup()
+			}
 			rnd := rand.New(rand.NewSource(cfg.Seed ^ int64(i)<<32))
 			tsz := StreamSchema.TupleSize()
 			for off := 0; off < len(qr.stream); {
@@ -295,17 +383,34 @@ func Run(cfg Config) (*Report, error) {
 				if off+n > len(qr.stream) {
 					n = len(qr.stream) - off
 				}
-				qr.handle.Insert(qr.stream[off : off+n])
+				if err := send(qr.stream[off : off+n]); err != nil {
+					feedMu.Lock()
+					feedErrs = append(feedErrs, fmt.Errorf("query %d feeder: %w", i, err))
+					feedMu.Unlock()
+					return
+				}
 				off += n
 			}
-		}(i, qr)
+		}(i, qr, send, cleanup)
 	}
 	feeders.Wait()
+	// Ingest mode: all clients have sent and closed; close the servers so
+	// every in-flight frame is sunk before the drain barrier.
+	for _, srv := range servers {
+		srv.Close()
+	}
+	rep.IngestReconnects = reconnects
+	rep.Violations = append(rep.Violations, feedErrs...)
 	eng.Drain()
 
 	close(pollDone)
 	pollWG.Wait()
 	rep.Violations = append(rep.Violations, pollViolations...)
+
+	// Stop the workers before reading stats: Close waits out the
+	// late-result collectors of timed-out GPU tasks, so every duplicate
+	// discard is counted before the conservation verdicts below.
+	eng.Close()
 
 	// End-of-stream: one final invariant sweep, the quiesced-state checks
 	// and each stream checker's conservation verdict.
@@ -335,10 +440,24 @@ func Run(cfg Config) (*Report, error) {
 		st := qr.handle.Stats()
 		rep.TasksCPU += st.TasksCPU
 		rep.TasksGPU += st.TasksGPU
+		rep.TasksFailed += st.TasksFailed
+		rep.TasksRetried += st.TasksRetried
+		rep.TasksQuarantined += st.TasksQuarantined
+		rep.TuplesShed += st.TuplesShed
+		rep.GPUFailovers += st.GPUFailovers
+		rep.GPUTimeouts += st.GPUTimeouts
+		rep.DuplicatesDiscarded += st.DuplicateResults
 	}
 	if hls, ok := eng.Policy().(*sched.HLS); ok {
 		rep.BackendFlips = hls.Flips()
 	}
-	eng.Close()
+	if br := eng.Breaker(); br != nil {
+		rep.BreakerOpens = br.Opens()
+		rep.BreakerCloses = br.Closes()
+		rep.BreakerState = br.State().String()
+	}
+	if cfg.Chaos != nil {
+		rep.FaultsInjected = cfg.Chaos.TotalInjections()
+	}
 	return rep, nil
 }

@@ -17,6 +17,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"saber/internal/fault"
 )
 
 // MaxFrame bounds a single frame's payload (16 MiB).
@@ -34,22 +37,47 @@ type SinkFunc func(data []byte)
 // Insert implements Sink.
 func (f SinkFunc) Insert(data []byte) { f(data) }
 
-// Server accepts tuple streams and forwards them to a sink. Frames from
-// different connections interleave at frame granularity; per-connection
-// order is preserved. (The engine's per-query dispatcher requires a
-// single logical inserter, which the server's sink lock provides.)
+// Server accepts tuple streams and forwards them to a sink. Connections
+// are handled strictly in accept order, one at a time: a stream source is
+// one logical sender, and a reconnecting sender's new connection must not
+// overtake frames still buffered in its dead predecessor — the previous
+// connection is drained to EOF (or its read deadline) before the next
+// one's frames reach the sink, preserving stream order across failover.
 type Server struct {
 	l         net.Listener
 	sink      Sink
 	tupleSize int
 
-	sinkMu sync.Mutex
-	wg     sync.WaitGroup
-	closed atomic.Bool
+	// readTimeout, when positive, bounds how long a read may sit idle on a
+	// connection before it is dropped (a stalled or half-dead peer must not
+	// pin a handler goroutine forever).
+	readTimeout atomic.Int64 // nanoseconds
+
+	sinkMu   sync.Mutex
+	handleMu sync.Mutex // held while a connection is being drained
+	closed   atomic.Bool
 
 	// Telemetry.
-	bytesIn  atomic.Int64
-	framesIn atomic.Int64
+	bytesIn        atomic.Int64
+	framesIn       atomic.Int64
+	conns          atomic.Int64
+	emptyFrames    atomic.Int64 // zero-length frames (no-op keepalives)
+	oversizeFrames atomic.Int64 // frames rejected for exceeding MaxFrame
+	raggedFrames   atomic.Int64 // frames rejected for partial tuples
+	deadlineDrops  atomic.Int64 // connections dropped by the read deadline
+	connErrors     atomic.Int64 // connections ended by any other error
+}
+
+// ServerStats is a point-in-time snapshot of the server's counters.
+type ServerStats struct {
+	BytesIn        int64
+	Frames         int64
+	Conns          int64
+	EmptyFrames    int64
+	OversizeFrames int64
+	RaggedFrames   int64
+	DeadlineDrops  int64
+	ConnErrors     int64
 }
 
 // NewServer wraps an existing listener. tupleSize is the stream schema's
@@ -83,6 +111,24 @@ func (s *Server) BytesIn() int64 { return s.bytesIn.Load() }
 // Frames returns the number of frames received.
 func (s *Server) Frames() int64 { return s.framesIn.Load() }
 
+// SetReadTimeout sets the per-read idle deadline for all connections
+// (0 disables). Safe to call concurrently with Serve.
+func (s *Server) SetReadTimeout(d time.Duration) { s.readTimeout.Store(int64(d)) }
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		BytesIn:        s.bytesIn.Load(),
+		Frames:         s.framesIn.Load(),
+		Conns:          s.conns.Load(),
+		EmptyFrames:    s.emptyFrames.Load(),
+		OversizeFrames: s.oversizeFrames.Load(),
+		RaggedFrames:   s.raggedFrames.Load(),
+		DeadlineDrops:  s.deadlineDrops.Load(),
+		ConnErrors:     s.connErrors.Load(),
+	}
+}
+
 // Serve accepts connections until Close. It returns nil after Close and
 // the first accept error otherwise.
 func (s *Server) Serve() error {
@@ -94,15 +140,23 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer conn.Close()
-			if err := s.handle(conn); err != nil && !s.closed.Load() {
-				// A malformed or broken connection only affects itself.
-				_ = err
+		s.conns.Add(1)
+		// Synchronous: the next connection is not accepted (and cannot
+		// deliver frames) until this one has been drained. See the Server
+		// doc comment for why ordering requires this.
+		s.handleMu.Lock()
+		if err := s.handle(conn); err != nil && !s.closed.Load() {
+			// A malformed or broken connection only affects itself; a
+			// reconnecting client resends the interrupted frame whole.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.deadlineDrops.Add(1)
+			} else {
+				s.connErrors.Add(1)
 			}
-		}()
+		}
+		conn.Close()
+		s.handleMu.Unlock()
 	}
 }
 
@@ -112,14 +166,20 @@ func (s *Server) Close() error {
 		return nil
 	}
 	err := s.l.Close()
-	s.wg.Wait()
+	s.handleMu.Lock() // wait for the in-flight connection to drain
+	s.handleMu.Unlock()
 	return err
 }
 
+// handle processes one connection. A frame only reaches the sink after
+// its payload has been read in full — a connection dying mid-frame
+// discards the partial frame, so a reconnecting client that resends the
+// whole frame yields exactly-once insertion at frame granularity.
 func (s *Server) handle(conn net.Conn) error {
 	var hdr [4]byte
 	buf := make([]byte, 64<<10)
 	for {
+		s.armDeadline(conn)
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
@@ -129,16 +189,22 @@ func (s *Server) handle(conn net.Conn) error {
 		n := int(binary.LittleEndian.Uint32(hdr[:]))
 		switch {
 		case n == 0:
+			// A zero-length frame carries no tuples; tolerate it as a
+			// keepalive rather than killing the connection.
+			s.emptyFrames.Add(1)
 			continue
 		case n > MaxFrame:
+			s.oversizeFrames.Add(1)
 			return fmt.Errorf("ingest: frame of %d bytes exceeds limit", n)
 		case n%s.tupleSize != 0:
+			s.raggedFrames.Add(1)
 			return fmt.Errorf("ingest: frame of %d bytes is not whole %d-byte tuples", n, s.tupleSize)
 		}
 		if cap(buf) < n {
 			buf = make([]byte, n)
 		}
 		buf = buf[:n]
+		s.armDeadline(conn)
 		if _, err := io.ReadFull(conn, buf); err != nil {
 			return fmt.Errorf("ingest: truncated frame: %w", err)
 		}
@@ -150,10 +216,19 @@ func (s *Server) handle(conn net.Conn) error {
 	}
 }
 
+func (s *Server) armDeadline(conn net.Conn) {
+	if d := time.Duration(s.readTimeout.Load()); d > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(d))
+	} else {
+		_ = conn.SetReadDeadline(time.Time{})
+	}
+}
+
 // Client sends tuple frames to an ingest server.
 type Client struct {
 	conn net.Conn
 	hdr  [4]byte
+	inj  *fault.Injector
 }
 
 // Dial connects to an ingest server.
@@ -165,7 +240,16 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn}, nil
 }
 
-// Send transmits one frame of whole tuples.
+// SetFault arms seeded fault injection on this client: fault.IngestDrop
+// makes Send abort mid-frame and close the connection (simulating a
+// sender crash), fault.IngestStall inserts the armed delay before the
+// abort (simulating a wedged sender tripping the server's read deadline).
+func (c *Client) SetFault(inj *fault.Injector) { c.inj = inj }
+
+// Send transmits one frame of whole tuples. On an injected fault the
+// frame is truncated on the wire and the connection closed; the caller
+// must redial and resend the whole frame (see DialReconnect) — the
+// server never forwards a partial frame to its sink.
 func (c *Client) Send(tuples []byte) error {
 	if len(tuples) == 0 {
 		return nil
@@ -173,12 +257,31 @@ func (c *Client) Send(tuples []byte) error {
 	if len(tuples) > MaxFrame {
 		return fmt.Errorf("ingest: frame of %d bytes exceeds limit", len(tuples))
 	}
+	if c.inj.Decide(fault.IngestDrop) {
+		return c.abortMidFrame(tuples, 0, fault.IngestDrop)
+	}
+	if d := c.inj.Stall(fault.IngestStall); d > 0 {
+		return c.abortMidFrame(tuples, d, fault.IngestStall)
+	}
 	binary.LittleEndian.PutUint32(c.hdr[:], uint32(len(tuples)))
 	if _, err := c.conn.Write(c.hdr[:]); err != nil {
 		return err
 	}
 	_, err := c.conn.Write(tuples)
 	return err
+}
+
+// abortMidFrame writes the frame header and half the payload, optionally
+// stalls, then closes the connection and reports the injected failure.
+func (c *Client) abortMidFrame(tuples []byte, stall time.Duration, site fault.Site) error {
+	binary.LittleEndian.PutUint32(c.hdr[:], uint32(len(tuples)))
+	_, _ = c.conn.Write(c.hdr[:])
+	_, _ = c.conn.Write(tuples[:len(tuples)/2])
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	_ = c.conn.Close()
+	return fault.Errorf(site, "connection lost mid-frame (%d bytes)", len(tuples))
 }
 
 // Close closes the connection.

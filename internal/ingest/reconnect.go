@@ -1,0 +1,133 @@
+package ingest
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"saber/internal/fault"
+)
+
+// ReconnectConfig tunes the reconnecting client.
+type ReconnectConfig struct {
+	// MaxAttempts bounds how many connection attempts one Send makes
+	// before giving up. Default 10.
+	MaxAttempts int
+	// BaseDelay is the first reconnect backoff; it doubles per attempt up
+	// to MaxDelay, with jitter in [delay/2, delay). Defaults 500µs / 50ms.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the jitter PRNG (deterministic replay).
+	Seed int64
+	// Fault arms seeded send-side fault injection (see Client.SetFault).
+	Fault *fault.Injector
+}
+
+func (c ReconnectConfig) withDefaults() ReconnectConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 10
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 500 * time.Microsecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 50 * time.Millisecond
+	}
+	return c
+}
+
+// ReconnectClient is a Client that transparently redials after connection
+// failures, resending the interrupted frame whole. Because the server
+// only sinks fully received frames, a frame is inserted exactly once no
+// matter how many times the connection dies mid-transfer. Like Client it
+// serves a single sending goroutine.
+type ReconnectClient struct {
+	cfg  ReconnectConfig
+	addr string
+	c    *Client
+	rnd  *rand.Rand
+
+	reconnects int64
+	resends    int64
+}
+
+// DialReconnect connects a reconnecting client to an ingest server.
+func DialReconnect(addr string, cfg ReconnectConfig) (*ReconnectClient, error) {
+	cfg = cfg.withDefaults()
+	rc := &ReconnectClient{
+		cfg:  cfg,
+		addr: addr,
+		rnd:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if err := rc.redial(); err != nil {
+		return nil, err
+	}
+	return rc, nil
+}
+
+func (rc *ReconnectClient) redial() error {
+	c, err := Dial(rc.addr)
+	if err != nil {
+		return err
+	}
+	c.SetFault(rc.cfg.Fault)
+	rc.c = c
+	return nil
+}
+
+// backoff returns the jittered delay for attempt i (0-based): the base
+// delay doubled per attempt, capped, with the final value drawn from
+// [delay/2, delay) so synchronised failures don't reconnect in lockstep.
+func (rc *ReconnectClient) backoff(i int) time.Duration {
+	d := rc.cfg.BaseDelay << uint(i)
+	if d <= 0 || d > rc.cfg.MaxDelay {
+		d = rc.cfg.MaxDelay
+	}
+	half := d / 2
+	return half + time.Duration(rc.rnd.Int63n(int64(half)+1))
+}
+
+// Send transmits one frame, redialing and resending it whole after any
+// connection failure, until it succeeds or MaxAttempts is exhausted.
+func (rc *ReconnectClient) Send(tuples []byte) error {
+	var lastErr error
+	for attempt := 0; attempt < rc.cfg.MaxAttempts; attempt++ {
+		if rc.c == nil {
+			if attempt > 0 {
+				time.Sleep(rc.backoff(attempt - 1))
+			}
+			if err := rc.redial(); err != nil {
+				lastErr = err
+				continue
+			}
+			rc.reconnects++
+		}
+		if attempt > 0 {
+			rc.resends++
+		}
+		err := rc.c.Send(tuples)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		_ = rc.c.Close()
+		rc.c = nil
+	}
+	return fmt.Errorf("ingest: send failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
+}
+
+// Reconnects counts successful redials.
+func (rc *ReconnectClient) Reconnects() int64 { return rc.reconnects }
+
+// Resends counts frame retransmissions after a failure.
+func (rc *ReconnectClient) Resends() int64 { return rc.resends }
+
+// Close closes the current connection, if any.
+func (rc *ReconnectClient) Close() error {
+	if rc.c == nil {
+		return nil
+	}
+	err := rc.c.Close()
+	rc.c = nil
+	return err
+}

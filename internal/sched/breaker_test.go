@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		b.RecordFailure(false)
+		if b.State() != BreakerClosed {
+			t.Fatalf("opened after %d failures", i+1)
+		}
+	}
+	b.RecordFailure(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("did not open at threshold")
+	}
+	if allow, _ := b.Acquire(); allow {
+		t.Fatal("open breaker granted a task")
+	}
+	if b.Rejected() != 1 || b.Opens() != 1 {
+		t.Fatalf("telemetry: rejected=%d opens=%d", b.Rejected(), b.Opens())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	b.RecordFailure(false)
+	b.RecordFailure(false)
+	b.RecordSuccess(false)
+	b.RecordFailure(false)
+	b.RecordFailure(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("streak not reset by success")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	b := NewBreaker(1, time.Millisecond)
+	b.RecordFailure(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("did not open")
+	}
+	time.Sleep(2 * time.Millisecond)
+
+	allow, probe := b.Acquire()
+	if !allow || !probe {
+		t.Fatalf("cooldown elapsed but no probe: allow=%v probe=%v", allow, probe)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after probe grant", b.State())
+	}
+	// Only one probe may be out.
+	if allow2, _ := b.Acquire(); allow2 {
+		t.Fatal("second probe granted")
+	}
+	b.RecordSuccess(probe)
+	if b.State() != BreakerClosed || b.Closes() != 1 {
+		t.Fatalf("probe success did not close: %v closes=%d", b.State(), b.Closes())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(1, time.Millisecond)
+	b.RecordFailure(false)
+	time.Sleep(2 * time.Millisecond)
+	_, probe := b.Acquire()
+	b.RecordFailure(probe)
+	if b.State() != BreakerOpen {
+		t.Fatalf("probe failure left state %v", b.State())
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("opens=%d", b.Opens())
+	}
+}
+
+func TestBreakerCancelProbe(t *testing.T) {
+	b := NewBreaker(1, time.Millisecond)
+	b.RecordFailure(false)
+	time.Sleep(2 * time.Millisecond)
+	_, probe := b.Acquire()
+	if !probe {
+		t.Fatal("no probe granted")
+	}
+	b.CancelProbe(probe)
+	// The returned grant must be immediately re-acquirable.
+	allow, probe2 := b.Acquire()
+	if !allow || !probe2 {
+		t.Fatal("cancelled probe not re-grantable")
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if allow, probe := b.Acquire(); !allow || probe {
+		t.Fatal("nil breaker must always allow")
+	}
+	b.RecordSuccess(false)
+	b.RecordFailure(true)
+	b.CancelProbe(true)
+	if b.State() != BreakerClosed || b.Opens() != 0 || b.Closes() != 0 || b.Probes() != 0 || b.Rejected() != 0 {
+		t.Fatal("nil breaker telemetry not zero")
+	}
+}

@@ -31,6 +31,12 @@ type HLS struct {
 	// (0 = unbounded). The engine sets it below the result-buffer size so
 	// out-of-order execution stays within the reordering window.
 	MaxLookahead int
+	// Breaker, when set, is the GPGPU circuit breaker. While it is not
+	// closed, every task is routed as CPU-preferred (graceful
+	// degradation via the same switch-threshold machinery); in the
+	// half-open state a GPU worker's scan takes the first eligible task
+	// as the recovery probe.
+	Breaker *Breaker
 
 	mu    sync.Mutex
 	count [][numProcs]int
@@ -57,23 +63,56 @@ func (h *HLS) Name() string { return "hls" }
 func (h *HLS) Next(q *task.Queue, p Processor) *task.Task {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	brState := BreakerClosed
+	if h.Breaker != nil {
+		brState = h.Breaker.State()
+	}
 	return q.Select(func(items []*task.Task) int {
 		if h.MaxLookahead > 0 && len(items) > h.MaxLookahead {
 			items = items[:h.MaxLookahead]
 		}
+		if p == GPU && brState == BreakerHalfOpen {
+			// Recovery probe: take the first task not pinned to the CPU,
+			// regardless of preference, so the probe cannot starve behind
+			// a matrix that currently prefers the CPU everywhere.
+			for pos, v := range items {
+				if !v.CPUOnly {
+					h.count[v.Query][p]++
+					h.selected.Add(1)
+					return pos
+				}
+			}
+			return -1
+		}
 		delay := 0.0
 		for pos, v := range items {
 			qi := v.Query
+			if p == GPU && v.CPUOnly {
+				// A failed-over task never returns to the device; plan it
+				// for the CPU and keep scanning.
+				delay += 1 / h.C.Rate(qi, CPU)
+				continue
+			}
 			pref := h.C.Preferred(qi)
+			// A pinned task (failed over to the CPU, or degraded there by an
+			// open breaker) must not be gated by the switch-threshold streak:
+			// the streak exists to keep the other matrix column fresh, and a
+			// pinned task cannot provide a GPU observation. Gating it would
+			// livelock — the GPU side can neither take the task nor trigger
+			// the forced switch that resets the CPU streak.
+			pinned := v.CPUOnly || (p == CPU && brState != BreakerClosed)
+			if pinned {
+				pref = CPU
+			}
 
 			selected := false
 			if p == pref {
-				selected = h.count[qi][p] < h.St
+				selected = pinned || h.count[qi][p] < h.St
 			} else {
 				selected = h.count[qi][pref] >= h.St || delay >= 1/h.C.Rate(qi, p)
 			}
 			if selected {
-				if h.count[qi][pref] >= h.St {
+				if p != pref && h.count[qi][pref] >= h.St {
 					h.count[qi][pref] = 0 // reset after forced switch
 					h.flips.Add(1)
 				}

@@ -116,11 +116,22 @@ type Policy interface {
 }
 
 // FCFS takes the queue head regardless of processor: the paper's
-// first-come-first-served baseline.
+// first-come-first-served baseline. Tasks pinned to the CPU after a
+// GPGPU failure are skipped by GPU workers.
 type FCFS struct{}
 
 // Next implements Policy.
-func (FCFS) Next(q *task.Queue, _ Processor) *task.Task { return q.PopHead() }
+func (FCFS) Next(q *task.Queue, p Processor) *task.Task {
+	return q.Select(func(items []*task.Task) int {
+		for i, t := range items {
+			if p == GPU && t.CPUOnly {
+				continue
+			}
+			return i
+		}
+		return -1
+	})
+}
 
 // Name implements Policy.
 func (FCFS) Name() string { return "fcfs" }
@@ -138,7 +149,10 @@ type Greedy struct {
 func (g Greedy) Next(q *task.Queue, p Processor) *task.Task {
 	return q.Select(func(items []*task.Task) int {
 		for i, t := range items {
-			if g.C.Preferred(t.Query) == p {
+			if p == GPU && t.CPUOnly {
+				continue
+			}
+			if t.CPUOnly || g.C.Preferred(t.Query) == p {
 				return i
 			}
 		}
@@ -160,7 +174,10 @@ type Static struct {
 func (s Static) Next(q *task.Queue, p Processor) *task.Task {
 	return q.Select(func(items []*task.Task) int {
 		for i, t := range items {
-			if s.Assign[t.Query] == p {
+			if p == GPU && t.CPUOnly {
+				continue
+			}
+			if (t.CPUOnly && p == CPU) || s.Assign[t.Query] == p {
 				return i
 			}
 		}

@@ -26,6 +26,13 @@ type Task struct {
 	// Created is a logical enqueue stamp used for latency accounting
 	// (nanoseconds).
 	Created int64
+	// Attempts counts failed executions of this task. A task is owned by
+	// exactly one worker at a time and hand-offs go through the queue
+	// mutex, so plain fields suffice.
+	Attempts int32
+	// CPUOnly pins the task to the CPU class after a GPGPU-side failure,
+	// so a retry cannot bounce back to the device that just failed it.
+	CPUOnly bool
 }
 
 // Queue is the system-wide query task queue. Workers remove tasks through
@@ -49,6 +56,21 @@ func (q *Queue) Push(t *Task) {
 		panic("task: Push on closed queue")
 	}
 	q.items = append(q.items, t)
+}
+
+// Requeue re-inserts a previously dispatched task at the head of the
+// queue after a failed execution attempt. Unlike Push it is permitted on
+// a closed (draining) queue: the task was already accounted for by the
+// dispatcher, and the drain barrier waits on its result, so it must
+// remain schedulable. Head insertion keeps a retried task inside the
+// scheduler's bounded lookahead (and thus the result stage's reordering
+// window).
+func (q *Queue) Requeue(t *Task) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, nil)
+	copy(q.items[1:], q.items)
+	q.items[0] = t
 }
 
 // Close marks the queue as draining: no more pushes will happen.
