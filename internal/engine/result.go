@@ -148,10 +148,21 @@ func (rs *resultStage) deposit(t *task.Task, res *exec.TaskResult, gap bool) boo
 		}
 		// Claim won. Publish the ID first so racing duplicates can see
 		// who owns the slot, then re-validate: the frontier may have
-		// passed this ID (drained via a duplicate that went through the
-		// overflow map), or such a duplicate may still sit in overflow.
+		// passed this ID (drained from this very slot, or via a duplicate
+		// that went through the overflow map), or such a duplicate may
+		// still sit in overflow. Frontier and map are read under
+		// overflowMu because the drainer advances the frontier before
+		// freeing a slot and, for overflow drains, deletes the entry and
+		// advances under this same lock — so a stale claim always fails at
+		// least one of the two checks; it can never slip between them.
 		s.id.Store(t.ID)
-		if t.ID < rs.next.Load() || rs.overflowHas(t.ID) {
+		rs.overflowMu.Lock()
+		stale := t.ID < rs.next.Load()
+		if !stale {
+			_, stale = rs.overflow[t.ID]
+		}
+		rs.overflowMu.Unlock()
+		if stale {
 			s.state.Store(slotFree)
 			rs.discardDup(res)
 			return false
@@ -236,12 +247,25 @@ func (rs *resultStage) drainLocked() {
 		case s.state.Load() == slotFull && s.id.Load() == n:
 			e = overflowEntry{res: s.res, freeTo: s.freeTo, start: s.start, gap: s.gap}
 			s.res = nil
+			// Advance the frontier BEFORE freeing the slot. A duplicate
+			// delivery of n can CAS-claim the slot the instant it frees;
+			// its re-validation must then observe next > n and unwind — if
+			// the slot freed first, the duplicate could pass re-validation,
+			// publish slotFull a second time (double delivery) and wedge
+			// the slot with a stale ID for every later occupant.
+			rs.next.Add(1)
+			s.state.Store(slotFree)
 		default:
 			rs.overflowMu.Lock()
 			var ok bool
 			e, ok = rs.overflow[n]
 			if ok {
 				delete(rs.overflow, n)
+				// Advance while still holding overflowMu: deposit's
+				// re-validation reads the frontier and the map under this
+				// lock, so a duplicate of n sees either the entry or the
+				// advanced frontier — never neither.
+				rs.next.Add(1)
 			}
 			rs.overflowMu.Unlock()
 			if !ok {
@@ -268,10 +292,6 @@ func (rs *resultStage) drainLocked() {
 			r.stats.latencyNs.Add(time.Now().UnixNano() - e.start)
 			r.stats.latencyN.Add(1)
 		}
-		if s.state.Load() == slotFull && s.id.Load() == n {
-			s.state.Store(slotFree)
-		}
-		rs.next.Add(1)
 		rs.drained.Add(1)
 	}
 }

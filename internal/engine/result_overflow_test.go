@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"saber/internal/exec"
@@ -135,6 +136,75 @@ func TestResultStageOverflowInterleaved(t *testing.T) {
 	f.run(t, order)
 	if got := f.rs.overflowed.Load(); got == 0 {
 		t.Fatal("interleaved delivery never used the overflow map")
+	}
+}
+
+// TestResultStageDuplicateDrainRace targets the deposit/drain TOCTOU
+// window: several goroutines deliver every task ID in ascending order on
+// a 4-slot buffer, so duplicates constantly race the drainer for the
+// slot it is just freeing. The drainer must advance the frontier before
+// a slot frees (and before an overflow entry's deletion is visible), or
+// a duplicate can CAS-claim the freed slot, pass re-validation, and win
+// a second delivery — double-counting the task and wedging the slot
+// with a stale ID for every later occupant.
+func TestResultStageDuplicateDrainRace(t *testing.T) {
+	const nTasks = 64
+	const dups = 4
+	f := newOverflowFixture(t, nTasks, 64)
+
+	var mu sync.Mutex
+	var got []byte
+	f.rs.setSink(func(rows []byte) {
+		mu.Lock()
+		got = append(got, rows...)
+		mu.Unlock()
+	})
+	// Every attempt carries an identically-processed result, so the
+	// output must match the reference no matter which attempt wins.
+	r := f.h.r
+	results := make([][]*exec.TaskResult, dups)
+	results[0] = f.results
+	for d := 1; d < dups; d++ {
+		results[d] = make([]*exec.TaskResult, nTasks)
+		for i, tk := range f.tasks {
+			res := r.plan.NewResult()
+			if err := r.plan.Process(tk.In, res); err != nil {
+				t.Fatal(err)
+			}
+			results[d][i] = res
+		}
+	}
+
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for d := 0; d < dups; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for i := 0; i < nTasks; i++ {
+				if f.rs.deliver(f.tasks[i], results[d][i]) {
+					wins.Add(1)
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+	f.rs.flush()
+
+	if wins.Load() != nTasks {
+		t.Fatalf("%d deliveries won for %d tasks (exactly-once broken)", wins.Load(), nTasks)
+	}
+	if got := f.rs.duplicates.Load(); got != nTasks*(dups-1) {
+		t.Fatalf("duplicates discarded = %d, want %d", got, nTasks*(dups-1))
+	}
+	if err := f.h.CheckQuiesced(); err != nil {
+		t.Fatalf("quiesce after duplicate storm: %v", err)
+	}
+	if err := f.rs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, f.want) {
+		t.Fatalf("duplicate racing changed output: got %d bytes, want %d", len(got), len(f.want))
 	}
 }
 

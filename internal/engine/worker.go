@@ -213,14 +213,27 @@ func (e *Engine) gpuWorker() {
 		idle.reset()
 		f := fly[0]
 		fly = fly[1:]
-		e.completeGPU(f)
+		if e.completeGPU(f) {
+			// Head-of-line hang: the entries queued behind the hung task
+			// sat stalled in the pipeline through no fault of their own,
+			// so their submit stamps overstate their elapsed time. Re-arm
+			// their deadlines from now, or a single hang would cascade
+			// into up to pipeline-depth spurious failovers (and the
+			// duplicate-discard work their late results then cause).
+			now := time.Now()
+			for i := range fly {
+				fly[i].start = now
+			}
+		}
 	}
 }
 
 // completeGPU waits for one in-flight device task (bounded by the
 // remaining share of GPUTaskTimeout) and resolves it: success, device
 // failure, or hang-timeout with failover and late-result collection.
-func (e *Engine) completeGPU(f gpuInflightEntry) {
+// It reports whether the task timed out, so the caller can re-arm the
+// deadlines of the entries that were queued behind it.
+func (e *Engine) completeGPU(f gpuInflightEntry) (hung bool) {
 	var err error
 	timedOut := false
 	if remaining := e.cfg.GPUTaskTimeout - time.Since(f.start); remaining <= 0 {
@@ -273,4 +286,5 @@ func (e *Engine) completeGPU(f gpuInflightEntry) {
 		}
 	}
 	e.gpuInflight.Add(-1)
+	return timedOut
 }

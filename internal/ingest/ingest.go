@@ -25,6 +25,19 @@ import (
 // MaxFrame bounds a single frame's payload (16 MiB).
 const MaxFrame = 16 << 20
 
+// DefaultReadTimeout is the per-read idle deadline applied to every
+// connection unless overridden with SetReadTimeout. It must be non-zero:
+// connections are served strictly one at a time, so a dead or idle
+// predecessor that never times out would block every later connection
+// (and Close) forever.
+const DefaultReadTimeout = 30 * time.Second
+
+// closeGrace bounds how long Close lets the in-flight connection keep
+// draining: long enough to read frames already buffered in the socket
+// (a finished sender's tail must not be lost), short enough that a live
+// idle sender cannot stall shutdown for its full read timeout.
+const closeGrace = 250 * time.Millisecond
+
 // Sink receives whole-tuple payloads in arrival order. A query handle's
 // Insert method satisfies it.
 type Sink interface {
@@ -37,12 +50,19 @@ type SinkFunc func(data []byte)
 // Insert implements Sink.
 func (f SinkFunc) Insert(data []byte) { f(data) }
 
-// Server accepts tuple streams and forwards them to a sink. Connections
+// Server accepts tuple streams and forwards them to a sink.
+//
+// The server supports exactly ONE logical sender at a time. Connections
 // are handled strictly in accept order, one at a time: a stream source is
 // one logical sender, and a reconnecting sender's new connection must not
 // overtake frames still buffered in its dead predecessor — the previous
 // connection is drained to EOF (or its read deadline) before the next
 // one's frames reach the sink, preserving stream order across failover.
+// The flip side is that a second concurrent sender queues behind the
+// first until it disconnects or idles past the read timeout; this is why
+// the read timeout defaults to DefaultReadTimeout and should not be
+// disabled outside tests — with it disabled, one idle-but-live connection
+// starves every later connection indefinitely.
 type Server struct {
 	l         net.Listener
 	sink      Sink
@@ -50,12 +70,21 @@ type Server struct {
 
 	// readTimeout, when positive, bounds how long a read may sit idle on a
 	// connection before it is dropped (a stalled or half-dead peer must not
-	// pin a handler goroutine forever).
+	// pin the single serving slot forever). Defaults to DefaultReadTimeout.
 	readTimeout atomic.Int64 // nanoseconds
 
 	sinkMu   sync.Mutex
 	handleMu sync.Mutex // held while a connection is being drained
 	closed   atomic.Bool
+
+	// closeDeadline (unix nanoseconds, 0 = not closing) is the final read
+	// deadline Close imposes on every remaining read, bounding shutdown by
+	// closeGrace instead of the full read timeout. active is the
+	// connection currently being drained, so Close can re-arm a read
+	// already blocked on the old deadline.
+	closeDeadline atomic.Int64
+	activeMu      sync.Mutex
+	active        net.Conn
 
 	// Telemetry.
 	bytesIn        atomic.Int64
@@ -90,7 +119,9 @@ func NewServer(l net.Listener, sink Sink, tupleSize int) (*Server, error) {
 	if sink == nil {
 		return nil, errors.New("ingest: nil sink")
 	}
-	return &Server{l: l, sink: sink, tupleSize: tupleSize}, nil
+	s := &Server{l: l, sink: sink, tupleSize: tupleSize}
+	s.readTimeout.Store(int64(DefaultReadTimeout))
+	return s, nil
 }
 
 // Listen starts a server on the given TCP address (e.g. "127.0.0.1:0").
@@ -111,8 +142,11 @@ func (s *Server) BytesIn() int64 { return s.bytesIn.Load() }
 // Frames returns the number of frames received.
 func (s *Server) Frames() int64 { return s.framesIn.Load() }
 
-// SetReadTimeout sets the per-read idle deadline for all connections
-// (0 disables). Safe to call concurrently with Serve.
+// SetReadTimeout sets the per-read idle deadline for all connections,
+// overriding DefaultReadTimeout. Safe to call concurrently with Serve.
+// Passing 0 disables the deadline — do that only in tests: with serial
+// connection handling, a deadline-less idle connection blocks every
+// subsequent connection until it closes (see the Server doc comment).
 func (s *Server) SetReadTimeout(d time.Duration) { s.readTimeout.Store(int64(d)) }
 
 // Stats snapshots the server's counters.
@@ -145,7 +179,14 @@ func (s *Server) Serve() error {
 		// deliver frames) until this one has been drained. See the Server
 		// doc comment for why ordering requires this.
 		s.handleMu.Lock()
-		if err := s.handle(conn); err != nil && !s.closed.Load() {
+		s.activeMu.Lock()
+		s.active = conn
+		s.activeMu.Unlock()
+		err = s.handle(conn)
+		s.activeMu.Lock()
+		s.active = nil
+		s.activeMu.Unlock()
+		if err != nil && !s.closed.Load() {
 			// A malformed or broken connection only affects itself; a
 			// reconnecting client resends the interrupted frame whole.
 			var ne net.Error
@@ -160,12 +201,23 @@ func (s *Server) Serve() error {
 	}
 }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Close stops accepting and waits for the in-flight connection to
+// finish, bounded by closeGrace: frames a finished sender left buffered
+// in the socket still drain to the sink, but a live idle sender is timed
+// out instead of stalling shutdown for its full read timeout.
 func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
 	err := s.l.Close()
+	deadline := time.Now().Add(closeGrace)
+	s.closeDeadline.Store(deadline.UnixNano())
+	s.activeMu.Lock()
+	if s.active != nil {
+		// Re-arm a read already blocked on the pre-close deadline.
+		_ = s.active.SetReadDeadline(deadline)
+	}
+	s.activeMu.Unlock()
 	s.handleMu.Lock() // wait for the in-flight connection to drain
 	s.handleMu.Unlock()
 	return err
@@ -217,6 +269,13 @@ func (s *Server) handle(conn net.Conn) error {
 }
 
 func (s *Server) armDeadline(conn net.Conn) {
+	if cd := s.closeDeadline.Load(); cd != 0 {
+		// Shutting down: every remaining read shares the one fixed
+		// close deadline, so a still-streaming sender cannot extend the
+		// drain indefinitely.
+		_ = conn.SetReadDeadline(time.Unix(0, cd))
+		return
+	}
 	if d := time.Duration(s.readTimeout.Load()); d > 0 {
 		_ = conn.SetReadDeadline(time.Now().Add(d))
 	} else {

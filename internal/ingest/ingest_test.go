@@ -165,6 +165,77 @@ func TestConcurrentSenders(t *testing.T) {
 	srv.Close()
 }
 
+// TestDefaultReadTimeoutArmed: a fresh server must have a non-zero read
+// deadline — with strictly serial connection handling, a deadline-less
+// idle connection would starve every later sender and block Close.
+func TestDefaultReadTimeoutArmed(t *testing.T) {
+	srv := startServer(t, &collectSink{}, 8)
+	if d := time.Duration(srv.readTimeout.Load()); d != DefaultReadTimeout || d <= 0 {
+		t.Fatalf("default read timeout = %v, want %v", d, DefaultReadTimeout)
+	}
+}
+
+// TestIdleConnectionDoesNotStarveNextSender: an idle-but-live connection
+// holds the single serving slot only until its read deadline fires; the
+// next sender's frames must then drain instead of queueing forever.
+func TestIdleConnectionDoesNotStarveNextSender(t *testing.T) {
+	sink := &collectSink{}
+	srv := startServer(t, sink, 8)
+	srv.SetReadTimeout(50 * time.Millisecond)
+
+	idle, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 16)
+	if err := c.Send(frame); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for len(sink.bytes()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second sender starved behind an idle connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !bytes.Equal(sink.bytes(), frame) {
+		t.Fatalf("received %d bytes, want %d", len(sink.bytes()), len(frame))
+	}
+	if srv.Stats().DeadlineDrops == 0 {
+		t.Error("idle connection was not counted as a deadline drop")
+	}
+}
+
+// TestCloseBoundedByIdleConnection: Close must not wait out a live idle
+// sender's full read timeout (30s by default) — the close grace bounds
+// the drain of the in-flight connection.
+func TestCloseBoundedByIdleConnection(t *testing.T) {
+	srv := startServer(t, &collectSink{}, 8)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Let the server accept and block reading the idle connection.
+	time.Sleep(20 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close blocked on a live idle connection")
+	}
+}
+
 func TestValidation(t *testing.T) {
 	if _, err := NewServer(nil, nil, 8); err == nil {
 		t.Error("nil sink accepted")

@@ -107,18 +107,23 @@ func (b *Breaker) Acquire() (allow, probe bool) {
 }
 
 // CancelProbe returns an unused probe grant (the worker acquired it but
-// found no task to submit).
+// found no task to submit). A grant already invalidated by a transition
+// out of half-open is ignored, so a stale cancel can never release a
+// probe slot that belongs to a newer half-open cycle.
 func (b *Breaker) CancelProbe(probe bool) {
 	if b == nil || !probe {
 		return
 	}
 	b.mu.Lock()
-	b.probeOut = false
+	if b.state == BreakerHalfOpen {
+		b.probeOut = false
+	}
 	b.mu.Unlock()
 }
 
 // RecordSuccess reports a completed device task. Any success closes the
-// breaker and resets the failure streak.
+// breaker and resets the failure streak; closing also resolves the probe
+// cycle, invalidating any still-outstanding grant.
 func (b *Breaker) RecordSuccess(probe bool) {
 	if b == nil {
 		return
@@ -126,18 +131,23 @@ func (b *Breaker) RecordSuccess(probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.consec = 0
-	if probe {
-		b.probeOut = false
-	}
+	b.probeOut = false
 	if b.state != BreakerClosed {
 		b.state = BreakerClosed
 		b.closes.Add(1)
 	}
 }
 
-// RecordFailure reports a failed (or timed-out) device task. A failed
-// probe reopens the breaker immediately; in the closed state the breaker
-// opens once the consecutive-failure streak reaches the threshold.
+// RecordFailure reports a failed (or timed-out) device task. Any failure
+// while half-open — the probe itself, or an older in-flight task that was
+// submitted before the breaker opened — reopens the breaker; in the
+// closed state the breaker opens once the consecutive-failure streak
+// reaches the threshold. Every transition out of half-open clears the
+// outstanding probe grant, so probeOut is true only while half-open (the
+// invariant CheckInvariants asserts) and an orphaned in-flight probe
+// resolving later cannot double-grant the next cycle's probe: its
+// eventual RecordSuccess/RecordFailure is handled as an ordinary
+// completion.
 func (b *Breaker) RecordFailure(probe bool) {
 	if b == nil {
 		return
@@ -145,14 +155,12 @@ func (b *Breaker) RecordFailure(probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.consec++
-	if probe {
-		b.probeOut = false
-	}
 	switch {
 	case b.state == BreakerHalfOpen:
 		b.state = BreakerOpen
 		b.openedAt = time.Now()
 		b.opens.Add(1)
+		b.probeOut = false
 	case b.state == BreakerClosed && b.consec >= b.threshold:
 		b.state = BreakerOpen
 		b.openedAt = time.Now()

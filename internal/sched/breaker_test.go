@@ -101,6 +101,46 @@ func TestBreakerCancelProbe(t *testing.T) {
 	}
 }
 
+// TestBreakerNonProbeFailureWhileHalfOpen: an older in-flight task —
+// submitted before the breaker opened, failing or timing out after the
+// probe was granted — reopens a half-open breaker. The probe grant must
+// be invalidated with the transition: probeOut may only be set while
+// half-open (the invariant the harness polls concurrently), and the
+// orphaned grant must not permit a second concurrent probe after the
+// next cooldown.
+func TestBreakerNonProbeFailureWhileHalfOpen(t *testing.T) {
+	b := NewBreaker(1, time.Millisecond)
+	b.RecordFailure(false)
+	time.Sleep(2 * time.Millisecond)
+	_, probe := b.Acquire()
+	if !probe {
+		t.Fatal("no probe granted")
+	}
+	b.RecordFailure(false) // the older in-flight task fails, not the probe
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after non-probe failure in half-open", b.State())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("reopening orphaned the probe grant: %v", err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if allow, probe2 := b.Acquire(); !allow || !probe2 {
+		t.Fatal("no probe after the reopen cooldown")
+	}
+	if allow, _ := b.Acquire(); allow {
+		t.Fatal("orphaned grant permitted a second concurrent probe")
+	}
+	// The stale first probe eventually resolving is handled as an
+	// ordinary completion: any success closes the breaker.
+	b.RecordSuccess(probe)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after stale probe success", b.State())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBreakerNilSafe(t *testing.T) {
 	var b *Breaker
 	if allow, probe := b.Acquire(); !allow || probe {

@@ -105,11 +105,19 @@ func (h *HLS) Next(q *task.Queue, p Processor) *task.Task {
 				pref = CPU
 			}
 
+			// A retried task (a prior attempt failed) also bypasses the
+			// gate, on whichever processor scans first: after the queue
+			// closes, the preferred backend's worker may already have
+			// exited — it saw an empty queue before the failure requeued
+			// the task — and a lone GPU-preferred retry has no streak and
+			// no accumulated delay, so gating it would wedge Drain.
+			retry := v.Attempts > 0
+
 			selected := false
 			if p == pref {
-				selected = pinned || h.count[qi][p] < h.St
+				selected = pinned || retry || h.count[qi][p] < h.St
 			} else {
-				selected = h.count[qi][pref] >= h.St || delay >= 1/h.C.Rate(qi, p)
+				selected = retry || h.count[qi][pref] >= h.St || delay >= 1/h.C.Rate(qi, p)
 			}
 			if selected {
 				if p != pref && h.count[qi][pref] >= h.St {

@@ -74,6 +74,24 @@ func TestCPUWorkerSkipsWhenDelaySmall(t *testing.T) {
 	}
 }
 
+// TestCPUWorkerTakesRetriedGPUTask: a task whose prior attempt failed
+// bypasses the switch-threshold gate. After the queue closes, the GPU
+// worker may already have exited when a CPU-side failure requeues the
+// task, and a lone GPU-preferred retry has no streak and no accumulated
+// delay — gating it (as for a fresh task, see
+// TestCPUWorkerSkipsWhenDelaySmall) would wedge Drain forever.
+func TestCPUWorkerTakesRetriedGPUTask(t *testing.T) {
+	m := NewMatrix(1, 1, 0.2, 1, 1)
+	m.rows[0] = [numProcs]float64{1, 1000} // GPU vastly preferred, CPU slow
+	m.seen[0] = [numProcs]bool{true, true}
+	h := NewHLS(1, m, 100)
+	q := task.NewQueue()
+	q.Push(&task.Task{Query: 0, ID: 1, Attempts: 1})
+	if got := h.Next(q, CPU); got == nil || got.ID != 1 {
+		t.Fatalf("CPU worker declined a retried GPU-preferred task: %+v", got)
+	}
+}
+
 // TestSwitchThresholdForcesExploration: after St runs on the preferred
 // processor, the task must go to the other one (and the streak resets).
 func TestSwitchThresholdForcesExploration(t *testing.T) {
