@@ -14,19 +14,22 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"saber/internal/bench"
+	"saber/internal/obs"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id, or 'all'")
-		scale      = flag.Float64("scale", 0, "model time scale (0 = default)")
-		mb         = flag.Int("mb", 0, "data volume per measurement point in MiB (0 = default)")
-		workers    = flag.Int("workers", 0, "CPU worker threads (0 = default 15)")
-		list       = flag.Bool("list", false, "list experiments and exit")
+		experiment  = flag.String("experiment", "all", "experiment id, or 'all'")
+		scale       = flag.Float64("scale", 0, "model time scale (0 = default)")
+		mb          = flag.Int("mb", 0, "data volume per measurement point in MiB (0 = default)")
+		workers     = flag.Int("workers", 0, "CPU worker threads (0 = default 15)")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		metricsAddr = flag.String("metrics-addr", "", "serve the admin endpoint (/varz, /metrics, /debug/pprof) on this address while experiments run; empty disables it")
 	)
 	flag.Parse()
 
@@ -38,6 +41,21 @@ func main() {
 	}
 
 	opts := bench.Options{Scale: *scale, MB: *mb, Workers: *workers}
+	if *metricsAddr != "" {
+		// One process-wide registry shared by every experiment's engines:
+		// counters accumulate across runs, gauges track the newest engine.
+		// No tracer is exposed — /traces reports null; latency histograms
+		// are visible via /varz and /metrics.
+		opts.Metrics = obs.NewRegistry()
+		srv := &http.Server{Addr: *metricsAddr, Handler: obs.Handler(opts.Metrics, nil)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "saber-bench: metrics endpoint: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics endpoint on http://%s (/varz /metrics /debug/pprof)\n", *metricsAddr)
+	}
 	run := func(e bench.Experiment) {
 		start := time.Now()
 		rep := e.Run(opts)

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -33,6 +34,9 @@ func main() {
 		scale     = flag.Float64("scale", 1, "model time scale")
 		sample    = flag.Int("sample", 5, "result rows to print")
 		native    = flag.Bool("native", false, "run at native speed (no performance model)")
+
+		metricsAddr   = flag.String("metrics-addr", "", "serve the admin endpoint (/varz, /metrics, /traces, /debug/pprof) on this address, e.g. 127.0.0.1:8080; empty disables it")
+		statsInterval = flag.Duration("stats-interval", 0, "print a one-line metrics summary to stderr at this interval; 0 disables it")
 	)
 	flag.Parse()
 	if *queryText == "" {
@@ -103,6 +107,33 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *metricsAddr != "" {
+		srv := &http.Server{Addr: *metricsAddr, Handler: eng.MetricsHandler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "saber-run: metrics endpoint: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics endpoint on http://%s (/varz /metrics /traces /debug/pprof)\n", *metricsAddr)
+	}
+	if *statsInterval > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(*statsInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					printStatsLine(eng, q)
+				}
+			}
+		}()
+	}
+
 	tuples := (*mb << 20) / schema.TupleSize()
 	data := gen(nil, tuples)
 	start := time.Now()
@@ -120,4 +151,18 @@ func main() {
 	}
 	fmt.Printf(")\ntasks: %d cpu, %d gpu (gpu share %.0f%%); output: %d tuples; avg latency %v\n",
 		st.TasksCPU, st.TasksGPU, st.GPUShare()*100, st.TuplesOut, st.AvgLatency.Round(time.Microsecond))
+}
+
+// printStatsLine emits a one-line live metrics summary to stderr.
+func printStatsLine(eng *saber.Engine, q *saber.QueryHandle) {
+	snap := eng.Metrics().Snapshot()
+	st := q.Stats()
+	e2e := snap.Histograms["saber.trace.e2e"]
+	fmt.Fprintf(os.Stderr,
+		"[stats] in=%.1fMiB out=%d tuples tasks=%d cpu/%d gpu queue=%.0f latency p50=%v p99=%v shed=%d\n",
+		float64(st.BytesIn)/(1<<20), st.TuplesOut, st.TasksCPU, st.TasksGPU,
+		snap.Gauges["saber.engine.queue.depth"],
+		time.Duration(e2e.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(e2e.Quantile(0.99)).Round(time.Microsecond),
+		st.TuplesShed)
 }

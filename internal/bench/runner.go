@@ -6,6 +6,7 @@ import (
 	"saber/internal/engine"
 	"saber/internal/gpu"
 	"saber/internal/model"
+	"saber/internal/obs"
 	"saber/internal/query"
 	"saber/internal/sched"
 	"saber/internal/workload"
@@ -22,6 +23,12 @@ type Options struct {
 	MB int
 	// Workers is the CPU worker count (default 15, the paper's).
 	Workers int
+	// Metrics, when set, is shared by every engine the experiments build,
+	// so a live admin endpoint (saber-bench -metrics-addr) sees the run in
+	// progress. Counters accumulate across sequential runs; gauges and
+	// mirror functions rebind to the most recent engine. Nil keeps each
+	// run's registry private.
+	Metrics *obs.Registry
 }
 
 // WithDefaults fills in defaults.
@@ -127,6 +134,7 @@ func run(spec runSpec) runResult {
 		Model:           o.params(),
 		MatrixAlpha:     spec.alpha,
 		SwitchThreshold: spec.switchThreshold,
+		Metrics:         o.Metrics,
 	}
 	eng := engine.New(cfg)
 	handles := make([]*engine.Handle, len(spec.queries))

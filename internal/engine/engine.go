@@ -14,6 +14,7 @@ import (
 	"saber/internal/fault"
 	"saber/internal/gpu"
 	"saber/internal/model"
+	"saber/internal/obs"
 	"saber/internal/query"
 	"saber/internal/sched"
 	"saber/internal/task"
@@ -71,6 +72,16 @@ type Config struct {
 	// GPU device takes its own injector via gpu.Config. nil runs
 	// fault-free.
 	Fault *fault.Injector
+
+	// Metrics is the observability registry every engine counter,
+	// histogram and mirror registers in. nil gives the engine a private
+	// registry (telemetry is always on; its hot-path cost is a few
+	// uncontended atomic adds per task). Share one registry across
+	// engines only if their query indices do not collide.
+	Metrics *obs.Registry
+	// TraceRing bounds the tracer's postmortem ring of recent task
+	// traces. 0 selects the default (128).
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +153,12 @@ type Engine struct {
 	matrix *sched.Matrix
 	policy sched.Policy
 
+	// reg and tracer are the observability spine: every counter in this
+	// package lives in reg, and tracer stamps each task's lifecycle (see
+	// metrics.go and package obs).
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
 	// breaker is the GPGPU circuit breaker; nil in single-processor modes
 	// and under policies that cannot reroute (static, greedy).
 	breaker *sched.Breaker
@@ -166,11 +183,17 @@ type Engine struct {
 
 // New creates an engine.
 func New(cfg Config) *Engine {
-	return &Engine{
+	e := &Engine{
 		cfg:    cfg.withDefaults(),
 		byName: make(map[string]*registered),
 		queue:  task.NewQueue(),
 	}
+	e.reg = e.cfg.Metrics
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
+	e.tracer = obs.NewTracer(e.reg, e.cfg.TraceRing)
+	return e
 }
 
 // Config returns the engine's effective configuration.
@@ -258,6 +281,8 @@ func (e *Engine) Start() error {
 			e.breaker = sched.NewBreaker(e.cfg.BreakerThreshold, e.cfg.BreakerCooldown)
 		}
 	}
+
+	e.registerMirrors()
 
 	for i := 0; i < e.cfg.CPUWorkers; i++ {
 		e.workers.Add(1)

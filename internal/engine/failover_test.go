@@ -143,7 +143,7 @@ func TestExactlyOnceConcurrentDelivery(t *testing.T) {
 	if wins.Load() != ids {
 		t.Fatalf("%d deliveries won for %d tasks", wins.Load(), ids)
 	}
-	if got := r.result.duplicates.Load(); got != ids*(dups-1) {
+	if got := r.result.duplicates.Value(); got != ids*(dups-1) {
 		t.Fatalf("duplicates discarded = %d, want %d", got, ids*(dups-1))
 	}
 	if got := r.result.drained.Load(); got != ids {

@@ -1,9 +1,9 @@
 package engine
 
 import (
-	"sync/atomic"
 	"time"
 
+	"saber/internal/obs"
 	"saber/internal/schema"
 )
 
@@ -36,24 +36,25 @@ func (h *Handle) Name() string { return h.r.plan.Q.Name }
 // for this query (at most a handful are retained), newest last.
 func (h *Handle) RecentFailures() []error { return h.r.recentFailures() }
 
-// statsCounters are the per-query atomic counters.
+// statsCounters are the per-query hot-path counters, registered in the
+// engine's obs registry under saber.engine.q<i>.* (see metrics.go).
 type statsCounters struct {
-	bytesIn      atomic.Int64
-	bytesOut     atomic.Int64
-	tuplesOut    atomic.Int64
-	tasksCreated atomic.Int64
-	tasksCPU     atomic.Int64
-	tasksGPU     atomic.Int64
-	latencyNs    atomic.Int64
-	latencyN     atomic.Int64
+	bytesIn      *obs.Counter
+	bytesOut     *obs.Counter
+	tuplesOut    *obs.Counter
+	tasksCreated *obs.Counter
+	tasksCPU     *obs.Counter
+	tasksGPU     *obs.Counter
+	latencyNs    *obs.Counter
+	latencyN     *obs.Counter
 
 	// Fault-tolerance counters.
-	tasksFailed      atomic.Int64 // failed execution attempts (all causes)
-	tasksRetried     atomic.Int64 // failed attempts that were requeued
-	tasksQuarantined atomic.Int64 // tasks given up on after MaxTaskRetries
-	tuplesShed       atomic.Int64 // input tuples covered by quarantined tasks
-	gpuFailovers     atomic.Int64 // GPU-failed tasks pinned to the CPU class
-	gpuTimeouts      atomic.Int64 // device hangs detected by GPUTaskTimeout
+	tasksFailed      *obs.Counter // failed execution attempts (all causes)
+	tasksRetried     *obs.Counter // failed attempts that were requeued
+	tasksQuarantined *obs.Counter // tasks given up on after MaxTaskRetries
+	tuplesShed       *obs.Counter // input tuples covered by quarantined tasks
+	gpuFailovers     *obs.Counter // GPU-failed tasks pinned to the CPU class
+	gpuTimeouts      *obs.Counter // device hangs detected by GPUTaskTimeout
 }
 
 // Stats is a point-in-time snapshot of one query's counters.
@@ -97,22 +98,22 @@ func (s Stats) GPUShare() float64 {
 func (h *Handle) Stats() Stats {
 	c := &h.r.stats
 	s := Stats{
-		BytesIn:          c.bytesIn.Load(),
-		BytesOut:         c.bytesOut.Load(),
-		TuplesOut:        c.tuplesOut.Load(),
-		TasksCreated:     c.tasksCreated.Load(),
-		TasksCPU:         c.tasksCPU.Load(),
-		TasksGPU:         c.tasksGPU.Load(),
-		TasksFailed:      c.tasksFailed.Load(),
-		TasksRetried:     c.tasksRetried.Load(),
-		TasksQuarantined: c.tasksQuarantined.Load(),
-		TuplesShed:       c.tuplesShed.Load(),
-		GPUFailovers:     c.gpuFailovers.Load(),
-		GPUTimeouts:      c.gpuTimeouts.Load(),
-		DuplicateResults: h.r.result.duplicates.Load(),
+		BytesIn:          c.bytesIn.Value(),
+		BytesOut:         c.bytesOut.Value(),
+		TuplesOut:        c.tuplesOut.Value(),
+		TasksCreated:     c.tasksCreated.Value(),
+		TasksCPU:         c.tasksCPU.Value(),
+		TasksGPU:         c.tasksGPU.Value(),
+		TasksFailed:      c.tasksFailed.Value(),
+		TasksRetried:     c.tasksRetried.Value(),
+		TasksQuarantined: c.tasksQuarantined.Value(),
+		TuplesShed:       c.tuplesShed.Value(),
+		GPUFailovers:     c.gpuFailovers.Value(),
+		GPUTimeouts:      c.gpuTimeouts.Value(),
+		DuplicateResults: h.r.result.duplicates.Value(),
 	}
-	if n := c.latencyN.Load(); n > 0 {
-		s.AvgLatency = time.Duration(c.latencyNs.Load() / n)
+	if n := c.latencyN.Value(); n > 0 {
+		s.AvgLatency = time.Duration(c.latencyNs.Value() / n)
 	}
 	return s
 }

@@ -118,9 +118,9 @@ func (h *Handle) Debug() Debug {
 		TasksCreated:       r.taskSeq.Load(),
 		Drained:            rs.drained.Load(),
 		NextID:             rs.next.Load(),
-		OverflowDeliveries: rs.overflowed.Load(),
+		OverflowDeliveries: rs.overflowed.Value(),
 		OverflowPending:    pending,
-		DuplicateResults:   rs.duplicates.Load(),
+		DuplicateResults:   rs.duplicates.Value(),
 	}
 	for i := 0; i < r.plan.NumInputs(); i++ {
 		ring := r.ins[i].ring

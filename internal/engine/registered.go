@@ -9,6 +9,7 @@ import (
 	"saber/internal/exec"
 	"saber/internal/gpu"
 	"saber/internal/model"
+	"saber/internal/obs"
 	"saber/internal/ringbuf"
 	"saber/internal/schema"
 	"saber/internal/task"
@@ -73,10 +74,15 @@ type inputStream struct {
 	batchStart int64
 	firstIndex int64
 	prevTS     int64
+	// pendingSince stamps (unix ns) when the oldest undispatched byte
+	// arrived, feeding the trace's ingest stage (batching delay). 0 when
+	// nothing is pending. Guarded by insMu, like the dispatch positions.
+	pendingSince int64
 }
 
 func newRegistered(e *Engine, idx int, plan *exec.Plan) *registered {
 	r := &registered{e: e, idx: idx, plan: plan, cost: model.Analyze(plan.Q)}
+	r.stats = newStatsCounters(e.reg, idx)
 	for i := 0; i < plan.NumInputs(); i++ {
 		r.ins[i] = &inputStream{
 			ring:      ringbuf.MustNew(e.cfg.InputBufferSize),
@@ -111,6 +117,9 @@ func (r *registered) insert(side int, data []byte) {
 		end := off + chunk
 		if end > len(data) {
 			end = len(data)
+		}
+		if in.pendingSince == 0 {
+			in.pendingSince = time.Now().UnixNano()
 		}
 		in.ring.Put(data[off:end])
 		r.stats.bytesIn.Add(int64(end - off))
@@ -186,6 +195,18 @@ func (r *registered) emit(tuples [2]int64) {
 		ID:      r.taskSeq.Add(1) - 1,
 		Created: time.Now().UnixNano(),
 	}
+	t.Trace = r.e.tracer.Begin(r.idx, t.ID, t.Created)
+	// Ingest stage: how long the batch's oldest byte waited in the rings
+	// before the dispatcher cut this task.
+	oldest := int64(0)
+	for i := 0; i < r.plan.NumInputs(); i++ {
+		if p := r.ins[i].pendingSince; p > 0 && (oldest == 0 || p < oldest) {
+			oldest = p
+		}
+	}
+	if oldest > 0 {
+		t.Trace.SetStage(obs.StageIngest, time.Duration(t.Created-oldest))
+	}
 	for i := 0; i < r.plan.NumInputs(); i++ {
 		in := r.ins[i]
 		n := tuples[i]
@@ -209,6 +230,15 @@ func (r *registered) emit(tuples [2]int64) {
 		}
 		in.batchStart = end
 		in.firstIndex += n
+		// Re-arm the pending stamp for the bytes left behind. Their true
+		// arrival is unknown (between the old stamp and now), so restart
+		// the clock — the ingest stage under-reports by at most one task's
+		// batching interval.
+		if in.ring.End() == end {
+			in.pendingSince = 0
+		} else {
+			in.pendingSince = t.Created
+		}
 	}
 	r.stats.tasksCreated.Add(1)
 	r.e.queue.Push(t)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"saber/internal/exec"
+	"saber/internal/obs"
 	"saber/internal/task"
 )
 
@@ -40,12 +41,12 @@ type resultStage struct {
 	// that took this path (stress-harness telemetry; see invariant.go).
 	overflowMu sync.Mutex
 	overflow   map[int64]overflowEntry
-	overflowed atomic.Int64
+	overflowed *obs.Counter // saber.engine.q<i>.result.overflow
 
 	// duplicates counts deliveries discarded because another attempt of
 	// the same task already claimed the slot (or the task had already
 	// drained) — the exactly-once guarantee at work.
-	duplicates atomic.Int64
+	duplicates *obs.Counter // saber.engine.q<i>.result.duplicates
 
 	sinkMu sync.RWMutex
 	sink   func([]byte)
@@ -56,6 +57,7 @@ type overflowEntry struct {
 	freeTo [2]int64
 	start  int64
 	gap    bool
+	tr     *obs.TaskTrace
 }
 
 // Slot control-flag states (the paper's control buffer, extended with a
@@ -71,16 +73,19 @@ type resultSlot struct {
 	id     atomic.Int64 // task ID occupying the slot (valid once claimed)
 	res    *exec.TaskResult
 	freeTo [2]int64
-	start  int64 // task creation stamp for latency accounting
-	gap    bool  // quarantined task: release inputs, skip assembly
+	start  int64          // task creation stamp for latency accounting
+	gap    bool           // quarantined task: release inputs, skip assembly
+	tr     *obs.TaskTrace // winning delivery's trace, finished at drain
 }
 
 func newResultStage(r *registered, slots int) *resultStage {
 	rs := &resultStage{
-		r:     r,
-		slots: make([]resultSlot, slots),
-		mask:  int64(slots) - 1,
-		asm:   exec.NewAssembler(r.plan),
+		r:          r,
+		slots:      make([]resultSlot, slots),
+		mask:       int64(slots) - 1,
+		asm:        exec.NewAssembler(r.plan),
+		overflowed: r.e.reg.Counter(qname(r.idx, "result.overflow")),
+		duplicates: r.e.reg.Counter(qname(r.idx, "result.duplicates")),
 	}
 	for i := range rs.slots {
 		rs.slots[i].id.Store(-1)
@@ -171,6 +176,9 @@ func (rs *resultStage) deposit(t *task.Task, res *exec.TaskResult, gap bool) boo
 		s.freeTo = t.FreeTo
 		s.start = t.Created
 		s.gap = gap
+		s.tr = t.Trace
+		t.Trace.SetAttempts(t.Attempts)
+		t.Trace.MarkDelivered(time.Now().UnixNano())
 		s.state.Store(slotFull)
 		rs.tryDrain()
 		return true
@@ -192,7 +200,9 @@ func (rs *resultStage) depositOverflow(t *task.Task, res *exec.TaskResult, gap b
 	if rs.overflow == nil {
 		rs.overflow = make(map[int64]overflowEntry)
 	}
-	rs.overflow[t.ID] = overflowEntry{res: res, freeTo: t.FreeTo, start: t.Created, gap: gap}
+	t.Trace.SetAttempts(t.Attempts)
+	t.Trace.MarkDelivered(time.Now().UnixNano())
+	rs.overflow[t.ID] = overflowEntry{res: res, freeTo: t.FreeTo, start: t.Created, gap: gap, tr: t.Trace}
 	return true
 }
 
@@ -245,8 +255,9 @@ func (rs *resultStage) drainLocked() {
 		var e overflowEntry
 		switch {
 		case s.state.Load() == slotFull && s.id.Load() == n:
-			e = overflowEntry{res: s.res, freeTo: s.freeTo, start: s.start, gap: s.gap}
+			e = overflowEntry{res: s.res, freeTo: s.freeTo, start: s.start, gap: s.gap, tr: s.tr}
 			s.res = nil
+			s.tr = nil
 			// Advance the frontier BEFORE freeing the slot. A duplicate
 			// delivery of n can CAS-claim the slot the instant it frees;
 			// its re-validation must then observe next > n and unwind — if
@@ -288,10 +299,12 @@ func (rs *resultStage) drainLocked() {
 		if e.res != nil {
 			r.plan.ReleaseResult(e.res)
 		}
+		now := time.Now().UnixNano()
 		if e.start > 0 && !e.gap {
-			r.stats.latencyNs.Add(time.Now().UnixNano() - e.start)
+			r.stats.latencyNs.Add(now - e.start)
 			r.stats.latencyN.Add(1)
 		}
+		r.e.tracer.Finish(e.tr, now, e.gap)
 		rs.drained.Add(1)
 	}
 }

@@ -115,7 +115,7 @@ func TestResultStageOverflowDescending(t *testing.T) {
 	}
 	f.run(t, order)
 	// IDs 4..15 were delivered while next=0, all beyond the slot window.
-	if got := f.rs.overflowed.Load(); got != nTasks-4 {
+	if got := f.rs.overflowed.Value(); got != nTasks-4 {
 		t.Fatalf("overflow deliveries = %d, want %d", got, nTasks-4)
 	}
 }
@@ -134,7 +134,7 @@ func TestResultStageOverflowInterleaved(t *testing.T) {
 		order = append(order, i)
 	}
 	f.run(t, order)
-	if got := f.rs.overflowed.Load(); got == 0 {
+	if got := f.rs.overflowed.Value(); got == 0 {
 		t.Fatal("interleaved delivery never used the overflow map")
 	}
 }
@@ -194,7 +194,7 @@ func TestResultStageDuplicateDrainRace(t *testing.T) {
 	if wins.Load() != nTasks {
 		t.Fatalf("%d deliveries won for %d tasks (exactly-once broken)", wins.Load(), nTasks)
 	}
-	if got := f.rs.duplicates.Load(); got != nTasks*(dups-1) {
+	if got := f.rs.duplicates.Value(); got != nTasks*(dups-1) {
 		t.Fatalf("duplicates discarded = %d, want %d", got, nTasks*(dups-1))
 	}
 	if err := f.h.CheckQuiesced(); err != nil {
@@ -246,7 +246,7 @@ func TestResultStageOverflowConcurrent(t *testing.T) {
 	if !bytes.Equal(got, f.want) {
 		t.Fatalf("concurrent delivery changed output: got %d bytes, want %d", len(got), len(f.want))
 	}
-	if f.rs.overflowed.Load() == 0 {
+	if f.rs.overflowed.Value() == 0 {
 		t.Fatal("concurrent delivery never used the overflow map")
 	}
 }

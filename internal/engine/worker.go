@@ -6,6 +6,7 @@ import (
 
 	"saber/internal/exec"
 	"saber/internal/fault"
+	"saber/internal/obs"
 	"saber/internal/sched"
 	"saber/internal/task"
 )
@@ -63,6 +64,7 @@ func (e *Engine) cpuWorker() {
 		idle.reset()
 		r := e.quer[t.Query]
 		start := time.Now()
+		t.Trace.SetStage(obs.StageQueue, time.Duration(start.UnixNano()-t.Created))
 		res := r.plan.NewResult()
 		err := r.plan.Process(t.In, res)
 		if err == nil && e.cfg.Fault.Decide(fault.PlanExec) {
@@ -74,6 +76,8 @@ func (e *Engine) cpuWorker() {
 			continue
 		}
 		elapsed := e.padCPU(r, t, res, start)
+		t.Trace.SetProc(obs.ProcCPU)
+		t.Trace.SetStage(obs.StageExecCPU, elapsed)
 		e.observe(t.Query, sched.CPU, elapsed)
 		if r.result.deliver(t, res) {
 			r.stats.tasksCPU.Add(1)
@@ -189,10 +193,11 @@ func (e *Engine) gpuWorker() {
 			e.gpuInflight.Add(1)
 			r := e.quer[t.Query]
 			res := r.plan.NewResult()
+			t.Trace.SetStage(obs.StageQueue, time.Duration(time.Now().UnixNano()-t.Created))
 			fly = append(fly, gpuInflightEntry{
 				t:     t,
 				res:   res,
-				done:  r.prog.Submit(t.In, res),
+				done:  r.prog.SubmitTraced(t.In, res, t.Trace),
 				start: time.Now(),
 				probe: probe,
 			})
@@ -280,6 +285,7 @@ func (e *Engine) completeGPU(f gpuInflightEntry) (hung bool) {
 		e.failTask(f.t, sched.GPU, err)
 	default:
 		e.breaker.RecordSuccess(f.probe)
+		f.t.Trace.SetProc(obs.ProcGPU)
 		e.observe(f.t.Query, sched.GPU, time.Since(f.start))
 		if r.result.deliver(f.t, f.res) {
 			r.stats.tasksGPU.Add(1)

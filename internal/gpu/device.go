@@ -127,6 +127,10 @@ func (d *Device) Hangs() int64 { return d.hangs.Load() }
 // direction.
 func (d *Device) BytesMoved() int64 { return d.bytesMoved.Load() }
 
+// Injector returns the device's fault injector (nil when fault-free), so
+// telemetry can mirror its per-site budgets.
+func (d *Device) Injector() *fault.Injector { return d.cfg.Fault }
+
 func (d *Device) sm() {
 	defer d.wgDone.Done()
 	for wg := range d.work {

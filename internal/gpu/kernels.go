@@ -6,6 +6,7 @@ import (
 
 	"saber/internal/exec"
 	"saber/internal/model"
+	"saber/internal/obs"
 	"saber/internal/window"
 )
 
@@ -30,8 +31,15 @@ func (p *Program) Cost() model.QueryCost { return p.cost }
 // flight; beyond that Submit blocks, which is the backpressure the GPGPU
 // worker thread relies on.
 func (p *Program) Submit(in [2]exec.Batch, res *exec.TaskResult) <-chan error {
+	return p.SubmitTraced(in, res, nil)
+}
+
+// SubmitTraced is Submit with a task trace: each pipeline stage stamps
+// its duration (copyin/movein/kernel/moveout/copyout) into tr. A nil tr
+// disables stamping.
+func (p *Program) SubmitTraced(in [2]exec.Batch, res *exec.TaskResult, tr *obs.TaskTrace) <-chan error {
 	done := make(chan error, 1)
-	p.d.pipe.submit(&job{prog: p, in: in, res: res, done: done, selectivity: 1})
+	p.d.pipe.submit(&job{prog: p, in: in, res: res, done: done, selectivity: 1, tr: tr})
 	return done
 }
 

@@ -6,6 +6,7 @@ import (
 	"saber/internal/exec"
 	"saber/internal/fault"
 	"saber/internal/model"
+	"saber/internal/obs"
 )
 
 // job is one query task travelling through the five pipeline stages. The
@@ -31,6 +32,12 @@ type job struct {
 	// produced by the kernel and accounted for in outBytes.
 	outBytes    int
 	selectivity float64
+
+	// tr receives per-stage duration stamps (nil disables stamping; all
+	// TaskTrace methods are nil-safe). A failed-over task's trace may
+	// concurrently receive CPU-retry stamps — TaskTrace fields are atomic,
+	// last write wins.
+	tr *obs.TaskTrace
 }
 
 // slotBuffers is one of the PipelineDepth in-flight buffer sets (the
@@ -104,7 +111,7 @@ func (p *pipeline) copyin() {
 			continue
 		}
 		start := time.Now()
-		model.Pad(start, p.d.cfg.Model.HostCopyTime(j.inBytes))
+		j.tr.SetStage(obs.StageGPUCopyIn, model.Pad(start, p.d.cfg.Model.HostCopyTime(j.inBytes)))
 		p.cMove <- j
 	}
 }
@@ -123,7 +130,7 @@ func (p *pipeline) movein() {
 			j.slot.devIn[i] = append(j.slot.devIn[i][:0], j.slot.pinIn[i]...)
 		}
 		p.d.bytesMoved.Add(int64(j.inBytes))
-		model.Pad(start, p.d.cfg.Model.PCIeTime(j.inBytes))
+		j.tr.SetStage(obs.StageGPUMoveIn, model.Pad(start, p.d.cfg.Model.PCIeTime(j.inBytes)))
 		p.cExec <- j
 	}
 }
@@ -154,7 +161,7 @@ func (p *pipeline) execute() {
 		start := time.Now()
 		j.prog.runKernels(j)
 		cost := p.d.cfg.Model
-		model.Pad(start, cost.GPUKernelTime(j.prog.cost, j.tuples, j.selectivity))
+		j.tr.SetStage(obs.StageGPUKernel, model.Pad(start, cost.GPUKernelTime(j.prog.cost, j.tuples, j.selectivity)))
 		p.cBack <- j
 	}
 }
@@ -170,7 +177,7 @@ func (p *pipeline) moveout() {
 		start := time.Now()
 		j.slot.pinOut = append(j.slot.pinOut[:0], j.slot.devOut...)
 		p.d.bytesMoved.Add(int64(j.outBytes))
-		model.Pad(start, p.d.cfg.Model.PCIeTime(j.outBytes))
+		j.tr.SetStage(obs.StageGPUMoveOut, model.Pad(start, p.d.cfg.Model.PCIeTime(j.outBytes)))
 		p.cOut <- j
 	}
 }
@@ -187,7 +194,7 @@ func (p *pipeline) copyout() {
 		}
 		start := time.Now()
 		j.res.Stream = append(j.res.Stream, j.slot.pinOut...)
-		model.Pad(start, p.d.cfg.Model.HostCopyTime(j.outBytes))
+		j.tr.SetStage(obs.StageGPUCopyOut, model.Pad(start, p.d.cfg.Model.HostCopyTime(j.outBytes)))
 		p.d.inflight.Add(-1)
 		p.slots <- j.slot
 		p.d.tasksDone.Add(1)

@@ -350,6 +350,7 @@ func Run(cfg Config) (*Report, error) {
 			// Generous relative to injected stalls: the deadline is a
 			// liveness backstop, not part of the chaos schedule.
 			srv.SetReadTimeout(time.Second)
+			srv.RegisterMetrics(eng.Metrics(), fmt.Sprintf("saber.ingest.in%d", i))
 			go func() { _ = srv.Serve() }()
 			servers = append(servers, srv)
 			rc, err := ingest.DialReconnect(srv.Addr().String(), ingest.ReconnectConfig{
@@ -448,6 +449,29 @@ func Run(cfg Config) (*Report, error) {
 		rep.GPUTimeouts += st.GPUTimeouts
 		rep.DuplicatesDiscarded += st.DuplicateResults
 	}
+	// Metrics-only conservation: the obs registry alone must prove the
+	// run's accounting, without consulting engine internals. At quiesce
+	// every task trace that was started has finished, and — for the 1:1
+	// workloads (passthrough, jitter; agg collapses windows) — every
+	// ingested tuple was either emitted or shed with nothing in flight.
+	snap := eng.Metrics().Snapshot()
+	if started, finished := snap.Counters["saber.trace.started"], snap.Counters["saber.trace.finished"]; started != finished {
+		rep.Violations = append(rep.Violations,
+			fmt.Errorf("metrics: %d task traces started but %d finished at quiesce", started, finished))
+	}
+	if cfg.Workload != WorkloadAgg {
+		tsz := int64(StreamSchema.TupleSize())
+		for i := range runs {
+			in := snap.Counters[fmt.Sprintf("saber.engine.q%d.bytes.in", i)] / tsz
+			out := snap.Counters[fmt.Sprintf("saber.engine.q%d.tuples.out", i)]
+			shed := snap.Counters[fmt.Sprintf("saber.engine.q%d.tuples.shed", i)]
+			if in != out+shed {
+				rep.Violations = append(rep.Violations,
+					fmt.Errorf("metrics: query %d conservation: %d tuples in != %d out + %d shed", i, in, out, shed))
+			}
+		}
+	}
+
 	if hls, ok := eng.Policy().(*sched.HLS); ok {
 		rep.BackendFlips = hls.Flips()
 	}

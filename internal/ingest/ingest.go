@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"saber/internal/fault"
+	"saber/internal/obs"
 )
 
 // MaxFrame bounds a single frame's payload (16 MiB).
@@ -161,6 +162,21 @@ func (s *Server) Stats() ServerStats {
 		DeadlineDrops:  s.deadlineDrops.Load(),
 		ConnErrors:     s.connErrors.Load(),
 	}
+}
+
+// RegisterMetrics mirrors the server's counters into reg under
+// prefix.<counter> (canonical scheme: e.g. saber.ingest.in0.frames).
+// Mirrors are read only at snapshot time, so registration adds no
+// hot-path cost.
+func (s *Server) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.RegisterFunc(prefix+".bytes.in", s.bytesIn.Load)
+	reg.RegisterFunc(prefix+".frames", s.framesIn.Load)
+	reg.RegisterFunc(prefix+".conns", s.conns.Load)
+	reg.RegisterFunc(prefix+".frames.empty", s.emptyFrames.Load)
+	reg.RegisterFunc(prefix+".frames.oversize", s.oversizeFrames.Load)
+	reg.RegisterFunc(prefix+".frames.ragged", s.raggedFrames.Load)
+	reg.RegisterFunc(prefix+".deadline.drops", s.deadlineDrops.Load)
+	reg.RegisterFunc(prefix+".conn.errors", s.connErrors.Load)
 }
 
 // Serve accepts connections until Close. It returns nil after Close and

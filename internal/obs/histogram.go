@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: log₂ octaves with histSubBuckets linear
+// sub-buckets each (HDR-style). Values 0..histSubBuckets-1 get exact
+// buckets; above that a bucket [lo, hi) spans lo/histSubBuckets, so any
+// recorded value is off by at most 12.5% from its bucket bounds. The
+// whole int64 range fits in under 500 buckets — 4 KiB of atomics per
+// histogram, cheap enough to keep one per pipeline stage.
+const (
+	histSubBits    = 3
+	histSubBuckets = 1 << histSubBits // 8
+	// histBuckets covers exp 0..63: (63-histSubBits+1)*histSubBuckets
+	// + histSubBuckets = 496, rounded up.
+	histBuckets = 512
+	// histMaxBucket is the bucket holding max int64 (exp 62, top
+	// sub-bucket); indices above it are unreachable for int64 values.
+	histMaxBucket = (62-histSubBits+1)<<histSubBits + histSubBuckets - 1
+)
+
+// Histogram is a fixed-bucket log-scale distribution. Observe is two
+// atomic adds and one atomic increment — no locks, no allocation — and
+// Snapshot reads the buckets with atomic loads while writers continue.
+// Values are typically durations in nanoseconds, but any non-negative
+// int64 works; negative observations clamp to zero.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Name returns the histogram's canonical dotted name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value. Safe on nil (telemetry disabled).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < histSubBuckets {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 // 2^exp <= u < 2^(exp+1)
+	sub := (u >> (uint(exp) - histSubBits)) & (histSubBuckets - 1)
+	return (exp-histSubBits+1)<<histSubBits + int(sub)
+}
+
+// bucketLo returns the smallest value that lands in bucket b.
+func bucketLo(b int) int64 {
+	if b < histSubBuckets {
+		return int64(b)
+	}
+	exp := uint(b>>histSubBits) + histSubBits - 1
+	sub := uint64(b & (histSubBuckets - 1))
+	return int64(uint64(1)<<exp | sub<<(exp-histSubBits))
+}
+
+// bucketHi returns the exclusive upper bound of bucket b. The top
+// reachable bucket's bound saturates at max int64 (its true bound, 2^63,
+// is unrepresentable).
+func bucketHi(b int) int64 {
+	if b >= histMaxBucket {
+		return int64(^uint64(0) >> 1) // max int64
+	}
+	return bucketLo(b + 1)
+}
+
+// HistBucket is one non-empty bucket in a snapshot: Count observations
+// fell in [Lo, Hi).
+type HistBucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"n"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: only the
+// non-empty buckets, in ascending value order.
+type HistogramSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram without blocking writers. Like any
+// concurrent snapshot it is not a single-instant cut: an Observe racing
+// the copy may contribute to count but not yet to its bucket (or vice
+// versa); totals reconcile at quiesce.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for b := range h.buckets {
+		if n := h.buckets[b].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Lo: bucketLo(b), Hi: bucketHi(b), Count: n})
+		}
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of the recorded values, or 0 when
+// empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) as the inclusive
+// upper bound of the bucket holding the q-th observation, so the
+// estimate is within the bucket's ≤12.5% relative width of the true
+// order statistic. Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q*float64(s.Count-1)) + 1
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			return b.Hi - 1
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Hi - 1
+}

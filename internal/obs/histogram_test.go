@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Every bucket must contain its own bounds: bucketIndex(Lo)==b,
+// bucketIndex(Hi-1)==b, and bucketIndex(Hi)==b+1 (when representable).
+func TestHistogramBucketBoundaries(t *testing.T) {
+	for b := 0; b < histMaxBucket; b++ {
+		lo, hi := bucketLo(b), bucketHi(b)
+		if hi <= lo {
+			t.Fatalf("bucket %d: degenerate bounds [%d, %d)", b, lo, hi)
+		}
+		if got := bucketIndex(lo); got != b {
+			t.Fatalf("bucketIndex(lo=%d) = %d, want %d", lo, got, b)
+		}
+		if got := bucketIndex(hi - 1); got != b {
+			t.Fatalf("bucketIndex(hi-1=%d) = %d, want %d", hi-1, got, b)
+		}
+		if hi < math.MaxInt64 {
+			if got := bucketIndex(hi); got != b+1 {
+				t.Fatalf("bucketIndex(hi=%d) = %d, want %d", hi, got, b+1)
+			}
+		}
+	}
+}
+
+// Values 0..7 get exact buckets; above that, bucket width / lo must be
+// at most 1/histSubBuckets (12.5% relative error).
+func TestHistogramRelativeError(t *testing.T) {
+	for v := int64(0); v < histSubBuckets; v++ {
+		b := bucketIndex(v)
+		if bucketLo(b) != v || bucketHi(b) != v+1 {
+			t.Fatalf("value %d: want exact bucket, got [%d, %d)", v, bucketLo(b), bucketHi(b))
+		}
+	}
+	for _, v := range []int64{8, 9, 100, 1_000, 123_456, 1 << 30, 1<<62 + 12345} {
+		b := bucketIndex(v)
+		lo, hi := bucketLo(b), bucketHi(b)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d outside its bucket [%d, %d)", v, lo, hi)
+		}
+		if width := float64(hi-lo) / float64(lo); width > 1.0/histSubBuckets+1e-9 {
+			t.Fatalf("value %d: bucket [%d, %d) relative width %.4f > %.4f", v, lo, hi, width, 1.0/histSubBuckets)
+		}
+	}
+}
+
+// Quantile estimates must land within the bucket holding the true order
+// statistic, i.e. within 12.5% of the exact value.
+func TestHistogramQuantileError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := &Histogram{name: "test"}
+	vals := make([]int64, 0, 10_000)
+	for i := 0; i < 10_000; i++ {
+		// Log-uniform spread across six orders of magnitude, like
+		// latencies.
+		v := int64(math.Exp(rng.Float64() * math.Log(1e9)))
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(vals)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(vals))
+	}
+	sorted := append([]int64(nil), vals...)
+	sortInt64(sorted)
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		exact := sorted[int(q*float64(len(sorted)-1))]
+		got := s.Quantile(q)
+		if got < exact {
+			t.Fatalf("q=%.2f: estimate %d below exact %d", q, got, exact)
+		}
+		// The estimate is the inclusive upper bound of the exact value's
+		// bucket, so it overshoots by at most the bucket width.
+		if exact >= histSubBuckets && float64(got-exact) > float64(exact)/histSubBuckets {
+			t.Fatalf("q=%.2f: estimate %d overshoots exact %d by more than 12.5%%", q, got, exact)
+		}
+	}
+}
+
+func sortInt64(v []int64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := &Histogram{name: "test"}
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Count != 1 || len(s.Buckets) != 1 || s.Buckets[0].Lo != 0 {
+		t.Fatalf("negative observation not clamped to zero bucket: %+v", s)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil histogram snapshot count = %d", s.Count)
+	}
+}
+
+func TestHistogramMeanAndEmptyQuantile(t *testing.T) {
+	var s HistogramSnapshot
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot should report zero mean and quantile")
+	}
+	h := &Histogram{name: "test"}
+	h.Observe(2)
+	h.Observe(4)
+	if m := h.Snapshot().Mean(); m != 3 {
+		t.Fatalf("mean = %v, want 3", m)
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterShards stripes a counter across cache lines so concurrent
+// writers (15 CPU workers + the GPU worker + the dispatcher) do not
+// serialise on one contended word. Must be a power of two.
+const counterShards = 16
+
+// shard is one cache-line-padded counter stripe. 64 bytes of padding
+// after the 8-byte value keeps adjacent shards out of each other's
+// cache line on every mainstream architecture.
+type shard struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonic sharded counter. Add never allocates and never
+// locks; Value sums the shards (snapshot path only).
+type Counter struct {
+	name   string
+	shards [counterShards]shard
+}
+
+// Name returns the counter's canonical dotted name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by n. Safe on nil (telemetry disabled).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex()].v.Add(n)
+}
+
+// Inc increments the counter by one. Safe on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the shards. The sum is monotone over time but, like any
+// striped counter, not a single-instant cut: shards read earlier may
+// miss increments that land in shards read later.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// shardIndex picks a stripe from the caller's stack address. Goroutine
+// stacks live in distinct allocations, so different goroutines hash to
+// different stripes with high probability, while one goroutine's index
+// is stable enough to keep its writes cache-warm. This is a placement
+// heuristic only — any distribution is correct, the worst case merely
+// degrades to a single shared counter.
+func shardIndex() int {
+	var probe byte
+	// >>10 discards the call-depth wiggle within one stack (frames move
+	// the address by tens to hundreds of bytes) and keeps the bits that
+	// differ between stacks (spans are 1 KiB+ apart).
+	return int((uintptr(unsafe.Pointer(&probe)) >> 10) & (counterShards - 1))
+}
+
+// Gauge is a point-in-time value (queue depth, in-flight tasks).
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the gauge's canonical dotted name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores v. Safe on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by n. Safe on nil.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value loads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterShardedSum(t *testing.T) {
+	c := &Counter{name: "test"}
+	c.Add(3)
+	c.Inc()
+	if v := c.Value(); v != 4 {
+		t.Fatalf("counter = %d, want 4", v)
+	}
+	var nilC *Counter
+	nilC.Add(1)
+	nilC.Inc()
+	if nilC.Value() != 0 {
+		t.Fatal("nil counter should read zero")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := &Gauge{name: "test"}
+	g.Set(7)
+	g.Add(-2)
+	if v := g.Value(); v != 5 {
+		t.Fatalf("gauge = %d, want 5", v)
+	}
+	var nilG *Gauge
+	nilG.Set(1)
+	nilG.Add(1)
+	if nilG.Value() != 0 {
+		t.Fatal("nil gauge should read zero")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a.b") != r.Counter("a.b") {
+		t.Fatal("counter get-or-create not idempotent")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("gauge get-or-create not idempotent")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("histogram get-or-create not idempotent")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("requesting a counter name as a gauge should panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestRegistryFuncMirror(t *testing.T) {
+	r := NewRegistry()
+	v := int64(10)
+	r.RegisterFunc("mirror", func() int64 { return v })
+	v = 42
+	if got := r.Snapshot().Gauges["mirror"]; got != 42 {
+		t.Fatalf("mirror = %v, want 42 (must evaluate at snapshot time)", got)
+	}
+	// Re-registering rebinds.
+	r.RegisterFunc("mirror", func() int64 { return -1 })
+	if got := r.Snapshot().Gauges["mirror"]; got != -1 {
+		t.Fatalf("rebound mirror = %v, want -1", got)
+	}
+}
+
+// The race detector must see no conflict between hot-path writers and
+// concurrent snapshots. Run with -race.
+func TestConcurrentWritersAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("saber.test.count")
+	g := r.Gauge("saber.test.gauge")
+	h := r.Histogram("saber.test.hist")
+	r.RegisterFunc("saber.test.mirror", c.Value)
+
+	const writers = 8
+	const perWriter = 5000
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := r.Snapshot()
+				if s.Counters["saber.test.count"] < 0 {
+					t.Error("counter went negative")
+					return
+				}
+				_ = s.Histograms["saber.test.hist"].Quantile(0.99)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(w*perWriter + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-snapDone
+
+	s := r.Snapshot()
+	if got := s.Counters["saber.test.count"]; got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := s.Gauges["saber.test.gauge"]; got != writers*perWriter {
+		t.Fatalf("gauge = %v, want %d", got, writers*perWriter)
+	}
+	if got := s.Histograms["saber.test.hist"].Count; got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	if got := s.Gauges["saber.test.mirror"]; got != writers*perWriter {
+		t.Fatalf("mirror = %v, want %d", got, writers*perWriter)
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("saber.engine.q0.tasks.created").Add(5)
+	r.Histogram("saber.trace.e2e").Observe(1000)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+			P99   int64 `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Counters["saber.engine.q0.tasks.created"] != 5 {
+		t.Fatalf("bad counters in JSON: %s", b)
+	}
+	if h := out.Histograms["saber.trace.e2e"]; h.Count != 1 || h.P99 < 1000 {
+		t.Fatalf("bad histogram summary in JSON: %s", b)
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("saber.engine.q0.result.overflow").Add(2)
+	r.Counter("saber.engine.q0.in1.ring.wraps").Add(3)
+	r.Gauge("saber.gpu.inflight").Set(4)
+	r.Histogram("saber.trace.e2e").Observe(5)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`saber_engine_result_overflow{query="0"} 2`,
+		`saber_engine_ring_wraps{input="1",query="0"} 3`,
+		`saber_gpu_inflight 4`,
+		"# TYPE saber_trace_e2e histogram",
+		`saber_trace_e2e_bucket{le="+Inf"} 1`,
+		"saber_trace_e2e_sum 5",
+		"saber_trace_e2e_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Gauge("a")
+	r.RegisterFunc("c", func() int64 { return 0 })
+	got := r.Names()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("names = %v", got)
+	}
+}

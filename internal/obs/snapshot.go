@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time view of a registry: counters, gauges
+// (stored and func-backed alike) and histograms, keyed by canonical
+// dotted name.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// histJSON augments a histogram snapshot with derived summary fields
+// for the JSON endpoint (consumers should not have to re-derive
+// quantiles from buckets).
+type histJSON struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Mean    float64      `json:"mean"`
+	P50     int64        `json:"p50"`
+	P90     int64        `json:"p90"`
+	P99     int64        `json:"p99"`
+	Max     int64        `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+func (s HistogramSnapshot) toJSON() histJSON {
+	j := histJSON{
+		Count: s.Count, Sum: s.Sum, Mean: s.Mean(),
+		P50: s.Quantile(0.50), P90: s.Quantile(0.90), P99: s.Quantile(0.99),
+		Buckets: s.Buckets,
+	}
+	if n := len(s.Buckets); n > 0 {
+		j.Max = s.Buckets[n-1].Hi - 1
+	}
+	return j
+}
+
+// MarshalJSON renders the snapshot with sorted keys and summarised
+// histograms (expvar-style).
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	hists := make(map[string]histJSON, len(s.Histograms))
+	for k, v := range s.Histograms {
+		hists[k] = v.toJSON()
+	}
+	return json.Marshal(struct {
+		Counters   map[string]int64    `json:"counters"`
+		Gauges     map[string]float64  `json:"gauges"`
+		Histograms map[string]histJSON `json:"histograms"`
+	}{s.Counters, s.Gauges, hists})
+}
+
+// instanceSeg matches the instance segments of the canonical naming
+// scheme (q<i> for queries, in<j> for inputs), which the Prometheus
+// renderer lifts into labels.
+var instanceSeg = regexp.MustCompile(`^(q|in)(\d+)$`)
+
+// promName splits a canonical dotted name into a Prometheus metric name
+// and label pairs: saber.engine.q0.in1.ring.wraps →
+// saber_engine_ring_wraps{input="1",query="0"}.
+func promName(name string) (metric, labels string) {
+	var parts []string
+	var lbl []string
+	for _, seg := range strings.Split(name, ".") {
+		if m := instanceSeg.FindStringSubmatch(seg); m != nil {
+			key := "query"
+			if m[1] == "in" {
+				key = "input"
+			}
+			lbl = append(lbl, fmt.Sprintf("%s=%q", key, m[2]))
+			continue
+		}
+		parts = append(parts, seg)
+	}
+	metric = strings.ReplaceAll(strings.Join(parts, "_"), "-", "_")
+	if len(lbl) > 0 {
+		sort.Strings(lbl)
+		labels = "{" + strings.Join(lbl, ",") + "}"
+	}
+	return metric, labels
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Histograms become classic cumulative-bucket histograms.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		metric, labels := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", metric, metric, labels, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		metric, labels := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %g\n", metric, metric, labels, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		metric, labels := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if err := writeHistLine(w, metric, labels, fmt.Sprintf("%d", b.Hi-1), cum); err != nil {
+				return err
+			}
+		}
+		if err := writeHistLine(w, metric, labels, "+Inf", h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", metric, labels, h.Sum, metric, labels, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistLine emits one cumulative bucket sample, merging the le
+// label into any instance labels.
+func writeHistLine(w io.Writer, metric, labels, le string, cum int64) error {
+	sep := "{"
+	if labels != "" {
+		sep = labels[:len(labels)-1] + ","
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%sle=%q} %d\n", metric, sep, le, cum)
+	return err
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage is one timed segment of a query task's lifecycle. The engine
+// stamps ingest → dispatch → execute → reorder; the GPGPU pipeline
+// additionally stamps its five internal stages, so a GPU task's trace
+// carries the full copyin/movein/kernel/moveout/copyout breakdown the
+// paper's §5.2 pipeline interleaves.
+type Stage int
+
+// Task lifecycle stages.
+const (
+	// StageIngest: the task's oldest input byte waiting in the ring
+	// before the dispatcher cut the task (batching delay).
+	StageIngest Stage = iota
+	// StageQueue: task creation until a worker took it off the queue.
+	StageQueue
+	// StageExecCPU: plan execution on a CPU worker (incl. model pad).
+	StageExecCPU
+	// StageGPUCopyIn..StageGPUCopyOut: the device pipeline's five
+	// stages.
+	StageGPUCopyIn
+	StageGPUMoveIn
+	StageGPUKernel
+	StageGPUMoveOut
+	StageGPUCopyOut
+	// StageReorder: result delivered until drained in task order.
+	StageReorder
+
+	numStages
+)
+
+// stageNames index the per-stage latency histograms in the registry.
+var stageNames = [numStages]string{
+	"saber.trace.ingest",
+	"saber.trace.queue",
+	"saber.trace.exec.cpu",
+	"saber.trace.gpu.copyin",
+	"saber.trace.gpu.movein",
+	"saber.trace.gpu.kernel",
+	"saber.trace.gpu.moveout",
+	"saber.trace.gpu.copyout",
+	"saber.trace.reorder",
+}
+
+// String names the stage (the last segments of its metric name).
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return "unknown"
+	}
+	return stageNames[s][len("saber.trace."):]
+}
+
+// Proc codes for TaskTrace.SetProc.
+const (
+	ProcUnknown int32 = iota
+	ProcCPU
+	ProcGPU
+)
+
+// TaskTrace accumulates one task's lifecycle stamps. All fields are
+// atomics because stampers overlap: after a GPU timeout fails a task
+// over, the stalled device pipeline may still be stamping GPU stages
+// while the CPU retry stamps its own — last write wins per stage, which
+// is exactly the retry-attempt semantics the trace reports. All methods
+// are safe on a nil receiver (tracing disabled).
+type TaskTrace struct {
+	query     int
+	id        int64
+	createdNs int64 // unix nanoseconds (task creation / dispatch)
+
+	proc        atomic.Int32
+	attempts    atomic.Int32
+	deliveredNs atomic.Int64
+	stages      [numStages]atomic.Int64 // duration ns per stage
+}
+
+// SetProc records which processor class executed the winning attempt.
+func (t *TaskTrace) SetProc(p int32) {
+	if t != nil {
+		t.proc.Store(p)
+	}
+}
+
+// SetAttempts records how many failed attempts preceded the winning one.
+func (t *TaskTrace) SetAttempts(n int32) {
+	if t != nil {
+		t.attempts.Store(n)
+	}
+}
+
+// SetStage records a stage's duration (overwriting an earlier attempt's
+// stamp).
+func (t *TaskTrace) SetStage(s Stage, d time.Duration) {
+	if t != nil && s >= 0 && s < numStages {
+		t.stages[s].Store(int64(d))
+	}
+}
+
+// MarkDelivered stamps the moment the task's result won its slot in the
+// result stage.
+func (t *TaskTrace) MarkDelivered(nowNs int64) {
+	if t != nil {
+		t.deliveredNs.Store(nowNs)
+	}
+}
+
+// TraceRecord is one finished task's frozen trace, as kept in the
+// tracer's postmortem ring and rendered by the admin endpoint.
+type TraceRecord struct {
+	Query       int              `json:"query"`
+	Task        int64            `json:"task"`
+	Proc        string           `json:"proc"`
+	Attempts    int32            `json:"attempts,omitempty"`
+	Quarantined bool             `json:"quarantined,omitempty"`
+	CreatedNs   int64            `json:"created_ns"`
+	TotalNs     int64            `json:"total_ns"`
+	Stages      map[string]int64 `json:"stages,omitempty"`
+}
+
+// defaultTraceRing bounds the postmortem ring when the caller passes 0.
+const defaultTraceRing = 128
+
+// Tracer owns the per-task tracing machinery: it allocates traces,
+// folds finished ones into the end-to-end and per-stage latency
+// histograms, and keeps a bounded ring of recent traces for
+// postmortems. A nil Tracer disables tracing at zero cost.
+type Tracer struct {
+	e2e    *Histogram
+	stages [numStages]*Histogram
+
+	started  *Counter
+	finished *Counter
+
+	mu   sync.Mutex
+	ring []TraceRecord
+	pos  int
+	n    int
+}
+
+// NewTracer creates a tracer whose histograms live in reg. ringSize
+// bounds the postmortem ring (0 selects the default).
+func NewTracer(reg *Registry, ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = defaultTraceRing
+	}
+	tr := &Tracer{
+		e2e:      reg.Histogram("saber.trace.e2e"),
+		started:  reg.Counter("saber.trace.started"),
+		finished: reg.Counter("saber.trace.finished"),
+		ring:     make([]TraceRecord, ringSize),
+	}
+	for s := Stage(0); s < numStages; s++ {
+		tr.stages[s] = reg.Histogram(stageNames[s])
+	}
+	return tr
+}
+
+// Begin starts a trace for one task. createdNs is the task's creation
+// stamp (unix nanoseconds). Safe on nil (returns a nil trace, which
+// swallows every stamp).
+func (tr *Tracer) Begin(query int, id int64, createdNs int64) *TaskTrace {
+	if tr == nil {
+		return nil
+	}
+	tr.started.Inc()
+	return &TaskTrace{query: query, id: id, createdNs: createdNs}
+}
+
+// Finish folds a completed task's trace into the latency histograms and
+// the postmortem ring. nowNs is the drain stamp; quarantined marks a
+// task that was shed instead of producing output (its stamps are kept
+// for postmortems but excluded from the latency distributions, which
+// describe delivered results only).
+func (tr *Tracer) Finish(t *TaskTrace, nowNs int64, quarantined bool) {
+	if tr == nil || t == nil {
+		return
+	}
+	if d := t.deliveredNs.Load(); d > 0 {
+		t.stages[StageReorder].Store(nowNs - d)
+	}
+	total := nowNs - t.createdNs
+	rec := TraceRecord{
+		Query:       t.query,
+		Task:        t.id,
+		Attempts:    t.attempts.Load(),
+		Quarantined: quarantined,
+		CreatedNs:   t.createdNs,
+		TotalNs:     total,
+	}
+	switch t.proc.Load() {
+	case ProcCPU:
+		rec.Proc = "cpu"
+	case ProcGPU:
+		rec.Proc = "gpu"
+	default:
+		rec.Proc = "none"
+	}
+	for s := Stage(0); s < numStages; s++ {
+		d := t.stages[s].Load()
+		if d <= 0 {
+			continue
+		}
+		if rec.Stages == nil {
+			rec.Stages = make(map[string]int64, 4)
+		}
+		rec.Stages[s.String()] = d
+		if !quarantined {
+			tr.stages[s].Observe(d)
+		}
+	}
+	if !quarantined {
+		tr.e2e.Observe(total)
+	}
+	tr.finished.Inc()
+
+	tr.mu.Lock()
+	tr.ring[tr.pos] = rec
+	tr.pos = (tr.pos + 1) % len(tr.ring)
+	if tr.n < len(tr.ring) {
+		tr.n++
+	}
+	tr.mu.Unlock()
+}
+
+// Recent returns the retained traces, newest first.
+func (tr *Tracer) Recent() []TraceRecord {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]TraceRecord, 0, tr.n)
+	for i := 1; i <= tr.n; i++ {
+		out = append(out, tr.ring[(tr.pos-i+len(tr.ring))%len(tr.ring)])
+	}
+	return out
+}

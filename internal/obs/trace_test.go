@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, 4)
+
+	tt := tr.Begin(0, 7, 1000)
+	tt.SetProc(ProcGPU)
+	tt.SetAttempts(1)
+	tt.SetStage(StageQueue, 100*time.Nanosecond)
+	tt.SetStage(StageGPUKernel, 300*time.Nanosecond)
+	tt.MarkDelivered(1500)
+	tr.Finish(tt, 2000, false)
+
+	s := reg.Snapshot()
+	if s.Counters["saber.trace.started"] != 1 || s.Counters["saber.trace.finished"] != 1 {
+		t.Fatalf("trace counters wrong: %+v", s.Counters)
+	}
+	if s.Histograms["saber.trace.e2e"].Count != 1 {
+		t.Fatal("e2e histogram not observed")
+	}
+	if s.Histograms["saber.trace.gpu.kernel"].Count != 1 {
+		t.Fatal("kernel stage histogram not observed")
+	}
+	if s.Histograms["saber.trace.reorder"].Count != 1 {
+		t.Fatal("reorder stage not derived from delivered stamp")
+	}
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("recent = %d records, want 1", len(recent))
+	}
+	rec := recent[0]
+	if rec.Task != 7 || rec.Proc != "gpu" || rec.Attempts != 1 || rec.TotalNs != 1000 {
+		t.Fatalf("bad record: %+v", rec)
+	}
+	if rec.Stages["queue"] != 100 || rec.Stages["gpu.kernel"] != 300 || rec.Stages["reorder"] != 500 {
+		t.Fatalf("bad stages: %+v", rec.Stages)
+	}
+}
+
+// Quarantined tasks keep their postmortem record but stay out of the
+// latency distributions, which describe delivered results only.
+func TestTracerQuarantineExcludedFromHistograms(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, 4)
+	tt := tr.Begin(0, 1, 0)
+	tt.SetStage(StageExecCPU, time.Microsecond)
+	tr.Finish(tt, 100, true)
+
+	s := reg.Snapshot()
+	if s.Histograms["saber.trace.e2e"].Count != 0 {
+		t.Fatal("quarantined task leaked into e2e histogram")
+	}
+	recent := tr.Recent()
+	if len(recent) != 1 || !recent[0].Quarantined {
+		t.Fatalf("quarantined record missing from ring: %+v", recent)
+	}
+}
+
+func TestTracerRingWrapsNewestFirst(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, 3)
+	for i := int64(0); i < 5; i++ {
+		tr.Finish(tr.Begin(0, i, 0), 1, false)
+	}
+	recent := tr.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring kept %d records, want 3", len(recent))
+	}
+	for i, want := range []int64{4, 3, 2} {
+		if recent[i].Task != want {
+			t.Fatalf("recent[%d].Task = %d, want %d", i, recent[i].Task, want)
+		}
+	}
+}
+
+// Tracing must be entirely optional: nil tracer and nil traces swallow
+// every call.
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tt := tr.Begin(0, 1, 0)
+	if tt != nil {
+		t.Fatal("nil tracer should hand out nil traces")
+	}
+	tt.SetProc(ProcCPU)
+	tt.SetAttempts(2)
+	tt.SetStage(StageQueue, time.Second)
+	tt.MarkDelivered(1)
+	tr.Finish(tt, 2, false)
+	if got := tr.Recent(); got != nil {
+		t.Fatalf("nil tracer Recent = %v", got)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageGPUCopyIn.String() != "gpu.copyin" || StageReorder.String() != "reorder" {
+		t.Fatal("stage names wrong")
+	}
+	if Stage(-1).String() != "unknown" || Stage(numStages).String() != "unknown" {
+		t.Fatal("out-of-range stages should be unknown")
+	}
+}

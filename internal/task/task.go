@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"saber/internal/exec"
+	"saber/internal/obs"
 )
 
 // Task is one schedulable unit: a query's compiled operator function
@@ -33,6 +34,9 @@ type Task struct {
 	// CPUOnly pins the task to the CPU class after a GPGPU-side failure,
 	// so a retry cannot bounce back to the device that just failed it.
 	CPUOnly bool
+	// Trace accumulates the task's lifecycle stamps (nil when tracing is
+	// off; every stamp method is nil-safe).
+	Trace *obs.TaskTrace
 }
 
 // Queue is the system-wide query task queue. Workers remove tasks through

@@ -31,11 +31,13 @@ package saber
 
 import (
 	"fmt"
+	"net/http"
 
 	"saber/internal/cql"
 	"saber/internal/engine"
 	"saber/internal/gpu"
 	"saber/internal/model"
+	"saber/internal/obs"
 	"saber/internal/query"
 	"saber/internal/sched"
 	"saber/internal/schema"
@@ -70,6 +72,15 @@ type (
 	ModelParams = model.Params
 	// Processor identifies a processor class for static scheduling.
 	Processor = sched.Processor
+	// MetricsRegistry is the engine's observability registry: every
+	// counter, gauge and latency histogram under the canonical
+	// saber.* naming scheme (see DESIGN.md §9).
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time view of a MetricsRegistry.
+	MetricsSnapshot = obs.Snapshot
+	// TraceRecord is one finished task's lifecycle trace from the
+	// tracer's postmortem ring.
+	TraceRecord = obs.TraceRecord
 )
 
 // Field type constants.
@@ -215,6 +226,23 @@ func (e *Engine) Close() { e.e.Close() }
 
 // QueueLen reports the system-wide task queue depth (telemetry).
 func (e *Engine) QueueLen() int { return e.e.QueueLen() }
+
+// Metrics returns the engine's observability registry. Always non-nil;
+// snapshot it for programmatic access, or serve MetricsHandler for the
+// admin endpoint.
+func (e *Engine) Metrics() *MetricsRegistry { return e.e.Metrics() }
+
+// MetricsHandler returns the admin endpoint: /varz (JSON snapshot),
+// /metrics (Prometheus text format), /traces (recent task traces) and
+// /debug/pprof. Mount it on an http.Server of your choosing; it is
+// read-only and safe to serve while the engine runs.
+func (e *Engine) MetricsHandler() http.Handler {
+	return obs.Handler(e.e.Metrics(), e.e.Tracer())
+}
+
+// RecentTraces returns the most recent task lifecycle traces, newest
+// first (a bounded postmortem ring of 128 records).
+func (e *Engine) RecentTraces() []TraceRecord { return e.e.Tracer().Recent() }
 
 // ThroughputMatrix returns the HLS throughput matrix rows as
 // [query][cpu, gpu] rates (telemetry, Fig. 16).

@@ -1,0 +1,71 @@
+// Command benchguard gates the observability overhead: it reads a
+// BENCH_operators.json produced by the operators experiment (which
+// measures every vectorized kernel bare and again with the engine's full
+// per-task metrics/trace bundle applied per batch) and fails when the
+// aggregate metrics-on overhead exceeds the budget.
+//
+// The gate is the report's geometric-mean overhead across operators, not
+// the per-operator maximum: single-operator readings at microsecond
+// batch times are noise-dominated (a descheduled trial shows up as
+// several percent), while the aggregate is stable. The bench batch
+// (4096 tuples) is also ~8x smaller than an engine task (1 MiB), so the
+// measured overhead overstates the engine's true per-byte cost.
+//
+// Usage: go run ./tools/benchguard [-max 3] [-file BENCH_operators.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	file := flag.String("file", "BENCH_operators.json", "operators experiment JSON twin")
+	max := flag.Float64("max", 3, "maximum allowed aggregate metrics-on overhead, percent")
+	flag.Parse()
+
+	buf, err := os.ReadFile(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v (run saber-bench -experiment operators first)\n", err)
+		os.Exit(2)
+	}
+	var js struct {
+		Operators []struct {
+			Name               string  `json:"name"`
+			VectorizedMtps     float64 `json:"vectorized_mtps"`
+			MetricsOnMtps      float64 `json:"metrics_on_mtps"`
+			MetricsOverheadPct float64 `json:"metrics_overhead_pct"`
+		} `json:"operators"`
+		MetricsOverheadPct float64 `json:"metrics_overhead_pct"`
+		Metrics            struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf, &js); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *file, err)
+		os.Exit(2)
+	}
+	if len(js.Operators) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: no operators (stale or truncated file?)\n", *file)
+		os.Exit(2)
+	}
+	for _, op := range js.Operators {
+		if op.MetricsOnMtps <= 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: missing metrics-on measurement for %s (pre-observability file?)\n", *file, op.Name)
+			os.Exit(2)
+		}
+		fmt.Printf("  %-18s bare %8.2f Mt/s   metrics-on %8.2f Mt/s   overhead %5.2f%%\n",
+			op.Name, op.VectorizedMtps, op.MetricsOnMtps, op.MetricsOverheadPct)
+	}
+	if len(js.Metrics.Counters) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: embedded metrics snapshot is empty\n", *file)
+		os.Exit(2)
+	}
+	fmt.Printf("aggregate overhead %.2f%% (budget %.2f%%)\n", js.MetricsOverheadPct, *max)
+	if js.MetricsOverheadPct > *max {
+		fmt.Fprintf(os.Stderr, "benchguard: metrics-on overhead %.2f%% exceeds %.2f%% budget\n", js.MetricsOverheadPct, *max)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+// Command obslint enforces the observability boundary: all telemetry
+// goes through internal/obs (counters, gauges, histograms, traces), so
+// raw sync/atomic free-function accumulators — the pre-PR-5 ad-hoc
+// counter idiom, e.g. atomic.AddUint64(&stat, 1) — are rejected
+// everywhere outside internal/obs itself.
+//
+// Typed atomics (atomic.Int64 and friends) remain fine: they are the
+// concurrency primitives the engine's data structures are built from.
+// The free-function form over a package-level word is what ad-hoc
+// telemetry looks like, and that is what this lint catches.
+//
+// Usage: go run ./tools/obslint [dir]   (default ".")
+// Exits 1 and lists offending call sites when any are found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// banned is the set of sync/atomic free functions whose only plausible
+// use in this codebase is an ad-hoc counter.
+var banned = map[string]bool{
+	"AddInt32": true, "AddInt64": true,
+	"AddUint32": true, "AddUint64": true, "AddUintptr": true,
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var bad []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel := filepath.ToSlash(path)
+		// The obs package owns the atomics; this linter is also exempt
+		// (it names the banned calls in its own source).
+		if strings.Contains(rel, "internal/obs/") || strings.Contains(rel, "tools/obslint/") {
+			return nil
+		}
+		bad = append(bad, lintFile(path)...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obslint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintln(os.Stderr, "obslint: raw atomic telemetry outside internal/obs (use obs.Counter / obs.Gauge / RegisterFunc):")
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "  %s\n", b)
+		}
+		os.Exit(1)
+	}
+}
+
+// lintFile reports banned atomic free-function calls in one file as
+// "path:line: atomic.Fn" strings.
+func lintFile(path string) []string {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: parse error: %v", path, err)}
+	}
+	// Resolve the local name of the sync/atomic import (usually
+	// "atomic", but honour renames; "_" and "." imports are ignored —
+	// dot-imports of sync/atomic do not occur in this codebase).
+	atomicName := ""
+	for _, imp := range f.Imports {
+		p, _ := strconv.Unquote(imp.Path.Value)
+		if p != "sync/atomic" {
+			continue
+		}
+		atomicName = "atomic"
+		if imp.Name != nil {
+			atomicName = imp.Name.Name
+		}
+	}
+	if atomicName == "" || atomicName == "_" || atomicName == "." {
+		return nil
+	}
+	var bad []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != atomicName || !banned[sel.Sel.Name] {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		bad = append(bad, fmt.Sprintf("%s:%d: atomic.%s", path, pos.Line, sel.Sel.Name))
+		return true
+	})
+	return bad
+}
