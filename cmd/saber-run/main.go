@@ -37,6 +37,10 @@ func main() {
 
 		metricsAddr   = flag.String("metrics-addr", "", "serve the admin endpoint (/varz, /metrics, /traces, /debug/pprof) on this address, e.g. 127.0.0.1:8080; empty disables it")
 		statsInterval = flag.Duration("stats-interval", 0, "print a one-line metrics summary to stderr at this interval; 0 disables it")
+
+		latencySLO = flag.Duration("latency-slo", 0, "enable adaptive task sizing (dynamic ϕ) targeting this end-to-end p99 latency, e.g. 50ms; 0 keeps ϕ fixed")
+		minPhi     = flag.Int("min-task-size", 0, "adaptive ϕ lower bound in bytes (0 selects 4 KiB); needs -latency-slo")
+		maxPhi     = flag.Int("max-task-size", 0, "adaptive ϕ upper bound in bytes (0 selects 4 MiB); needs -latency-slo")
 	)
 	flag.Parse()
 	if *queryText == "" {
@@ -73,6 +77,9 @@ func main() {
 		CPUWorkers:  *workers,
 		Model:       saber.DefaultModel().Scaled(*scale),
 		NativeSpeed: *native,
+		LatencySLO:  *latencySLO,
+		MinTaskSize: *minPhi,
+		MaxTaskSize: *maxPhi,
 	}
 	if *useGPU {
 		dev := saber.OpenGPU(saber.GPUConfig{Model: cfg.Model})
@@ -151,6 +158,13 @@ func main() {
 	}
 	fmt.Printf(")\ntasks: %d cpu, %d gpu (gpu share %.0f%%); output: %d tuples; avg latency %v\n",
 		st.TasksCPU, st.TasksGPU, st.GPUShare()*100, st.TuplesOut, st.AvgLatency.Round(time.Microsecond))
+	if *latencySLO > 0 {
+		snap := eng.Metrics().Snapshot()
+		fmt.Printf("adaptive ϕ: final %d KiB (grow %d, shrink %d, clamped %d over %d ticks)\n",
+			eng.TaskSize()>>10,
+			snap.Counters["saber.adapt.grow"], snap.Counters["saber.adapt.shrink"],
+			snap.Counters["saber.adapt.clamped"], snap.Counters["saber.adapt.ticks"])
+	}
 }
 
 // printStatsLine emits a one-line live metrics summary to stderr.
@@ -159,9 +173,10 @@ func printStatsLine(eng *saber.Engine, q *saber.QueryHandle) {
 	st := q.Stats()
 	e2e := snap.Histograms["saber.trace.e2e"]
 	fmt.Fprintf(os.Stderr,
-		"[stats] in=%.1fMiB out=%d tuples tasks=%d cpu/%d gpu queue=%.0f latency p50=%v p99=%v shed=%d\n",
+		"[stats] in=%.1fMiB out=%d tuples tasks=%d cpu/%d gpu queue=%.0f phi=%.0fKiB latency p50=%v p99=%v shed=%d\n",
 		float64(st.BytesIn)/(1<<20), st.TuplesOut, st.TasksCPU, st.TasksGPU,
 		snap.Gauges["saber.engine.queue.depth"],
+		snap.Gauges["saber.engine.phi"]/1024,
 		time.Duration(e2e.Quantile(0.50)).Round(time.Microsecond),
 		time.Duration(e2e.Quantile(0.99)).Round(time.Microsecond),
 		st.TuplesShed)

@@ -1,0 +1,97 @@
+package adapt
+
+import (
+	"math"
+	"sync/atomic"
+
+	"saber/internal/obs"
+)
+
+// Controller is the live wrapper around the pure Step function: it
+// snapshots a registry each tick, derives the per-tick Signals delta,
+// advances the controller state and hands the new ϕ to the apply
+// callback (typically engine.SetTaskSize). The caller owns the ticker —
+// Controller has no goroutine of its own, which keeps the engine's
+// shutdown ordering in one place.
+//
+// Tick is not safe for concurrent use; call it from one control loop.
+type Controller struct {
+	cfg   Config
+	apply func(phi int)
+
+	state State
+	prev  obs.Snapshot
+	first bool
+
+	// phi mirrors state.Phi for the saber.adapt.phi gauge, which the
+	// admin endpoint snapshots from other goroutines.
+	phi       atomic.Int64
+	stepScale atomic.Uint64 // float64 bits
+
+	ticks, grows, shrinks, holds, clamps *obs.Counter
+}
+
+// NewController creates a controller starting at phi0 bytes (clamped
+// into [MinPhi, MaxPhi]). reg supplies both the sensor histograms and
+// the saber.adapt.* metrics; apply receives every accepted resize (it
+// is not called for holds) and may be nil.
+func NewController(cfg Config, phi0 int, reg *obs.Registry, apply func(phi int)) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:   cfg,
+		apply: apply,
+		state: State{Phi: clampPhi(phi0, cfg)},
+		first: true,
+
+		ticks:   reg.Counter("saber.adapt.ticks"),
+		grows:   reg.Counter("saber.adapt.grow"),
+		shrinks: reg.Counter("saber.adapt.shrink"),
+		holds:   reg.Counter("saber.adapt.hold"),
+		clamps:  reg.Counter("saber.adapt.clamped"),
+	}
+	c.phi.Store(int64(c.state.Phi))
+	c.stepScale.Store(math.Float64bits(1))
+	reg.RegisterFunc("saber.adapt.phi", c.phi.Load)
+	reg.RegisterFloatFunc("saber.adapt.step_scale", func() float64 {
+		return math.Float64frombits(c.stepScale.Load())
+	})
+	return c
+}
+
+// Phi returns the controller's current task size.
+func (c *Controller) Phi() int { return int(c.phi.Load()) }
+
+// Tick runs one control iteration against the registry snapshot cur.
+// The first tick only establishes the baseline snapshot (there is no
+// delta yet) and always holds.
+func (c *Controller) Tick(cur obs.Snapshot) Decision {
+	c.ticks.Inc()
+	if c.first {
+		c.first = false
+		c.prev = cur
+		return Decision{Action: Hold, Phi: c.state.Phi, Reason: "baseline tick"}
+	}
+	sig := DeltaSignals(cur, c.prev)
+	c.prev = cur
+
+	var d Decision
+	c.state, d = Step(c.cfg, c.state, sig)
+	c.phi.Store(int64(c.state.Phi))
+	c.stepScale.Store(math.Float64bits(c.state.StepScale))
+	if d.Clamped {
+		c.clamps.Inc()
+	}
+	switch d.Action {
+	case Grow:
+		c.grows.Inc()
+	case Shrink:
+		c.shrinks.Inc()
+	default:
+		c.holds.Inc()
+		return d
+	}
+	if c.apply != nil {
+		c.apply(d.Phi)
+	}
+	return d
+}

@@ -1,0 +1,58 @@
+package adapt
+
+import "saber/internal/obs"
+
+// Trace histogram names the controller reads. These are the canonical
+// saber.trace.* names internal/obs.Tracer registers; keeping the list
+// here (rather than importing stage constants) documents exactly which
+// sensors drive ϕ.
+const (
+	histE2E     = "saber.trace.e2e"
+	histQueue   = "saber.trace.queue"
+	histIngest  = "saber.trace.ingest"
+	histExecCPU = "saber.trace.exec.cpu"
+	histKernel  = "saber.trace.gpu.kernel"
+)
+
+// histStaging are the GPU staging stages whose per-task cost is fixed
+// (launch, DMA setup, host copies) regardless of how many tuples the
+// task carries — the numerator of the dispatch-bound signal.
+var histStaging = [...]string{
+	"saber.trace.gpu.copyin",
+	"saber.trace.gpu.movein",
+	"saber.trace.gpu.moveout",
+	"saber.trace.gpu.copyout",
+}
+
+// DeltaSignals derives one control tick's Signals from two registry
+// snapshots: cur taken now, prev taken one tick ago. The trace
+// histograms are cumulative, so the per-tick distribution is their
+// bucket-wise difference (HistogramSnapshot.Sub).
+func DeltaSignals(cur, prev obs.Snapshot) Signals {
+	delta := func(name string) obs.HistogramSnapshot {
+		return cur.Histograms[name].Sub(prev.Histograms[name])
+	}
+
+	e2e := delta(histE2E)
+	sig := Signals{
+		Tasks:     e2e.Count,
+		E2EP99:    e2e.Quantile(0.99),
+		QueueP99:  delta(histQueue).Quantile(0.99),
+		IngestP99: delta(histIngest).Quantile(0.99),
+	}
+
+	// Service: the winning attempt's execution time, CPU exec and GPU
+	// kernel pooled. Overhead: the staging stages, spread over the same
+	// task population so a CPU-heavy tick reads as not dispatch-bound.
+	cpu, gpu := delta(histExecCPU), delta(histKernel)
+	execTasks := cpu.Count + gpu.Count
+	if execTasks > 0 {
+		sig.ServiceMean = (cpu.Sum + gpu.Sum) / execTasks
+		var staging int64
+		for _, name := range histStaging {
+			staging += delta(name).Sum
+		}
+		sig.OverheadMean = staging / execTasks
+	}
+	return sig
+}

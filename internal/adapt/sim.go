@@ -1,0 +1,231 @@
+package adapt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Plant is a deterministic closed-loop model of the engine's response
+// to ϕ, good enough to exercise every controller regime without a live
+// engine: capacity rises with ϕ as the fixed per-task overhead
+// amortizes, batching delay rises with ϕ as tasks take longer to fill,
+// and a backlog integrator turns sustained overload into queue wait.
+// One Plant tick produces the Signals the controller would have read
+// from the trace histograms over that interval.
+type Plant struct {
+	// MaxRate is the asymptotic processing capacity in bytes/sec as
+	// ϕ → ∞ (all overhead amortized).
+	MaxRate float64
+	// OverheadNs is the fixed per-task cost in nanoseconds (GPU launch +
+	// staging); capacity(ϕ) = MaxRate · ϕ/(ϕ + OverheadNs·MaxRate/1e9).
+	OverheadNs float64
+	// TickSec is the control interval the signals integrate over.
+	TickSec float64
+	// Noise is the relative jitter applied to the latency signals,
+	// drawn from the seeded source (0 disables).
+	Noise float64
+
+	rnd     *rand.Rand
+	backlog float64 // bytes queued beyond capacity
+}
+
+// NewPlant creates a plant with sane defaults and a seeded noise
+// source: 2 GB/s asymptotic capacity, 60µs fixed per-task overhead,
+// 50ms ticks, 5% jitter.
+func NewPlant(seed int64) *Plant {
+	return &Plant{
+		MaxRate:    2e9,
+		OverheadNs: 60_000,
+		TickSec:    0.05,
+		Noise:      0.05,
+		rnd:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// halfPhi is the ϕ at which capacity reaches half of MaxRate: the
+// break-even point where per-task overhead equals per-byte work.
+func (p *Plant) halfPhi() float64 {
+	return p.OverheadNs * p.MaxRate / 1e9
+}
+
+// Capacity returns the plant's throughput in bytes/sec at task size
+// phi.
+func (p *Plant) Capacity(phi int) float64 {
+	f := float64(phi)
+	return p.MaxRate * f / (f + p.halfPhi())
+}
+
+// Tick advances the plant one control interval at offered load rate
+// (bytes/sec) with the engine running task size phi, and returns the
+// Signals the controller would observe.
+func (p *Plant) Tick(phi int, rate float64) Signals {
+	f := float64(phi)
+	cap := p.Capacity(phi)
+
+	// Backlog integrates the overload; drained at capacity when the
+	// offered rate dips back under.
+	p.backlog += (rate - cap) * p.TickSec
+	if p.backlog < 0 {
+		p.backlog = 0
+	}
+
+	// Per-task times in nanoseconds.
+	serviceNs := f / p.MaxRate * 1e9
+	overheadNs := p.OverheadNs
+	batchNs := 0.0
+	if rate > 0 {
+		batchNs = f / rate * 1e9 // time for the ring to fill one task
+	}
+	queueNs := 0.0
+	if cap > 0 {
+		queueNs = p.backlog / cap * 1e9
+	}
+	// Mirrors the live trace semantics: e2e starts at the task cut, so
+	// the batching delay is reported only through IngestP99 and the
+	// controller reads the full journey as TailP99 = e2e + ingest.
+	e2eNs := queueNs + serviceNs + overheadNs
+
+	jitter := func(v float64) int64 {
+		if p.Noise > 0 {
+			v *= 1 + p.Noise*(2*p.rnd.Float64()-1)
+		}
+		if v < 0 {
+			v = 0
+		}
+		return int64(v)
+	}
+
+	tasks := int64(rate * p.TickSec / f)
+	if p.backlog > 0 && tasks < 1 {
+		tasks = 1 // draining: something is always finishing
+	}
+	return Signals{
+		Tasks:        tasks,
+		E2EP99:       jitter(e2eNs * 1.2), // tail above the mean
+		QueueP99:     jitter(queueNs * 1.2),
+		IngestP99:    jitter(batchNs),
+		ServiceMean:  jitter(serviceNs),
+		OverheadMean: jitter(overheadNs),
+	}
+}
+
+// Rate traces. Each returns offered load in bytes/sec for tick i —
+// plain functions so tests can compose or shift them.
+
+// SteadyTrace is a constant offered rate.
+func SteadyTrace(rate float64) func(i int) float64 {
+	return func(int) float64 { return rate }
+}
+
+// StepBurstTrace holds base rate, steps to burst for ticks
+// [start, start+dur), then returns to base.
+func StepBurstTrace(base, burst float64, start, dur int) func(i int) float64 {
+	return func(i int) float64 {
+		if i >= start && i < start+dur {
+			return burst
+		}
+		return base
+	}
+}
+
+// DiurnalTrace ramps linearly from lo to hi and back over period ticks,
+// repeating — the diurnal load curve compressed to test time.
+func DiurnalTrace(lo, hi float64, period int) func(i int) float64 {
+	return func(i int) float64 {
+		pos := i % period
+		half := period / 2
+		var frac float64
+		if pos < half {
+			frac = float64(pos) / float64(half)
+		} else {
+			frac = float64(period-pos) / float64(period-half)
+		}
+		return lo + (hi-lo)*frac
+	}
+}
+
+// OscillatorTrace is the adversarial shape: offered rate flips between
+// lo and hi every flip ticks, trying to resonate with the controller's
+// own step cadence and induce a limit cycle.
+func OscillatorTrace(lo, hi float64, flip int) func(i int) float64 {
+	return func(i int) float64 {
+		if (i/flip)%2 == 0 {
+			return lo
+		}
+		return hi
+	}
+}
+
+// SimResult is one closed-loop simulation's full record.
+type SimResult struct {
+	Phis      []int      // ϕ after each tick
+	Decisions []Decision // the tick's decision
+	Signals   []Signals  // what the controller observed
+}
+
+// Resizes counts the non-hold ticks.
+func (r SimResult) Resizes() int {
+	n := 0
+	for _, d := range r.Decisions {
+		if d.Action != Hold {
+			n++
+		}
+	}
+	return n
+}
+
+// Trajectory serializes the ϕ trajectory with each tick's action
+// letter (g/s/h). Byte-comparing two trajectories is the seed-
+// determinism check: same seed ⇒ identical string.
+func (r SimResult) Trajectory() string {
+	var b strings.Builder
+	for i, phi := range r.Phis {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s%d", r.Decisions[i].Action.String()[:1], phi)
+	}
+	return b.String()
+}
+
+// Simulate runs the controller closed-loop against the plant for ticks
+// control intervals, with offered load given by rate. phi0 seeds the
+// trajectory. Everything is deterministic given the plant's seed.
+func Simulate(cfg Config, plant *Plant, phi0, ticks int, rate func(i int) float64) SimResult {
+	cfg = cfg.withDefaults()
+	st := State{Phi: clampPhi(phi0, cfg)}
+	res := SimResult{
+		Phis:      make([]int, 0, ticks),
+		Decisions: make([]Decision, 0, ticks),
+		Signals:   make([]Signals, 0, ticks),
+	}
+	for i := 0; i < ticks; i++ {
+		sig := plant.Tick(st.Phi, rate(i))
+		var d Decision
+		st, d = Step(cfg, st, sig)
+		res.Phis = append(res.Phis, st.Phi)
+		res.Decisions = append(res.Decisions, d)
+		res.Signals = append(res.Signals, sig)
+	}
+	return res
+}
+
+// Replay drives the controller over a pre-recorded signal trace (no
+// plant): the open-loop form used to replay captured engine telemetry.
+func Replay(cfg Config, phi0 int, trace []Signals) SimResult {
+	cfg = cfg.withDefaults()
+	st := State{Phi: clampPhi(phi0, cfg)}
+	res := SimResult{
+		Phis:      make([]int, 0, len(trace)),
+		Decisions: make([]Decision, 0, len(trace)),
+		Signals:   trace,
+	}
+	for _, sig := range trace {
+		var d Decision
+		st, d = Step(cfg, st, sig)
+		res.Phis = append(res.Phis, st.Phi)
+		res.Decisions = append(res.Decisions, d)
+	}
+	return res
+}

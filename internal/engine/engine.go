@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"saber/internal/adapt"
 	"saber/internal/exec"
 	"saber/internal/fault"
 	"saber/internal/gpu"
@@ -72,6 +73,14 @@ type Config struct {
 	// GPU device takes its own injector via gpu.Config. nil runs
 	// fault-free.
 	Fault *fault.Injector
+
+	// Adapt, when non-nil, enables adaptive task sizing: a control loop
+	// resizes ϕ within [Adapt.MinPhi, Adapt.MaxPhi] from the engine's
+	// trace histograms (see internal/adapt). TaskSize becomes the
+	// starting point rather than a constant. The controller requires its
+	// own registry view, so engines sharing a Metrics registry must not
+	// both enable Adapt.
+	Adapt *adapt.Config
 
 	// Metrics is the observability registry every engine counter,
 	// histogram and mirror registers in. nil gives the engine a private
@@ -174,6 +183,19 @@ type Engine struct {
 	// before Close returns.
 	lateWG sync.WaitGroup
 
+	// taskSize is the live ϕ in bytes: initialized from Config.TaskSize
+	// and rewritten by SetTaskSize (the adapt controller, or tests
+	// exercising mid-stream resizes). The dispatcher reads it on every
+	// cut, so a resize takes effect at the next task boundary.
+	taskSize atomic.Int64
+	// phiFloor is the largest registered tuple size: a cut of fewer
+	// bytes would emit zero-tuple tasks and spin the dispatch loop.
+	phiFloor int
+
+	adaptCtl  *adapt.Controller
+	adaptStop chan struct{}
+	adaptWG   sync.WaitGroup
+
 	started atomic.Bool
 	stopped atomic.Bool
 	workers sync.WaitGroup
@@ -193,6 +215,7 @@ func New(cfg Config) *Engine {
 		e.reg = obs.NewRegistry()
 	}
 	e.tracer = obs.NewTracer(e.reg, e.cfg.TraceRing)
+	e.taskSize.Store(int64(e.cfg.TaskSize))
 	return e
 }
 
@@ -215,6 +238,11 @@ func (e *Engine) Register(q *query.Query) (*Handle, error) {
 	r := newRegistered(e, len(e.quer), plan)
 	if e.cfg.GPU != nil {
 		r.prog = e.cfg.GPU.Compile(plan)
+	}
+	for i := 0; i < plan.NumInputs(); i++ {
+		if ts := plan.InputSchema(i).TupleSize(); ts > e.phiFloor {
+			e.phiFloor = ts
+		}
 	}
 	e.quer = append(e.quer, r)
 	e.byName[q.Name] = r
@@ -284,6 +312,19 @@ func (e *Engine) Start() error {
 
 	e.registerMirrors()
 
+	if e.cfg.Adapt != nil {
+		// The matrix needs to know ϕ from the first task so its rates
+		// track the size tasks will actually have.
+		e.matrix.SetPhi(int(e.taskSize.Load()))
+		e.adaptCtl = adapt.NewController(*e.cfg.Adapt, int(e.taskSize.Load()), e.reg, func(phi int) {
+			e.SetTaskSize(phi)
+		})
+		e.SetTaskSize(e.adaptCtl.Phi()) // fold controller clamping back in
+		e.adaptStop = make(chan struct{})
+		e.adaptWG.Add(1)
+		go e.adaptLoop()
+	}
+
 	for i := 0; i < e.cfg.CPUWorkers; i++ {
 		e.workers.Add(1)
 		go e.cpuWorker()
@@ -293,6 +334,26 @@ func (e *Engine) Start() error {
 		go e.gpuWorker()
 	}
 	return nil
+}
+
+// adaptLoop ticks the ϕ controller until Close. The controller itself
+// is pure; this loop only supplies real time and registry snapshots.
+func (e *Engine) adaptLoop() {
+	defer e.adaptWG.Done()
+	interval := e.cfg.Adapt.Interval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.adaptStop:
+			return
+		case <-tick.C:
+			e.adaptCtl.Tick(e.reg.Snapshot())
+		}
+	}
 }
 
 // Drain dispatches any buffered partial batches as final tasks, waits for
@@ -320,6 +381,10 @@ func (e *Engine) Close() {
 	if e.stopped.Swap(true) {
 		return
 	}
+	if e.adaptStop != nil {
+		close(e.adaptStop)
+		e.adaptWG.Wait()
+	}
 	e.queue.Close()
 	e.workers.Wait()
 	e.lateWG.Wait()
@@ -339,9 +404,44 @@ func (e *Engine) Policy() sched.Policy { return e.policy }
 // QueueLen reports the current task queue depth.
 func (e *Engine) QueueLen() int { return e.queue.Len() }
 
-// observe routes a completion into the throughput matrix.
-func (e *Engine) observe(q int, p sched.Processor, d time.Duration) {
+// TaskSize returns the live ϕ in bytes.
+func (e *Engine) TaskSize() int { return int(e.taskSize.Load()) }
+
+// SetTaskSize resizes ϕ. The dispatcher reads the new size at its next
+// cut, so the change lands on a task boundary and never splits a task
+// mid-flight; window boundaries are ϕ-independent, so results are
+// byte-identical to a fixed-ϕ run (see the differential tests).
+//
+// The requested size is clamped to stay runnable: at least one tuple of
+// the widest registered input (a smaller cut would emit empty tasks and
+// spin the dispatch loop), and at most a quarter of the input ring (a
+// larger one could leave the ring too full to ever complete a cut,
+// deadlocking Insert's backpressure).
+func (e *Engine) SetTaskSize(phi int) int {
+	if phi < e.phiFloor {
+		phi = e.phiFloor
+	}
+	if max := e.cfg.InputBufferSize / 4; phi > max {
+		phi = max
+	}
+	if phi <= 0 {
+		phi = e.cfg.TaskSize
+	}
+	e.taskSize.Store(int64(phi))
+	if e.matrix != nil && e.cfg.Adapt != nil {
+		e.matrix.SetPhi(phi)
+	}
+	if e.cfg.GPU != nil {
+		e.cfg.GPU.SetBatchHint(phi)
+	}
+	return phi
+}
+
+// observe routes a completion into the throughput matrix, with the
+// task's input volume attached so the matrix's ϕ-aware service-time
+// fits learn how cost scales with size.
+func (e *Engine) observe(q int, p sched.Processor, bytes int64, d time.Duration) {
 	if e.matrix != nil {
-		e.matrix.Observe(q, p, d.Seconds())
+		e.matrix.ObserveSized(q, p, bytes, d.Seconds())
 	}
 }

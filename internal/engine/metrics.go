@@ -57,6 +57,10 @@ func (e *Engine) registerMirrors() {
 	reg := e.reg
 	reg.RegisterFunc("saber.engine.queue.depth", func() int64 { return int64(e.queue.Len()) })
 	reg.RegisterFunc("saber.engine.gpu.inflight", e.gpuInflight.Load)
+	// The live ϕ. Under a fixed configuration this mirrors Config.TaskSize;
+	// with Adapt enabled it tracks the controller (which also reports its
+	// own view as saber.adapt.phi).
+	reg.RegisterFunc("saber.engine.phi", e.taskSize.Load)
 
 	for _, r := range e.quer {
 		r := r
@@ -102,6 +106,8 @@ func (e *Engine) registerMirrors() {
 		reg.RegisterFunc("saber.gpu.hangs", d.Hangs)
 		reg.RegisterFunc("saber.gpu.bytes.moved", d.BytesMoved)
 		reg.RegisterFunc("saber.gpu.pipeline.inflight", d.Inflight)
+		reg.RegisterFunc("saber.gpu.staging.hint", d.BatchHint)
+		reg.RegisterFunc("saber.gpu.staging.grows", d.StagingGrows)
 		registerFaultMirrors(reg, d.Injector(), "saber.fault.gpu")
 	}
 	registerFaultMirrors(reg, e.cfg.Fault, "saber.fault.cpu")

@@ -124,11 +124,11 @@ func (r *registered) insert(side int, data []byte) {
 		in.ring.Put(data[off:end])
 		r.stats.bytesIn.Add(int64(end - off))
 		if r.plan.NumInputs() == 1 {
-			for r.pendingBytes(0) >= int64(r.e.cfg.TaskSize) {
+			for r.pendingBytes(0) >= r.e.taskSize.Load() {
 				r.cutSingle()
 			}
 		} else {
-			for r.combinedPending() >= int64(r.e.cfg.TaskSize) {
+			for r.combinedPending() >= r.e.taskSize.Load() {
 				if !r.cutPair(false) {
 					break
 				}
@@ -151,11 +151,15 @@ func (r *registered) combinedPending() int64 {
 	return r.pendingBytes(0) + r.pendingBytes(1)
 }
 
-// cutSingle dispatches one task of exactly TaskSize bytes (tuple-aligned)
-// from the single input.
+// cutSingle dispatches one task of exactly ϕ bytes (tuple-aligned) from
+// the single input. ϕ is re-read per cut, so an adaptive resize takes
+// effect at the very next task boundary.
 func (r *registered) cutSingle() {
 	in := r.ins[0]
-	n := int64(r.e.cfg.TaskSize) / int64(in.tupleSize)
+	n := r.e.taskSize.Load() / int64(in.tupleSize)
+	if n < 1 {
+		n = 1
+	}
 	r.emit([2]int64{n, 0})
 }
 
@@ -174,9 +178,10 @@ func (r *registered) cutPair(tail bool) bool {
 	}
 	na, nb := pa, pb
 	if !tail {
+		phi := r.e.taskSize.Load()
 		total := pa*int64(a.tupleSize) + pb*int64(b.tupleSize)
-		if total > int64(r.e.cfg.TaskSize) {
-			f := float64(r.e.cfg.TaskSize) / float64(total)
+		if total > phi {
+			f := float64(phi) / float64(total)
 			na = int64(float64(pa) * f)
 			nb = int64(float64(pb) * f)
 			if na == 0 && nb == 0 {

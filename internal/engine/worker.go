@@ -78,7 +78,7 @@ func (e *Engine) cpuWorker() {
 		elapsed := e.padCPU(r, t, res, start)
 		t.Trace.SetProc(obs.ProcCPU)
 		t.Trace.SetStage(obs.StageExecCPU, elapsed)
-		e.observe(t.Query, sched.CPU, elapsed)
+		e.observe(t.Query, sched.CPU, taskBytes(r, t), elapsed)
 		if r.result.deliver(t, res) {
 			r.stats.tasksCPU.Add(1)
 		}
@@ -135,6 +135,16 @@ func taskTuples(r *registered, t *task.Task) int {
 	n := 0
 	for i := 0; i < r.plan.NumInputs(); i++ {
 		n += len(t.In[i].Data) / r.plan.InputSchema(i).TupleSize()
+	}
+	return n
+}
+
+// taskBytes is the task's total input volume — the x-axis of the
+// matrix's ϕ-aware service-time fits.
+func taskBytes(r *registered, t *task.Task) int64 {
+	n := int64(0)
+	for i := 0; i < r.plan.NumInputs(); i++ {
+		n += int64(len(t.In[i].Data))
 	}
 	return n
 }
@@ -286,7 +296,7 @@ func (e *Engine) completeGPU(f gpuInflightEntry) (hung bool) {
 	default:
 		e.breaker.RecordSuccess(f.probe)
 		f.t.Trace.SetProc(obs.ProcGPU)
-		e.observe(f.t.Query, sched.GPU, time.Since(f.start))
+		e.observe(f.t.Query, sched.GPU, taskBytes(r, f.t), time.Since(f.start))
 		if r.result.deliver(f.t, f.res) {
 			r.stats.tasksGPU.Add(1)
 		}

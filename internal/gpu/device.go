@@ -65,12 +65,19 @@ type Device struct {
 
 	closed atomic.Bool
 
+	// batchHint is the engine's current task size ϕ in bytes; the submit
+	// path pre-sizes each slot's pinned staging buffers to it, so a grown
+	// ϕ costs one reallocation per slot instead of append-doubling churn
+	// in the middle of a burst. 0 means no hint (size to the data).
+	batchHint atomic.Int64
+
 	// Telemetry.
-	tasksDone   atomic.Int64
-	tasksFailed atomic.Int64 // tasks that left the pipeline with an error
-	hangs       atomic.Int64 // injected execute-stage stalls
-	bytesMoved  atomic.Int64
-	inflight    atomic.Int64 // tasks holding a pipeline slot right now
+	tasksDone    atomic.Int64
+	tasksFailed  atomic.Int64 // tasks that left the pipeline with an error
+	hangs        atomic.Int64 // injected execute-stage stalls
+	bytesMoved   atomic.Int64
+	inflight     atomic.Int64 // tasks holding a pipeline slot right now
+	stagingGrows atomic.Int64 // hint-driven staging buffer reallocations
 
 	// chk holds the invariant checker's monotonicity watermark; the mutex
 	// serialises CheckInvariants callers (see invariant.go).
@@ -126,6 +133,24 @@ func (d *Device) Hangs() int64 { return d.hangs.Load() }
 // BytesMoved returns the number of bytes DMA-transferred in either
 // direction.
 func (d *Device) BytesMoved() int64 { return d.bytesMoved.Load() }
+
+// SetBatchHint tells the device the task size ϕ the engine is currently
+// cutting, so the pipeline can stage batches into right-sized pinned
+// buffers. Safe to call concurrently with submissions; 0 clears the
+// hint.
+func (d *Device) SetBatchHint(bytes int) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	d.batchHint.Store(int64(bytes))
+}
+
+// BatchHint returns the current staging size hint in bytes.
+func (d *Device) BatchHint() int64 { return d.batchHint.Load() }
+
+// StagingGrows returns how many hint-driven staging-buffer
+// reallocations the pipeline has performed.
+func (d *Device) StagingGrows() int64 { return d.stagingGrows.Load() }
 
 // Injector returns the device's fault injector (nil when fault-free), so
 // telemetry can mirror its per-site budgets.

@@ -91,7 +91,15 @@ func (p *pipeline) submit(j *job) {
 	// is failed over during a device hang — its ring region released and
 	// rewritten by the feeder — cannot race a stalled copy stage.
 	j.inBytes = 0
+	hint := int(p.d.batchHint.Load())
 	for i := 0; i < 2; i++ {
+		if n := len(j.in[i].Data); n > 0 && hint > n && hint > cap(j.slot.pinIn[i]) {
+			// The engine has grown ϕ past this slot's staging capacity:
+			// reallocate once to the hinted size rather than letting the
+			// next several batches append-double their way there.
+			j.slot.pinIn[i] = make([]byte, 0, hint)
+			p.d.stagingGrows.Add(1)
+		}
 		j.slot.pinIn[i] = append(j.slot.pinIn[i][:0], j.in[i].Data...)
 		j.inBytes += len(j.in[i].Data)
 		j.in[i].Data = nil

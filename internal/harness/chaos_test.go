@@ -4,7 +4,9 @@ import (
 	"testing"
 	"time"
 
+	"saber/internal/adapt"
 	"saber/internal/fault"
+	"saber/internal/workload"
 )
 
 // TestChaosScenarios runs the seeded chaos suite: under injected GPU
@@ -73,6 +75,62 @@ func TestChaosBreakerOpensAndRecovers(t *testing.T) {
 	}
 	if rep.TasksQuarantined != 0 || rep.TuplesOut != rep.TuplesIn {
 		t.Fatalf("chaos burst lost work: %s", rep)
+	}
+}
+
+// TestChaosBurstAdapt is the burst-adapt scenario: a paced bursty feed
+// (square-edged load steps, the hardest case for a ϕ controller) drives
+// the engine while the adaptive task-sizing loop resizes ϕ live AND
+// injected GPU faults push tasks through the GPU→CPU failover path. The
+// controller, the breaker-era failover machinery and the exactly-once
+// result stage all interact; every invariant must still hold, the
+// controller must demonstrably act, and no work may be lost.
+func TestChaosBurstAdapt(t *testing.T) {
+	inj := fault.New(Seed(7300))
+	inj.Arm(fault.GPUKernel, fault.Spec{Rate: 0.1, Limit: 150})
+
+	rep := runClean(t, Config{
+		Seed:            Seed(7300),
+		Workload:        WorkloadJitter,
+		Tuples:          scale(12000, 40000),
+		Workers:         4,
+		TaskSize:        4096, // start at MaxPhi: the tight SLO must pull ϕ down
+		GPU:             true,
+		SwitchThreshold: 3,
+		MaxJitter:       time.Millisecond,
+		Chaos:           inj,
+		MaxTaskRetries:  6,
+		Adapt: &adapt.Config{
+			MinPhi:   256,
+			MaxPhi:   4096,
+			SLO:      2 * time.Millisecond,
+			Interval: 10 * time.Millisecond,
+		},
+		// ~1.3 MB/s average with 6× bursts: enough pressure that the
+		// jittered workers queue up during each burst.
+		PacedRate: workload.BurstRate(0.6e6, 3.6e6, 250*time.Millisecond, 80*time.Millisecond),
+		FeedTick:  time.Millisecond,
+		FeedFor:   2 * time.Second,
+	})
+
+	if rep.FaultsInjected == 0 {
+		t.Fatalf("burst-adapt injected zero faults; it proved nothing: %s", rep)
+	}
+	if rep.GPUFailovers == 0 {
+		t.Fatalf("kernel faults injected but no GPU→CPU failovers under adaptation: %s", rep)
+	}
+	if rep.AdaptTicks == 0 {
+		t.Fatalf("adaptive controller never ticked: %s", rep)
+	}
+	if rep.AdaptGrows+rep.AdaptShrinks == 0 {
+		t.Fatalf("controller ticked %d times but never resized ϕ under a 6× burst: %s",
+			rep.AdaptTicks, rep)
+	}
+	if rep.PhiFinal < 256 || rep.PhiFinal > 4096 {
+		t.Fatalf("final ϕ %d escaped [MinPhi, MaxPhi]: %s", rep.PhiFinal, rep)
+	}
+	if rep.TasksQuarantined != 0 || rep.TuplesOut != rep.TuplesIn {
+		t.Fatalf("conservation under burst-adapt chaos: %s", rep)
 	}
 }
 

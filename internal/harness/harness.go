@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"saber/internal/adapt"
 	"saber/internal/engine"
 	"saber/internal/fault"
 	"saber/internal/gpu"
@@ -34,6 +35,7 @@ import (
 	"saber/internal/inv"
 	"saber/internal/model"
 	"saber/internal/sched"
+	"saber/internal/workload"
 )
 
 var flagSeed = flag.Int64("harness.seed", 0,
@@ -105,6 +107,21 @@ type Config struct {
 	// internal/ingest (reconnecting client, read-deadline-guarded server)
 	// instead of direct Insert calls — the path chaos disconnects target.
 	Ingest bool
+	// Adapt enables adaptive task sizing (dynamic ϕ): the engine's
+	// controller resizes ϕ from the live latency histograms while the
+	// stress load — and any armed chaos — runs. nil keeps ϕ fixed.
+	Adapt *adapt.Config
+	// PacedRate, when set, paces every feeder at this offered byte rate
+	// (e.g. workload.BurstRate) instead of feeding as fast as
+	// backpressure allows. The per-tick tuple schedule comes from
+	// workload.PaceTuples, so it is deterministic given the profile; the
+	// schedule repeats until the stream is exhausted.
+	PacedRate workload.RateFunc
+	// FeedTick is the pacing tick for PacedRate. Default 1ms.
+	FeedTick time.Duration
+	// FeedFor bounds the paced schedule's length before it repeats.
+	// Default 2s.
+	FeedFor time.Duration
 	// Extra invariant checkers polled alongside the engine's own —
 	// the hook point for future subsystems.
 	Extra []inv.Checker
@@ -149,6 +166,14 @@ func (c Config) withDefaults() Config {
 	if c.InsertMaxTuples <= 0 {
 		c.InsertMaxTuples = 300
 	}
+	if c.PacedRate != nil {
+		if c.FeedTick <= 0 {
+			c.FeedTick = time.Millisecond
+		}
+		if c.FeedFor <= 0 {
+			c.FeedFor = 2 * time.Second
+		}
+	}
 	return c
 }
 
@@ -188,6 +213,12 @@ type Report struct {
 	BreakerState        string // final breaker state ("" without a breaker)
 	IngestReconnects    int64  // successful feeder redials (Ingest runs)
 
+	// Adaptive-ϕ telemetry (Adapt runs).
+	AdaptTicks   int64 // controller ticks that saw a trusted signal
+	AdaptGrows   int64
+	AdaptShrinks int64
+	PhiFinal     int64 // ϕ in bytes when the run quiesced
+
 	// Violations holds every invariant violation observed, polling-time
 	// and end-of-stream alike. Empty means the run was clean.
 	Violations []error
@@ -215,6 +246,10 @@ func (r *Report) String() string {
 			r.GPUFailovers, r.GPUTimeouts, r.DuplicatesDiscarded,
 			r.BreakerState, r.BreakerOpens, r.BreakerCloses, r.IngestReconnects)
 	}
+	if r.AdaptTicks > 0 {
+		s += fmt.Sprintf(" | adapt: ticks=%d grows=%d shrinks=%d phi=%d",
+			r.AdaptTicks, r.AdaptGrows, r.AdaptShrinks, r.PhiFinal)
+	}
 	return s
 }
 
@@ -239,6 +274,7 @@ func Run(cfg Config) (*Report, error) {
 		MaxTaskRetries:   cfg.MaxTaskRetries,
 		BreakerThreshold: cfg.BreakerThreshold,
 		BreakerCooldown:  cfg.BreakerCooldown,
+		Adapt:            cfg.Adapt,
 	}
 	var dev *gpu.Device
 	if cfg.GPU {
@@ -377,17 +413,55 @@ func Run(cfg Config) (*Report, error) {
 			if cleanup != nil {
 				defer cleanup()
 			}
-			rnd := rand.New(rand.NewSource(cfg.Seed ^ int64(i)<<32))
+			fail := func(err error) {
+				feedMu.Lock()
+				feedErrs = append(feedErrs, fmt.Errorf("query %d feeder: %w", i, err))
+				feedMu.Unlock()
+			}
 			tsz := StreamSchema.TupleSize()
+			if cfg.PacedRate != nil {
+				// Paced mode: replay the deterministic per-tick tuple
+				// schedule, sleeping to each tick boundary. Backpressure may
+				// push a tick late; the feeder then runs behind (offered load
+				// exceeding absorbed load is exactly the condition the
+				// adaptive controller is there to handle).
+				schedule := workload.PaceTuples(cfg.PacedRate, tsz, cfg.FeedTick, cfg.FeedFor)
+				total := 0
+				for _, n := range schedule {
+					total += n
+				}
+				if total > 0 {
+					start := time.Now()
+					tick := 0
+					for off := 0; off < len(qr.stream); tick++ {
+						n := schedule[tick%len(schedule)] * tsz
+						if n > 0 {
+							if off+n > len(qr.stream) {
+								n = len(qr.stream) - off
+							}
+							if err := send(qr.stream[off : off+n]); err != nil {
+								fail(err)
+								return
+							}
+							off += n
+						}
+						if d := time.Until(start.Add(time.Duration(tick+1) * cfg.FeedTick)); d > 0 {
+							time.Sleep(d)
+						}
+					}
+					return
+				}
+				// A degenerate all-zero schedule falls through to the
+				// unpaced feeder rather than spinning forever.
+			}
+			rnd := rand.New(rand.NewSource(cfg.Seed ^ int64(i)<<32))
 			for off := 0; off < len(qr.stream); {
 				n := (1 + rnd.Intn(cfg.InsertMaxTuples)) * tsz
 				if off+n > len(qr.stream) {
 					n = len(qr.stream) - off
 				}
 				if err := send(qr.stream[off : off+n]); err != nil {
-					feedMu.Lock()
-					feedErrs = append(feedErrs, fmt.Errorf("query %d feeder: %w", i, err))
-					feedMu.Unlock()
+					fail(err)
 					return
 				}
 				off += n
@@ -482,6 +556,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 	if cfg.Chaos != nil {
 		rep.FaultsInjected = cfg.Chaos.TotalInjections()
+	}
+	if cfg.Adapt != nil {
+		rep.AdaptTicks = snap.Counters["saber.adapt.ticks"]
+		rep.AdaptGrows = snap.Counters["saber.adapt.grow"]
+		rep.AdaptShrinks = snap.Counters["saber.adapt.shrink"]
+		rep.PhiFinal = int64(eng.TaskSize())
 	}
 	return rep, nil
 }

@@ -114,6 +114,40 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Sub returns the distribution of the observations recorded between
+// prev and s, where both are snapshots of the same histogram and prev
+// was taken earlier. Cumulative histograms only ever grow, so the
+// per-bucket difference is itself a valid distribution — the per-tick
+// feedback window the adaptive ϕ controller consumes. Counts that
+// appear to run backwards (a snapshot racing concurrent writers) clamp
+// to zero rather than going negative.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	if d.Count < 0 {
+		d.Count = 0
+	}
+	if d.Sum < 0 {
+		d.Sum = 0
+	}
+	// Both bucket lists are ascending by Lo and prev's buckets are a
+	// subset of s's (buckets never empty out), so one linear merge pass
+	// suffices.
+	j := 0
+	for _, b := range s.Buckets {
+		for j < len(prev.Buckets) && prev.Buckets[j].Lo < b.Lo {
+			j++
+		}
+		n := b.Count
+		if j < len(prev.Buckets) && prev.Buckets[j].Lo == b.Lo {
+			n -= prev.Buckets[j].Count
+		}
+		if n > 0 {
+			d.Buckets = append(d.Buckets, HistBucket{Lo: b.Lo, Hi: b.Hi, Count: n})
+		}
+	}
+	return d
+}
+
 // Mean returns the arithmetic mean of the recorded values, or 0 when
 // empty.
 func (s HistogramSnapshot) Mean() float64 {

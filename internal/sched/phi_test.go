@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"saber/internal/task"
+)
+
+// ϕ-aware matrix tests: the service-time fits must move the CPU/GPU
+// crossover as ϕ moves, with no stale per-ϕ state — every Rate call
+// evaluates the live fit at the live ϕ.
+
+// trainPhiMatrix builds a 1-query matrix whose fits encode the
+// canonical hybrid shape: the GPU pays a large fixed per-task overhead
+// (launch + staging) but streams bytes fast; the CPU starts instantly
+// but processes bytes slowly.
+//
+//	cpu: service(ϕ) =  10µs + 1.00 ns/B · ϕ
+//	gpu: service(ϕ) = 500µs + 0.05 ns/B · ϕ
+//
+// Crossover at ϕ ≈ 516 KB: below it the CPU is faster, above the GPU.
+func trainPhiMatrix() *Matrix {
+	m := NewMatrix(1, 1000, 0.2, 1, 1)
+	// Spread the observed sizes well past the 5% trust threshold.
+	for i := 0; i < 16; i++ {
+		bytes := int64(64<<10 + i*(64<<10)) // 64 KiB .. 1 MiB
+		cpuSec := 10e-6 + 1.0e-9*float64(bytes)
+		gpuSec := 500e-6 + 0.05e-9*float64(bytes)
+		m.ObserveSized(0, CPU, bytes, cpuSec)
+		m.ObserveSized(0, GPU, bytes, gpuSec)
+	}
+	return m
+}
+
+// TestMatrixCrossoverFlipsWithPhi: the core ϕ-aware property — moving
+// ϕ across the crossover flips Preferred with NO new observations in
+// between. A matrix that cached per-ϕ rows would need fresh completions
+// at the new ϕ before flipping; the live fit flips instantly.
+func TestMatrixCrossoverFlipsWithPhi(t *testing.T) {
+	m := trainPhiMatrix()
+
+	m.SetPhi(16 << 10)
+	if got := m.Preferred(0); got != CPU {
+		t.Fatalf("ϕ=16KiB: preferred %v, want CPU (cpu rate %.0f, gpu rate %.0f)",
+			got, m.Rate(0, CPU), m.Rate(0, GPU))
+	}
+	m.SetPhi(2 << 20)
+	if got := m.Preferred(0); got != GPU {
+		t.Fatalf("ϕ=2MiB: preferred %v, want GPU (cpu rate %.0f, gpu rate %.0f)",
+			got, m.Rate(0, CPU), m.Rate(0, GPU))
+	}
+	// And back: nothing latched.
+	m.SetPhi(16 << 10)
+	if got := m.Preferred(0); got != CPU {
+		t.Fatalf("ϕ back to 16KiB: preferred %v, want CPU again", got)
+	}
+}
+
+// TestMatrixRateTracksPhi: Rate at a given ϕ must match the fitted
+// service-time model, and changing ϕ must change the rate monotonically
+// in the right direction for each class.
+func TestMatrixRateTracksPhi(t *testing.T) {
+	m := trainPhiMatrix()
+
+	m.SetPhi(64 << 10)
+	smallCPU, smallGPU := m.Rate(0, CPU), m.Rate(0, GPU)
+	m.SetPhi(1 << 20)
+	bigCPU, bigGPU := m.Rate(0, CPU), m.Rate(0, GPU)
+
+	// Larger tasks always take longer, so per-task rates fall for both —
+	// but the GPU's rate falls far less (its cost is mostly the fixed
+	// launch) than the CPU's (its cost is mostly per-byte).
+	if bigCPU >= smallCPU || bigGPU >= smallGPU {
+		t.Fatalf("rates did not fall with ϕ: cpu %.0f→%.0f, gpu %.0f→%.0f",
+			smallCPU, bigCPU, smallGPU, bigGPU)
+	}
+	if cpuDrop, gpuDrop := smallCPU/bigCPU, smallGPU/bigGPU; gpuDrop >= cpuDrop {
+		t.Fatalf("GPU rate dropped faster than CPU with ϕ (cpu ×%.1f, gpu ×%.1f) — fit slopes inverted",
+			cpuDrop, gpuDrop)
+	}
+
+	// The fitted rate at 1 MiB must match the generating model.
+	wantSec := 10e-6 + 1.0e-9*float64(1<<20)
+	if got := bigCPU; math.Abs(got-1/wantSec)/(1/wantSec) > 0.05 {
+		t.Fatalf("cpu rate at 1MiB = %.0f, want ≈ %.0f", got, 1/wantSec)
+	}
+}
+
+// TestMatrixFallbackWithoutFit: with ϕ set but too few sized
+// observations for a trustworthy fit, Rate must fall back to the legacy
+// EWMA row — never to a garbage extrapolation.
+func TestMatrixFallbackWithoutFit(t *testing.T) {
+	m := NewMatrix(1, 1000, 0.2, 1, 1)
+	m.SetPhi(1 << 20)
+	// fitMinObs-1 observations: fit untrusted.
+	for i := 0; i < fitMinObs-1; i++ {
+		m.ObserveSized(0, CPU, int64(4096+i*4096), 0.001)
+	}
+	legacy := m.rows[0][CPU]
+	if got := m.Rate(0, CPU); got != legacy {
+		t.Fatalf("untrusted fit did not fall back: rate %.2f, legacy row %.2f", got, legacy)
+	}
+
+	// Plenty of observations but zero size spread (fixed-ϕ history):
+	// intercept and slope are inseparable, the fit must stay untrusted.
+	m2 := NewMatrix(1, 1000, 0.2, 1, 1)
+	m2.SetPhi(1 << 20)
+	for i := 0; i < 3*fitMinObs; i++ {
+		m2.ObserveSized(0, CPU, 8192, 0.001)
+	}
+	if got, legacy := m2.Rate(0, CPU), m2.rows[0][CPU]; got != legacy {
+		t.Fatalf("zero-spread fit did not fall back: rate %.2f, legacy row %.2f", got, legacy)
+	}
+}
+
+// TestMatrixPhiZeroLegacy: SetPhi(0) is fixed-ϕ operation — the fits
+// are bypassed even when trustworthy, preserving the paper's §4.2
+// behavior for non-adaptive configs.
+func TestMatrixPhiZeroLegacy(t *testing.T) {
+	m := trainPhiMatrix()
+	m.SetPhi(0)
+	if got, legacy := m.Rate(0, CPU), m.rows[0][CPU]; got != legacy {
+		t.Fatalf("ϕ=0 did not use the legacy row: rate %.2f, row %.2f", got, legacy)
+	}
+}
+
+// TestHLSFollowsPhiCrossover: the scheduler end of the property — the
+// same queued task is routed to the CPU at small ϕ and to the GPU at
+// large ϕ, purely from SetPhi, with the matrix trained once up front.
+func TestHLSFollowsPhiCrossover(t *testing.T) {
+	m := trainPhiMatrix()
+	h := NewHLS(1, m, 100)
+
+	m.SetPhi(16 << 10)
+	q := task.NewQueue()
+	q.Push(&task.Task{Query: 0, ID: 1})
+	if got := h.Next(q, GPU); got != nil {
+		t.Fatalf("ϕ=16KiB: GPU worker took a CPU-preferred task %+v", got)
+	}
+	if got := h.Next(q, CPU); got == nil || got.ID != 1 {
+		t.Fatalf("ϕ=16KiB: CPU worker did not take its task")
+	}
+
+	m.SetPhi(2 << 20)
+	q2 := task.NewQueue()
+	q2.Push(&task.Task{Query: 0, ID: 2})
+	if got := h.Next(q2, CPU); got != nil {
+		t.Fatalf("ϕ=2MiB: CPU worker stole a GPU-preferred task %+v", got)
+	}
+	if got := h.Next(q2, GPU); got == nil || got.ID != 2 {
+		t.Fatalf("ϕ=2MiB: GPU worker did not take its task")
+	}
+}
+
+// TestHLSPhiFlipMidStreamExactlyOnce: ϕ flipping across the crossover
+// while two workers drain a shared queue — the ϕ-aware analogue of
+// TestHLSFlipExactlyOnce. Every task handed out exactly once, scheduler
+// invariants intact, no stale preference wedging either worker.
+func TestHLSPhiFlipMidStreamExactlyOnce(t *testing.T) {
+	const nTasks = 300
+	m := trainPhiMatrix()
+	h := NewHLS(1, m, 3)
+	q := task.NewQueue()
+	for i := 0; i < nTasks; i++ {
+		q.Push(&task.Task{Query: 0, ID: int64(i)})
+	}
+	q.Close()
+
+	got := make(map[int64]int)
+	phis := []int{16 << 10, 2 << 20}
+	taken := 0
+	for q.Len() > 0 {
+		m.SetPhi(phis[taken/5%2]) // flip every 5 selections
+		tk := h.Next(q, CPU)
+		if tk == nil {
+			tk = h.Next(q, GPU)
+		}
+		if tk == nil {
+			t.Fatal("both workers declined with tasks queued")
+		}
+		got[tk.ID]++
+		taken++
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after %d selections: %v", taken, err)
+		}
+	}
+	if len(got) != nTasks {
+		t.Fatalf("selected %d distinct tasks, want %d", len(got), nTasks)
+	}
+	for id, n := range got {
+		if n != 1 {
+			t.Fatalf("task %d selected %d times", id, n)
+		}
+	}
+}
+
+// TestMatrixPhiWithBreakerPath: a CPU-pinned task (the breaker /
+// quarantine path marks retried GPU work CPUOnly) must stay off the GPU
+// regardless of what ϕ says the GPU's rate is — ϕ-awareness must not
+// override fault routing.
+func TestMatrixPhiWithBreakerPath(t *testing.T) {
+	m := trainPhiMatrix()
+	h := NewHLS(1, m, 100)
+	m.SetPhi(2 << 20) // GPU strongly preferred at this ϕ
+
+	q := task.NewQueue()
+	q.Push(&task.Task{Query: 0, ID: 1, CPUOnly: true, Attempts: 1})
+	if got := h.Next(q, GPU); got != nil {
+		t.Fatalf("GPU worker took a CPU-pinned task at GPU-preferred ϕ: %+v", got)
+	}
+	if got := h.Next(q, CPU); got == nil || got.ID != 1 {
+		t.Fatal("CPU worker did not take the pinned task")
+	}
+}

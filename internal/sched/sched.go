@@ -6,6 +6,7 @@ package sched
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"saber/internal/task"
 )
@@ -34,15 +35,83 @@ func (p Processor) String() string {
 // continuously from task completions with an exponentially weighted
 // moving average, so scheduling adapts to workload changes without an
 // offline performance model.
+//
+// With adaptive task sizing the matrix is additionally ϕ-aware: sized
+// observations (ObserveSized) feed a per-(query, processor) linear
+// service-time model service(ϕ) ≈ a + b·ϕ, and Rate evaluates that
+// model at the engine's current ϕ (SetPhi) instead of replaying the
+// rate observed at whatever size history happened to run. The GPU's
+// large fixed a (launch + DMA staging) against the CPU's small one is
+// exactly what moves the CPU/GPU crossover as ϕ changes. Entries whose
+// fit is not yet trustworthy fall back to the legacy EWMA row, so the
+// matrix degrades gracefully to the paper's §4.2 behavior.
 type Matrix struct {
+	// phi is the engine's current task size in bytes; 0 means fixed-ϕ
+	// operation (legacy rows only). Atomic because the adapt control
+	// loop stores it while workers read rates.
+	phi atomic.Int64
+
 	mu    sync.RWMutex
 	alpha float64
 	rows  [][numProcs]float64
 	seen  [][numProcs]bool
+	fits  [][numProcs]fit
 	// capacity converts one completion's service time into a class
 	// throughput: the CPU class completes tasks on every core in
 	// parallel, the GPGPU across its pipeline depth.
 	capacity [numProcs]float64
+}
+
+// fit is the EWMA-moment linear regression of service time on task
+// bytes for one (query, processor) entry: it tracks the running means
+// of x, y, x² and x·y and solves service(x) ≈ a + b·x on demand. EWMA
+// moments (rather than a plain least squares over all history) keep the
+// fit tracking workload drift with the same time constant as the rows.
+type fit struct {
+	n                int64
+	mx, my, mxx, mxy float64
+}
+
+// fitMinObs is the fewest sized observations before a fit is trusted.
+const fitMinObs = 8
+
+func (f *fit) observe(alpha, x, y float64) {
+	f.n++
+	if f.n == 1 {
+		f.mx, f.my, f.mxx, f.mxy = x, y, x*x, x*y
+		return
+	}
+	f.mx = alpha*x + (1-alpha)*f.mx
+	f.my = alpha*y + (1-alpha)*f.my
+	f.mxx = alpha*x*x + (1-alpha)*f.mxx
+	f.mxy = alpha*x*y + (1-alpha)*f.mxy
+}
+
+// serviceAt predicts the service seconds for a task of x bytes, or
+// ok=false when the fit is untrustworthy: too few observations, or the
+// observed sizes lack the spread (≥5% of their mean) needed to separate
+// the intercept from the slope.
+func (f *fit) serviceAt(x float64) (float64, bool) {
+	if f.n < fitMinObs {
+		return 0, false
+	}
+	varx := f.mxx - f.mx*f.mx
+	if spread := 0.05 * f.mx; varx <= spread*spread {
+		return 0, false
+	}
+	b := (f.mxy - f.mx*f.my) / varx
+	if b < 0 {
+		b = 0 // service time cannot shrink with batch size
+	}
+	a := f.my - b*f.mx
+	if a < 0 {
+		a = 0
+	}
+	sec := a + b*x
+	if sec <= 0 {
+		return 0, false
+	}
+	return sec, true
 }
 
 // NewMatrix creates a matrix for n queries, initialised under the uniform
@@ -52,6 +121,7 @@ func NewMatrix(n int, initialRate, alpha float64, cpuCapacity, gpuCapacity float
 		alpha:    alpha,
 		rows:     make([][numProcs]float64, n),
 		seen:     make([][numProcs]bool, n),
+		fits:     make([][numProcs]fit, n),
 		capacity: [numProcs]float64{cpuCapacity, gpuCapacity},
 	}
 	for i := range m.rows {
@@ -60,15 +130,34 @@ func NewMatrix(n int, initialRate, alpha float64, cpuCapacity, gpuCapacity float
 	return m
 }
 
+// SetPhi publishes the engine's current task size so Rate evaluates the
+// service-time fits at the ϕ tasks will actually have — not the sizes
+// past observations happened to carry. 0 disables ϕ-aware rates.
+func (m *Matrix) SetPhi(phi int) { m.phi.Store(int64(phi)) }
+
+// Phi returns the task size the matrix currently evaluates rates at.
+func (m *Matrix) Phi() int { return int(m.phi.Load()) }
+
 // Observe records a completed task of query q on processor p that took
-// serviceSeconds of wall time.
+// serviceSeconds of wall time, with no size attached (fixed-ϕ callers).
 func (m *Matrix) Observe(q int, p Processor, serviceSeconds float64) {
+	m.ObserveSized(q, p, 0, serviceSeconds)
+}
+
+// ObserveSized records a completed task of query q on processor p that
+// carried bytes of input and took serviceSeconds of wall time. The
+// legacy EWMA row always updates; the linear fit additionally updates
+// when the size is known.
+func (m *Matrix) ObserveSized(q int, p Processor, bytes int64, serviceSeconds float64) {
 	if serviceSeconds <= 0 {
 		return
 	}
 	rate := m.capacity[p] / serviceSeconds
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if bytes > 0 {
+		m.fits[q][p].observe(m.alpha, float64(bytes), serviceSeconds)
+	}
 	if !m.seen[q][p] {
 		// First real observation replaces the uniform prior outright.
 		m.rows[q][p] = rate
@@ -78,19 +167,35 @@ func (m *Matrix) Observe(q int, p Processor, serviceSeconds float64) {
 	m.rows[q][p] = m.alpha*rate + (1-m.alpha)*m.rows[q][p]
 }
 
-// Rate returns ρ(q, p).
+// Rate returns ρ(q, p), evaluated at the current ϕ when a trustworthy
+// service-time fit exists and falling back to the legacy EWMA row
+// otherwise. Because the fit is evaluated live on every call, a SetPhi
+// immediately re-rates every queued decision — there are no per-ϕ rows
+// to go stale.
 func (m *Matrix) Rate(q int, p Processor) float64 {
+	phi := float64(m.phi.Load())
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	return m.rate(q, p, phi)
+}
+
+// rate is Rate with m.mu already held (read) and ϕ pre-loaded.
+func (m *Matrix) rate(q int, p Processor, phi float64) float64 {
+	if phi > 0 {
+		if sec, ok := m.fits[q][p].serviceAt(phi); ok {
+			return m.capacity[p] / sec
+		}
+	}
 	return m.rows[q][p]
 }
 
-// Preferred returns the processor with the highest observed throughput
-// for query q.
+// Preferred returns the processor with the highest throughput for query
+// q at the current ϕ.
 func (m *Matrix) Preferred(q int) Processor {
+	phi := float64(m.phi.Load())
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	if m.rows[q][GPU] > m.rows[q][CPU] {
+	if m.rate(q, GPU, phi) > m.rate(q, CPU, phi) {
 		return GPU
 	}
 	return CPU

@@ -32,7 +32,9 @@ package saber
 import (
 	"fmt"
 	"net/http"
+	"time"
 
+	"saber/internal/adapt"
 	"saber/internal/cql"
 	"saber/internal/engine"
 	"saber/internal/gpu"
@@ -153,6 +155,19 @@ type Config struct {
 	// selects defaults.
 	InputBufferSize int
 	ResultSlots     int
+
+	// LatencySLO enables adaptive task sizing (dynamic ϕ): when set, a
+	// feedback controller resizes tasks within [MinTaskSize, MaxTaskSize]
+	// to keep the end-to-end p99 latency under this target while growing
+	// ϕ whenever the GPU pipeline is dispatch-bound. TaskSize becomes the
+	// starting ϕ. Controller state is exported as saber.adapt.* metrics.
+	LatencySLO time.Duration
+	// MinTaskSize and MaxTaskSize bound the adaptive ϕ in bytes; zero
+	// selects 4 KiB and 4 MiB. Ignored unless LatencySLO is set.
+	MinTaskSize, MaxTaskSize int
+	// AdaptInterval is the controller's tick period (default 50ms).
+	// Ignored unless LatencySLO is set.
+	AdaptInterval time.Duration
 }
 
 // Engine is a SABER instance: declare streams, register queries, start,
@@ -164,19 +179,28 @@ type Engine struct {
 
 // New creates an engine.
 func New(cfg Config) *Engine {
+	ecfg := engine.Config{
+		CPUWorkers:      cfg.CPUWorkers,
+		GPU:             cfg.GPU,
+		TaskSize:        cfg.TaskSize,
+		InputBufferSize: cfg.InputBufferSize,
+		ResultSlots:     cfg.ResultSlots,
+		Policy:          cfg.Policy,
+		StaticAssign:    cfg.StaticAssign,
+		SwitchThreshold: cfg.SwitchThreshold,
+		Model:           cfg.Model,
+		DisablePad:      cfg.NativeSpeed,
+	}
+	if cfg.LatencySLO > 0 {
+		ecfg.Adapt = &adapt.Config{
+			SLO:      cfg.LatencySLO,
+			MinPhi:   cfg.MinTaskSize,
+			MaxPhi:   cfg.MaxTaskSize,
+			Interval: cfg.AdaptInterval,
+		}
+	}
 	return &Engine{
-		e: engine.New(engine.Config{
-			CPUWorkers:      cfg.CPUWorkers,
-			GPU:             cfg.GPU,
-			TaskSize:        cfg.TaskSize,
-			InputBufferSize: cfg.InputBufferSize,
-			ResultSlots:     cfg.ResultSlots,
-			Policy:          cfg.Policy,
-			StaticAssign:    cfg.StaticAssign,
-			SwitchThreshold: cfg.SwitchThreshold,
-			Model:           cfg.Model,
-			DisablePad:      cfg.NativeSpeed,
-		}),
+		e:       engine.New(ecfg),
 		catalog: cql.Catalog{},
 	}
 }
@@ -226,6 +250,10 @@ func (e *Engine) Close() { e.e.Close() }
 
 // QueueLen reports the system-wide task queue depth (telemetry).
 func (e *Engine) QueueLen() int { return e.e.QueueLen() }
+
+// TaskSize reports the live task size ϕ in bytes — constant unless
+// adaptive sizing (Config.LatencySLO) is enabled.
+func (e *Engine) TaskSize() int { return e.e.TaskSize() }
 
 // Metrics returns the engine's observability registry. Always non-nil;
 // snapshot it for programmatic access, or serve MetricsHandler for the

@@ -1,17 +1,25 @@
-// Command benchguard gates the observability overhead: it reads a
-// BENCH_operators.json produced by the operators experiment (which
-// measures every vectorized kernel bare and again with the engine's full
-// per-task metrics/trace bundle applied per batch) and fails when the
-// aggregate metrics-on overhead exceeds the budget.
+// Command benchguard gates the checked-in benchmark twins:
 //
-// The gate is the report's geometric-mean overhead across operators, not
-// the per-operator maximum: single-operator readings at microsecond
-// batch times are noise-dominated (a descheduled trial shows up as
-// several percent), while the aggregate is stable. The bench batch
-// (4096 tuples) is also ~8x smaller than an engine task (1 MiB), so the
-// measured overhead overstates the engine's true per-byte cost.
+//   - Observability overhead (BENCH_operators.json, the operators
+//     experiment): fails when the aggregate metrics-on overhead exceeds
+//     the budget. The gate is the report's geometric-mean overhead
+//     across operators, not the per-operator maximum: single-operator
+//     readings at microsecond batch times are noise-dominated (a
+//     descheduled trial shows up as several percent), while the
+//     aggregate is stable. The bench batch (4096 tuples) is also ~8x
+//     smaller than an engine task (1 MiB), so the measured overhead
+//     overstates the engine's true per-byte cost.
 //
-// Usage: go run ./tools/benchguard [-max 3] [-file BENCH_operators.json]
+//   - Adaptive task sizing (-adaptive, BENCH_adaptive.json, the
+//     adaptive experiment): fails unless the adaptive run meets the
+//     latency SLO under the bursty load AND sustains at least -min-pct
+//     of the best fixed-ϕ configuration's paced throughput — the
+//     "adaptivity is nearly free" claim, checked against the twin.
+//
+// Usage:
+//
+//	go run ./tools/benchguard [-max 3] [-file BENCH_operators.json]
+//	go run ./tools/benchguard -adaptive [-min-pct 90] [-file BENCH_adaptive.json]
 package main
 
 import (
@@ -22,9 +30,22 @@ import (
 )
 
 func main() {
-	file := flag.String("file", "BENCH_operators.json", "operators experiment JSON twin")
+	adaptive := flag.Bool("adaptive", false, "gate the adaptive task-sizing twin instead of the observability overhead")
+	file := flag.String("file", "", "experiment JSON twin (default BENCH_operators.json, or BENCH_adaptive.json with -adaptive)")
 	max := flag.Float64("max", 3, "maximum allowed aggregate metrics-on overhead, percent")
+	minPct := flag.Float64("min-pct", 90, "with -adaptive: minimum adaptive throughput as a percentage of the best fixed ϕ")
 	flag.Parse()
+
+	if *adaptive {
+		if *file == "" {
+			*file = "BENCH_adaptive.json"
+		}
+		guardAdaptive(*file, *minPct)
+		return
+	}
+	if *file == "" {
+		*file = "BENCH_operators.json"
+	}
 
 	buf, err := os.ReadFile(*file)
 	if err != nil {
@@ -66,6 +87,69 @@ func main() {
 	fmt.Printf("aggregate overhead %.2f%% (budget %.2f%%)\n", js.MetricsOverheadPct, *max)
 	if js.MetricsOverheadPct > *max {
 		fmt.Fprintf(os.Stderr, "benchguard: metrics-on overhead %.2f%% exceeds %.2f%% budget\n", js.MetricsOverheadPct, *max)
+		os.Exit(1)
+	}
+}
+
+// adaptiveRun mirrors the adaptive experiment's per-config JSON record
+// (internal/bench adaptRun).
+type adaptiveRun struct {
+	Phi      int     `json:"phi"`
+	GBps     float64 `json:"gbps"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeetsSLO bool    `json:"meets_slo"`
+	PhiStart int     `json:"phi_start"`
+	PhiFinal int     `json:"phi_final"`
+	Grows    int64   `json:"grows"`
+	Shrinks  int64   `json:"shrinks"`
+}
+
+// guardAdaptive gates BENCH_adaptive.json: the adaptive run must meet
+// the SLO that the large fixed configurations violate, while keeping at
+// least minPct of the best fixed configuration's paced throughput.
+func guardAdaptive(file string, minPct float64) {
+	buf, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v (run saber-bench -experiment adaptive first)\n", err)
+		os.Exit(2)
+	}
+	var js struct {
+		SLOMs             float64       `json:"slo_ms"`
+		Fixed             []adaptiveRun `json:"fixed"`
+		Adaptive          adaptiveRun   `json:"adaptive"`
+		BestFixedGBps     float64       `json:"best_fixed_gbps"`
+		AdaptiveVsBestPct float64       `json:"adaptive_vs_best_pct"`
+	}
+	if err := json.Unmarshal(buf, &js); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", file, err)
+		os.Exit(2)
+	}
+	if len(js.Fixed) == 0 || js.Adaptive.PhiStart == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: no fixed sweep or no adaptive run (stale or truncated file?)\n", file)
+		os.Exit(2)
+	}
+	for _, r := range js.Fixed {
+		fmt.Printf("  fixed ϕ=%-8d %6.2f GB/s   tail p99 %6.2f ms   meets SLO %v\n",
+			r.Phi, r.GBps, r.P99Ms, r.MeetsSLO)
+	}
+	a := js.Adaptive
+	fmt.Printf("  adaptive %d→%d  %6.2f GB/s   tail p99 %6.2f ms   meets SLO %v   (%d grows, %d shrinks)\n",
+		a.PhiStart, a.PhiFinal, a.GBps, a.P99Ms, a.MeetsSLO, a.Grows, a.Shrinks)
+	fmt.Printf("adaptive vs best fixed: %.1f%% of %.2f GB/s (floor %.1f%%), SLO %.0f ms\n",
+		js.AdaptiveVsBestPct, js.BestFixedGBps, minPct, js.SLOMs)
+
+	if !a.MeetsSLO {
+		fmt.Fprintf(os.Stderr, "benchguard: adaptive run misses the %.0f ms SLO (tail p99 %.2f ms)\n",
+			js.SLOMs, a.P99Ms)
+		os.Exit(1)
+	}
+	if js.AdaptiveVsBestPct < minPct {
+		fmt.Fprintf(os.Stderr, "benchguard: adaptive throughput %.1f%% of best fixed ϕ, below the %.1f%% floor\n",
+			js.AdaptiveVsBestPct, minPct)
+		os.Exit(1)
+	}
+	if a.Grows+a.Shrinks == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: adaptive run never resized ϕ — the controller was inert\n")
 		os.Exit(1)
 	}
 }
