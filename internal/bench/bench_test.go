@@ -86,9 +86,23 @@ func TestOperatorsExperiment(t *testing.T) {
 		if op.MetricsOverheadPct < 0 {
 			t.Errorf("%s: negative overhead %g", op.Name, op.MetricsOverheadPct)
 		}
+		if op.ColumnarMtps <= 0 || op.ColumnarVsRow <= 0 {
+			t.Errorf("%s: no columnar measurement (%g Mt/s, ratio %g)", op.Name, op.ColumnarMtps, op.ColumnarVsRow)
+		}
 		if n := js.Metrics.Counters["saber.bench.ops."+op.Name+".tasks.created"]; n <= 0 {
 			t.Errorf("%s: snapshot missing instrumented counters (tasks.created = %d)", op.Name, n)
 		}
+	}
+	// The end-to-end ingest-bandwidth section (columnar ring layout):
+	// both layouts measured, and the columnar engine really took the
+	// no-gather path.
+	if js.IngestBandwidth == nil {
+		t.Fatal("JSON twin missing ingest_bandwidth section")
+	}
+	if ing := js.IngestBandwidth; ing.RowMtps <= 0 || ing.ColumnarMtps <= 0 {
+		t.Errorf("ingest-bandwidth rates degenerate: %+v", ing)
+	} else if ing.GatherElided <= 0 {
+		t.Errorf("ingest-bandwidth columnar run elided no gathers: %+v", ing)
 	}
 	if js.MetricsOverheadPct < 0 {
 		t.Errorf("aggregate overhead %g < 0", js.MetricsOverheadPct)

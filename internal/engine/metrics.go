@@ -65,9 +65,23 @@ func (e *Engine) registerMirrors() {
 	for _, r := range e.quer {
 		r := r
 		for i := 0; i < r.plan.NumInputs(); i++ {
-			ring := r.ins[i].ring
+			in := r.ins[i]
+			ring := in.ring
 			reg.RegisterFunc(fmt.Sprintf("saber.engine.q%d.in%d.ring.wraps", r.idx, i), ring.Wraps)
 			reg.RegisterFunc(fmt.Sprintf("saber.engine.q%d.in%d.ring.bytes", r.idx, i), ring.Size)
+			if cs := in.cols; cs != nil {
+				// Columnar segment gauges: occupancy, wraps, per-column
+				// payload bytes, and how many tasks skipped the row gather.
+				pre := fmt.Sprintf("saber.ring.q%d.in%d", r.idx, i)
+				reg.RegisterFunc(pre+".col.tuples", cs.Tuples)
+				reg.RegisterFunc(pre+".col.wraps", cs.Wraps)
+				reg.RegisterFunc(pre+".gather.elided", in.colViews.Load)
+				reg.RegisterFunc(pre+".gather.copied", in.colCopies.Load)
+				for c := 0; c < cs.NumCols(); c++ {
+					c := c
+					reg.RegisterFunc(fmt.Sprintf("%s.col%d.bytes", pre, c), func() int64 { return cs.ColBytes(c) })
+				}
+			}
 		}
 		rs := r.result
 		reg.RegisterFunc(qname(r.idx, "result.drained"), rs.drained.Load)
@@ -108,6 +122,7 @@ func (e *Engine) registerMirrors() {
 		reg.RegisterFunc("saber.gpu.pipeline.inflight", d.Inflight)
 		reg.RegisterFunc("saber.gpu.staging.hint", d.BatchHint)
 		reg.RegisterFunc("saber.gpu.staging.grows", d.StagingGrows)
+		reg.RegisterFunc("saber.gpu.gathers.elided", d.GathersElided)
 		registerFaultMirrors(reg, d.Injector(), "saber.fault.gpu")
 	}
 	registerFaultMirrors(reg, e.cfg.Fault, "saber.fault.cpu")

@@ -68,6 +68,16 @@ func (r *registered) recentFailures() []error {
 type inputStream struct {
 	ring      *ringbuf.Buffer
 	tupleSize int
+	// cols mirrors the ring's retained window as per-field column
+	// segments (nil under Config.RowLayout). The dispatcher appends right
+	// after ring.Put accepts the same bytes; the result stage releases
+	// columns before the ring (see ringbuf.ColumnStore).
+	cols *ringbuf.ColumnStore
+	// colViews counts tasks handed zero-copy column views; colCopies
+	// counts the wrap fallback (one memcpy per column, still no per-tuple
+	// gather).
+	colViews  atomic.Int64
+	colCopies atomic.Int64
 	// batchStart is the ring offset of the first undispatched byte;
 	// firstIndex the absolute tuple index it corresponds to; prevTS the
 	// timestamp of the last tuple already dispatched.
@@ -84,12 +94,36 @@ func newRegistered(e *Engine, idx int, plan *exec.Plan) *registered {
 	r := &registered{e: e, idx: idx, plan: plan, cost: model.Analyze(plan.Q)}
 	r.stats = newStatsCounters(e.reg, idx)
 	for i := 0; i < plan.NumInputs(); i++ {
+		s := plan.InputSchema(i)
 		r.ins[i] = &inputStream{
 			ring:      ringbuf.MustNew(e.cfg.InputBufferSize),
-			tupleSize: plan.InputSchema(i).TupleSize(),
+			tupleSize: s.TupleSize(),
 			prevTS:    window.NoPrev,
 		}
 		r.ins[i].ring.SetInvariantName(fmt.Sprintf("ringbuf[q%d/in%d]", idx, i))
+		if !e.cfg.RowLayout {
+			// Shred only the fields the compiled plan reads through column
+			// views (projection pushdown to ingest): the dispatcher-thread
+			// shred cost then scales with the query's working columns, and a
+			// plan that reads no columns at all — e.g. an identity-projection
+			// selection, which streams whole rows for its output anyway —
+			// skips the column store entirely.
+			read := plan.ColumnsRead(i)
+			any := false
+			for _, r := range read {
+				any = any || r
+			}
+			if any {
+				offs := make([]int, s.NumFields())
+				widths := make([]int, s.NumFields())
+				for f := range offs {
+					offs[f] = s.Offset(f)
+					widths[f] = s.Field(f).Type.Size()
+				}
+				r.ins[i].cols = ringbuf.MustNewColumnStore(offs, widths, read, s.TupleSize(),
+					e.cfg.InputBufferSize/s.TupleSize())
+			}
+		}
 	}
 	r.result = newResultStage(r, e.cfg.ResultSlots)
 	return r
@@ -122,6 +156,12 @@ func (r *registered) insert(side int, data []byte) {
 			in.pendingSince = time.Now().UnixNano()
 		}
 		in.ring.Put(data[off:end])
+		if in.cols != nil {
+			// Shred into the column segments while the chunk is still hot
+			// in cache: ring admission above is the capacity gate, so the
+			// append cannot overflow.
+			in.cols.Append(data[off:end])
+		}
 		r.stats.bytesIn.Add(int64(end - off))
 		if r.plan.NumInputs() == 1 {
 			for r.pendingBytes(0) >= r.e.taskSize.Load() {
@@ -224,7 +264,22 @@ func (r *registered) emit(tuples [2]int64) {
 				data = in.ring.CopyTo(nil, in.batchStart, end)
 			}
 		}
-		t.In[i] = exec.Batch{Data: data, Ctx: window.Context{
+		var cols [][]byte
+		if n > 0 && in.cols != nil {
+			// Hand the task dense per-field views of its tuple range:
+			// zero-copy when the range doesn't cross the segment boundary,
+			// one memcpy per column when it does. The view headers are
+			// per-task (they travel with it through retries), so Views
+			// gets a nil scratch.
+			if v, ok := in.cols.Views(nil, in.firstIndex, in.firstIndex+n); ok {
+				cols = v
+				in.colViews.Add(1)
+			} else {
+				cols = in.cols.CopyViews(nil, in.firstIndex, in.firstIndex+n)
+				in.colCopies.Add(1)
+			}
+		}
+		t.In[i] = exec.Batch{Data: data, Cols: cols, Ctx: window.Context{
 			FirstIndex:    in.firstIndex,
 			PrevTimestamp: in.prevTS,
 		}}

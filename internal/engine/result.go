@@ -292,9 +292,15 @@ func (rs *resultStage) drainLocked() {
 		}
 
 		// Release input data up to the task's free pointers and recycle
-		// the result.
+		// the result. Columns go first: the dispatcher blocks on row-ring
+		// space, so releasing the column range before the row range
+		// guarantees ColumnStore.Append has room whenever Put succeeds.
 		for i := 0; i < r.plan.NumInputs(); i++ {
-			r.ins[i].ring.Release(e.freeTo[i])
+			in := r.ins[i]
+			if in.cols != nil {
+				in.cols.Release(e.freeTo[i] / int64(in.tupleSize))
+			}
+			in.ring.Release(e.freeTo[i])
 		}
 		if e.res != nil {
 			r.plan.ReleaseResult(e.res)

@@ -4,7 +4,6 @@ import (
 	"math"
 	"sort"
 
-	"saber/internal/expr"
 	"saber/internal/query"
 	"saber/internal/window"
 )
@@ -78,13 +77,10 @@ func fragLastTS(view tsView, start, end int) int64 {
 // vector from the filter (nil/all=true when there is no filter) and
 // evaluates every aggregate argument into its value column, once per
 // batch. Argless aggregates (count) get no column.
-func (p *Plan) evalAggBatch(sc *scratch, data []byte, tsz, n int) (sel []int32, all bool) {
-	in := expr.BatchInput{L: data, LStride: tsz, N: n}
+func (p *Plan) evalAggBatch(sc *scratch, b Batch, tsz, n int) (sel []int32, all bool) {
+	in := p.batchInput(b, tsz, n)
 	m := len(p.aggs)
-	if cap(sc.cols) < m*n {
-		sc.cols = make([]float64, m*n)
-	}
-	sc.cols = sc.cols[:m*n]
+	sc.cols = growF64(sc.cols, m*n)
 	for a, spec := range p.aggs {
 		col := sc.cols[a*n : (a+1)*n : (a+1)*n]
 		if spec.arg == nil {
@@ -114,14 +110,9 @@ func lowerBound(sel []int32, v int32) int {
 func (p *Plan) aggScalarPrefix(in Batch, sc *scratch, view tsView, res *TaskResult) {
 	n := view.Len()
 	m := len(p.aggs)
-	if cap(sc.prefixC) < n+1 {
-		sc.prefixC = make([]int64, n+1)
-	}
-	if cap(sc.prefixV) < (n+1)*m {
-		sc.prefixV = make([]float64, (n+1)*m)
-	}
-	prefC := sc.prefixC[:n+1]
-	prefV := sc.prefixV[:(n+1)*m]
+	prefC := growI64(sc.prefixC, n+1)
+	prefV := growF64(sc.prefixV, (n+1)*m)
+	sc.prefixC, sc.prefixV = prefC, prefV
 	prefC[0] = 0
 	for a := 0; a < m; a++ {
 		prefV[a] = 0
@@ -151,15 +142,10 @@ func (p *Plan) aggScalarPrefix(in Batch, sc *scratch, view tsView, res *TaskResu
 func (p *Plan) aggScalarPrefixVec(in Batch, sc *scratch, view tsView, res *TaskResult) {
 	n := view.Len()
 	m := len(p.aggs)
-	sel, all := p.evalAggBatch(sc, in.Data, p.in[0].TupleSize(), n)
-	if cap(sc.prefixC) < n+1 {
-		sc.prefixC = make([]int64, n+1)
-	}
-	if cap(sc.prefixV) < (n+1)*m {
-		sc.prefixV = make([]float64, (n+1)*m)
-	}
-	prefC := sc.prefixC[:n+1]
-	prefV := sc.prefixV[:(n+1)*m]
+	sel, all := p.evalAggBatch(sc, in, p.in[0].TupleSize(), n)
+	prefC := growI64(sc.prefixC, n+1)
+	prefV := growF64(sc.prefixV, (n+1)*m)
+	sc.prefixC, sc.prefixV = prefC, prefV
 	prefC[0] = 0
 	for a := 0; a < m; a++ {
 		prefV[a] = 0
@@ -332,7 +318,7 @@ func (p *Plan) aggScalarDirect(in Batch, sc *scratch, view tsView, res *TaskResu
 func (p *Plan) aggScalarDirectVec(in Batch, sc *scratch, view tsView, res *TaskResult) {
 	n := view.Len()
 	m := len(p.aggs)
-	sel, all := p.evalAggBatch(sc, in.Data, p.in[0].TupleSize(), n)
+	sel, all := p.evalAggBatch(sc, in, p.in[0].TupleSize(), n)
 	for _, f := range sc.frags {
 		part := WindowPartial{
 			Window:     f.Window,
@@ -475,7 +461,7 @@ func (p *Plan) aggGroupedRolling(in Batch, sc *scratch, view tsView, res *TaskRe
 	}
 	roll := sc.rolling
 	roll.Reset()
-	var keyBuf []byte
+	keyBuf := sc.keyBuf
 	curStart, curEnd := sc.frags[0].Start, sc.frags[0].Start
 
 	for _, f := range sc.frags {
@@ -509,6 +495,7 @@ func (p *Plan) aggGroupedRolling(in Batch, sc *scratch, view tsView, res *TaskRe
 
 		res.Partials = append(res.Partials, p.snapshotRolling(roll, f, view))
 	}
+	sc.keyBuf = keyBuf
 }
 
 // aggGroupedRollingVec is the rolling path over the batch-evaluated
@@ -517,7 +504,7 @@ func (p *Plan) aggGroupedRolling(in Batch, sc *scratch, view tsView, res *TaskRe
 // the filter and arguments per tuple.
 func (p *Plan) aggGroupedRollingVec(in Batch, sc *scratch, view tsView, res *TaskResult) {
 	n := view.Len()
-	sel, all := p.evalAggBatch(sc, in.Data, p.in[0].TupleSize(), n)
+	sel, all := p.evalAggBatch(sc, in, p.in[0].TupleSize(), n)
 	if all {
 		sel = sc.identitySel(n)
 	}
@@ -526,7 +513,7 @@ func (p *Plan) aggGroupedRollingVec(in Batch, sc *scratch, view tsView, res *Tas
 	}
 	roll := sc.rolling
 	roll.Reset()
-	var keyBuf []byte
+	keyBuf := sc.keyBuf
 	curStart, curEnd := sc.frags[0].Start, sc.frags[0].Start
 	remPos := lowerBound(sel, int32(curStart))
 	addPos := remPos
@@ -564,6 +551,7 @@ func (p *Plan) aggGroupedRollingVec(in Batch, sc *scratch, view tsView, res *Tas
 
 		res.Partials = append(res.Partials, p.snapshotRolling(roll, f, view))
 	}
+	sc.keyBuf = keyBuf
 }
 
 // snapshotRolling copies the rolling table's live groups into a pooled
@@ -595,7 +583,7 @@ func (p *Plan) snapshotRolling(roll *HashTable, f window.Fragment, view tsView) 
 // aggGroupedDirect rebuilds each fragment's group table from scratch; used
 // when a non-invertible function is present.
 func (p *Plan) aggGroupedDirect(in Batch, sc *scratch, view tsView, res *TaskResult) {
-	var keyBuf []byte
+	keyBuf := sc.keyBuf
 	for _, f := range sc.frags {
 		table := p.newTable()
 		for i := f.Start; i < f.End; i++ {
@@ -616,17 +604,18 @@ func (p *Plan) aggGroupedDirect(in Batch, sc *scratch, view tsView, res *TaskRes
 			MaxTS:      fragLastTS(view, f.Start, f.End),
 		})
 	}
+	sc.keyBuf = keyBuf
 }
 
 // aggGroupedDirectVec rebuilds each fragment's table off the selection
 // vector and pre-evaluated value columns.
 func (p *Plan) aggGroupedDirectVec(in Batch, sc *scratch, view tsView, res *TaskResult) {
 	n := view.Len()
-	sel, all := p.evalAggBatch(sc, in.Data, p.in[0].TupleSize(), n)
+	sel, all := p.evalAggBatch(sc, in, p.in[0].TupleSize(), n)
 	if all {
 		sel = sc.identitySel(n)
 	}
-	var keyBuf []byte
+	keyBuf := sc.keyBuf
 	for _, f := range sc.frags {
 		table := p.newTable()
 		for k := lowerBound(sel, int32(f.Start)); k < len(sel) && sel[k] < int32(f.End); k++ {
@@ -645,6 +634,7 @@ func (p *Plan) aggGroupedDirectVec(in Batch, sc *scratch, view tsView, res *Task
 			MaxTS:      fragLastTS(view, f.Start, f.End),
 		})
 	}
+	sc.keyBuf = keyBuf
 }
 
 // SetIncremental force-enables or disables the incremental computation

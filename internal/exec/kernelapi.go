@@ -21,8 +21,11 @@ func (p *Plan) EvalFilter(tuple []byte) bool {
 // FilterSelect appends to sel[:0] the indices in [lo, hi) of input-0
 // tuples passing the WHERE predicate, using one batch evaluation over
 // the range. The GPGPU map kernel uses it per workgroup so both backends
-// run the same count+compact structure.
-func (p *Plan) FilterSelect(sel []int32, data []byte, lo, hi int) []int32 {
+// run the same count+compact structure. cols, when non-nil, holds the
+// full batch's per-field column segments (Batch.Cols layout); the range
+// is then evaluated from the dense columns — with nil data too when the
+// plan is RowFreeMap, the GPU's no-gather staging path.
+func (p *Plan) FilterSelect(sel []int32, data []byte, cols [][]byte, lo, hi int) []int32 {
 	sel = sel[:0]
 	if p.filter == nil {
 		for i := lo; i < hi; i++ {
@@ -32,8 +35,15 @@ func (p *Plan) FilterSelect(sel []int32, data []byte, lo, hi int) []int32 {
 	}
 	tsz := p.in[0].TupleSize()
 	sc := p.getScratch()
-	sel = p.filter.EvalBatch(&sc.vec, sel,
-		expr.BatchInput{L: data[lo*tsz:], LStride: tsz, N: hi - lo})
+	bi := expr.BatchInput{LStride: tsz, N: hi - lo}
+	if data != nil {
+		bi.L = data[lo*tsz:]
+	}
+	if cols != nil {
+		sc.colsBuf = sliceCols(sc.colsBuf, cols, p.colW[0], lo, hi)
+		bi.LCols, bi.LColOffs = sc.colsBuf, p.colOffs[0]
+	}
+	sel = p.filter.EvalBatch(&sc.vec, sel, bi)
 	p.putScratch(sc)
 	if lo != 0 {
 		for i := range sel {
@@ -41,6 +51,32 @@ func (p *Plan) FilterSelect(sel []int32, data []byte, lo, hi int) []int32 {
 		}
 	}
 	return sel
+}
+
+// sliceCols fills dst with per-field views of tuple range [lo, hi) of
+// full-batch column segments (nil entries pass through).
+func sliceCols(dst [][]byte, cols [][]byte, widths []int, lo, hi int) [][]byte {
+	dst = dst[:0]
+	for j, c := range cols {
+		if c == nil {
+			dst = append(dst, nil)
+			continue
+		}
+		w := widths[j]
+		dst = append(dst, c[lo*w:hi*w])
+	}
+	return dst
+}
+
+// WriteOutputBatch appends the output tuples for the selected rows
+// (batch-absolute indices) of a packed batch with optional column
+// segments — the compact half the GPGPU map kernel shares with the CPU
+// operators. For RowFreeMap plans data may be nil.
+func (p *Plan) WriteOutputBatch(dst, data []byte, cols [][]byte, n int, sel []int32) []byte {
+	sc := p.getScratch()
+	dst = p.writeOutBatch(dst, Batch{Data: data, Cols: cols}, p.in[0].TupleSize(), n, sel, false, sc)
+	p.putScratch(sc)
+	return dst
 }
 
 // EvalJoinPred evaluates the θ-join predicate over a tuple pair.

@@ -20,8 +20,8 @@ func (p *Plan) processMap(in Batch, res *TaskResult) {
 		return
 	}
 	sc := p.getScratch()
-	sel, all := p.filterSel(sc, in.Data, tsz, n)
-	res.Stream = p.writeOutBatch(res.Stream, in.Data, tsz, n, sel, all, sc)
+	sel, all := p.filterSel(sc, in, tsz, n)
+	res.Stream = p.writeOutBatch(res.Stream, in, tsz, n, sel, all, sc)
 	p.putScratch(sc)
 }
 

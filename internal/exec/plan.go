@@ -45,10 +45,13 @@ type aggSpec struct {
 
 type fieldWriter struct {
 	// Byte-forwarding path: copy size bytes from srcOff of the tuple on
-	// side src. size == 0 selects the computed path.
-	src    int
-	srcOff int
-	size   int
+	// side src. size == 0 selects the computed path. srcField is the
+	// source schema field index, used to pick the column segment when the
+	// batch carries columnar views.
+	src      int
+	srcOff   int
+	srcField int
+	size     int
 	// Computed path.
 	prog   *expr.NumProgram
 	outIdx int
@@ -84,6 +87,12 @@ type Plan struct {
 	// path stays behind SetVectorized(false) as the reference
 	// implementation for differential tests and ablation.
 	vec bool
+
+	// colOffs/colW describe each input schema's columnar layout (field
+	// byte offsets within the row tuple, and field widths), precomputed so
+	// batch evaluation can attach Batch.Cols views without per-task work.
+	colOffs [2][]int32
+	colW    [2][]int
 	// eqJoin, when ok, is the bucketed fast path for equality join
 	// predicates on integer columns.
 	eqJoin eqJoinInfo
@@ -117,6 +126,12 @@ type scratch struct {
 	cols []float64 // aggregate argument columns, col-major (arg a at [a*n:(a+1)*n])
 	icol []int64   // computed projection column (integer programs)
 	fcol []float64 // computed projection column (float programs)
+
+	// keyBuf is the grouped-aggregation key assembly buffer; pooled here
+	// so the four grouped paths stop allocating one per task.
+	keyBuf []byte
+	// colsBuf holds per-range column view headers for FilterSelect.
+	colsBuf [][]byte
 
 	// Join scratch: reused fragment pairing and equality buckets.
 	pairs  []JoinPair
@@ -156,6 +171,10 @@ func Compile(q *query.Query) (*Plan, error) {
 	for i, in := range q.Inputs {
 		p.in[i] = in.Schema
 		p.windows[i] = in.Window
+		for f := 0; f < in.Schema.NumFields(); f++ {
+			p.colOffs[i] = append(p.colOffs[i], int32(in.Schema.Offset(f)))
+			p.colW[i] = append(p.colW[i], in.Schema.Field(f).Type.Size())
+		}
 	}
 	res := q.Resolver()
 
@@ -230,6 +249,7 @@ func (p *Plan) compileWriters(res expr.Resolver) error {
 			if s.Field(fi).Type == out.Field(i).Type {
 				w.src = side
 				w.srcOff = s.Offset(fi)
+				w.srcField = fi
 				w.size = s.Field(fi).Type.Size()
 				p.writers = append(p.writers, w)
 				continue
@@ -474,14 +494,29 @@ func (p *Plan) writeOut(dst []byte, l, r []byte) []byte {
 	return dst
 }
 
+// batchInput builds the vectorized-evaluation view of a single-input
+// batch, attaching the columnar segments when the engine provided them.
+// Identity projections are the exception: their output is a run-coalesced
+// copy of the row bytes, so the whole row batch is streamed regardless —
+// evaluating the filter from the rows too warms the copy's source instead
+// of splitting the working set across both layouts. (The GPU's RowFreeMap
+// gate excludes identity projections for the same reason.)
+func (p *Plan) batchInput(in Batch, tsz, n int) expr.BatchInput {
+	bi := expr.BatchInput{L: in.Data, LStride: tsz, N: n}
+	if in.Cols != nil && !(p.Kind == Map && p.writers == nil && in.Data != nil) {
+		bi.LCols, bi.LColOffs = in.Cols, p.colOffs[0]
+	}
+	return bi
+}
+
 // filterSel batch-evaluates the WHERE predicate over a packed batch into
 // the scratch selection vector. all=true (and a nil vector) means the
 // plan has no filter and every row passes.
-func (p *Plan) filterSel(sc *scratch, data []byte, tsz, n int) (sel []int32, all bool) {
+func (p *Plan) filterSel(sc *scratch, in Batch, tsz, n int) (sel []int32, all bool) {
 	if p.filter == nil {
 		return nil, true
 	}
-	sc.sel = p.filter.EvalBatch(&sc.vec, sc.sel, expr.BatchInput{L: data, LStride: tsz, N: n})
+	sc.sel = p.filter.EvalBatch(&sc.vec, sc.sel, p.batchInput(in, tsz, n))
 	return sc.sel, false
 }
 
@@ -502,9 +537,11 @@ func (sc *scratch) identitySel(n int) []int32 {
 // writeOutBatch appends the output tuples for the selected rows of a
 // packed batch: the compact half of select-then-compact. Identity
 // projections become run-coalesced copies; forwarded columns are copied
-// column-at-a-time with width-specialised loops; computed columns are
+// column-at-a-time with width-specialised loops (straight from the
+// columnar segments when the batch carries them); computed columns are
 // batch-evaluated once into a scratch column and then stored.
-func (p *Plan) writeOutBatch(dst []byte, data []byte, tsz, n int, sel []int32, all bool, sc *scratch) []byte {
+func (p *Plan) writeOutBatch(dst []byte, b Batch, tsz, n int, sel []int32, all bool, sc *scratch) []byte {
+	data := b.Data
 	rows := len(sel)
 	if all {
 		rows = n
@@ -533,11 +570,28 @@ func (p *Plan) writeOutBatch(dst []byte, data []byte, tsz, n int, sel []int32, a
 	base := len(dst)
 	dst = append(dst, make([]byte, rows*osz)...)
 	out := dst[base:]
-	in := expr.BatchInput{L: data, LStride: tsz, N: n}
+	in := p.batchInput(b, tsz, n)
 	for _, w := range p.writers {
+		var col []byte
+		if w.size > 0 && w.src == 0 && b.Cols != nil {
+			col = b.Cols[w.srcField]
+		}
 		switch {
 		case w.size == 8:
-			if all {
+			if col != nil {
+				oo := w.outOff
+				if all {
+					for r := 0; r < rows; r++ {
+						binary.LittleEndian.PutUint64(out[oo:], binary.LittleEndian.Uint64(col[r*8:]))
+						oo += osz
+					}
+				} else {
+					for _, i := range sel {
+						binary.LittleEndian.PutUint64(out[oo:], binary.LittleEndian.Uint64(col[int(i)*8:]))
+						oo += osz
+					}
+				}
+			} else if all {
 				so, oo := w.srcOff, w.outOff
 				for r := 0; r < rows; r++ {
 					binary.LittleEndian.PutUint64(out[oo:], binary.LittleEndian.Uint64(data[so:]))
@@ -552,7 +606,20 @@ func (p *Plan) writeOutBatch(dst []byte, data []byte, tsz, n int, sel []int32, a
 				}
 			}
 		case w.size == 4:
-			if all {
+			if col != nil {
+				oo := w.outOff
+				if all {
+					for r := 0; r < rows; r++ {
+						binary.LittleEndian.PutUint32(out[oo:], binary.LittleEndian.Uint32(col[r*4:]))
+						oo += osz
+					}
+				} else {
+					for _, i := range sel {
+						binary.LittleEndian.PutUint32(out[oo:], binary.LittleEndian.Uint32(col[int(i)*4:]))
+						oo += osz
+					}
+				}
+			} else if all {
 				so, oo := w.srcOff, w.outOff
 				for r := 0; r < rows; r++ {
 					binary.LittleEndian.PutUint32(out[oo:], binary.LittleEndian.Uint32(data[so:]))
@@ -636,6 +703,137 @@ func (p *Plan) writeOutBatch(dst []byte, data []byte, tsz, n int, sel []int32, a
 		}
 	}
 	return dst
+}
+
+// fieldAt returns input side's schema field index whose row offset is
+// off, or -1.
+func (p *Plan) fieldAt(side, off int) int {
+	for j, o := range p.colOffs[side] {
+		if int(o) == off {
+			return j
+		}
+	}
+	return -1
+}
+
+// RowFreeMap reports whether this Map plan can execute from column
+// segments of input 0 alone — the filter and every output writer read
+// only fields the columnar layout carries, never the row bytes. The GPU
+// uses it to DMA-stage columns with no per-task gather (and no row copy
+// at all); identity projections and scalar-fallback programs keep the
+// row staging path.
+func (p *Plan) RowFreeMap() bool {
+	if p.Kind != Map || !p.vec || p.writers == nil {
+		return false
+	}
+	has := func(side, off int) bool { return side == 0 && p.fieldAt(0, off) >= 0 }
+	if p.filter != nil && !p.filter.RowFree(has) {
+		return false
+	}
+	for i := range p.writers {
+		w := &p.writers[i]
+		if w.size > 0 {
+			if w.src != 0 {
+				return false
+			}
+			continue // forwarded straight from its column segment
+		}
+		if !w.prog.RowFree(has) {
+			return false
+		}
+	}
+	return true
+}
+
+// ColumnsRead reports, per field of input i's schema, whether the
+// compiled operators may read that field through a column segment
+// (Batch.Cols) when one is attached. The engine shreds exactly these
+// fields into the columnar ring; unmarked fields stay row-only and
+// their Cols entries are nil — every columnar reader falls back to the
+// row bytes for a nil entry, so over-approximation is safe and
+// under-approximation impossible by construction (the sets below mirror
+// each reader).
+//
+// Identity projections read no columns at all: their output is a
+// run-coalesced copy of the row bytes, so both the CPU path
+// (batchInput) and the GPU staging gate (RowFreeMap) pin them to the
+// row layout, and shredding for them would be pure ingest overhead.
+func (p *Plan) ColumnsRead(input int) []bool {
+	read := make([]bool, p.in[input].NumFields())
+	if p.Kind == Map && p.writers == nil {
+		return read
+	}
+	mark := func(side, off int) {
+		if side == input {
+			if f := p.fieldAt(side, off); f >= 0 {
+				read[f] = true
+			}
+		}
+	}
+	if p.filter != nil {
+		p.filter.ColRefs(mark)
+	}
+	if p.joinPred != nil {
+		p.joinPred.ColRefs(mark)
+	}
+	for i := range p.writers {
+		w := &p.writers[i]
+		if w.size > 0 {
+			if w.src == input {
+				read[w.srcField] = true
+			}
+			continue
+		}
+		w.prog.ColRefs(mark)
+	}
+	for a := range p.aggs {
+		if p.aggs[a].arg != nil {
+			p.aggs[a].arg.ColRefs(mark)
+		}
+	}
+	if input == 0 {
+		// Group keys are assembled from the row bytes today; marking them
+		// keeps the set correct if key extraction ever goes columnar.
+		for _, f := range p.groupIdx {
+			read[f] = true
+		}
+	}
+	if p.eqJoin.ok {
+		off := p.eqJoin.aOff
+		if input == 1 {
+			off = p.eqJoin.bOff
+		}
+		if f := p.fieldAt(input, off); f >= 0 {
+			read[f] = true
+		}
+	}
+	return read
+}
+
+// growF64 returns a zero-extended float64 slice of length n, reusing
+// buf's capacity and growing geometrically so the adaptive dispatcher's
+// ϕ resizes don't reallocate scratch on every step up.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		c := 2 * cap(buf)
+		if c < n {
+			c = n
+		}
+		buf = make([]float64, c)
+	}
+	return buf[:n]
+}
+
+// growI64 is growF64 for int64 scratch.
+func growI64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		c := 2 * cap(buf)
+		if c < n {
+			c = n
+		}
+		buf = make([]int64, c)
+	}
+	return buf[:n]
 }
 
 // minInt64 is the MaxTS seed.

@@ -12,6 +12,14 @@ import (
 type Batch struct {
 	// Data holds packed fixed-width tuples.
 	Data []byte
+	// Cols, when non-nil, additionally exposes the same tuples as
+	// per-field contiguous column segments: Cols[j] holds the bytes of
+	// input-schema field j for every tuple of the batch, packed with
+	// stride == the field's width (the columnar ring layout). Vectorized
+	// kernels prefer these dense views over the strided row walk; Data
+	// stays authoritative for row-residual paths (group keys, identity
+	// projection, the scalar reference operators).
+	Cols [][]byte
 	// Ctx is the stream position of the batch.
 	Ctx window.Context
 }
@@ -106,8 +114,11 @@ func (r *TaskResult) AllocVals(m int) []float64 {
 		r.valsArena = make([]float64, 0, c)
 	}
 	base := len(r.valsArena)
-	r.valsArena = r.valsArena[: base+m : base+m]
-	vals := r.valsArena[base:]
+	r.valsArena = r.valsArena[:base+m]
+	// Cap the handed-out slice at its own end so a consumer's append
+	// cannot clobber the next fragment's accumulators — but leave the
+	// arena's capacity intact, or every later call starts a fresh chunk.
+	vals := r.valsArena[base : base+m : base+m]
 	for i := range vals {
 		vals[i] = 0
 	}

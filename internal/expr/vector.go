@@ -42,6 +42,16 @@ type BatchInput struct {
 	L, R             []byte
 	LStride, RStride int
 	N                int
+
+	// Optional columnar views. When a side's tuples also exist as
+	// contiguous per-field segments (the columnar ring layout), Cols[j]
+	// holds N*width bytes of the field at row-tuple byte offset ColOffs[j],
+	// packed with stride == the field width. Load ops and fused selection
+	// loops prefer these dense segments over the strided row walk; any nil
+	// entry (or an offset with no entry) falls back to the rows. Broadcast
+	// sides (stride 0) always read the row bytes.
+	LCols, RCols       [][]byte
+	LColOffs, RColOffs []int32
 }
 
 func (in BatchInput) side(s uint8) (data []byte, stride int) {
@@ -49,6 +59,21 @@ func (in BatchInput) side(s uint8) (data []byte, stride int) {
 		return in.L, in.LStride
 	}
 	return in.R, in.RStride
+}
+
+// colView returns the contiguous column backing the field at row byte
+// offset off on side s, or nil when the batch carries no such view.
+func (in BatchInput) colView(s uint8, off int32) []byte {
+	cols, offs := in.LCols, in.LColOffs
+	if s != 0 {
+		cols, offs = in.RCols, in.RColOffs
+	}
+	for j, o := range offs {
+		if o == off {
+			return cols[j]
+		}
+	}
+	return nil
 }
 
 // row returns the scalar-evaluator view of row i (used by the per-tuple
@@ -444,6 +469,12 @@ func runVec(ops []vecOp, vs *VecScratch, in BatchInput) {
 				}
 				continue
 			}
+			if c := in.colView(op.side, op.off); c != nil {
+				for i := 0; i < n; i++ {
+					dst[i] = int64(int32(le.Uint32(c[i*4:])))
+				}
+				continue
+			}
 			for i := 0; i < n; i++ {
 				dst[i] = int64(int32(le.Uint32(data[o:])))
 				o += stride
@@ -456,6 +487,12 @@ func runVec(ops []vecOp, vs *VecScratch, in BatchInput) {
 				v := int64(le.Uint64(data[o:]))
 				for i := range dst {
 					dst[i] = v
+				}
+				continue
+			}
+			if c := in.colView(op.side, op.off); c != nil {
+				for i := 0; i < n; i++ {
+					dst[i] = int64(le.Uint64(c[i*8:]))
 				}
 				continue
 			}
@@ -474,6 +511,12 @@ func runVec(ops []vecOp, vs *VecScratch, in BatchInput) {
 				}
 				continue
 			}
+			if c := in.colView(op.side, op.off); c != nil {
+				for i := 0; i < n; i++ {
+					dst[i] = float64(math.Float32frombits(le.Uint32(c[i*4:])))
+				}
+				continue
+			}
 			for i := 0; i < n; i++ {
 				dst[i] = float64(math.Float32frombits(le.Uint32(data[o:])))
 				o += stride
@@ -486,6 +529,12 @@ func runVec(ops []vecOp, vs *VecScratch, in BatchInput) {
 				v := math.Float64frombits(le.Uint64(data[o:]))
 				for i := range dst {
 					dst[i] = v
+				}
+				continue
+			}
+			if c := in.colView(op.side, op.off); c != nil {
+				for i := 0; i < n; i++ {
+					dst[i] = math.Float64frombits(le.Uint64(c[i*8:]))
 				}
 				continue
 			}
@@ -926,26 +975,37 @@ func (lf *leafCmp) passAt(in BatchInput, i int) bool {
 	return false
 }
 
-// selLeaf runs one leaf's specialized typed comparison loop over the full
-// batch, appending passing rows to sel. ok is false when the leaf has no
-// specialization (an integer column compared in the float domain).
-func selLeaf(lf *leafCmp, sel []int32, data []byte, stride, n int) ([]int32, bool) {
+// selLeaf runs one leaf's specialized typed comparison loop over the
+// given byte source, appending passing rows to sel. ok is false when the
+// leaf has no specialization (an integer column compared in the float
+// domain).
+func selLeaf(lf *leafCmp, sel []int32, data []byte, off, stride, n int) ([]int32, bool) {
 	if lf.isInt {
 		switch lf.typ {
 		case schema.Int32:
-			return selI32(sel, data, lf.off, stride, n, lf.op, lf.ci), true
+			return selI32(sel, data, off, stride, n, lf.op, lf.ci), true
 		case schema.Int64:
-			return selI64(sel, data, lf.off, stride, n, lf.op, lf.ci), true
+			return selI64(sel, data, off, stride, n, lf.op, lf.ci), true
 		}
 	} else {
 		switch lf.typ {
 		case schema.Float32:
-			return selF32(sel, data, lf.off, stride, n, lf.op, lf.cf), true
+			return selF32(sel, data, off, stride, n, lf.op, lf.cf), true
 		case schema.Float64:
-			return selF64(sel, data, lf.off, stride, n, lf.op, lf.cf), true
+			return selF64(sel, data, off, stride, n, lf.op, lf.cf), true
 		}
 	}
 	return sel, false
+}
+
+// leafSrc picks the densest byte source for a leaf's typed loop: the
+// contiguous column segment when the batch carries one (offset 0, stride
+// = element width), else the row bytes at the leaf's field offset.
+func leafSrc(in BatchInput, lf *leafCmp, data []byte, stride int) ([]byte, int, int) {
+	if c := in.colView(lf.side, int32(lf.off)); c != nil {
+		return c, 0, lf.typ.Size()
+	}
+	return data, lf.off, stride
 }
 
 // intersectSel compacts a in place to the values also present in b; both
@@ -1000,11 +1060,12 @@ func evalLeafSel(vs *VecScratch, leaves []leafCmp, sel []int32, in BatchInput) [
 			if stride == 0 {
 				continue
 			}
+			src, off, sstride := leafSrc(in, lf, data, stride)
 			if first {
-				sel, _ = selLeaf(lf, sel, data, stride, n)
+				sel, _ = selLeaf(lf, sel, src, off, sstride, n)
 				first = false
 			} else {
-				vs.selTmp, _ = selLeaf(lf, vs.selTmp[:0], data, stride, n)
+				vs.selTmp, _ = selLeaf(lf, vs.selTmp[:0], src, off, sstride, n)
 				sel = intersectSel(sel, vs.selTmp)
 			}
 			if len(sel) == 0 && !first {
@@ -1157,6 +1218,12 @@ func fillColumnFloat(dst []float64, op *vecOp, in BatchInput) bool {
 			fillF(dst, float64(int32(le.Uint32(data[o:]))))
 			return true
 		}
+		if c := in.colView(op.side, op.off); c != nil {
+			for i := 0; i < n; i++ {
+				dst[i] = float64(int32(le.Uint32(c[i*4:])))
+			}
+			return true
+		}
 		for i := 0; i < n; i++ {
 			dst[i] = float64(int32(le.Uint32(data[o:])))
 			o += stride
@@ -1164,6 +1231,12 @@ func fillColumnFloat(dst []float64, op *vecOp, in BatchInput) bool {
 	case vLoadI64:
 		if stride == 0 {
 			fillF(dst, float64(int64(le.Uint64(data[o:]))))
+			return true
+		}
+		if c := in.colView(op.side, op.off); c != nil {
+			for i := 0; i < n; i++ {
+				dst[i] = float64(int64(le.Uint64(c[i*8:])))
+			}
 			return true
 		}
 		for i := 0; i < n; i++ {
@@ -1175,6 +1248,12 @@ func fillColumnFloat(dst []float64, op *vecOp, in BatchInput) bool {
 			fillF(dst, float64(math.Float32frombits(le.Uint32(data[o:]))))
 			return true
 		}
+		if c := in.colView(op.side, op.off); c != nil {
+			for i := 0; i < n; i++ {
+				dst[i] = float64(math.Float32frombits(le.Uint32(c[i*4:])))
+			}
+			return true
+		}
 		for i := 0; i < n; i++ {
 			dst[i] = float64(math.Float32frombits(le.Uint32(data[o:])))
 			o += stride
@@ -1182,6 +1261,12 @@ func fillColumnFloat(dst []float64, op *vecOp, in BatchInput) bool {
 	case vLoadF64:
 		if stride == 0 {
 			fillF(dst, math.Float64frombits(le.Uint64(data[o:])))
+			return true
+		}
+		if c := in.colView(op.side, op.off); c != nil {
+			for i := 0; i < n; i++ {
+				dst[i] = math.Float64frombits(le.Uint64(c[i*8:]))
+			}
 			return true
 		}
 		for i := 0; i < n; i++ {
@@ -1208,6 +1293,12 @@ func fillColumnInt(dst []int64, op *vecOp, in BatchInput) bool {
 			fillI(dst, int64(int32(le.Uint32(data[o:]))))
 			return true
 		}
+		if c := in.colView(op.side, op.off); c != nil {
+			for i := 0; i < n; i++ {
+				dst[i] = int64(int32(le.Uint32(c[i*4:])))
+			}
+			return true
+		}
 		for i := 0; i < n; i++ {
 			dst[i] = int64(int32(le.Uint32(data[o:])))
 			o += stride
@@ -1215,6 +1306,12 @@ func fillColumnInt(dst []int64, op *vecOp, in BatchInput) bool {
 	case vLoadI64:
 		if stride == 0 {
 			fillI(dst, int64(le.Uint64(data[o:])))
+			return true
+		}
+		if c := in.colView(op.side, op.off); c != nil {
+			for i := 0; i < n; i++ {
+				dst[i] = int64(le.Uint64(c[i*8:]))
+			}
 			return true
 		}
 		for i := 0; i < n; i++ {
@@ -1226,6 +1323,12 @@ func fillColumnInt(dst []int64, op *vecOp, in BatchInput) bool {
 			fillI(dst, int64(math.Float32frombits(le.Uint32(data[o:]))))
 			return true
 		}
+		if c := in.colView(op.side, op.off); c != nil {
+			for i := 0; i < n; i++ {
+				dst[i] = int64(math.Float32frombits(le.Uint32(c[i*4:])))
+			}
+			return true
+		}
 		for i := 0; i < n; i++ {
 			dst[i] = int64(math.Float32frombits(le.Uint32(data[o:])))
 			o += stride
@@ -1233,6 +1336,12 @@ func fillColumnInt(dst []int64, op *vecOp, in BatchInput) bool {
 	case vLoadF64:
 		if stride == 0 {
 			fillI(dst, int64(math.Float64frombits(le.Uint64(data[o:]))))
+			return true
+		}
+		if c := in.colView(op.side, op.off); c != nil {
+			for i := 0; i < n; i++ {
+				dst[i] = int64(math.Float64frombits(le.Uint64(c[i*8:])))
+			}
 			return true
 		}
 		for i := 0; i < n; i++ {
@@ -1258,5 +1367,98 @@ func fillF(dst []float64, v float64) {
 func fillI(dst []int64, v int64) {
 	for i := range dst {
 		dst[i] = v
+	}
+}
+
+// --- Columnar capability probes ---------------------------------------------
+
+// specialized reports whether the leaf has a dedicated typed loop (no
+// per-row passAt fallback): integer compares on integer columns, float
+// compares on float columns.
+func (lf *leafCmp) specialized() bool {
+	if lf.isInt {
+		return lf.typ == schema.Int32 || lf.typ == schema.Int64
+	}
+	return lf.typ == schema.Float32 || lf.typ == schema.Float64
+}
+
+// RowFree reports whether EvalBatch over a non-broadcast batch reads only
+// fields that has() confirms carry column views (keyed by side and
+// row-tuple byte offset). When true, evaluation never dereferences the
+// row bytes, so callers may stage the columns alone — the GPU's
+// no-gather DMA path — and pass nil L/R.
+func (p *PredProgram) RowFree(has func(side, off int) bool) bool {
+	if p.fused {
+		for k := range p.leaves {
+			lf := &p.leaves[k]
+			if !lf.specialized() || !has(int(lf.side), lf.off) {
+				return false
+			}
+		}
+		return true
+	}
+	if p.batch == nil {
+		return false // per-row closure fallback reads raw tuples
+	}
+	return vecOpsRowFree(p.batch.ops, has)
+}
+
+// RowFree is the numeric-program analogue: EvalBatchFloat/EvalBatchInt
+// touch only column views confirmed by has().
+func (p *NumProgram) RowFree(has func(side, off int) bool) bool {
+	if p.batch == nil {
+		return false
+	}
+	return vecOpsRowFree(p.batch.ops, has)
+}
+
+func vecOpsRowFree(ops []vecOp, has func(side, off int) bool) bool {
+	for i := range ops {
+		op := &ops[i]
+		switch op.code {
+		case vLoadI32, vLoadI64, vLoadF32, vLoadF64:
+			if !has(int(op.side), int(op.off)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ColRefs visits every (side, row-byte-offset) field whose column view
+// batch evaluation may read when the batch carries one. It
+// over-approximates: a visited field is read through its column segment
+// when present, an unvisited field is only ever read from the row bytes.
+// Callers use it to shred exactly the referenced fields into the
+// columnar ring (projection pushdown to ingest).
+func (p *PredProgram) ColRefs(visit func(side, off int)) {
+	if p.fused {
+		for k := range p.leaves {
+			lf := &p.leaves[k]
+			if lf.specialized() {
+				visit(int(lf.side), lf.off)
+			}
+		}
+		return
+	}
+	if p.batch != nil {
+		vecOpsColRefs(p.batch.ops, visit)
+	}
+}
+
+// ColRefs is the numeric-program analogue of PredProgram.ColRefs.
+func (p *NumProgram) ColRefs(visit func(side, off int)) {
+	if p.batch != nil {
+		vecOpsColRefs(p.batch.ops, visit)
+	}
+}
+
+func vecOpsColRefs(ops []vecOp, visit func(side, off int)) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.code {
+		case vLoadI32, vLoadI64, vLoadF32, vLoadF64:
+			visit(int(op.side), int(op.off))
+		}
 	}
 }

@@ -115,8 +115,26 @@ func (p *Program) mapKernel(j *job) {
 	plan := p.plan
 	s := plan.InputSchema(0)
 	tsz := s.TupleSize()
-	data := j.slot.devIn[0]
-	n := len(data) / tsz
+	var data []byte
+	var cols [][]byte
+	var n int
+	if j.colStaged {
+		// Columnar job: the device holds per-field segments and never
+		// materialises a row image; both kernels read the columns
+		// directly. Row-only fields have nil entries (the ring shreds only
+		// the plan's referenced set), so the tuple count comes from the
+		// first staged column, not a byte total.
+		cols = j.slot.devCols
+		for f, c := range cols {
+			if c != nil {
+				n = len(c) / s.Field(f).Type.Size()
+				break
+			}
+		}
+	} else {
+		data = j.slot.devIn[0]
+		n = len(data) / tsz
+	}
 	j.tuples = n
 	j.slot.devOut = j.slot.devOut[:0]
 	if n == 0 {
@@ -131,7 +149,7 @@ func (p *Program) mapKernel(j *job) {
 	p.d.launch(n, func(lo, hi int) {
 		// Batch-evaluate the predicate over the workgroup's range — the
 		// same vectorized selection the CPU path runs.
-		sel := plan.FilterSelect(nil, data, lo, hi)
+		sel := plan.FilterSelect(nil, data, cols, lo, hi)
 		for _, i := range sel {
 			flags[i] = 1
 		}
@@ -154,6 +172,19 @@ func (p *Program) mapKernel(j *job) {
 	out := j.slot.devOut[:total*osz]
 	p.d.launch(n, func(lo, hi int) {
 		pos := offsets[lo/gs]
+		if j.colStaged {
+			// Rebuild the workgroup's selection from the flag vector and
+			// write its compacted run in one columnar batch append.
+			sel := make([]int32, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				if flags[i] != 0 {
+					sel = append(sel, int32(i))
+				}
+			}
+			dst := out[pos*osz : pos*osz : (pos+len(sel))*osz]
+			plan.WriteOutputBatch(dst, nil, cols, n, sel)
+			return
+		}
 		tmp := make([]byte, 0, osz)
 		for i := lo; i < hi; i++ {
 			if flags[i] == 0 {

@@ -7,6 +7,13 @@
 // end to end — the receiver inserts the payload bytes directly into the
 // query's circular input buffer without deserialisation, preserving
 // SABER's lazy-deserialisation discipline (§5.1).
+//
+// Downstream of the sink, a frame lands twice in one pass: the engine's
+// insert path admits the payload to the row ring and immediately shreds
+// it into the per-column segments of the columnar mirror
+// (ringbuf.ColumnStore), while the frame is still hot in cache. From
+// that point tasks, operators and the GPGPU DMA stage consume dense
+// column views; no later stage re-gathers rows (see DESIGN.md §11).
 package ingest
 
 import (

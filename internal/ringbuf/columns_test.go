@@ -1,0 +1,270 @@
+package ringbuf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// Test tuple layout: int64 ts | float32 a | int32 b  (16 bytes).
+const (
+	ctsz = 16
+)
+
+var (
+	coffs   = []int{0, 8, 12}
+	cwidths = []int{8, 4, 4}
+)
+
+// genRows builds n deterministic 16-byte tuples.
+func genRows(n int, seed int64) []byte {
+	rnd := rand.New(rand.NewSource(seed))
+	out := make([]byte, n*ctsz)
+	for i := 0; i < n; i++ {
+		row := out[i*ctsz:]
+		binary.LittleEndian.PutUint64(row, uint64(i))
+		binary.LittleEndian.PutUint32(row[8:], rnd.Uint32())
+		binary.LittleEndian.PutUint32(row[12:], rnd.Uint32())
+	}
+	return out
+}
+
+// wantCol extracts column c of rows[from:to) the slow way — the
+// reference the shredder is checked against.
+func wantCol(rows []byte, c int, from, to int64) []byte {
+	o, w := coffs[c], cwidths[c]
+	var out []byte
+	for i := from; i < to; i++ {
+		out = append(out, rows[int(i)*ctsz+o:int(i)*ctsz+o+w]...)
+	}
+	return out
+}
+
+func TestColumnStoreShred(t *testing.T) {
+	s := MustNewColumnStore(coffs, cwidths, nil, ctsz, 64)
+	rows := genRows(48, 1)
+	// Append in uneven chunks.
+	for _, n := range []int{1, 7, 16, 24} {
+		off := int(s.End())
+		s.Append(rows[off*ctsz : (off+n)*ctsz])
+	}
+	if s.End() != 48 || s.Start() != 0 || s.Tuples() != 48 {
+		t.Fatalf("bounds: [%d,%d)", s.Start(), s.End())
+	}
+	views, ok := s.Views(nil, 0, 48)
+	if !ok {
+		t.Fatal("contiguous range reported wrapped")
+	}
+	for c := range views {
+		if want := wantCol(rows, c, 0, 48); !bytes.Equal(views[c], want) {
+			t.Fatalf("column %d shredded wrong:\n got %x\nwant %x", c, views[c], want)
+		}
+		if got, want := s.ColBytes(c), int64(48*cwidths[c]); got != want {
+			t.Errorf("ColBytes(%d) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+// TestColumnStoreWrap drives the indices past the physical capacity:
+// Views must refuse the wrapping range and CopyViews must reassemble it
+// byte-identically.
+func TestColumnStoreWrap(t *testing.T) {
+	s := MustNewColumnStore(coffs, cwidths, nil, ctsz, 32) // rounds to 32
+	if s.CapacityTuples() != 32 {
+		t.Fatalf("capacity = %d, want 32", s.CapacityTuples())
+	}
+	rows := genRows(200, 2)
+	next := int64(0)
+	appendTo := func(end int64) {
+		s.Append(rows[next*ctsz : end*ctsz])
+		next = end
+	}
+
+	appendTo(24)
+	s.Release(16) // free room so the next append wraps
+	appendTo(40)  // crosses physical index 32
+	if s.Wraps() != 1 {
+		t.Fatalf("wraps = %d, want 1", s.Wraps())
+	}
+
+	if _, ok := s.Views(nil, 28, 36); ok {
+		t.Fatal("Views accepted a wrapping range")
+	}
+	got := s.CopyViews(nil, 28, 36)
+	for c := range got {
+		if want := wantCol(rows, c, 28, 36); !bytes.Equal(got[c], want) {
+			t.Fatalf("CopyViews column %d:\n got %x\nwant %x", c, got[c], want)
+		}
+	}
+	// Non-wrapping sub-ranges on both sides are still zero-copy.
+	for _, r := range [][2]int64{{16, 32}, {32, 40}, {33, 36}} {
+		v, ok := s.Views(nil, r[0], r[1])
+		if !ok {
+			t.Fatalf("range [%d,%d) should not wrap", r[0], r[1])
+		}
+		for c := range v {
+			if want := wantCol(rows, c, r[0], r[1]); !bytes.Equal(v[c], want) {
+				t.Fatalf("view [%d,%d) column %d wrong", r[0], r[1], c)
+			}
+		}
+	}
+	// CopyViews reuses caller buffers.
+	bufs := make([][]byte, len(coffs))
+	for c := range bufs {
+		bufs[c] = make([]byte, 0, 64)
+	}
+	got = s.CopyViews(bufs, 30, 38)
+	for c := range got {
+		if want := wantCol(rows, c, 30, 38); !bytes.Equal(got[c], want) {
+			t.Fatalf("reused CopyViews column %d wrong", c)
+		}
+	}
+}
+
+// TestColumnStoreRandomized: a long randomized append/view/release run
+// against the row-slice reference, lapping the capacity many times.
+func TestColumnStoreRandomized(t *testing.T) {
+	s := MustNewColumnStore(coffs, cwidths, nil, ctsz, 61) // rounds to 64
+	rows := genRows(5000, 3)
+	rnd := rand.New(rand.NewSource(4))
+	var next int64
+	for next < 5000 {
+		// Append up to the free space.
+		free := s.CapacityTuples() - s.Tuples()
+		if free > 0 {
+			n := 1 + rnd.Int63n(free)
+			if next+n > 5000 {
+				n = 5000 - next
+			}
+			s.Append(rows[next*ctsz : (next+n)*ctsz])
+			next += n
+		}
+		// Read a random retained range through whichever path applies.
+		lo := s.Start() + rnd.Int63n(s.Tuples()+1)
+		hi := lo + rnd.Int63n(s.End()-lo+1)
+		var got [][]byte
+		if v, ok := s.Views(nil, lo, hi); ok {
+			got = v
+		} else {
+			got = s.CopyViews(nil, lo, hi)
+		}
+		for c := range got {
+			if want := wantCol(rows, c, lo, hi); !bytes.Equal(got[c], want) {
+				t.Fatalf("range [%d,%d) column %d wrong after %d tuples", lo, hi, c, next)
+			}
+		}
+		// Release a random prefix.
+		s.Release(s.Start() + rnd.Int63n(s.Tuples()+1))
+	}
+	if s.Wraps() == 0 {
+		t.Error("randomized run never wrapped — capacity too large for the test to bite")
+	}
+}
+
+func TestColumnStoreInvariantPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+
+	s := MustNewColumnStore(coffs, cwidths, nil, ctsz, 8)
+	rows := genRows(16, 5)
+	s.Append(rows[:8*ctsz])
+
+	expectPanic("overflow append (release ordering broken)", func() {
+		s.Append(rows[8*ctsz : 9*ctsz])
+	})
+	expectPanic("ragged append", func() {
+		s.Append(rows[:ctsz-1])
+	})
+	expectPanic("view past end", func() {
+		s.Views(nil, 0, 9)
+	})
+	s.Release(4)
+	expectPanic("view before start", func() {
+		s.Views(nil, 3, 6)
+	})
+	expectPanic("release past end", func() {
+		s.Release(9)
+	})
+	// Backwards/duplicate release is a no-op, not a panic.
+	s.Release(2)
+	if s.Start() != 4 {
+		t.Errorf("backwards release moved start to %d", s.Start())
+	}
+
+	if _, err := NewColumnStore([]int{0}, []int{4, 4}, nil, 8, 8); err == nil {
+		t.Error("mismatched offs/widths accepted")
+	}
+	if _, err := NewColumnStore([]int{6}, []int{4}, nil, 8, 8); err == nil {
+		t.Error("column overhanging the tuple accepted")
+	}
+	if _, err := NewColumnStore([]int{0}, []int{4}, nil, 0, 8); err == nil {
+		t.Error("zero tuple size accepted")
+	}
+}
+
+func TestColumnStorePow2Rounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int64 }{{1, 1}, {2, 2}, {3, 4}, {61, 64}, {64, 64}, {65, 128}} {
+		s := MustNewColumnStore([]int{0}, []int{8}, nil, 8, int(tc.in))
+		if s.CapacityTuples() != tc.want {
+			t.Errorf("cap %d rounded to %d, want %d", tc.in, s.CapacityTuples(), tc.want)
+		}
+	}
+}
+
+// TestColumnStoreShredMask: a deselected column is never materialised —
+// its Views/CopyViews entries stay nil, ColBytes reads 0 — while the
+// selected columns behave exactly as an unmasked store (projection
+// pushdown: the engine shreds only fields the plan reads through
+// columns).
+func TestColumnStoreShredMask(t *testing.T) {
+	s := MustNewColumnStore(coffs, cwidths, []bool{false, true, false}, ctsz, 32)
+	if s.Shredded(0) || !s.Shredded(1) || s.Shredded(2) {
+		t.Fatalf("shredded flags: %v %v %v", s.Shredded(0), s.Shredded(1), s.Shredded(2))
+	}
+	rows := genRows(24, 9)
+	s.Append(rows)
+
+	views, ok := s.Views(nil, 0, 24)
+	if !ok {
+		t.Fatal("contiguous range reported wrapped")
+	}
+	if views[0] != nil || views[2] != nil {
+		t.Errorf("masked columns returned views: %v %v", views[0], views[2])
+	}
+	if want := wantCol(rows, 1, 0, 24); !bytes.Equal(views[1], want) {
+		t.Errorf("selected column shredded wrong:\n got %x\nwant %x", views[1], want)
+	}
+	if s.ColBytes(0) != 0 || s.ColBytes(2) != 0 {
+		t.Errorf("masked ColBytes = %d, %d, want 0", s.ColBytes(0), s.ColBytes(2))
+	}
+	if got, want := s.ColBytes(1), int64(24*4); got != want {
+		t.Errorf("selected ColBytes = %d, want %d", got, want)
+	}
+
+	// Drive past the physical boundary so CopyViews reassembles: masked
+	// entries must stay nil there too.
+	s.Release(16)
+	s.Append(genRows(40, 9)[24*ctsz : 40*ctsz])
+	if _, ok := s.Views(nil, 28, 36); ok {
+		t.Fatal("wrapping range not refused")
+	}
+	bufs := s.CopyViews(nil, 28, 36)
+	if bufs[0] != nil || bufs[2] != nil {
+		t.Errorf("masked columns returned copies: %v %v", bufs[0], bufs[2])
+	}
+	if want := wantCol(genRows(40, 9), 1, 28, 36); !bytes.Equal(bufs[1], want) {
+		t.Errorf("selected column copy wrong:\n got %x\nwant %x", bufs[1], want)
+	}
+
+	if _, err := NewColumnStore(coffs, cwidths, []bool{true}, ctsz, 32); err == nil {
+		t.Error("short shred mask accepted")
+	}
+}

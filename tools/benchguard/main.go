@@ -10,6 +10,16 @@
 //     smaller than an engine task (1 MiB), so the measured overhead
 //     overstates the engine's true per-byte cost.
 //
+//   - Columnar layout (same default run): every operator must carry a
+//     columnar measurement whose paired columnar/row ratio stays above
+//     -col-min (default 0.9 — kernel-level parity with a noise
+//     allowance; the batch fits in cache, so the layouts are expected
+//     to tie per-operator and structural regressions show up as large
+//     drops). The ingest_bandwidth section must be present with at
+//     least one elided gather and an end-to-end columnar/row ratio of
+//     at least -ingest-min (default 1.0): the whole point of shredding
+//     at ingest is that the full pipeline gets faster, not slower.
+//
 //   - Adaptive task sizing (-adaptive, BENCH_adaptive.json, the
 //     adaptive experiment): fails unless the adaptive run meets the
 //     latency SLO under the bursty load AND sustains at least -min-pct
@@ -34,6 +44,8 @@ func main() {
 	file := flag.String("file", "", "experiment JSON twin (default BENCH_operators.json, or BENCH_adaptive.json with -adaptive)")
 	max := flag.Float64("max", 3, "maximum allowed aggregate metrics-on overhead, percent")
 	minPct := flag.Float64("min-pct", 90, "with -adaptive: minimum adaptive throughput as a percentage of the best fixed ϕ")
+	colMin := flag.Float64("col-min", 0.9, "minimum per-operator columnar/row throughput ratio")
+	ingestMin := flag.Float64("ingest-min", 1.0, "minimum end-to-end ingest-bandwidth columnar/row ratio")
 	flag.Parse()
 
 	if *adaptive {
@@ -56,9 +68,19 @@ func main() {
 		Operators []struct {
 			Name               string  `json:"name"`
 			VectorizedMtps     float64 `json:"vectorized_mtps"`
+			ColumnarMtps       float64 `json:"columnar_mtps"`
+			ColumnarVsRow      float64 `json:"columnar_vs_row"`
 			MetricsOnMtps      float64 `json:"metrics_on_mtps"`
 			MetricsOverheadPct float64 `json:"metrics_overhead_pct"`
 		} `json:"operators"`
+		IngestBandwidth *struct {
+			Query         string  `json:"query"`
+			RowMtps       float64 `json:"row_mtps"`
+			ColumnarMtps  float64 `json:"columnar_mtps"`
+			ColumnarVsRow float64 `json:"columnar_vs_row"`
+			GatherElided  int64   `json:"gather_elided"`
+			GatherCopied  int64   `json:"gather_copied"`
+		} `json:"ingest_bandwidth"`
 		MetricsOverheadPct float64 `json:"metrics_overhead_pct"`
 		Metrics            struct {
 			Counters map[string]int64 `json:"counters"`
@@ -72,21 +94,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchguard: %s: no operators (stale or truncated file?)\n", *file)
 		os.Exit(2)
 	}
+	failed := false
 	for _, op := range js.Operators {
 		if op.MetricsOnMtps <= 0 {
 			fmt.Fprintf(os.Stderr, "benchguard: %s: missing metrics-on measurement for %s (pre-observability file?)\n", *file, op.Name)
 			os.Exit(2)
 		}
-		fmt.Printf("  %-18s bare %8.2f Mt/s   metrics-on %8.2f Mt/s   overhead %5.2f%%\n",
-			op.Name, op.VectorizedMtps, op.MetricsOnMtps, op.MetricsOverheadPct)
+		if op.ColumnarMtps <= 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: missing columnar measurement for %s (pre-columnar file?)\n", *file, op.Name)
+			os.Exit(2)
+		}
+		fmt.Printf("  %-18s bare %8.2f Mt/s   columnar %8.2f Mt/s (%.2fx)   metrics-on %8.2f Mt/s   overhead %5.2f%%\n",
+			op.Name, op.VectorizedMtps, op.ColumnarMtps, op.ColumnarVsRow, op.MetricsOnMtps, op.MetricsOverheadPct)
+		if op.ColumnarVsRow < *colMin {
+			fmt.Fprintf(os.Stderr, "benchguard: %s columnar/row ratio %.2f below the %.2f floor\n",
+				op.Name, op.ColumnarVsRow, *colMin)
+			failed = true
+		}
 	}
 	if len(js.Metrics.Counters) == 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %s: embedded metrics snapshot is empty\n", *file)
 		os.Exit(2)
 	}
+	ing := js.IngestBandwidth
+	if ing == nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: no ingest_bandwidth section (pre-columnar file?)\n", *file)
+		os.Exit(2)
+	}
+	fmt.Printf("ingest-bandwidth (%s): row %.2f Mt/s, columnar %.2f Mt/s (%.2fx), %d gathers elided / %d wrap copies\n",
+		ing.Query, ing.RowMtps, ing.ColumnarMtps, ing.ColumnarVsRow, ing.GatherElided, ing.GatherCopied)
+	if ing.GatherElided <= 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: ingest-bandwidth run elided no gathers — the columnar path never engaged\n")
+		failed = true
+	}
+	if ing.ColumnarVsRow < *ingestMin {
+		fmt.Fprintf(os.Stderr, "benchguard: ingest-bandwidth columnar/row ratio %.2f below the %.2f floor\n",
+			ing.ColumnarVsRow, *ingestMin)
+		failed = true
+	}
 	fmt.Printf("aggregate overhead %.2f%% (budget %.2f%%)\n", js.MetricsOverheadPct, *max)
 	if js.MetricsOverheadPct > *max {
 		fmt.Fprintf(os.Stderr, "benchguard: metrics-on overhead %.2f%% exceeds %.2f%% budget\n", js.MetricsOverheadPct, *max)
+		os.Exit(1)
+	}
+	if failed {
 		os.Exit(1)
 	}
 }
