@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"saber/internal/bench"
@@ -56,6 +59,19 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "metrics endpoint on http://%s (/varz /metrics /debug/pprof)\n", *metricsAddr)
 	}
+	// SIGTERM/SIGINT finish the experiment in flight, then stop — partial
+	// tables are worse than none, and the deferred admin-endpoint close
+	// still runs. A second signal kills the process the default way.
+	var stopping atomic.Bool
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "\nsaber-bench: %v — stopping after the current experiment (signal again to kill)\n", s)
+		stopping.Store(true)
+		signal.Stop(sigs)
+	}()
+
 	run := func(e bench.Experiment) {
 		start := time.Now()
 		rep := e.Run(opts)
@@ -65,6 +81,10 @@ func main() {
 
 	if *experiment == "all" {
 		for _, e := range bench.All() {
+			if stopping.Load() {
+				fmt.Fprintln(os.Stderr, "saber-bench: interrupted — remaining experiments skipped")
+				break
+			}
 			run(e)
 		}
 		return

@@ -13,11 +13,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"saber"
@@ -41,6 +45,9 @@ func main() {
 		latencySLO = flag.Duration("latency-slo", 0, "enable adaptive task sizing (dynamic ϕ) targeting this end-to-end p99 latency, e.g. 50ms; 0 keeps ϕ fixed")
 		minPhi     = flag.Int("min-task-size", 0, "adaptive ϕ lower bound in bytes (0 selects 4 KiB); needs -latency-slo")
 		maxPhi     = flag.Int("max-task-size", 0, "adaptive ϕ upper bound in bytes (0 selects 4 MiB); needs -latency-slo")
+
+		ckptDir      = flag.String("checkpoint-dir", "", "enable epoch checkpointing to this directory; on startup the engine restores from the newest valid epoch and resumes the generated stream at the saved cursor")
+		ckptInterval = flag.Duration("checkpoint-interval", 0, "automatic checkpoint period (0 selects 500ms; negative disables the automatic coordinator); needs -checkpoint-dir")
 	)
 	flag.Parse()
 	if *queryText == "" {
@@ -80,6 +87,9 @@ func main() {
 		LatencySLO:  *latencySLO,
 		MinTaskSize: *minPhi,
 		MaxTaskSize: *maxPhi,
+
+		CheckpointDir:      *ckptDir,
+		CheckpointInterval: *ckptInterval,
 	}
 	if *useGPU {
 		dev := saber.OpenGPU(saber.GPUConfig{Model: cfg.Model})
@@ -109,10 +119,48 @@ func main() {
 		}
 	})
 
+	// The generated stream is deterministic, so after a restore the
+	// replayed prefix is simply regenerated and skipped up to the saved
+	// cursor — the stand-in for an upstream source resending from the
+	// resume offset (see internal/ingest's resume protocol for the TCP
+	// equivalent).
+	resumeTuples := 0
+	if *ckptDir != "" {
+		info, err := eng.Restore(*ckptDir)
+		switch {
+		case err == nil:
+			resumeTuples = int(q.InputCursor(0))
+			fmt.Fprintf(os.Stderr, "restored epoch %d from %s (resuming at tuple %d", info.Epoch, info.Path, resumeTuples)
+			if info.Skipped > 0 {
+				fmt.Fprintf(os.Stderr, ", %d corrupt epoch(s) skipped", info.Skipped)
+			}
+			fmt.Fprintln(os.Stderr, ")")
+		case errors.Is(err, saber.ErrNoCheckpoint):
+			fmt.Fprintln(os.Stderr, "no checkpoint found — cold start")
+		default:
+			fmt.Fprintf(os.Stderr, "saber-run: restore: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if err := eng.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "saber-run: %v\n", err)
 		os.Exit(1)
 	}
+
+	// SIGTERM/SIGINT stop the feed at the next chunk boundary; the run
+	// then drains in-flight work, cuts a final checkpoint (when enabled)
+	// and shuts down cleanly. A second signal kills the process the
+	// default way.
+	var stopping atomic.Bool
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "\nsaber-run: %v — draining (signal again to kill)\n", s)
+		stopping.Store(true)
+		signal.Stop(sigs)
+	}()
 
 	if *metricsAddr != "" {
 		srv := &http.Server{Addr: *metricsAddr, Handler: eng.MetricsHandler()}
@@ -143,10 +191,29 @@ func main() {
 
 	tuples := (*mb << 20) / schema.TupleSize()
 	data := gen(nil, tuples)
+	skip := resumeTuples * schema.TupleSize()
+	if skip > len(data) {
+		skip = len(data)
+	}
 	start := time.Now()
-	q.Insert(data)
+	chunk := 1024 * schema.TupleSize()
+	for off := skip; off < len(data) && !stopping.Load(); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		q.Insert(data[off:end])
+	}
 	eng.Drain()
 	elapsed := time.Since(start)
+	if *ckptDir != "" {
+		// Final epoch at the drained frontier: a restart replays nothing.
+		if err := eng.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "saber-run: final checkpoint: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "final checkpoint persisted (committed %d output bytes)\n", q.Committed())
+		}
+	}
 	eng.Close()
 
 	st := q.Stats()

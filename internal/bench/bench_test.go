@@ -39,7 +39,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10a", "fig10b", "fig11a", "fig11b", "fig12", "fig13",
 		"fig14", "fig15", "fig16",
 		"abl-lookahead", "abl-incremental", "abl-pipeline", "abl-dispatcher",
-		"operators", "adaptive",
+		"operators", "adaptive", "ckpt",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -1,0 +1,359 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"saber/internal/exec"
+)
+
+// Binary snapshot framing:
+//
+//	magic   "SBRCKPT1"          8 bytes
+//	version u32 (= 1)
+//	length  u64 (payload bytes)
+//	payload little-endian fields, see encodePayload
+//	crc     u32, IEEE CRC32 over the payload
+//
+// The frame check (magic, version, declared length, CRC) is what lets
+// recovery distinguish "torn or corrupt, fall back one epoch" from "valid
+// but semantically incompatible, refuse". Decode is defensive end to end:
+// every count is validated against the bytes actually remaining before
+// any allocation, so no input — truncated, bit-flipped or adversarial —
+// can panic or balloon memory (see FuzzDecode).
+
+var le = binary.LittleEndian
+
+const (
+	magic       = "SBRCKPT1"
+	version     = 1
+	headerSize  = len(magic) + 4 + 8
+	trailerSize = 4
+
+	// Decode sanity bounds. Generous for real engines (2 queries, a few
+	// pending windows) while keeping hostile counts from allocating.
+	maxQueries  = 1 << 12
+	maxName     = 1 << 12
+	maxInputs   = 2
+	maxPending  = 1 << 20
+	maxVals     = 1 << 16
+	maxGroupKey = 1 << 12
+	maxAggs     = 1 << 12
+)
+
+// ErrCorrupt wraps every frame/payload validation failure so callers can
+// classify a bad file without string matching.
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+// Encode serialises a snapshot into a framed byte buffer.
+func Encode(s *Snapshot) []byte {
+	var p payload
+	p.u64(s.Epoch)
+	p.u64(uint64(s.Phi))
+	p.u32(uint32(len(s.Queries)))
+	for i := range s.Queries {
+		q := &s.Queries[i]
+		p.str(q.Name)
+		p.u64(uint64(q.Barrier))
+		p.u64(uint64(q.CommittedBytes))
+		p.u64(uint64(q.CommittedTuples))
+		p.f64(q.RateCPU)
+		p.f64(q.RateGPU)
+		p.u32(uint32(len(q.Ins)))
+		for _, in := range q.Ins {
+			p.u64(uint64(in.FreeTo))
+			p.u64(uint64(in.PrevTS))
+		}
+		p.u32(uint32(len(q.Pending)))
+		for j := range q.Pending {
+			p.partial(&q.Pending[j])
+		}
+	}
+
+	out := make([]byte, 0, headerSize+len(p.b)+trailerSize)
+	out = append(out, magic...)
+	out = le.AppendUint32(out, version)
+	out = le.AppendUint64(out, uint64(len(p.b)))
+	out = append(out, p.b...)
+	out = le.AppendUint32(out, crc32.ChecksumIEEE(p.b))
+	return out
+}
+
+// Decode parses a framed snapshot. It never panics; any malformed input
+// returns an error wrapping ErrCorrupt.
+func Decode(b []byte) (*Snapshot, error) {
+	if len(b) < headerSize+trailerSize {
+		return nil, corruptf("file of %d bytes is shorter than the frame", len(b))
+	}
+	if string(b[:len(magic)]) != magic {
+		return nil, corruptf("bad magic %q", b[:len(magic)])
+	}
+	if v := le.Uint32(b[len(magic):]); v != version {
+		return nil, corruptf("unsupported version %d", v)
+	}
+	n := le.Uint64(b[len(magic)+4:])
+	if n != uint64(len(b)-headerSize-trailerSize) {
+		return nil, corruptf("declared payload %d bytes, frame carries %d (torn write?)",
+			n, len(b)-headerSize-trailerSize)
+	}
+	pay := b[headerSize : headerSize+int(n)]
+	if sum := crc32.ChecksumIEEE(pay); sum != le.Uint32(b[headerSize+int(n):]) {
+		return nil, corruptf("payload CRC mismatch")
+	}
+
+	r := &reader{b: pay}
+	s := &Snapshot{
+		Epoch: r.u64(),
+		Phi:   int64(r.u64()),
+	}
+	nq := r.count(maxQueries, "queries")
+	for i := 0; i < nq && r.err == nil; i++ {
+		q := QuerySnap{
+			Name:            r.str(),
+			Barrier:         int64(r.u64()),
+			CommittedBytes:  int64(r.u64()),
+			CommittedTuples: int64(r.u64()),
+			RateCPU:         r.f64(),
+			RateGPU:         r.f64(),
+		}
+		nin := r.count(maxInputs, "inputs")
+		for j := 0; j < nin && r.err == nil; j++ {
+			q.Ins = append(q.Ins, InputSnap{
+				FreeTo: int64(r.u64()),
+				PrevTS: int64(r.u64()),
+			})
+		}
+		np := r.count(maxPending, "pending windows")
+		for j := 0; j < np && r.err == nil; j++ {
+			p, err := r.partial()
+			if err != nil {
+				return nil, err
+			}
+			q.Pending = append(q.Pending, p)
+		}
+		s.Queries = append(s.Queries, q)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, corruptf("%d trailing payload bytes", len(r.b)-r.off)
+	}
+	return s, nil
+}
+
+// payload is the append-only encode buffer.
+type payload struct{ b []byte }
+
+func (p *payload) u32(v uint32)  { p.b = le.AppendUint32(p.b, v) }
+func (p *payload) u64(v uint64)  { p.b = le.AppendUint64(p.b, v) }
+func (p *payload) u8(v uint8)    { p.b = append(p.b, v) }
+func (p *payload) f64(v float64) { p.u64(math.Float64bits(v)) }
+func (p *payload) str(s string)  { p.u32(uint32(len(s))); p.b = append(p.b, s...) }
+func (p *payload) bytes(b []byte) {
+	p.u32(uint32(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// Partial flag bits.
+const (
+	flagOpenedHere  = 1 << 0
+	flagClosedHere  = 1 << 1
+	flagClosedSideA = 1 << 2
+	flagClosedSideB = 1 << 3
+	flagHasTable    = 1 << 4
+)
+
+func (p *payload) partial(w *exec.WindowPartial) {
+	p.u64(uint64(w.Window))
+	var flags uint8
+	if w.OpenedHere {
+		flags |= flagOpenedHere
+	}
+	if w.ClosedHere {
+		flags |= flagClosedHere
+	}
+	if w.ClosedSides[0] {
+		flags |= flagClosedSideA
+	}
+	if w.ClosedSides[1] {
+		flags |= flagClosedSideB
+	}
+	if w.Table != nil {
+		flags |= flagHasTable
+	}
+	p.u8(flags)
+	p.u64(uint64(w.Count))
+	p.u64(uint64(w.MaxTS))
+	p.u32(uint32(len(w.Vals)))
+	for _, v := range w.Vals {
+		p.f64(v)
+	}
+	p.bytes(w.Data)
+	p.bytes(w.AData)
+	p.bytes(w.BData)
+	if w.Table != nil {
+		p.table(w.Table)
+	}
+}
+
+func (p *payload) table(h *exec.HashTable) {
+	p.u32(uint32(h.KeyLen()))
+	p.u32(uint32(h.NumAggs()))
+	p.u32(uint32(h.Len()))
+	h.Range(func(s exec.Slot) {
+		p.b = append(p.b, s.Key()...)
+		p.u64(uint64(s.Count()))
+		p.u64(uint64(s.MaxTS()))
+		for a := 0; a < h.NumAggs(); a++ {
+			p.f64(s.Val(a))
+		}
+	})
+}
+
+// reader is the bounds-checked decode cursor: after the first failed
+// read every subsequent read is a zero-value no-op and err carries the
+// first failure.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = corruptf(format, args...)
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.fail("payload truncated at offset %d (want %d more bytes)", r.off, n)
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return le.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return le.Uint64(b)
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// count reads a u32 element count and validates it against both the
+// semantic bound and the bytes remaining (one byte per element minimum),
+// so hostile counts cannot drive huge allocations.
+func (r *reader) count(max int, what string) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > max || n > len(r.b)-r.off {
+		r.fail("%s count %d out of range (max %d, %d bytes left)", what, n, max, len(r.b)-r.off)
+		return 0
+	}
+	return n
+}
+
+func (r *reader) str() string {
+	n := r.count(maxName, "name length")
+	return string(r.take(n))
+}
+
+func (r *reader) blob() []byte {
+	n := r.count(len(r.b), "blob length")
+	b := r.take(n)
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (r *reader) partial() (exec.WindowPartial, error) {
+	var w exec.WindowPartial
+	w.Window = int64(r.u64())
+	flags := r.u8()
+	w.OpenedHere = flags&flagOpenedHere != 0
+	w.ClosedHere = flags&flagClosedHere != 0
+	w.ClosedSides[0] = flags&flagClosedSideA != 0
+	w.ClosedSides[1] = flags&flagClosedSideB != 0
+	w.Count = int64(r.u64())
+	w.MaxTS = int64(r.u64())
+	nv := r.count(maxVals, "accumulators")
+	for i := 0; i < nv && r.err == nil; i++ {
+		w.Vals = append(w.Vals, r.f64())
+	}
+	w.Data = r.blob()
+	w.AData = r.blob()
+	w.BData = r.blob()
+	if flags&flagHasTable != 0 {
+		w.Table = r.table()
+	}
+	return w, r.err
+}
+
+func (r *reader) table() *exec.HashTable {
+	keyLen := r.count(maxGroupKey, "group key length")
+	nAggs := r.count(maxAggs, "group accumulators")
+	groups := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	// Each group carries keyLen + 16 + 8*nAggs bytes; validate against the
+	// remaining payload before sizing the table.
+	per := keyLen + 16 + 8*nAggs
+	if groups < 0 || per <= 0 || groups > (len(r.b)-r.off)/per {
+		r.fail("group count %d exceeds remaining payload", groups)
+		return nil
+	}
+	h := exec.NewHashTable(keyLen, nAggs, groups)
+	for g := 0; g < groups && r.err == nil; g++ {
+		key := r.take(keyLen)
+		count := int64(r.u64())
+		maxTS := int64(r.u64())
+		if r.err != nil {
+			return nil
+		}
+		s := h.Upsert(key, nil)
+		s.AddCount(count)
+		// Fresh slots seed maxTS at MinInt64; ObserveTS only raises, which
+		// round-trips every legitimate value including the seed itself.
+		s.ObserveTS(maxTS)
+		for a := 0; a < nAggs; a++ {
+			s.SetVal(a, r.f64())
+		}
+	}
+	return h
+}

@@ -1,0 +1,43 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecode hammers the snapshot decoder with mutated frames. The
+// contract under fuzzing is the recovery contract: any input either
+// decodes to a snapshot that re-encodes and decodes again cleanly, or
+// fails with an error wrapping ErrCorrupt — and nothing ever panics,
+// because recovery must be able to fall back past arbitrary disk damage.
+func FuzzDecode(f *testing.F) {
+	// Seed with real encodings (full-featured and minimal), their
+	// truncations, and targeted frame damage, so the fuzzer starts on
+	// both sides of every validation branch.
+	full := Encode(sampleSnapshot(7))
+	f.Add(full)
+	f.Add(Encode(&Snapshot{}))
+	f.Add(Encode(&Snapshot{Epoch: 1, Phi: 4096, Queries: []QuerySnap{{Name: "q"}}}))
+	for _, cut := range []int{0, 1, len(magic), headerSize, headerSize + 1, len(full) - 1} {
+		if cut <= len(full) {
+			f.Add(full[:cut])
+		}
+	}
+	flipped := append([]byte(nil), full...)
+	flipped[headerSize+3] ^= 0x80
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Decode error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// Whatever decoded must survive a re-encode round trip.
+		if _, err := Decode(Encode(s)); err != nil {
+			t.Fatalf("re-encode of decoded snapshot does not decode: %v", err)
+		}
+	})
+}

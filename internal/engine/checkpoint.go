@@ -1,0 +1,268 @@
+package engine
+
+// Epoch checkpointing and crash recovery (see internal/ckpt and DESIGN.md
+// §12). The coordinator snapshots each query at its result stage's drain
+// frontier: because drainLocked merges results strictly in task-ID order
+// under drainMu, holding that lock gives a barrier B = next where the
+// committed output bytes, the assembler's pending windows and the input
+// release cursors all describe exactly tasks [0, B). Capture is the only
+// step inside engine locks; encode, write and fsync run on the
+// coordinator goroutine.
+
+import (
+	"fmt"
+	"time"
+
+	"saber/internal/ckpt"
+	"saber/internal/obs"
+	"saber/internal/sched"
+)
+
+// ckptMetrics are the engine-wide checkpoint counters, registered under
+// saber.ckpt.*.
+type ckptMetrics struct {
+	epochs     *obs.Counter   // saber.ckpt.epochs — snapshots persisted
+	bytes      *obs.Counter   // saber.ckpt.bytes — encoded bytes written
+	failures   *obs.Counter   // saber.ckpt.failures — snapshots that failed to persist
+	corrupt    *obs.Counter   // saber.ckpt.corrupt — torn/corrupt files skipped at recovery
+	snapshotNs *obs.Histogram // saber.ckpt.snapshot.ns — capture+persist latency
+	recoverNs  *obs.Histogram // saber.ckpt.recover.ns — Restore latency
+	lastEpoch  *obs.Gauge     // saber.ckpt.epoch — newest persisted/restored epoch
+}
+
+func newCkptMetrics(reg *obs.Registry) ckptMetrics {
+	return ckptMetrics{
+		epochs:     reg.Counter("saber.ckpt.epochs"),
+		bytes:      reg.Counter("saber.ckpt.bytes"),
+		failures:   reg.Counter("saber.ckpt.failures"),
+		corrupt:    reg.Counter("saber.ckpt.corrupt"),
+		snapshotNs: reg.Histogram("saber.ckpt.snapshot.ns"),
+		recoverNs:  reg.Histogram("saber.ckpt.recover.ns"),
+		lastEpoch:  reg.Gauge("saber.ckpt.epoch"),
+	}
+}
+
+// store lazily opens the checkpoint store (New cannot return an error).
+func (e *Engine) store() (*ckpt.Store, error) {
+	if e.cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("engine: Checkpoint without Config.CheckpointDir")
+	}
+	e.ckptOnce.Do(func() {
+		e.ckptStore, e.ckptErr = ckpt.Open(e.cfg.CheckpointDir, e.cfg.CheckpointKeep)
+	})
+	return e.ckptStore, e.ckptErr
+}
+
+// Checkpoint cuts one epoch: it captures every query's state at its
+// current drain frontier and durably persists the snapshot. Safe to call
+// while the engine is running; the automatic loop (CheckpointInterval)
+// calls it too. Returns the persisted snapshot.
+func (e *Engine) Checkpoint() (*ckpt.Snapshot, error) {
+	st, err := e.store()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	snap := &ckpt.Snapshot{
+		Epoch: uint64(e.ckptEpoch.Add(1)),
+		Phi:   e.taskSize.Load(),
+	}
+	for _, r := range e.quer {
+		qs := r.result.capture()
+		if e.matrix != nil {
+			qs.RateCPU = e.matrix.Rate(r.idx, sched.CPU)
+			qs.RateGPU = e.matrix.Rate(r.idx, sched.GPU)
+		}
+		snap.Queries = append(snap.Queries, qs)
+	}
+	if _, n, err := st.Save(snap); err != nil {
+		e.ckm.failures.Add(1)
+		return nil, err
+	} else {
+		e.ckm.bytes.Add(int64(n))
+	}
+	e.ckm.epochs.Add(1)
+	e.ckm.lastEpoch.Set(int64(snap.Epoch))
+	e.ckm.snapshotNs.Observe(time.Since(start).Nanoseconds())
+	// Publish the new exactly-once cutoffs only after the epoch is
+	// durable: Handle.Committed must never run ahead of disk.
+	for i, r := range e.quer {
+		r.committed.Store(snap.Queries[i].CommittedBytes)
+	}
+	return snap, nil
+}
+
+// ckptLoop is the automatic epoch coordinator: it cuts an epoch every
+// CheckpointInterval, or as soon as CheckpointEveryTasks new tasks have
+// drained (whichever comes first), until Close.
+func (e *Engine) ckptLoop() {
+	defer e.ckptWG.Done()
+	interval := e.cfg.CheckpointInterval
+	poll := interval
+	if e.cfg.CheckpointEveryTasks > 0 {
+		// The task gate needs a faster pulse than the wall-clock period.
+		poll = interval / 8
+		if poll < time.Millisecond {
+			poll = time.Millisecond
+		}
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	last := time.Now()
+	lastDrained := e.totalDrained()
+	for {
+		select {
+		case <-e.ckptStop:
+			return
+		case <-tick.C:
+			drained := e.totalDrained()
+			due := time.Since(last) >= interval
+			if n := e.cfg.CheckpointEveryTasks; n > 0 && drained-lastDrained >= int64(n) {
+				due = true
+			}
+			if !due {
+				continue
+			}
+			if _, err := e.Checkpoint(); err != nil {
+				continue // counted in saber.ckpt.failures; retry next tick
+			}
+			last = time.Now()
+			lastDrained = drained
+		}
+	}
+}
+
+func (e *Engine) totalDrained() int64 {
+	var n int64
+	for _, r := range e.quer {
+		n += r.result.drained.Load()
+	}
+	return n
+}
+
+// capture snapshots one query at its drain frontier. Holding drainMu
+// excludes the drainer, so next, the committed-output counters, the
+// pending windows and the per-input frontier bookkeeping are mutually
+// consistent: all reflect exactly tasks [0, next).
+func (rs *resultStage) capture() ckpt.QuerySnap {
+	rs.drainMu.Lock()
+	defer rs.drainMu.Unlock()
+	r := rs.r
+	qs := ckpt.QuerySnap{
+		Name:            r.plan.Q.Name,
+		Barrier:         rs.next.Load(),
+		CommittedBytes:  r.stats.bytesOut.Value(),
+		CommittedTuples: r.stats.tuplesOut.Value(),
+		Pending:         rs.asm.Export(),
+	}
+	for i := 0; i < r.plan.NumInputs(); i++ {
+		qs.Ins = append(qs.Ins, ckpt.InputSnap{
+			FreeTo: rs.lastFreeTo[i],
+			PrevTS: rs.lastPrevTS[i],
+		})
+	}
+	return qs
+}
+
+// RestoreInfo summarises a successful Restore.
+type RestoreInfo struct {
+	// Epoch is the restored epoch number.
+	Epoch uint64
+	// Path is the checkpoint file the engine was rebuilt from.
+	Path string
+	// Skipped counts newer torn/corrupt epoch files fallen past (also
+	// surfaced as saber.ckpt.corrupt).
+	Skipped int
+	// Queries is how many queries the snapshot restored.
+	Queries int
+}
+
+// Restore rebuilds the engine's state from the newest valid checkpoint
+// in dir. Call after every Register and before Start; the registered
+// queries must match the checkpoint by name. On success the engine
+// resumes at the epoch barrier: input rings are rebased to the saved
+// cursors (Handle.InputCursor tells the feeder where to resume), the
+// assembler holds the barrier's pending windows, the committed-output
+// counters continue from the saved offsets, and ϕ plus the scheduler's
+// learned rates carry over. Returns ckpt.ErrNoCheckpoint (wrapped) when
+// dir holds no loadable epoch — treat as a cold start.
+func (e *Engine) Restore(dir string) (*RestoreInfo, error) {
+	if e.started.Load() {
+		return nil, fmt.Errorf("engine: Restore after Start")
+	}
+	start := time.Now()
+	snap, info, err := ckpt.LoadLatest(dir)
+	if info != nil && info.Skipped > 0 {
+		e.ckm.corrupt.Add(int64(info.Skipped))
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, qs := range snap.Queries {
+		r, ok := e.byName[qs.Name]
+		if !ok {
+			return nil, fmt.Errorf("engine: checkpoint query %q is not registered", qs.Name)
+		}
+		if err := r.restore(qs); err != nil {
+			return nil, err
+		}
+	}
+	if snap.Phi > 0 {
+		e.SetTaskSize(int(snap.Phi))
+	}
+	e.ckptEpoch.Store(int64(snap.Epoch))
+	e.ckm.lastEpoch.Set(int64(snap.Epoch))
+	e.ckm.recoverNs.Observe(time.Since(start).Nanoseconds())
+	return &RestoreInfo{
+		Epoch:   snap.Epoch,
+		Path:    info.Path,
+		Skipped: info.Skipped,
+		Queries: len(snap.Queries),
+	}, nil
+}
+
+// restore rebuilds one query at the checkpoint's barrier. Runs strictly
+// before Start, so no locking is needed.
+func (r *registered) restore(qs ckpt.QuerySnap) error {
+	if len(qs.Ins) != r.plan.NumInputs() {
+		return fmt.Errorf("engine: checkpoint query %q carries %d inputs, plan has %d",
+			qs.Name, len(qs.Ins), r.plan.NumInputs())
+	}
+	if qs.Barrier < 0 {
+		return fmt.Errorf("engine: checkpoint query %q has negative barrier %d", qs.Name, qs.Barrier)
+	}
+	r.taskSeq.Store(qs.Barrier)
+	rs := r.result
+	rs.next.Store(qs.Barrier)
+	rs.drained.Store(qs.Barrier)
+	for i := range qs.Ins {
+		in := r.ins[i]
+		fr := qs.Ins[i].FreeTo
+		if fr < 0 || fr%int64(in.tupleSize) != 0 {
+			return fmt.Errorf("engine: checkpoint query %q input %d cursor %d not aligned to tuple size %d",
+				qs.Name, i, fr, in.tupleSize)
+		}
+		// Rebase the fresh ring (and column mirror) so the restored engine
+		// keeps the stream's absolute addressing: the first replayed byte
+		// lands at offset fr, exactly where the crashed engine had it.
+		in.ring.Rebase(fr)
+		if in.cols != nil {
+			in.cols.Rebase(fr / int64(in.tupleSize))
+		}
+		in.batchStart = fr
+		in.firstIndex = fr / int64(in.tupleSize)
+		in.prevTS = qs.Ins[i].PrevTS
+		rs.lastFreeTo[i] = fr
+		rs.lastPrevTS[i] = qs.Ins[i].PrevTS
+		// The replayed prefix was admitted once pre-crash; seeding bytesIn
+		// keeps the cumulative counters consistent across the restart.
+		r.stats.bytesIn.Add(fr)
+	}
+	rs.asm.Restore(qs.Pending)
+	r.stats.bytesOut.Add(qs.CommittedBytes)
+	r.stats.tuplesOut.Add(qs.CommittedTuples)
+	r.stats.tasksCreated.Add(qs.Barrier)
+	r.committed.Store(qs.CommittedBytes)
+	r.restoredRates = [2]float64{qs.RateCPU, qs.RateGPU}
+	return nil
+}

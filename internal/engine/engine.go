@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"saber/internal/adapt"
+	"saber/internal/ckpt"
 	"saber/internal/exec"
 	"saber/internal/fault"
 	"saber/internal/gpu"
@@ -89,6 +90,23 @@ type Config struct {
 	// both enable Adapt.
 	Adapt *adapt.Config
 
+	// CheckpointDir, when non-empty, enables epoch checkpointing into the
+	// given directory (created if missing): periodic crash-consistent
+	// snapshots recovery rebuilds from via Restore. See internal/ckpt.
+	CheckpointDir string
+	// CheckpointInterval is the automatic epoch period. 0 selects the
+	// default (500ms) when CheckpointDir is set; a negative value disables
+	// the automatic coordinator (epochs are cut only by explicit
+	// Checkpoint calls — tests and final-checkpoint-on-shutdown paths).
+	CheckpointInterval time.Duration
+	// CheckpointEveryTasks, when positive, additionally cuts an epoch as
+	// soon as this many new tasks have drained since the last one,
+	// without waiting out the full interval.
+	CheckpointEveryTasks int
+	// CheckpointKeep is how many epochs the store retains (older files
+	// are garbage-collected). Default 3.
+	CheckpointKeep int
+
 	// Metrics is the observability registry every engine counter,
 	// histogram and mirror registers in. nil gives the engine a private
 	// registry (telemetry is always on; its hot-path cost is a few
@@ -155,6 +173,14 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 50 * time.Millisecond
 	}
+	if c.CheckpointDir != "" {
+		if c.CheckpointInterval == 0 {
+			c.CheckpointInterval = 500 * time.Millisecond
+		}
+		if c.CheckpointKeep <= 0 {
+			c.CheckpointKeep = 3
+		}
+	}
 	return c
 }
 
@@ -203,6 +229,17 @@ type Engine struct {
 	adaptStop chan struct{}
 	adaptWG   sync.WaitGroup
 
+	// Checkpoint state (see checkpoint.go): the store opens lazily on the
+	// first epoch, the epoch counter continues across Restore, and the
+	// automatic coordinator runs between Start and Close.
+	ckptOnce  sync.Once
+	ckptStore *ckpt.Store
+	ckptErr   error
+	ckptEpoch atomic.Int64
+	ckptStop  chan struct{}
+	ckptWG    sync.WaitGroup
+	ckm       ckptMetrics
+
 	started atomic.Bool
 	stopped atomic.Bool
 	workers sync.WaitGroup
@@ -223,6 +260,7 @@ func New(cfg Config) *Engine {
 	}
 	e.tracer = obs.NewTracer(e.reg, e.cfg.TraceRing)
 	e.taskSize.Store(int64(e.cfg.TaskSize))
+	e.ckm = newCkptMetrics(e.reg)
 	return e
 }
 
@@ -317,6 +355,15 @@ func (e *Engine) Start() error {
 		}
 	}
 
+	// Seed the fresh matrix with any rates a Restore carried over, so
+	// scheduling resumes from the crashed process's learned crossover
+	// instead of the uniform prior.
+	for _, r := range e.quer {
+		if r.restoredRates[0] > 0 || r.restoredRates[1] > 0 {
+			e.matrix.SeedRates(r.idx, r.restoredRates[0], r.restoredRates[1])
+		}
+	}
+
 	e.registerMirrors()
 
 	if e.cfg.Adapt != nil {
@@ -339,6 +386,12 @@ func (e *Engine) Start() error {
 	if e.cfg.GPU != nil {
 		e.workers.Add(1)
 		go e.gpuWorker()
+	}
+
+	if e.cfg.CheckpointDir != "" && e.cfg.CheckpointInterval > 0 {
+		e.ckptStop = make(chan struct{})
+		e.ckptWG.Add(1)
+		go e.ckptLoop()
 	}
 	return nil
 }
@@ -391,6 +444,10 @@ func (e *Engine) Close() {
 	if e.adaptStop != nil {
 		close(e.adaptStop)
 		e.adaptWG.Wait()
+	}
+	if e.ckptStop != nil {
+		close(e.ckptStop)
+		e.ckptWG.Wait()
 	}
 	e.queue.Close()
 	e.workers.Wait()

@@ -36,6 +36,24 @@ func (h *Handle) Name() string { return h.r.plan.Q.Name }
 // for this query (at most a handful are retained), newest last.
 func (h *Handle) RecentFailures() []error { return h.r.recentFailures() }
 
+// Committed returns the output byte offset covered by the newest durable
+// checkpoint: a downstream consumer that keeps only output up to this
+// offset, and resumes from it after a crash and Restore, observes every
+// result exactly once. 0 until the first epoch persists.
+func (h *Handle) Committed() int64 { return h.r.committed.Load() }
+
+// InputCursor returns the absolute tuple index of the first byte not yet
+// dispatched on input side — immediately after Restore, the position the
+// feeder (or ingest resume) must replay the stream from. It reads the
+// dispatch position under the ingest lock, so it is exact between
+// Restore and the first Insert, and a live lower bound afterwards.
+func (h *Handle) InputCursor(side int) int64 {
+	h.r.insMu.Lock()
+	defer h.r.insMu.Unlock()
+	in := h.r.ins[side]
+	return in.batchStart / int64(in.tupleSize)
+}
+
 // statsCounters are the per-query hot-path counters, registered in the
 // engine's obs registry under saber.engine.q<i>.* (see metrics.go).
 type statsCounters struct {

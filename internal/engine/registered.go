@@ -33,6 +33,14 @@ type registered struct {
 	result  *resultStage
 	stats   statsCounters
 
+	// committed is the output byte offset covered by the newest durable
+	// checkpoint — the exactly-once cutoff Handle.Committed reports to
+	// downstream consumers. 0 until the first epoch persists.
+	committed atomic.Int64
+	// restoredRates carries a checkpoint's learned CPU/GPU throughput row
+	// from Restore (pre-Start) to the matrix created at Start.
+	restoredRates [2]float64
+
 	// failMu guards failLog, a small ring of the most recent task errors
 	// (diagnostics; counters carry the volume).
 	failMu  sync.Mutex
@@ -288,6 +296,10 @@ func (r *registered) emit(tuples [2]int64) {
 			last := data[(n-1)*int64(in.tupleSize):]
 			in.prevTS = r.plan.InputSchema(i).Timestamp(last)
 		}
+		// Stamp the batch-end timestamp on the task: the result stage
+		// records it at the drain frontier so a checkpoint can restore
+		// window.Context continuity for the first post-recovery batch.
+		t.EndPrevTS[i] = in.prevTS
 		in.batchStart = end
 		in.firstIndex += n
 		// Re-arm the pending stamp for the bytes left behind. Their true

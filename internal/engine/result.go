@@ -9,6 +9,7 @@ import (
 	"saber/internal/exec"
 	"saber/internal/obs"
 	"saber/internal/task"
+	"saber/internal/window"
 )
 
 // resultStage implements paper §4.3: a slotted circular result buffer
@@ -50,14 +51,22 @@ type resultStage struct {
 
 	sinkMu sync.RWMutex
 	sink   func([]byte)
+
+	// lastFreeTo/lastPrevTS record, per input, the free pointer and the
+	// end-of-batch timestamp of the last task drained — the input replay
+	// cursor and window.Context continuity at the frontier. Guarded by
+	// drainMu (updated by the drainer, read by the checkpoint capture).
+	lastFreeTo  [2]int64
+	lastPrevTS  [2]int64
 }
 
 type overflowEntry struct {
-	res    *exec.TaskResult
-	freeTo [2]int64
-	start  int64
-	gap    bool
-	tr     *obs.TaskTrace
+	res       *exec.TaskResult
+	freeTo    [2]int64
+	endPrevTS [2]int64
+	start     int64
+	gap       bool
+	tr        *obs.TaskTrace
 }
 
 // Slot control-flag states (the paper's control buffer, extended with a
@@ -69,13 +78,14 @@ const (
 )
 
 type resultSlot struct {
-	state  atomic.Int32
-	id     atomic.Int64 // task ID occupying the slot (valid once claimed)
-	res    *exec.TaskResult
-	freeTo [2]int64
-	start  int64          // task creation stamp for latency accounting
-	gap    bool           // quarantined task: release inputs, skip assembly
-	tr     *obs.TaskTrace // winning delivery's trace, finished at drain
+	state     atomic.Int32
+	id        atomic.Int64 // task ID occupying the slot (valid once claimed)
+	res       *exec.TaskResult
+	freeTo    [2]int64
+	endPrevTS [2]int64
+	start     int64          // task creation stamp for latency accounting
+	gap       bool           // quarantined task: release inputs, skip assembly
+	tr        *obs.TaskTrace // winning delivery's trace, finished at drain
 }
 
 func newResultStage(r *registered, slots int) *resultStage {
@@ -90,6 +100,7 @@ func newResultStage(r *registered, slots int) *resultStage {
 	for i := range rs.slots {
 		rs.slots[i].id.Store(-1)
 	}
+	rs.lastPrevTS = [2]int64{window.NoPrev, window.NoPrev}
 	return rs
 }
 
@@ -174,6 +185,7 @@ func (rs *resultStage) deposit(t *task.Task, res *exec.TaskResult, gap bool) boo
 		}
 		s.res = res
 		s.freeTo = t.FreeTo
+		s.endPrevTS = t.EndPrevTS
 		s.start = t.Created
 		s.gap = gap
 		s.tr = t.Trace
@@ -202,7 +214,7 @@ func (rs *resultStage) depositOverflow(t *task.Task, res *exec.TaskResult, gap b
 	}
 	t.Trace.SetAttempts(t.Attempts)
 	t.Trace.MarkDelivered(time.Now().UnixNano())
-	rs.overflow[t.ID] = overflowEntry{res: res, freeTo: t.FreeTo, start: t.Created, gap: gap, tr: t.Trace}
+	rs.overflow[t.ID] = overflowEntry{res: res, freeTo: t.FreeTo, endPrevTS: t.EndPrevTS, start: t.Created, gap: gap, tr: t.Trace}
 	return true
 }
 
@@ -255,7 +267,7 @@ func (rs *resultStage) drainLocked() {
 		var e overflowEntry
 		switch {
 		case s.state.Load() == slotFull && s.id.Load() == n:
-			e = overflowEntry{res: s.res, freeTo: s.freeTo, start: s.start, gap: s.gap, tr: s.tr}
+			e = overflowEntry{res: s.res, freeTo: s.freeTo, endPrevTS: s.endPrevTS, start: s.start, gap: s.gap, tr: s.tr}
 			s.res = nil
 			s.tr = nil
 			// Advance the frontier BEFORE freeing the slot. A duplicate
@@ -289,6 +301,14 @@ func (rs *resultStage) drainLocked() {
 			// counters; assembly simply continues past it.
 		} else {
 			rs.emit(rs.asm.Drain(e.res, nil))
+		}
+
+		// Advance the checkpoint frontier bookkeeping. Gap entries count
+		// too: their input range is released below and must not be
+		// replayed after a restore.
+		for i := 0; i < r.plan.NumInputs(); i++ {
+			rs.lastFreeTo[i] = e.freeTo[i]
+			rs.lastPrevTS[i] = e.endPrevTS[i]
 		}
 
 		// Release input data up to the task's free pointers and recycle

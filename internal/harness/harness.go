@@ -307,10 +307,9 @@ func Run(cfg Config) (*Report, error) {
 		// Distinct sub-seed per query so concurrent queries do not march
 		// in lockstep.
 		qr.stream, qr.fingerprint = genStream(cfg.Tuples, cfg.Seed+int64(i)*7919)
-		switch cfg.Workload {
-		case WorkloadAgg:
+		if isAggWorkload(cfg.Workload) {
 			qr.checker = &aggChecker{out: q.OutputSchema()}
-		default:
+		} else {
 			qr.checker = &passthroughChecker{}
 		}
 		mutate := cfg.MutateOutput
@@ -533,7 +532,7 @@ func Run(cfg Config) (*Report, error) {
 		rep.Violations = append(rep.Violations,
 			fmt.Errorf("metrics: %d task traces started but %d finished at quiesce", started, finished))
 	}
-	if cfg.Workload != WorkloadAgg {
+	if !isAggWorkload(cfg.Workload) {
 		tsz := int64(StreamSchema.TupleSize())
 		for i := range runs {
 			in := snap.Counters[fmt.Sprintf("saber.engine.q%d.bytes.in", i)] / tsz

@@ -64,7 +64,17 @@ const (
 	// emitted windows (including the end-of-stream flush) must add up to
 	// exactly the number of input tuples.
 	WorkloadAgg = "agg"
+	// WorkloadAggTime is WorkloadAgg over a time-based window. The
+	// harness stream's timestamps advance by exactly one per tuple, so
+	// the window boundaries mirror the count-based variant while
+	// exercising the timestamp-driven window assignment path (and, for
+	// crash-restart runs, the checkpointed PrevTimestamp continuity).
+	WorkloadAggTime = "aggtime"
 )
+
+// isAggWorkload reports whether the workload collapses windows into
+// aggregate rows (so per-tuple conservation does not apply).
+func isAggWorkload(w string) bool { return w == WorkloadAgg || w == WorkloadAggTime }
 
 // buildQuery constructs the workload query named name.
 func buildQuery(cfg Config, name string) (*query.Query, error) {
@@ -83,6 +93,11 @@ func buildQuery(cfg Config, name string) (*query.Query, error) {
 	case WorkloadAgg:
 		return query.NewBuilder(name).
 			From("S", StreamSchema, win).
+			Aggregate(query.Count, nil, "n").
+			Build()
+	case WorkloadAggTime:
+		return query.NewBuilder(name).
+			From("S", StreamSchema, window.NewTime(cfg.WindowSize, cfg.WindowSize)).
 			Aggregate(query.Count, nil, "n").
 			Build()
 	default:

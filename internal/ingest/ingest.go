@@ -76,6 +76,15 @@ type Server struct {
 	sink      Sink
 	tupleSize int
 
+	// resume, when set (EnableResume), switches the wire protocol to
+	// resume frames: the server greets every connection with its durable
+	// tuple cursor, each frame carries the absolute tuple offset of its
+	// first tuple, and replayed tuples below the cursor are discarded or
+	// trimmed instead of re-inserted — exactly-once across reconnects
+	// that replay from a checkpoint cursor.
+	resume bool
+	cursor atomic.Int64 // next tuple index the sink expects
+
 	// readTimeout, when positive, bounds how long a read may sit idle on a
 	// connection before it is dropped (a stalled or half-dead peer must not
 	// pin the single serving slot forever). Defaults to DefaultReadTimeout.
@@ -103,6 +112,9 @@ type Server struct {
 	raggedFrames   atomic.Int64 // frames rejected for partial tuples
 	deadlineDrops  atomic.Int64 // connections dropped by the read deadline
 	connErrors     atomic.Int64 // connections ended by any other error
+	resumeDups     atomic.Int64 // resume frames fully below the cursor, discarded
+	resumeTrims    atomic.Int64 // resume frames straddling the cursor, prefix-trimmed
+	resumeGaps     atomic.Int64 // resume frames starting past the cursor, rejected
 }
 
 // ServerStats is a point-in-time snapshot of the server's counters.
@@ -115,6 +127,9 @@ type ServerStats struct {
 	RaggedFrames   int64
 	DeadlineDrops  int64
 	ConnErrors     int64
+	ResumeDups     int64
+	ResumeTrims    int64
+	ResumeGaps     int64
 }
 
 // NewServer wraps an existing listener. tupleSize is the stream schema's
@@ -150,6 +165,20 @@ func (s *Server) BytesIn() int64 { return s.bytesIn.Load() }
 // Frames returns the number of frames received.
 func (s *Server) Frames() int64 { return s.framesIn.Load() }
 
+// EnableResume switches the server to the resume protocol, seeding its
+// durable tuple cursor (typically Handle.InputCursor after a Restore, or
+// 0 on a cold start). Must be called before Serve; clients must use
+// DialResume / ReconnectConfig.Resume. Every accepted connection is
+// greeted with the current cursor so the sender knows where to replay
+// from, and tuples below the cursor are discarded on arrival.
+func (s *Server) EnableResume(cursor int64) {
+	s.resume = true
+	s.cursor.Store(cursor)
+}
+
+// Cursor returns the next tuple index the sink expects (resume mode).
+func (s *Server) Cursor() int64 { return s.cursor.Load() }
+
 // SetReadTimeout sets the per-read idle deadline for all connections,
 // overriding DefaultReadTimeout. Safe to call concurrently with Serve.
 // Passing 0 disables the deadline — do that only in tests: with serial
@@ -168,6 +197,9 @@ func (s *Server) Stats() ServerStats {
 		RaggedFrames:   s.raggedFrames.Load(),
 		DeadlineDrops:  s.deadlineDrops.Load(),
 		ConnErrors:     s.connErrors.Load(),
+		ResumeDups:     s.resumeDups.Load(),
+		ResumeTrims:    s.resumeTrims.Load(),
+		ResumeGaps:     s.resumeGaps.Load(),
 	}
 }
 
@@ -184,6 +216,9 @@ func (s *Server) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.RegisterFunc(prefix+".frames.ragged", s.raggedFrames.Load)
 	reg.RegisterFunc(prefix+".deadline.drops", s.deadlineDrops.Load)
 	reg.RegisterFunc(prefix+".conn.errors", s.connErrors.Load)
+	reg.RegisterFunc(prefix+".resume.dups", s.resumeDups.Load)
+	reg.RegisterFunc(prefix+".resume.trims", s.resumeTrims.Load)
+	reg.RegisterFunc(prefix+".resume.gaps", s.resumeGaps.Load)
 }
 
 // Serve accepts connections until Close. It returns nil after Close and
@@ -249,19 +284,32 @@ func (s *Server) Close() error {
 // handle processes one connection. A frame only reaches the sink after
 // its payload has been read in full — a connection dying mid-frame
 // discards the partial frame, so a reconnecting client that resends the
-// whole frame yields exactly-once insertion at frame granularity.
+// whole frame yields exactly-once insertion at frame granularity. In
+// resume mode the header additionally carries the frame's absolute tuple
+// offset, and the cursor turns frame-level at-least-once replay into
+// tuple-level exactly-once insertion.
 func (s *Server) handle(conn net.Conn) error {
-	var hdr [4]byte
+	hdrLen := 4
+	if s.resume {
+		hdrLen = resumeHeaderSize
+		// Greet with the durable cursor: the sender replays from here.
+		var g [8]byte
+		binary.LittleEndian.PutUint64(g[:], uint64(s.cursor.Load()))
+		if _, err := conn.Write(g[:]); err != nil {
+			return fmt.Errorf("ingest: resume greeting: %w", err)
+		}
+	}
+	var hdr [resumeHeaderSize]byte
 	buf := make([]byte, 64<<10)
 	for {
 		s.armDeadline(conn)
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		if _, err := io.ReadFull(conn, hdr[:hdrLen]); err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return err
 		}
-		n := int(binary.LittleEndian.Uint32(hdr[:]))
+		n := int(binary.LittleEndian.Uint32(hdr[:4]))
 		switch {
 		case n == 0:
 			// A zero-length frame carries no tuples; tolerate it as a
@@ -285,8 +333,32 @@ func (s *Server) handle(conn net.Conn) error {
 		}
 		s.bytesIn.Add(int64(n))
 		s.framesIn.Add(1)
+		payload := buf
+		if s.resume {
+			// The payload has been consumed from the wire whatever the
+			// verdict, so a discarded duplicate leaves the stream aligned.
+			off := int64(binary.LittleEndian.Uint64(hdr[4:12]))
+			cur := s.cursor.Load()
+			end := off + int64(n/s.tupleSize)
+			switch {
+			case end <= cur:
+				s.resumeDups.Add(1)
+				continue
+			case off > cur:
+				s.resumeGaps.Add(1)
+				return fmt.Errorf("ingest: resume frame at tuple %d leaves a gap (cursor %d)", off, cur)
+			case off < cur:
+				s.resumeTrims.Add(1)
+				payload = payload[(cur-off)*int64(s.tupleSize):]
+			}
+			s.sinkMu.Lock()
+			s.sink.Insert(payload)
+			s.cursor.Store(end)
+			s.sinkMu.Unlock()
+			continue
+		}
 		s.sinkMu.Lock()
-		s.sink.Insert(buf)
+		s.sink.Insert(payload)
 		s.sinkMu.Unlock()
 	}
 }
@@ -306,11 +378,18 @@ func (s *Server) armDeadline(conn net.Conn) {
 	}
 }
 
+// resumeHeaderSize is the resume-mode frame header: 4-byte payload
+// length followed by the 8-byte absolute tuple offset of the frame's
+// first tuple.
+const resumeHeaderSize = 12
+
 // Client sends tuple frames to an ingest server.
 type Client struct {
-	conn net.Conn
-	hdr  [4]byte
-	inj  *fault.Injector
+	conn   net.Conn
+	hdr    [resumeHeaderSize]byte
+	inj    *fault.Injector
+	resume bool
+	tsz    int
 }
 
 // Dial connects to an ingest server.
@@ -322,6 +401,26 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn}, nil
 }
 
+// DialResume connects to a resume-mode server (EnableResume) and reads
+// its greeting: the tuple index the server expects next. The caller
+// replays its stream from that index using SendAt.
+func DialResume(addr string, tupleSize int) (*Client, int64, error) {
+	if tupleSize <= 0 {
+		return nil, 0, fmt.Errorf("ingest: tuple size %d", tupleSize)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	var g [8]byte
+	if _, err := io.ReadFull(conn, g[:]); err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("ingest: resume greeting: %w", err)
+	}
+	cursor := int64(binary.LittleEndian.Uint64(g[:]))
+	return &Client{conn: conn, resume: true, tsz: tupleSize}, cursor, nil
+}
+
 // SetFault arms seeded fault injection on this client: fault.IngestDrop
 // makes Send abort mid-frame and close the connection (simulating a
 // sender crash), fault.IngestStall inserts the armed delay before the
@@ -331,33 +430,63 @@ func (c *Client) SetFault(inj *fault.Injector) { c.inj = inj }
 // Send transmits one frame of whole tuples. On an injected fault the
 // frame is truncated on the wire and the connection closed; the caller
 // must redial and resend the whole frame (see DialReconnect) — the
-// server never forwards a partial frame to its sink.
+// server never forwards a partial frame to its sink. Not valid on a
+// resume-mode client, where every frame must carry its offset (SendAt).
 func (c *Client) Send(tuples []byte) error {
+	if c.resume {
+		return errors.New("ingest: Send on a resume client (use SendAt)")
+	}
+	return c.send(tuples, 0)
+}
+
+// SendAt transmits one frame of whole tuples starting at absolute tuple
+// index off. Resume-mode clients only.
+func (c *Client) SendAt(tuples []byte, off int64) error {
+	if !c.resume {
+		return errors.New("ingest: SendAt on a non-resume client")
+	}
+	if len(tuples)%c.tsz != 0 {
+		return fmt.Errorf("ingest: frame of %d bytes is not whole %d-byte tuples", len(tuples), c.tsz)
+	}
+	return c.send(tuples, off)
+}
+
+func (c *Client) send(tuples []byte, off int64) error {
 	if len(tuples) == 0 {
 		return nil
 	}
 	if len(tuples) > MaxFrame {
 		return fmt.Errorf("ingest: frame of %d bytes exceeds limit", len(tuples))
 	}
+	hdr := c.header(tuples, off)
 	if c.inj.Decide(fault.IngestDrop) {
-		return c.abortMidFrame(tuples, 0, fault.IngestDrop)
+		return c.abortMidFrame(hdr, tuples, 0, fault.IngestDrop)
 	}
 	if d := c.inj.Stall(fault.IngestStall); d > 0 {
-		return c.abortMidFrame(tuples, d, fault.IngestStall)
+		return c.abortMidFrame(hdr, tuples, d, fault.IngestStall)
 	}
-	binary.LittleEndian.PutUint32(c.hdr[:], uint32(len(tuples)))
-	if _, err := c.conn.Write(c.hdr[:]); err != nil {
+	if _, err := c.conn.Write(hdr); err != nil {
 		return err
 	}
 	_, err := c.conn.Write(tuples)
 	return err
 }
 
+// header fills the frame header for this client's mode and returns the
+// wire slice.
+func (c *Client) header(tuples []byte, off int64) []byte {
+	binary.LittleEndian.PutUint32(c.hdr[:4], uint32(len(tuples)))
+	if !c.resume {
+		return c.hdr[:4]
+	}
+	binary.LittleEndian.PutUint64(c.hdr[4:12], uint64(off))
+	return c.hdr[:resumeHeaderSize]
+}
+
 // abortMidFrame writes the frame header and half the payload, optionally
 // stalls, then closes the connection and reports the injected failure.
-func (c *Client) abortMidFrame(tuples []byte, stall time.Duration, site fault.Site) error {
-	binary.LittleEndian.PutUint32(c.hdr[:], uint32(len(tuples)))
-	_, _ = c.conn.Write(c.hdr[:])
+func (c *Client) abortMidFrame(hdr, tuples []byte, stall time.Duration, site fault.Site) error {
+	_, _ = c.conn.Write(hdr)
 	_, _ = c.conn.Write(tuples[:len(tuples)/2])
 	if stall > 0 {
 		time.Sleep(stall)

@@ -21,6 +21,20 @@ type ReconnectConfig struct {
 	Seed int64
 	// Fault arms seeded send-side fault injection (see Client.SetFault).
 	Fault *fault.Injector
+
+	// Resume speaks the resume protocol (server side: EnableResume): the
+	// client tracks absolute tuple offsets, keeps a bounded replay window
+	// of recently sent tuples, and on every redial retransmits from the
+	// server's greeted cursor — so a server restarted from a checkpoint
+	// gets the lost suffix again, exactly once. Requires TupleSize.
+	Resume bool
+	// TupleSize is the stream schema's tuple size (resume mode only).
+	TupleSize int
+	// ReplayWindow bounds the replay buffer in bytes; a redial whose
+	// greeted cursor has fallen out of the window fails the Send. It must
+	// cover the server's checkpoint lag: cursor distance beyond the
+	// window is unrecoverable from this client alone. Default 16 MiB.
+	ReplayWindow int
 }
 
 func (c ReconnectConfig) withDefaults() ReconnectConfig {
@@ -33,7 +47,37 @@ func (c ReconnectConfig) withDefaults() ReconnectConfig {
 	if c.MaxDelay <= 0 {
 		c.MaxDelay = 50 * time.Millisecond
 	}
+	if c.ReplayWindow <= 0 {
+		c.ReplayWindow = 16 << 20
+	}
 	return c
+}
+
+// replayBuf is a bounded byte window over the most recently sent tuples,
+// addressed by absolute tuple index. Always whole-tuple aligned.
+type replayBuf struct {
+	buf  []byte
+	base int64 // absolute tuple index of buf[0]
+	max  int
+	tsz  int
+}
+
+func (rb *replayBuf) append(tuples []byte) {
+	rb.buf = append(rb.buf, tuples...)
+	if over := len(rb.buf) - rb.max; over > 0 {
+		trim := (over + rb.tsz - 1) / rb.tsz * rb.tsz
+		rb.base += int64(trim / rb.tsz)
+		rb.buf = append(rb.buf[:0], rb.buf[trim:]...)
+	}
+}
+
+// slice returns the retained bytes for tuple range [from, to), or false
+// when from has already been trimmed out of the window.
+func (rb *replayBuf) slice(from, to int64) ([]byte, bool) {
+	if from < rb.base || to < from || to > rb.base+int64(len(rb.buf)/rb.tsz) {
+		return nil, false
+	}
+	return rb.buf[(from-rb.base)*int64(rb.tsz) : (to-rb.base)*int64(rb.tsz)], true
 }
 
 // ReconnectClient is a Client that transparently redials after connection
@@ -47,6 +91,12 @@ type ReconnectClient struct {
 	c    *Client
 	rnd  *rand.Rand
 
+	// next is the absolute tuple index of the next unsent tuple; replay
+	// holds the window behind it for post-reconnect retransmission
+	// (resume mode only).
+	next   int64
+	replay replayBuf
+
 	reconnects int64
 	resends    int64
 }
@@ -54,10 +104,16 @@ type ReconnectClient struct {
 // DialReconnect connects a reconnecting client to an ingest server.
 func DialReconnect(addr string, cfg ReconnectConfig) (*ReconnectClient, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Resume && cfg.TupleSize <= 0 {
+		return nil, fmt.Errorf("ingest: resume client needs TupleSize (got %d)", cfg.TupleSize)
+	}
 	rc := &ReconnectClient{
 		cfg:  cfg,
 		addr: addr,
 		rnd:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Resume {
+		rc.replay = replayBuf{max: cfg.ReplayWindow, tsz: cfg.TupleSize}
 	}
 	if err := rc.redial(); err != nil {
 		return nil, err
@@ -66,11 +122,50 @@ func DialReconnect(addr string, cfg ReconnectConfig) (*ReconnectClient, error) {
 }
 
 func (rc *ReconnectClient) redial() error {
-	c, err := Dial(rc.addr)
+	if !rc.cfg.Resume {
+		c, err := Dial(rc.addr)
+		if err != nil {
+			return err
+		}
+		c.SetFault(rc.cfg.Fault)
+		rc.c = c
+		return nil
+	}
+	c, cursor, err := DialResume(rc.addr, rc.cfg.TupleSize)
 	if err != nil {
 		return err
 	}
 	c.SetFault(rc.cfg.Fault)
+	if cursor == 0 && rc.next == 0 {
+		// Fresh stream on both sides; nothing to replay.
+		rc.c = c
+		return nil
+	}
+	if cursor < rc.next {
+		// The server lost tuples we already sent (restart from an older
+		// checkpoint): retransmit [cursor, next) from the replay window.
+		data, ok := rc.replay.slice(cursor, rc.next)
+		if !ok {
+			c.Close()
+			return fmt.Errorf("ingest: server cursor %d is outside the replay window [%d, %d)",
+				cursor, rc.replay.base, rc.next)
+		}
+		chunk := int64(MaxFrame - MaxFrame%rc.cfg.TupleSize)
+		for off := int64(0); off < int64(len(data)); off += chunk {
+			end := off + chunk
+			if end > int64(len(data)) {
+				end = int64(len(data))
+			}
+			if err := c.SendAt(data[off:end], cursor+off/int64(rc.cfg.TupleSize)); err != nil {
+				c.Close()
+				return err
+			}
+			rc.resends++
+		}
+	}
+	// cursor > next means the server has more than we remember sending
+	// (e.g. this client restarted); our next frames will be discarded or
+	// trimmed server-side until the offsets converge.
 	rc.c = c
 	return nil
 }
@@ -88,8 +183,20 @@ func (rc *ReconnectClient) backoff(i int) time.Duration {
 }
 
 // Send transmits one frame, redialing and resending it whole after any
-// connection failure, until it succeeds or MaxAttempts is exhausted.
+// connection failure, until it succeeds or MaxAttempts is exhausted. In
+// resume mode the frame is stamped with the stream's running tuple
+// offset and retained in the replay window, and every redial first
+// retransmits whatever the server's greeting says it is missing.
 func (rc *ReconnectClient) Send(tuples []byte) error {
+	if rc.cfg.Resume {
+		if len(tuples)%rc.cfg.TupleSize != 0 {
+			return fmt.Errorf("ingest: frame of %d bytes is not whole %d-byte tuples",
+				len(tuples), rc.cfg.TupleSize)
+		}
+		if len(tuples) > 0 {
+			rc.replay.append(tuples)
+		}
+	}
 	var lastErr error
 	for attempt := 0; attempt < rc.cfg.MaxAttempts; attempt++ {
 		if rc.c == nil {
@@ -105,8 +212,16 @@ func (rc *ReconnectClient) Send(tuples []byte) error {
 		if attempt > 0 {
 			rc.resends++
 		}
-		err := rc.c.Send(tuples)
+		var err error
+		if rc.cfg.Resume {
+			err = rc.c.SendAt(tuples, rc.next)
+		} else {
+			err = rc.c.Send(tuples)
+		}
 		if err == nil {
+			if rc.cfg.Resume {
+				rc.next += int64(len(tuples) / rc.cfg.TupleSize)
+			}
 			return nil
 		}
 		lastErr = err
@@ -115,6 +230,10 @@ func (rc *ReconnectClient) Send(tuples []byte) error {
 	}
 	return fmt.Errorf("ingest: send failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
 }
+
+// Next returns the absolute tuple index of the next unsent tuple
+// (resume mode; 0 otherwise).
+func (rc *ReconnectClient) Next() int64 { return rc.next }
 
 // Reconnects counts successful redials.
 func (rc *ReconnectClient) Reconnects() int64 { return rc.reconnects }

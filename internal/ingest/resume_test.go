@@ -1,0 +1,251 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"saber/internal/fault"
+)
+
+// startResumeServer is startServer with the resume protocol armed at the
+// given cursor.
+func startResumeServer(t *testing.T, sink Sink, tupleSize int, cursor int64) *Server {
+	t.Helper()
+	s, err := Listen("127.0.0.1:0", sink, tupleSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableResume(cursor)
+	go func() { _ = s.Serve() }()
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// stream returns n 8-byte tuples with recognisable contents.
+func stream(n int) []byte {
+	out := make([]byte, n*8)
+	for i := range out {
+		out[i] = byte(i * 13)
+	}
+	return out
+}
+
+func waitBytes(t *testing.T, srv *Server, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.BytesIn() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("server received %d bytes, want %d", srv.BytesIn(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestResumeGreetingAndSendAt: the greeting carries the seeded cursor and
+// offset frames at the cursor flow straight through.
+func TestResumeGreetingAndSendAt(t *testing.T) {
+	sink := &collectSink{}
+	srv := startResumeServer(t, sink, 8, 5)
+
+	c, cursor, err := DialResume(srv.Addr().String(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if cursor != 5 {
+		t.Fatalf("greeting cursor %d, want 5", cursor)
+	}
+	data := stream(4)
+	if err := c.SendAt(data, 5); err != nil {
+		t.Fatal(err)
+	}
+	waitBytes(t, srv, int64(len(data)))
+	srv.Close()
+	if !bytes.Equal(sink.bytes(), data) {
+		t.Fatal("sink content mismatch")
+	}
+	if got := srv.Cursor(); got != 9 {
+		t.Fatalf("cursor %d after 4 tuples from 5, want 9", got)
+	}
+}
+
+// TestResumeDedupAndTrim: frames below the cursor are discarded, frames
+// straddling it are prefix-trimmed — the sink sees each tuple once.
+func TestResumeDedupAndTrim(t *testing.T) {
+	sink := &collectSink{}
+	srv := startResumeServer(t, sink, 8, 0)
+
+	c, _, err := DialResume(srv.Addr().String(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := stream(10)
+	if err := c.SendAt(data[:6*8], 0); err != nil { // tuples [0,6)
+		t.Fatal(err)
+	}
+	if err := c.SendAt(data[2*8:4*8], 2); err != nil { // dup [2,4)
+		t.Fatal(err)
+	}
+	if err := c.SendAt(data[4*8:], 4); err != nil { // straddle [4,10): trim to [6,10)
+		t.Fatal(err)
+	}
+	waitBytes(t, srv, int64(len(data))+2*8+2*8)
+	srv.Close()
+	if !bytes.Equal(sink.bytes(), data) {
+		t.Fatalf("sink has %d bytes, want %d exactly once", len(sink.bytes()), len(data))
+	}
+	st := srv.Stats()
+	if st.ResumeDups != 1 || st.ResumeTrims != 1 {
+		t.Fatalf("stats %+v, want 1 dup and 1 trim", st)
+	}
+}
+
+// TestResumeGapRejected: a frame starting past the cursor would lose
+// tuples silently; the server must kill the connection instead.
+func TestResumeGapRejected(t *testing.T) {
+	sink := &collectSink{}
+	srv := startResumeServer(t, sink, 8, 0)
+
+	c, _, err := DialResume(srv.Addr().String(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SendAt(stream(2), 7); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().ResumeGaps == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("gap frame never rejected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(sink.bytes()) != 0 {
+		t.Fatal("gap frame reached the sink")
+	}
+}
+
+// TestResumeReconnectReplaysFromGreeting is the crash-recovery path: the
+// server restarts with a cursor behind the client's position and the
+// reconnecting client retransmits the missing suffix from its replay
+// window, exactly once.
+func TestResumeReconnectReplaysFromGreeting(t *testing.T) {
+	sinkA := &collectSink{}
+	srvA := startResumeServer(t, sinkA, 8, 0)
+
+	rc, err := DialReconnect(srvA.Addr().String(), ReconnectConfig{
+		Seed:      7,
+		Resume:    true,
+		TupleSize: 8,
+		BaseDelay: 100 * time.Microsecond,
+		MaxDelay:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream(100)
+	for off := 0; off < 60*8; off += 10 * 8 {
+		if err := rc.Send(data[off : off+10*8]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitBytes(t, srvA, 60*8)
+	srvA.Close()
+
+	// "Restart" on the same address from an older checkpoint: the new
+	// server only remembers tuples [0, 40).
+	sinkB := &collectSink{}
+	srvB, err := Listen(srvA.Addr().String(), sinkB, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB.EnableResume(40)
+	go func() { _ = srvB.Serve() }()
+	defer srvB.Close()
+
+	for off := 60 * 8; off < len(data); off += 10 * 8 {
+		if err := rc.Send(data[off : off+10*8]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc.Close()
+	waitBytes(t, srvB, int64(len(data)-40*8))
+	srvB.Close()
+	if rc.Next() != 100 {
+		t.Fatalf("client next %d, want 100", rc.Next())
+	}
+	if !bytes.Equal(sinkB.bytes(), data[40*8:]) {
+		t.Fatalf("restarted sink has %d bytes, want tuples [40,100) exactly once", len(sinkB.bytes())/8)
+	}
+}
+
+// TestResumeReconnectUnderFaults mixes the resume protocol with seeded
+// mid-frame disconnects: offsets must keep the sink exactly-once even
+// when frames die on the wire and are resent.
+func TestResumeReconnectUnderFaults(t *testing.T) {
+	sink := &collectSink{}
+	srv := startResumeServer(t, sink, 8, 0)
+
+	inj := fault.New(42)
+	inj.Arm(fault.IngestDrop, fault.Spec{Rate: 0.3})
+	rc, err := DialReconnect(srv.Addr().String(), ReconnectConfig{
+		Seed:      42,
+		Resume:    true,
+		TupleSize: 8,
+		BaseDelay: 100 * time.Microsecond,
+		MaxDelay:  2 * time.Millisecond,
+		Fault:     inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < 200; i++ {
+		frame := make([]byte, 8*(1+i%4))
+		for j := range frame {
+			frame[j] = byte(i*7 + j)
+		}
+		if err := rc.Send(frame); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, frame...)
+	}
+	rc.Close()
+	if rc.Reconnects() == 0 || inj.TotalInjections() == 0 {
+		t.Fatalf("no faults exercised: reconnects=%d injections=%d", rc.Reconnects(), inj.TotalInjections())
+	}
+	waitBytes(t, srv, int64(len(want)))
+	srv.Close()
+	if !bytes.Equal(sink.bytes(), want) {
+		t.Fatalf("sink has %d bytes, want %d exactly once", len(sink.bytes()), len(want))
+	}
+	if rc.Next() != int64(len(want)/8) {
+		t.Fatalf("client next %d, want %d", rc.Next(), len(want)/8)
+	}
+}
+
+// TestReplayWindowTrimsAligned exercises the bounded replay buffer
+// directly: overflow trims whole tuples from the front and slice
+// refuses ranges that fell out.
+func TestReplayWindowTrimsAligned(t *testing.T) {
+	rb := replayBuf{max: 5 * 8, tsz: 8}
+	data := stream(12)
+	for i := 0; i < 12; i += 3 {
+		rb.append(data[i*8 : (i+3)*8])
+	}
+	if rb.base != 7 {
+		t.Fatalf("base %d after trimming to a 5-tuple window, want 7", rb.base)
+	}
+	if got, ok := rb.slice(7, 12); !ok || !bytes.Equal(got, data[7*8:]) {
+		t.Fatal("retained window should cover tuples [7,12)")
+	}
+	if _, ok := rb.slice(6, 12); ok {
+		t.Fatal("slice before the window must fail")
+	}
+	if _, ok := rb.slice(7, 13); ok {
+		t.Fatal("slice past the window must fail")
+	}
+}

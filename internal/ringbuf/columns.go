@@ -287,6 +287,22 @@ func (s *ColumnStore) CopyViews(bufs [][]byte, from, to int64) [][]byte {
 	return bufs
 }
 
+// Rebase repositions an empty store at absolute tuple index idx — the
+// column-store counterpart of Buffer.Rebase, used when restoring an
+// engine from a checkpoint. Only an empty store may be rebased, and the
+// index may only move forward.
+func (s *ColumnStore) Rebase(idx int64) {
+	start, end := s.start.Load(), s.end.Load()
+	if start != end {
+		panic(fmt.Sprintf("ringbuf: column Rebase(%d) with %d retained tuples [%d,%d)", idx, end-start, start, end))
+	}
+	if idx < start {
+		panic(fmt.Sprintf("ringbuf: column Rebase(%d) moves indices backwards from %d", idx, start))
+	}
+	s.start.Store(idx)
+	s.end.Store(idx)
+}
+
 // Release frees all tuples before absolute index upTo. Offsets only move
 // forward; releasing an already released range is a no-op; releasing past
 // End panics. Call this *before* the row ring's Release for the same

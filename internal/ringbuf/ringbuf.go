@@ -170,6 +170,27 @@ func (b *Buffer) Release(upTo int64) {
 	}
 }
 
+// Rebase repositions an empty buffer at absolute offset off, so an
+// engine restored from a checkpoint keeps addressing the stream with the
+// same absolute offsets the checkpoint recorded. Only a fresh (or fully
+// released and never-rebased) empty buffer may be rebased: retained bytes
+// would have no defined position after the jump. Offsets only move
+// forward, matching the monotonicity invariant.
+func (b *Buffer) Rebase(off int64) {
+	b.chk.mu.Lock()
+	defer b.chk.mu.Unlock()
+	start, end := b.start.Load(), b.end.Load()
+	if start != end {
+		panic(fmt.Sprintf("ringbuf: Rebase(%d) with %d retained bytes [%d,%d)", off, end-start, start, end))
+	}
+	if off < start {
+		panic(fmt.Sprintf("ringbuf: Rebase(%d) moves offsets backwards from %d", off, start))
+	}
+	b.start.Store(off)
+	b.end.Store(off)
+	b.chk.start, b.chk.end = off, off
+}
+
 func (b *Buffer) check(from, to int64) {
 	if from > to || from < b.start.Load() || to > b.end.Load() {
 		panic(fmt.Sprintf("ringbuf: region [%d,%d) outside retained [%d,%d)",

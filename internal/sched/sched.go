@@ -167,6 +167,27 @@ func (m *Matrix) ObserveSized(q int, p Processor, bytes int64, serviceSeconds fl
 	m.rows[q][p] = m.alpha*rate + (1-m.alpha)*m.rows[q][p]
 }
 
+// SeedRates primes query q's row with rates carried over from a
+// checkpoint, marking them seen so the uniform prior does not linger: the
+// restored engine resumes scheduling with the crashed process's learned
+// CPU/GPU throughputs instead of re-learning from scratch. Non-positive
+// rates leave the corresponding entry at the prior.
+func (m *Matrix) SeedRates(q int, cpu, gpu float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if q < 0 || q >= len(m.rows) {
+		return
+	}
+	if cpu > 0 {
+		m.rows[q][CPU] = cpu
+		m.seen[q][CPU] = true
+	}
+	if gpu > 0 {
+		m.rows[q][GPU] = gpu
+		m.seen[q][GPU] = true
+	}
+}
+
 // Rate returns ρ(q, p), evaluated at the current ϕ when a trustworthy
 // service-time fit exists and falling back to the legacy EWMA row
 // otherwise. Because the fit is evaluated live on every call, a SetPhi

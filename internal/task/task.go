@@ -24,6 +24,11 @@ type Task struct {
 	// once this task's results have been consumed (paper §4.1's free
 	// pointer).
 	FreeTo [2]int64
+	// EndPrevTS, per input, is the timestamp of this task's last tuple —
+	// the PrevTimestamp the *next* task's window.Context carries. The
+	// result stage records it at the drain frontier so a checkpoint can
+	// restore timestamp continuity for the first batch cut after recovery.
+	EndPrevTS [2]int64
 	// Created is a logical enqueue stamp used for latency accounting
 	// (nanoseconds).
 	Created int64

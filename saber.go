@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"saber/internal/adapt"
+	"saber/internal/ckpt"
 	"saber/internal/cql"
 	"saber/internal/engine"
 	"saber/internal/gpu"
@@ -168,6 +169,20 @@ type Config struct {
 	// AdaptInterval is the controller's tick period (default 50ms).
 	// Ignored unless LatencySLO is set.
 	AdaptInterval time.Duration
+
+	// CheckpointDir enables epoch-based checkpointing: the engine
+	// periodically persists each query's state (committed output
+	// frontier, open windows, input cursors, ϕ, learned scheduler rates)
+	// to this directory, and Restore rebuilds from the newest valid
+	// epoch after a crash. Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointInterval is the automatic epoch period. Zero selects
+	// 500ms when CheckpointDir is set; a negative value disables the
+	// automatic coordinator (manual Checkpoint calls only).
+	CheckpointInterval time.Duration
+	// CheckpointKeep is how many epochs to retain on disk (default 3);
+	// older epochs are the fallback past a torn or corrupt newest file.
+	CheckpointKeep int
 }
 
 // Engine is a SABER instance: declare streams, register queries, start,
@@ -190,6 +205,10 @@ func New(cfg Config) *Engine {
 		SwitchThreshold: cfg.SwitchThreshold,
 		Model:           cfg.Model,
 		DisablePad:      cfg.NativeSpeed,
+
+		CheckpointDir:      cfg.CheckpointDir,
+		CheckpointInterval: cfg.CheckpointInterval,
+		CheckpointKeep:     cfg.CheckpointKeep,
 	}
 	if cfg.LatencySLO > 0 {
 		ecfg.Adapt = &adapt.Config{
@@ -240,6 +259,28 @@ func (e *Engine) RegisterQuery(q *Query) (*QueryHandle, error) {
 
 // Start launches the worker threads; no further queries can be added.
 func (e *Engine) Start() error { return e.e.Start() }
+
+// Checkpoint cuts one durable epoch immediately (the automatic
+// coordinator, when enabled, does this on its own). After it returns,
+// every QueryHandle.Committed reflects the new epoch.
+func (e *Engine) Checkpoint() error {
+	_, err := e.e.Checkpoint()
+	return err
+}
+
+// RestoreInfo summarises a successful Restore.
+type RestoreInfo = engine.RestoreInfo
+
+// ErrNoCheckpoint is returned (wrapped) by Restore when the directory
+// holds no loadable epoch — a cold start, not a failure.
+var ErrNoCheckpoint = ckpt.ErrNoCheckpoint
+
+// Restore rebuilds engine state from the newest valid checkpoint in dir.
+// Call it after registering the same queries (matched by name) and
+// before Start. On success, resume feeding each query from
+// QueryHandle.InputCursor and keep downstream output up to
+// QueryHandle.Committed — together that yields exactly-once restart.
+func (e *Engine) Restore(dir string) (*RestoreInfo, error) { return e.e.Restore(dir) }
 
 // Drain finishes all buffered and in-flight work and flushes open
 // windows. Call after the last Insert.
@@ -310,6 +351,15 @@ func (q *QueryHandle) Name() string { return q.h.Name() }
 
 // Stats snapshots the query's counters.
 func (q *QueryHandle) Stats() Stats { return q.h.Stats() }
+
+// Committed returns the output byte offset covered by the newest durable
+// checkpoint: keep output up to this offset and resume from it after a
+// Restore to observe every result exactly once.
+func (q *QueryHandle) Committed() int64 { return q.h.Committed() }
+
+// InputCursor returns the absolute tuple index the feeder must replay
+// the stream from after a Restore (side 0 unless the query is a join).
+func (q *QueryHandle) InputCursor(side int) int64 { return q.h.InputCursor(side) }
 
 // String describes the handle.
 func (q *QueryHandle) String() string {

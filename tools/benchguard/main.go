@@ -26,10 +26,17 @@
 //     of the best fixed-ϕ configuration's paced throughput — the
 //     "adaptivity is nearly free" claim, checked against the twin.
 //
+//   - Epoch checkpointing (-ckpt, BENCH_ckpt.json, the ckpt
+//     experiment): fails when the paired checkpoint-on/off throughput
+//     overhead exceeds -ckpt-max (default 5%), or when the run cut no
+//     epochs — a coordinator that never fires would gate at 0% overhead
+//     while protecting nothing.
+//
 // Usage:
 //
 //	go run ./tools/benchguard [-max 3] [-file BENCH_operators.json]
 //	go run ./tools/benchguard -adaptive [-min-pct 90] [-file BENCH_adaptive.json]
+//	go run ./tools/benchguard -ckpt [-ckpt-max 5] [-file BENCH_ckpt.json]
 package main
 
 import (
@@ -41,11 +48,13 @@ import (
 
 func main() {
 	adaptive := flag.Bool("adaptive", false, "gate the adaptive task-sizing twin instead of the observability overhead")
-	file := flag.String("file", "", "experiment JSON twin (default BENCH_operators.json, or BENCH_adaptive.json with -adaptive)")
+	ckpt := flag.Bool("ckpt", false, "gate the epoch-checkpointing overhead twin instead of the observability overhead")
+	file := flag.String("file", "", "experiment JSON twin (default BENCH_operators.json; BENCH_adaptive.json with -adaptive; BENCH_ckpt.json with -ckpt)")
 	max := flag.Float64("max", 3, "maximum allowed aggregate metrics-on overhead, percent")
 	minPct := flag.Float64("min-pct", 90, "with -adaptive: minimum adaptive throughput as a percentage of the best fixed ϕ")
 	colMin := flag.Float64("col-min", 0.9, "minimum per-operator columnar/row throughput ratio")
 	ingestMin := flag.Float64("ingest-min", 1.0, "minimum end-to-end ingest-bandwidth columnar/row ratio")
+	ckptMax := flag.Float64("ckpt-max", 5, "with -ckpt: maximum allowed paired checkpoint-on overhead, percent")
 	flag.Parse()
 
 	if *adaptive {
@@ -53,6 +62,13 @@ func main() {
 			*file = "BENCH_adaptive.json"
 		}
 		guardAdaptive(*file, *minPct)
+		return
+	}
+	if *ckpt {
+		if *file == "" {
+			*file = "BENCH_ckpt.json"
+		}
+		guardCkpt(*file, *ckptMax)
 		return
 	}
 	if *file == "" {
@@ -201,6 +217,65 @@ func guardAdaptive(file string, minPct float64) {
 	}
 	if a.Grows+a.Shrinks == 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: adaptive run never resized ϕ — the controller was inert\n")
+		os.Exit(1)
+	}
+}
+
+// guardCkpt gates BENCH_ckpt.json: the paired checkpoint-on/off
+// throughput overhead must stay within maxPct, with at least one epoch
+// actually persisted (and none failing) so the measurement demonstrably
+// exercised the coordinator.
+func guardCkpt(file string, maxPct float64) {
+	buf, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v (run saber-bench -experiment ckpt first)\n", err)
+		os.Exit(2)
+	}
+	var js struct {
+		IntervalMs  float64 `json:"interval_ms"`
+		Trials      int     `json:"trials"`
+		OffGBps     float64 `json:"off_gbps"`
+		OnGBps      float64 `json:"on_gbps"`
+		OverheadPct float64 `json:"overhead_pct"`
+		Epochs      int64   `json:"epochs"`
+		CkptBytes   int64   `json:"ckpt_bytes"`
+		P50Ms       float64 `json:"snapshot_p50_ms"`
+		P99Ms       float64 `json:"snapshot_p99_ms"`
+		Runs        []struct {
+			Ckpt     bool    `json:"ckpt"`
+			GBps     float64 `json:"gbps"`
+			Epochs   int64   `json:"epochs"`
+			Failures int64   `json:"failures"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf, &js); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", file, err)
+		os.Exit(2)
+	}
+	if js.Trials == 0 || len(js.Runs) == 0 || js.OffGBps <= 0 || js.OnGBps <= 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: no trials recorded (stale or truncated file?)\n", file)
+		os.Exit(2)
+	}
+	for _, r := range js.Runs {
+		mode := "off"
+		if r.Ckpt {
+			mode = "on "
+		}
+		fmt.Printf("  checkpoint %s %6.2f GB/s   epochs %3d   persist failures %d\n",
+			mode, r.GBps, r.Epochs, r.Failures)
+		if r.Failures > 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %d checkpoint persist failure(s) during the measurement\n", r.Failures)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("paired overhead %.2f%% over %d pairs (budget %.2f%%), %d epochs at %0.fms period, snapshot p50 %.2f ms / p99 %.2f ms\n",
+		js.OverheadPct, js.Trials, maxPct, js.Epochs, js.IntervalMs, js.P50Ms, js.P99Ms)
+	if js.Epochs == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: checkpoint-on runs cut no epochs — the coordinator never fired\n")
+		os.Exit(1)
+	}
+	if js.OverheadPct > maxPct {
+		fmt.Fprintf(os.Stderr, "benchguard: checkpoint overhead %.2f%% exceeds %.2f%% budget\n", js.OverheadPct, maxPct)
 		os.Exit(1)
 	}
 }
