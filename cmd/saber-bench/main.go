@@ -23,16 +23,20 @@ import (
 
 	"saber/internal/bench"
 	"saber/internal/obs"
+	"saber/internal/overload"
 )
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment id, or 'all'")
-		scale       = flag.Float64("scale", 0, "model time scale (0 = default)")
-		mb          = flag.Int("mb", 0, "data volume per measurement point in MiB (0 = default)")
-		workers     = flag.Int("workers", 0, "CPU worker threads (0 = default 15)")
-		list        = flag.Bool("list", false, "list experiments and exit")
-		metricsAddr = flag.String("metrics-addr", "", "serve the admin endpoint (/varz, /metrics, /debug/pprof) on this address while experiments run; empty disables it")
+		experiment = flag.String("experiment", "all", "experiment id, or 'all'")
+		scale      = flag.Float64("scale", 0, "model time scale (0 = default)")
+		mb         = flag.Int("mb", 0, "data volume per measurement point in MiB (0 = default)")
+		workers    = flag.Int("workers", 0, "CPU worker threads (0 = default 15)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+
+		maxQueueBytes = flag.Int64("max-queue-bytes", 0, "overload experiment: admission budget override in bytes (0 = experiment default)")
+		shedPolicy    = flag.String("shed-policy", "", "overload experiment: which shedding run (oldest | weighted) the BENCH_overload.json gate reads; empty selects oldest")
+		metricsAddr   = flag.String("metrics-addr", "", "serve the admin endpoint (/varz, /metrics, /debug/pprof) on this address while experiments run; empty disables it")
 	)
 	flag.Parse()
 
@@ -43,7 +47,14 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Scale: *scale, MB: *mb, Workers: *workers}
+	if *shedPolicy != "" {
+		if _, err := overload.ParsePolicy(*shedPolicy); err != nil {
+			fmt.Fprintf(os.Stderr, "saber-bench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	opts := bench.Options{Scale: *scale, MB: *mb, Workers: *workers,
+		MaxQueueBytes: *maxQueueBytes, ShedPolicy: *shedPolicy}
 	if *metricsAddr != "" {
 		// One process-wide registry shared by every experiment's engines:
 		// counters accumulate across runs, gauges track the newest engine.

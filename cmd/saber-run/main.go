@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"saber"
+	"saber/internal/ingest"
 	"saber/internal/workload"
 )
 
@@ -48,10 +49,19 @@ func main() {
 
 		ckptDir      = flag.String("checkpoint-dir", "", "enable epoch checkpointing to this directory; on startup the engine restores from the newest valid epoch and resumes the generated stream at the saved cursor")
 		ckptInterval = flag.Duration("checkpoint-interval", 0, "automatic checkpoint period (0 selects 500ms; negative disables the automatic coordinator); needs -checkpoint-dir")
+
+		maxQueueBytes = flag.Int64("max-queue-bytes", 0, "overload protection: per-query admission budget in bytes; a full queue blocks Insert, or sheds under -shed-policy; 0 leaves the input ring as the only bound")
+		shedPolicy    = flag.String("shed-policy", "none", "load shedding when the queue budget binds: none (lossless blocking) | oldest (cut stalest buffered window range) | weighted (drop arriving chunks probabilistically); needs -max-queue-bytes to actuate")
+		srcCredits    = flag.Int("source-credits", 0, "feed over loopback TCP ingest with credit-based flow control: the server advertises this window (tuples) and the source paces itself on the returned grants; 0 feeds in-process")
 	)
 	flag.Parse()
 	if *queryText == "" {
 		fmt.Fprintln(os.Stderr, "saber-run: -query is required")
+		os.Exit(2)
+	}
+	shed, err := saber.ParseShedPolicy(*shedPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saber-run: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -90,6 +100,9 @@ func main() {
 
 		CheckpointDir:      *ckptDir,
 		CheckpointInterval: *ckptInterval,
+
+		MaxQueueBytes: *maxQueueBytes,
+		ShedPolicy:    shed,
 	}
 	if *useGPU {
 		dev := saber.OpenGPU(saber.GPUConfig{Model: cfg.Model})
@@ -195,6 +208,41 @@ func main() {
 	if skip > len(data) {
 		skip = len(data)
 	}
+	// The feed path: in-process Insert by default, or loopback TCP
+	// ingest with credit-based flow control when -source-credits is set
+	// (the server's advertised window paces the source to the engine's
+	// rate instead of relying on Insert backpressure).
+	send := func(chunk []byte) { q.Insert(chunk) }
+	closeFeed := func() {}
+	var creditWaits func() int64
+	if *srcCredits > 0 {
+		srv, lerr := ingest.Listen("127.0.0.1:0", ingest.SinkFunc(func(chunk []byte) { q.Insert(chunk) }), schema.TupleSize())
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "saber-run: ingest listen: %v\n", lerr)
+			os.Exit(1)
+		}
+		srv.EnableCredits(int64(*srcCredits))
+		srv.RegisterMetrics(eng.Metrics(), "saber.ingest.in0")
+		go func() { _ = srv.Serve() }()
+		cli, derr := ingest.DialCredits(srv.Addr().String(), schema.TupleSize())
+		if derr != nil {
+			srv.Close()
+			fmt.Fprintf(os.Stderr, "saber-run: ingest dial: %v\n", derr)
+			os.Exit(1)
+		}
+		send = func(chunk []byte) {
+			if serr := cli.Send(chunk); serr != nil {
+				fmt.Fprintf(os.Stderr, "saber-run: ingest send: %v\n", serr)
+				os.Exit(1)
+			}
+		}
+		creditWaits = cli.CreditWaits
+		// Close the sender, then the server — Close waits for buffered
+		// frames to drain into the sink, so it must precede Drain.
+		closeFeed = func() { cli.Close(); srv.Close() }
+		fmt.Fprintf(os.Stderr, "feeding over loopback ingest, credit window %d tuples\n", *srcCredits)
+	}
+
 	start := time.Now()
 	chunk := 1024 * schema.TupleSize()
 	for off := skip; off < len(data) && !stopping.Load(); off += chunk {
@@ -202,8 +250,9 @@ func main() {
 		if end > len(data) {
 			end = len(data)
 		}
-		q.Insert(data[off:end])
+		send(data[off:end])
 	}
+	closeFeed()
 	eng.Drain()
 	elapsed := time.Since(start)
 	if *ckptDir != "" {
@@ -231,6 +280,15 @@ func main() {
 			eng.TaskSize()>>10,
 			snap.Counters["saber.adapt.grow"], snap.Counters["saber.adapt.shrink"],
 			snap.Counters["saber.adapt.clamped"], snap.Counters["saber.adapt.ticks"])
+	}
+	if *maxQueueBytes > 0 || shed != saber.ShedNone {
+		fmt.Printf("overload: offered %.1f MiB, shed %d tuples (%d oldest-window, %d at admission), bounded admission waits %d\n",
+			float64(st.BytesOffered)/(1<<20),
+			st.TuplesShed+st.TuplesShedAdmit, st.TuplesShedOldest, st.TuplesShedAdmit, st.AdmitWaits)
+	}
+	if creditWaits != nil {
+		fmt.Printf("ingest flow control: source blocked on credit grants %d times (window %d tuples)\n",
+			creditWaits(), *srcCredits)
 	}
 }
 

@@ -198,6 +198,12 @@ type Decision struct {
 	Phi     int
 	Clamped bool
 	Reason  string
+	// Overloaded is the ladder's last-rung signal: the tick was over the
+	// SLO while ϕ already sat at MinPhi — shrinking has nothing left to
+	// give, so the only remaining remedy is deliberate load shedding
+	// (see internal/overload). It clears as soon as the tail recovers or
+	// ϕ has room to shrink again.
+	Overloaded bool
 }
 
 // stepScaleFloor bounds damping: even a pathological oscillator keeps a
@@ -246,6 +252,9 @@ func Step(cfg Config, st State, sig Signals) (State, Decision) {
 	queueBudget := int64(float64(slo) * cfg.QueueFrac)
 	tail := sig.TailP99()
 	overSLO := tail > slo || sig.QueueP99 > queueBudget
+	// Over the SLO with ϕ already pinned at the floor: every decision
+	// this tick returns carries the last-rung overload signal.
+	overloaded := overSLO && st.Phi <= cfg.MinPhi
 	inHeadroom := float64(tail) < cfg.Headroom*float64(slo) &&
 		float64(sig.QueueP99) < cfg.Headroom*float64(queueBudget)
 	dispatchBound := sig.OverheadShare() >= cfg.OverheadFrac
@@ -272,7 +281,9 @@ func Step(cfg Config, st State, sig Signals) (State, Decision) {
 	st.CalmTicks = 0
 
 	if st.Cooldown > 0 {
-		return hold(fmt.Sprintf("cooldown %d: %s", st.Cooldown, why))
+		st2, d := hold(fmt.Sprintf("cooldown %d: %s", st.Cooldown, why))
+		d.Overloaded = overloaded
+		return st2, d
 	}
 
 	// Damping: a direction reversal halves the step, steady movement
@@ -316,7 +327,8 @@ func Step(cfg Config, st State, sig Signals) (State, Decision) {
 		st.LastDir = want
 		st.Cooldown = cfg.HoldTicks
 		return st, Decision{Action: Hold, Phi: st.Phi, Clamped: true,
-			Reason: fmt.Sprintf("at bound: %s", why)}
+			Overloaded: overloaded,
+			Reason:     fmt.Sprintf("at bound: %s", why)}
 	}
 
 	st.Phi = next
@@ -326,7 +338,7 @@ func Step(cfg Config, st State, sig Signals) (State, Decision) {
 	if want < 0 {
 		act = Shrink
 	}
-	return st, Decision{Action: act, Phi: next, Clamped: clamped, Reason: why}
+	return st, Decision{Action: act, Phi: next, Clamped: clamped, Overloaded: overloaded, Reason: why}
 }
 
 func clampPhi(phi int, cfg Config) int {

@@ -24,11 +24,13 @@ type Controller struct {
 	first bool
 
 	// phi mirrors state.Phi for the saber.adapt.phi gauge, which the
-	// admin endpoint snapshots from other goroutines.
-	phi       atomic.Int64
-	stepScale atomic.Uint64 // float64 bits
+	// admin endpoint snapshots from other goroutines. overloaded mirrors
+	// the last decision's last-rung signal the same way.
+	phi        atomic.Int64
+	stepScale  atomic.Uint64 // float64 bits
+	overloaded atomic.Int64  // 0/1
 
-	ticks, grows, shrinks, holds, clamps *obs.Counter
+	ticks, grows, shrinks, holds, clamps, overloads *obs.Counter
 }
 
 // NewController creates a controller starting at phi0 bytes (clamped
@@ -43,15 +45,17 @@ func NewController(cfg Config, phi0 int, reg *obs.Registry, apply func(phi int))
 		state: State{Phi: clampPhi(phi0, cfg)},
 		first: true,
 
-		ticks:   reg.Counter("saber.adapt.ticks"),
-		grows:   reg.Counter("saber.adapt.grow"),
-		shrinks: reg.Counter("saber.adapt.shrink"),
-		holds:   reg.Counter("saber.adapt.hold"),
-		clamps:  reg.Counter("saber.adapt.clamped"),
+		ticks:     reg.Counter("saber.adapt.ticks"),
+		grows:     reg.Counter("saber.adapt.grow"),
+		shrinks:   reg.Counter("saber.adapt.shrink"),
+		holds:     reg.Counter("saber.adapt.hold"),
+		clamps:    reg.Counter("saber.adapt.clamped"),
+		overloads: reg.Counter("saber.adapt.overload.ticks"),
 	}
 	c.phi.Store(int64(c.state.Phi))
 	c.stepScale.Store(math.Float64bits(1))
 	reg.RegisterFunc("saber.adapt.phi", c.phi.Load)
+	reg.RegisterFunc("saber.adapt.overloaded", c.overloaded.Load)
 	reg.RegisterFloatFunc("saber.adapt.step_scale", func() float64 {
 		return math.Float64frombits(c.stepScale.Load())
 	})
@@ -80,6 +84,12 @@ func (c *Controller) Tick(cur obs.Snapshot) Decision {
 	c.stepScale.Store(math.Float64bits(c.state.StepScale))
 	if d.Clamped {
 		c.clamps.Inc()
+	}
+	if d.Overloaded {
+		c.overloads.Inc()
+		c.overloaded.Store(1)
+	} else {
+		c.overloaded.Store(0)
 	}
 	switch d.Action {
 	case Grow:

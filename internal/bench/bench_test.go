@@ -7,6 +7,7 @@ import (
 	"os"
 	"strconv"
 	"testing"
+	"time"
 )
 
 // tiny returns low-volume options for CI-speed smoke runs. Scale stays
@@ -39,7 +40,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10a", "fig10b", "fig11a", "fig11b", "fig12", "fig13",
 		"fig14", "fig15", "fig16",
 		"abl-lookahead", "abl-incremental", "abl-pipeline", "abl-dispatcher",
-		"operators", "adaptive", "ckpt",
+		"operators", "adaptive", "ckpt", "overload",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {
@@ -154,6 +155,53 @@ func speedupViolations(js opsReport) []string {
 		}
 	}
 	return bad
+}
+
+// TestOverloadExperiment smoke-runs the overload experiment at reduced
+// duration and checks the JSON twin's structure; the timing-shape gates
+// (goodput ratio, SLO) are benchguard's job on the full-length run.
+func TestOverloadExperiment(t *testing.T) {
+	oldPath, oldProbe, oldDur := overloadJSONPath, overloadCapacityProbe, overloadDuration
+	overloadJSONPath = t.TempDir() + "/BENCH_overload.json"
+	overloadCapacityProbe = 300 * time.Millisecond
+	overloadDuration = 600 * time.Millisecond
+	defer func() {
+		overloadJSONPath, overloadCapacityProbe, overloadDuration = oldPath, oldProbe, oldDur
+	}()
+	rep := overloadExp(tiny())
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	buf, err := os.ReadFile(overloadJSONPath)
+	if err != nil {
+		t.Fatalf("JSON twin not written: %v", err)
+	}
+	var js overloadReport
+	if err := json.Unmarshal(buf, &js); err != nil {
+		t.Fatalf("JSON twin malformed: %v", err)
+	}
+	if js.CapacityGBps <= 0 || len(js.Runs) != 3 {
+		t.Fatalf("JSON twin content: capacity %g, %d runs", js.CapacityGBps, len(js.Runs))
+	}
+	if js.Gate.Policy != "oldest" {
+		t.Fatalf("gate run = %q, want oldest", js.Gate.Policy)
+	}
+	for _, r := range js.Runs {
+		if r.Stalls != 0 {
+			t.Errorf("%s: watchdog counted %d stalls", r.Policy, r.Stalls)
+		}
+	}
+	if _, ok := js.Metrics.Counters["saber.overload.q0.bytes.offered"]; !ok {
+		t.Error("snapshot missing saber.overload admission ledger")
+	}
+	if raceEnabled {
+		return // shed/latency shapes are not meaningful under instrumentation
+	}
+	for _, r := range js.Runs[1:] {
+		if r.ShedFrac <= 0 {
+			t.Errorf("%s: 2x-capacity feed shed nothing", r.Policy)
+		}
+	}
 }
 
 func TestReportPrint(t *testing.T) {

@@ -29,12 +29,17 @@ func sampleSnapshot(epoch uint64) *Snapshot {
 		Phi:   1 << 20,
 		Queries: []QuerySnap{
 			{
-				Name:            "stress-0",
-				Barrier:         int64(epoch) * 17,
-				CommittedBytes:  int64(epoch) * 4096,
-				CommittedTuples: int64(epoch) * 128,
-				RateCPU:         1234.5,
-				RateGPU:         987.25,
+				Name:             "stress-0",
+				Barrier:          int64(epoch) * 17,
+				CommittedBytes:   int64(epoch) * 4096,
+				CommittedTuples:  int64(epoch) * 128,
+				RateCPU:          1234.5,
+				RateGPU:          987.25,
+				OfferedBytes:     int64(epoch) * 5000,
+				InBytes:          int64(epoch) * 4600,
+				ShedTuples:       int64(epoch) * 13,
+				ShedAdmitTuples:  int64(epoch) * 9,
+				ShedOldestTuples: int64(epoch) * 4,
 				Ins: []InputSnap{
 					{FreeTo: int64(epoch) * 32, PrevTS: int64(epoch) - 1},
 					{FreeTo: 0, PrevTS: math.MinInt64},
@@ -63,6 +68,10 @@ func assertSnapshotsEqual(t *testing.T, got, want *Snapshot) {
 		if g.Name != w.Name || g.Barrier != w.Barrier || g.CommittedBytes != w.CommittedBytes ||
 			g.CommittedTuples != w.CommittedTuples || g.RateCPU != w.RateCPU || g.RateGPU != w.RateGPU {
 			t.Fatalf("query %d header mismatch: got %+v", i, g)
+		}
+		if g.OfferedBytes != w.OfferedBytes || g.InBytes != w.InBytes || g.ShedTuples != w.ShedTuples ||
+			g.ShedAdmitTuples != w.ShedAdmitTuples || g.ShedOldestTuples != w.ShedOldestTuples {
+			t.Fatalf("query %d overload ledger mismatch: got %+v", i, g)
 		}
 		if !reflect.DeepEqual(g.Ins, w.Ins) {
 			t.Fatalf("query %d inputs: got %+v, want %+v", i, g.Ins, w.Ins)
@@ -118,6 +127,45 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		t.Fatalf("Decode: %v", err)
 	}
 	assertSnapshotsEqual(t, got, want)
+}
+
+// TestDecodeV1Compat hand-builds a version-1 frame (no overload ledger
+// fields) and checks it still decodes, with the v2 fields zero — recovery
+// must be able to fall back to a pre-upgrade epoch file.
+func TestDecodeV1Compat(t *testing.T) {
+	var p payload
+	p.u64(3)    // epoch
+	p.u64(4096) // phi
+	p.u32(1)    // queries
+	p.str("q0")
+	p.u64(7)   // barrier
+	p.u64(100) // committed bytes
+	p.u64(5)   // committed tuples
+	p.f64(1.5) // rate cpu
+	p.f64(2.5) // rate gpu
+	p.u32(1)   // inputs
+	p.u64(160) // free-to
+	p.u64(42)  // prev ts
+	p.u32(0)   // pending
+	frame := append([]byte(nil), magic...)
+	frame = le.AppendUint32(frame, 1)
+	frame = le.AppendUint64(frame, uint64(len(p.b)))
+	frame = append(frame, p.b...)
+	frame = le.AppendUint32(frame, crc32.ChecksumIEEE(p.b))
+
+	s, err := Decode(frame)
+	if err != nil {
+		t.Fatalf("Decode v1: %v", err)
+	}
+	q := s.Queries[0]
+	if s.Epoch != 3 || q.Name != "q0" || q.Barrier != 7 || q.CommittedBytes != 100 ||
+		len(q.Ins) != 1 || q.Ins[0].FreeTo != 160 {
+		t.Fatalf("v1 fields mangled: %+v", s)
+	}
+	if q.OfferedBytes != 0 || q.InBytes != 0 || q.ShedTuples != 0 ||
+		q.ShedAdmitTuples != 0 || q.ShedOldestTuples != 0 {
+		t.Fatalf("v1 decode should leave the overload ledger zero: %+v", q)
+	}
 }
 
 func TestStoreSaveLoadLatest(t *testing.T) {

@@ -13,10 +13,15 @@ import (
 // Binary snapshot framing:
 //
 //	magic   "SBRCKPT1"          8 bytes
-//	version u32 (= 1)
+//	version u32 (= 2; v1 still decodes)
 //	length  u64 (payload bytes)
 //	payload little-endian fields, see encodePayload
 //	crc     u32, IEEE CRC32 over the payload
+//
+// Version 2 appends the overload-protection ledger (offered/admitted
+// bytes and the shed tuple counters) to each query record. Version 1
+// files decode with those fields zero, so recovery can still fall back
+// to a pre-upgrade epoch.
 //
 // The frame check (magic, version, declared length, CRC) is what lets
 // recovery distinguish "torn or corrupt, fall back one epoch" from "valid
@@ -29,7 +34,8 @@ var le = binary.LittleEndian
 
 const (
 	magic       = "SBRCKPT1"
-	version     = 1
+	version     = 2
+	minVersion  = 1
 	headerSize  = len(magic) + 4 + 8
 	trailerSize = 4
 
@@ -66,6 +72,11 @@ func Encode(s *Snapshot) []byte {
 		p.u64(uint64(q.CommittedTuples))
 		p.f64(q.RateCPU)
 		p.f64(q.RateGPU)
+		p.u64(uint64(q.OfferedBytes))
+		p.u64(uint64(q.InBytes))
+		p.u64(uint64(q.ShedTuples))
+		p.u64(uint64(q.ShedAdmitTuples))
+		p.u64(uint64(q.ShedOldestTuples))
 		p.u32(uint32(len(q.Ins)))
 		for _, in := range q.Ins {
 			p.u64(uint64(in.FreeTo))
@@ -95,7 +106,8 @@ func Decode(b []byte) (*Snapshot, error) {
 	if string(b[:len(magic)]) != magic {
 		return nil, corruptf("bad magic %q", b[:len(magic)])
 	}
-	if v := le.Uint32(b[len(magic):]); v != version {
+	v := le.Uint32(b[len(magic):])
+	if v < minVersion || v > version {
 		return nil, corruptf("unsupported version %d", v)
 	}
 	n := le.Uint64(b[len(magic)+4:])
@@ -122,6 +134,13 @@ func Decode(b []byte) (*Snapshot, error) {
 			CommittedTuples: int64(r.u64()),
 			RateCPU:         r.f64(),
 			RateGPU:         r.f64(),
+		}
+		if v >= 2 {
+			q.OfferedBytes = int64(r.u64())
+			q.InBytes = int64(r.u64())
+			q.ShedTuples = int64(r.u64())
+			q.ShedAdmitTuples = int64(r.u64())
+			q.ShedOldestTuples = int64(r.u64())
 		}
 		nin := r.count(maxInputs, "inputs")
 		for j := 0; j < nin && r.err == nil; j++ {

@@ -154,6 +154,15 @@ func (rs *resultStage) capture() ckpt.QuerySnap {
 		CommittedBytes:  r.stats.bytesOut.Value(),
 		CommittedTuples: r.stats.tuplesOut.Value(),
 		Pending:         rs.asm.Export(),
+		// The overload ledger is maintained under insMu, not drainMu, so
+		// these reads are approximate within the inserts in flight at the
+		// barrier (exact when the engine is quiescent). Good enough for
+		// telemetry continuity; output exactness never depends on them.
+		OfferedBytes:     r.over.bytesOffered.Value(),
+		InBytes:          r.stats.bytesIn.Value(),
+		ShedTuples:       r.stats.tuplesShed.Value(),
+		ShedAdmitTuples:  r.over.shedAdmit.Value(),
+		ShedOldestTuples: r.over.shedOldest.Value(),
 	}
 	for i := 0; i < r.plan.NumInputs(); i++ {
 		qs.Ins = append(qs.Ins, ckpt.InputSnap{
@@ -255,9 +264,22 @@ func (r *registered) restore(qs ckpt.QuerySnap) error {
 		rs.lastFreeTo[i] = fr
 		rs.lastPrevTS[i] = qs.Ins[i].PrevTS
 		// The replayed prefix was admitted once pre-crash; seeding bytesIn
-		// keeps the cumulative counters consistent across the restart.
+		// keeps the cumulative counters consistent across the restart. The
+		// prefix was offered once too, so bytesOffered gets the same seed;
+		// the admission-shed delta is added below.
 		r.stats.bytesIn.Add(fr)
+		r.over.bytesOffered.Add(fr)
 	}
+	// Re-seed the overload ledger. Shed telemetry carries over verbatim;
+	// offered additionally absorbs the pre-crash admission-shed volume
+	// (offered - admitted, in bytes) so offered == admitted + shed keeps
+	// holding after the replayed suffix is re-offered and re-admitted.
+	if d := qs.OfferedBytes - qs.InBytes; d > 0 {
+		r.over.bytesOffered.Add(d)
+	}
+	r.stats.tuplesShed.Add(qs.ShedTuples)
+	r.over.shedAdmit.Add(qs.ShedAdmitTuples)
+	r.over.shedOldest.Add(qs.ShedOldestTuples)
 	rs.asm.Restore(qs.Pending)
 	r.stats.bytesOut.Add(qs.CommittedBytes)
 	r.stats.tuplesOut.Add(qs.CommittedTuples)

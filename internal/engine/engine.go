@@ -17,6 +17,7 @@ import (
 	"saber/internal/gpu"
 	"saber/internal/model"
 	"saber/internal/obs"
+	"saber/internal/overload"
 	"saber/internal/query"
 	"saber/internal/sched"
 	"saber/internal/task"
@@ -89,6 +90,14 @@ type Config struct {
 	// own registry view, so engines sharing a Metrics registry must not
 	// both enable Adapt.
 	Adapt *adapt.Config
+
+	// Overload, when non-nil, enables overload protection: per-query
+	// queue-bytes admission budgets, tiered load shedding (see
+	// overload.Policy) and a stall watchdog. With Adapt also set, shedding
+	// actuates only as the adapt ladder's last rung — when ϕ is pinned at
+	// its floor and the tail p99 still violates the SLO; without Adapt it
+	// actuates directly on budget pressure. See internal/overload.
+	Overload *overload.Config
 
 	// CheckpointDir, when non-empty, enables epoch checkpointing into the
 	// given directory (created if missing): periodic crash-consistent
@@ -181,6 +190,10 @@ func (c Config) withDefaults() Config {
 			c.CheckpointKeep = 3
 		}
 	}
+	if c.Overload != nil {
+		ov := c.Overload.WithDefaults()
+		c.Overload = &ov
+	}
 	return c
 }
 
@@ -229,6 +242,20 @@ type Engine struct {
 	adaptStop chan struct{}
 	adaptWG   sync.WaitGroup
 
+	// Overload-protection state (see internal/overload and
+	// registered.admit). quiesced flips at the start of Drain/Close:
+	// a blocked Insert observes it within one bounded-wait step and
+	// aborts (its unadmitted remainder accounted as admission-shed)
+	// instead of deadlocking shutdown. shedArmed gates the shedding
+	// policies: always armed without Adapt, else toggled by the adapt
+	// controller's last-rung Overloaded signal.
+	quiesced  atomic.Bool
+	shedArmed atomic.Bool
+	stalls    *obs.Counter
+	stallDump atomic.Value // string: latest watchdog postmortem
+	watchStop chan struct{}
+	watchWG   sync.WaitGroup
+
 	// Checkpoint state (see checkpoint.go): the store opens lazily on the
 	// first epoch, the epoch counter continues across Restore, and the
 	// automatic coordinator runs between Start and Close.
@@ -261,6 +288,7 @@ func New(cfg Config) *Engine {
 	e.tracer = obs.NewTracer(e.reg, e.cfg.TraceRing)
 	e.taskSize.Store(int64(e.cfg.TaskSize))
 	e.ckm = newCkptMetrics(e.reg)
+	e.stalls = e.reg.Counter("saber.overload.stalls")
 	return e
 }
 
@@ -393,7 +421,81 @@ func (e *Engine) Start() error {
 		e.ckptWG.Add(1)
 		go e.ckptLoop()
 	}
+
+	if ov := e.cfg.Overload; ov != nil {
+		// Without an adapt controller there is no SLO ladder to descend:
+		// a configured shedding policy arms directly on budget pressure.
+		// With Adapt, adaptLoop arms it only at the ladder's last rung.
+		if ov.Policy != overload.ShedNone && e.cfg.Adapt == nil {
+			e.shedArmed.Store(true)
+		}
+		e.watchStop = make(chan struct{})
+		e.watchWG.Add(1)
+		go e.watchLoop()
+	}
 	return nil
+}
+
+// quiescing reports whether the engine has begun shutting down
+// (Drain or Close): admission must stop blocking and bail out.
+func (e *Engine) quiescing() bool {
+	return e.stopped.Load() || e.quiesced.Load()
+}
+
+// shedActive reports whether the configured shedding policy may actuate
+// right now.
+func (e *Engine) shedActive() bool { return e.shedArmed.Load() }
+
+// watchLoop runs the stall watchdog between Start and Close: it probes
+// drain progress and, when input is pending but the frontier has not
+// advanced for Overload.StallTimeout, counts a stall and captures a
+// postmortem trace dump (StallReport).
+func (e *Engine) watchLoop() {
+	defer e.watchWG.Done()
+	ov := e.cfg.Overload
+	w := overload.NewWatchdog(ov.StallTimeout)
+	tick := time.NewTicker(ov.StallInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.watchStop:
+			return
+		case now := <-tick.C:
+			var p overload.Progress
+			for _, r := range e.quer {
+				p.Drained += r.result.drained.Load()
+				for i := 0; i < r.plan.NumInputs(); i++ {
+					p.PendingBytes += r.ins[i].ring.Size()
+				}
+			}
+			p.QueueLen = int64(e.queue.Len())
+			if rep, ok := w.Observe(now, p); ok {
+				e.stalls.Add(1)
+				e.stallDump.Store(e.formatStall(rep))
+			}
+		}
+	}
+}
+
+// formatStall renders a watchdog report plus the tracer's postmortem
+// ring into a human-readable dump.
+func (e *Engine) formatStall(rep overload.StallReport) string {
+	s := fmt.Sprintf("engine stalled for %v: %d bytes pending, %d tasks queued, drain frontier frozen at %d\nrecent task traces:\n",
+		rep.Stalled.Round(time.Millisecond), rep.Last.PendingBytes, rep.Last.QueueLen, rep.Last.Drained)
+	for _, tr := range e.tracer.Recent() {
+		s += fmt.Sprintf("  %+v\n", tr)
+	}
+	return s
+}
+
+// StallReport returns the most recent watchdog postmortem, or "" when no
+// stall has been detected. The saber.overload.stalls counter carries the
+// volume.
+func (e *Engine) StallReport() string {
+	if s, ok := e.stallDump.Load().(string); ok {
+		return s
+	}
+	return ""
 }
 
 // adaptLoop ticks the ϕ controller until Close. The controller itself
@@ -411,7 +513,14 @@ func (e *Engine) adaptLoop() {
 		case <-e.adaptStop:
 			return
 		case <-tick.C:
-			e.adaptCtl.Tick(e.reg.Snapshot())
+			d := e.adaptCtl.Tick(e.reg.Snapshot())
+			// Last rung of the adapt ladder: ϕ pinned at its floor with
+			// the tail p99 still over the SLO arms the shedding policy;
+			// any recovery disarms it. Without a policy configured the
+			// signal is telemetry only (saber.adapt.overloaded).
+			if ov := e.cfg.Overload; ov != nil && ov.Policy != overload.ShedNone {
+				e.shedArmed.Store(d.Overloaded)
+			}
 		}
 	}
 }
@@ -420,6 +529,12 @@ func (e *Engine) adaptLoop() {
 // the queue to empty and all results to be assembled, then flushes still-
 // open windows. Call once, after all Insert calls.
 func (e *Engine) Drain() {
+	// Flag quiescence before taking the dispatch lock: a concurrent
+	// Insert blocked on backpressure (which holds the ingest lock
+	// dispatchTail needs) observes the flag within one bounded-wait step
+	// and aborts, so Drain cannot deadlock behind it. The aborted call's
+	// unadmitted remainder is accounted as admission-shed.
+	e.quiesced.Store(true)
 	e.dispatchMu.Lock()
 	for _, r := range e.quer {
 		r.dispatchTail()
@@ -438,8 +553,16 @@ func (e *Engine) Drain() {
 // closing the GPU device — the late-result collectors block on the
 // device's pipeline.
 func (e *Engine) Close() {
+	// As in Drain: unblock any Insert stuck on backpressure before
+	// closing the queue, so Close never deadlocks behind a full ring
+	// whose consumers are about to exit.
+	e.quiesced.Store(true)
 	if e.stopped.Swap(true) {
 		return
+	}
+	if e.watchStop != nil {
+		close(e.watchStop)
+		e.watchWG.Wait()
 	}
 	if e.adaptStop != nil {
 		close(e.adaptStop)

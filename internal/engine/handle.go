@@ -21,6 +21,16 @@ func (h *Handle) Insert(data []byte) { h.r.insert(0, data) }
 // InsertInto appends tuples to input side (0 or 1) of a join query.
 func (h *Handle) InsertInto(side int, data []byte) { h.r.insert(side, data) }
 
+// TryInsert is the non-blocking admission path: the whole payload is
+// admitted iff it fits the input ring and the overload queue budget
+// right now. On false, nothing was consumed and the caller decides —
+// retry, redirect, or drop with its own accounting. Payloads larger
+// than the ring can never succeed.
+func (h *Handle) TryInsert(data []byte) bool { return h.r.tryInsert(0, data) }
+
+// TryInsertInto is TryInsert for input side (0 or 1) of a join query.
+func (h *Handle) TryInsertInto(side int, data []byte) bool { return h.r.tryInsert(side, data) }
+
 // OnResult installs fn as the output sink. fn receives ordered chunks of
 // serialised output tuples from whichever worker thread completes the
 // assembly; it must be fast and must not retain the slice.
@@ -70,9 +80,22 @@ type statsCounters struct {
 	tasksFailed      *obs.Counter // failed execution attempts (all causes)
 	tasksRetried     *obs.Counter // failed attempts that were requeued
 	tasksQuarantined *obs.Counter // tasks given up on after MaxTaskRetries
-	tuplesShed       *obs.Counter // input tuples covered by quarantined tasks
+	tuplesShed       *obs.Counter // input tuples covered by gap entries (quarantine + policy)
 	gpuFailovers     *obs.Counter // GPU-failed tasks pinned to the CPU class
 	gpuTimeouts      *obs.Counter // device hangs detected by GPUTaskTimeout
+}
+
+// overloadCounters are the per-query overload-protection counters,
+// registered under saber.overload.q<i>.* (see metrics.go). Together they
+// close the admission ledger: every tuple Insert took responsibility for
+// (bytes.offered) is either admitted (saber.engine counters) or counted
+// in exactly one shed bucket.
+type overloadCounters struct {
+	bytesOffered *obs.Counter // bytes Insert accepted responsibility for
+	shedAdmit    *obs.Counter // tuples dropped before admission (weighted policy, quiesce abort)
+	shedOldest   *obs.Counter // admitted tuples cut as oldest-first gap tasks (also in tuples.shed)
+	admitWaits   *obs.Counter // Insert calls that hit the bounded backpressure wait
+	admitRejects *obs.Counter // non-blocking TryInsert rejections
 }
 
 // Stats is a point-in-time snapshot of one query's counters.
@@ -98,6 +121,19 @@ type Stats struct {
 	// GPUTimeouts the device hangs detected by GPUTaskTimeout.
 	GPUFailovers int64
 	GPUTimeouts  int64
+	// Overload-protection accounting. BytesOffered is every byte Insert
+	// accepted responsibility for; TuplesShedAdmit the tuples dropped
+	// before admission (ShedWeighted or a quiesce-aborted Insert);
+	// TuplesShedOldest the admitted tuples the ShedOldest policy cut as
+	// gap tasks (a subset of TuplesShed). AdmitWaits counts Inserts that
+	// hit the bounded backpressure wait, AdmitRejects the TryInsert
+	// refusals. offered == in + shed_admit and in == out + shed hold at
+	// quiesce (in tuples).
+	BytesOffered     int64
+	TuplesShedAdmit  int64
+	TuplesShedOldest int64
+	AdmitWaits       int64
+	AdmitRejects     int64
 	// DuplicateResults counts deliveries the result stage discarded to
 	// keep assembly exactly-once (late results racing their CPU retry).
 	DuplicateResults int64
@@ -129,6 +165,12 @@ func (h *Handle) Stats() Stats {
 		GPUFailovers:     c.gpuFailovers.Value(),
 		GPUTimeouts:      c.gpuTimeouts.Value(),
 		DuplicateResults: h.r.result.duplicates.Value(),
+
+		BytesOffered:     h.r.over.bytesOffered.Value(),
+		TuplesShedAdmit:  h.r.over.shedAdmit.Value(),
+		TuplesShedOldest: h.r.over.shedOldest.Value(),
+		AdmitWaits:       h.r.over.admitWaits.Value(),
+		AdmitRejects:     h.r.over.admitRejects.Value(),
 	}
 	if n := c.latencyN.Value(); n > 0 {
 		s.AvgLatency = time.Duration(c.latencyNs.Value() / n)

@@ -42,6 +42,21 @@ func newStatsCounters(reg *obs.Registry, q int) statsCounters {
 	}
 }
 
+// newOverloadCounters binds one query's overload-protection counters
+// under saber.overload.q<i>.*. Registered unconditionally (they read 0
+// without an Overload config) so dashboards and the harness conservation
+// check never need to special-case.
+func newOverloadCounters(reg *obs.Registry, q int) overloadCounters {
+	pre := fmt.Sprintf("saber.overload.q%d.", q)
+	return overloadCounters{
+		bytesOffered: reg.Counter(pre + "bytes.offered"),
+		shedAdmit:    reg.Counter(pre + "shed.admit.tuples"),
+		shedOldest:   reg.Counter(pre + "shed.oldest.tuples"),
+		admitWaits:   reg.Counter(pre + "admit.waits"),
+		admitRejects: reg.Counter(pre + "admit.rejects"),
+	}
+}
+
 // Metrics returns the engine's registry. Always non-nil: New creates a
 // private registry when Config.Metrics is unset.
 func (e *Engine) Metrics() *obs.Registry { return e.reg }
@@ -61,6 +76,14 @@ func (e *Engine) registerMirrors() {
 	// with Adapt enabled it tracks the controller (which also reports its
 	// own view as saber.adapt.phi).
 	reg.RegisterFunc("saber.engine.phi", e.taskSize.Load)
+	// 1 while the shedding policy may actuate (armed at Start without
+	// Adapt, else by the controller's last-rung signal).
+	reg.RegisterFunc("saber.overload.active", func() int64 {
+		if e.shedArmed.Load() {
+			return 1
+		}
+		return 0
+	})
 
 	for _, r := range e.quer {
 		r := r

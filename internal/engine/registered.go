@@ -10,6 +10,7 @@ import (
 	"saber/internal/gpu"
 	"saber/internal/model"
 	"saber/internal/obs"
+	"saber/internal/overload"
 	"saber/internal/ringbuf"
 	"saber/internal/schema"
 	"saber/internal/task"
@@ -32,6 +33,20 @@ type registered struct {
 	taskSeq atomic.Int64
 	result  *resultStage
 	stats   statsCounters
+	over    overloadCounters
+
+	// shed makes the ShedWeighted coin flips; nil unless the engine has
+	// an Overload config. Guarded by insMu (which also makes the flip
+	// sequence deterministic for a seed).
+	shed *overload.Shedder
+	// shedTaskQuota is ShedOldest's worker-side escape valve: when the
+	// bounded admission wait expires but every buffered byte is already
+	// cut into queued tasks (so shedOldestLocked has nothing to cut),
+	// admit grants one task of quota here and the next worker pickup for
+	// this query delivers that task as an accounted gap instead of
+	// executing it. FCFS pickup makes it the oldest queued work. Held at
+	// most 1 so sheds stay paced one bounded wait apart.
+	shedTaskQuota atomic.Int64
 
 	// committed is the output byte offset covered by the newest durable
 	// checkpoint — the exactly-once cutoff Handle.Committed reports to
@@ -101,6 +116,14 @@ type inputStream struct {
 func newRegistered(e *Engine, idx int, plan *exec.Plan) *registered {
 	r := &registered{e: e, idx: idx, plan: plan, cost: model.Analyze(plan.Q)}
 	r.stats = newStatsCounters(e.reg, idx)
+	r.over = newOverloadCounters(e.reg, idx)
+	if e.cfg.Overload != nil {
+		// Offset the seed per query so two queries sharing a config do
+		// not shed in lockstep.
+		cfg := *e.cfg.Overload
+		cfg.Seed += int64(idx) * 7919
+		r.shed = overload.NewShedder(cfg)
+	}
 	for i := 0; i < plan.NumInputs(); i++ {
 		s := plan.InputSchema(i)
 		r.ins[i] = &inputStream{
@@ -140,6 +163,13 @@ func newRegistered(e *Engine, idx int, plan *exec.Plan) *registered {
 // insert is the dispatching stage (paper §4.1): buffer the data, then cut
 // fixed-size query tasks. Window boundary computation is postponed to the
 // tasks; the dispatcher only advances O(1) counters.
+//
+// Admission is bounded-wait (see admit): backpressure against the ring
+// and the Overload queue budget, with the configured shedding policy as
+// the escape valve, and a quiesce abort so a blocked Insert can never
+// deadlock Drain or Close. Every offered byte lands in exactly one
+// accounting bucket — admitted (bytes.in), admission-shed, or gap-shed —
+// so `offered == out + shed` holds at quiesce.
 func (r *registered) insert(side int, data []byte) {
 	if len(data) == 0 {
 		return
@@ -149,21 +179,47 @@ func (r *registered) insert(side int, data []byte) {
 	if len(data)%in.tupleSize != 0 {
 		panic("engine: Insert data must be whole tuples")
 	}
+	r.over.bytesOffered.Add(int64(len(data)))
 
 	// Feed the ring in chunks no larger than half its capacity so that
-	// arbitrarily large Insert calls simply experience backpressure.
+	// arbitrarily large Insert calls simply experience backpressure. A
+	// queue budget additionally caps the chunk at half the effective
+	// budget: a chunk as large as the budget itself could only ever be
+	// admitted into an empty ring, so a sub-phi residual (buffered bytes
+	// too few to cut a task, released only at drain) would wedge
+	// admission for good. Half leaves headroom for exactly that residue.
 	chunk := in.ring.Capacity() / 2
+	if ov := r.e.cfg.Overload; ov != nil && ov.MaxQueueBytes > 0 {
+		if b := overload.EffectiveBudget(ov.MaxQueueBytes, r.e.taskSize.Load(), 0) / 2; b < int64(chunk) {
+			chunk = int(b)
+		}
+	}
 	chunk -= chunk % in.tupleSize
+	if chunk < in.tupleSize {
+		chunk = in.tupleSize
+	}
 	r.insMu.Lock()
 	for off := 0; off < len(data); off += chunk {
 		end := off + chunk
 		if end > len(data) {
 			end = len(data)
 		}
+		switch r.admit(side, in, data[off:end]) {
+		case admitDropped:
+			// ShedWeighted dropped this chunk before admission.
+			r.over.shedAdmit.Add(int64((end - off) / in.tupleSize))
+			continue
+		case admitQuiesced:
+			// The engine began Drain/Close: nothing further can ever be
+			// admitted. Account the rest as admission-shed and bail out
+			// rather than block shutdown.
+			r.over.shedAdmit.Add(int64((len(data) - off) / in.tupleSize))
+			r.insMu.Unlock()
+			return
+		}
 		if in.pendingSince == 0 {
 			in.pendingSince = time.Now().UnixNano()
 		}
-		in.ring.Put(data[off:end])
 		if in.cols != nil {
 			// Shred into the column segments while the chunk is still hot
 			// in cache: ring admission above is the capacity gate, so the
@@ -190,6 +246,150 @@ func (r *registered) insert(side int, data []byte) {
 	}
 }
 
+// admitVerdict is admit's outcome for one chunk.
+type admitVerdict int
+
+const (
+	admitOK       admitVerdict = iota // chunk is in the ring
+	admitDropped                      // ShedWeighted dropped it pre-admission
+	admitQuiesced                     // engine is shutting down; nothing admitted
+)
+
+// admit places one chunk into the input ring with bounded waiting.
+// Called with insMu held. The loop:
+//
+//   - aborts as soon as the engine quiesces (Drain/Close), which is the
+//     no-deadlock guarantee: the ring may never drain once workers stop,
+//     so unbounded spinning here would wedge shutdown behind insMu;
+//   - admits when the chunk fits both the ring and the effective
+//     Overload queue budget;
+//   - once the bounded wait (Overload.MaxWait) expires with the shedding
+//     policy armed, actuates it — ShedOldest frees budget by cutting the
+//     stalest undispatched range as an accounted gap task, ShedWeighted
+//     drops the incoming chunk with the per-source weighted coin;
+//   - otherwise backs off (exponential, capped) and retries: plain
+//     quiesce-aware backpressure.
+func (r *registered) admit(side int, in *inputStream, p []byte) admitVerdict {
+	ov := r.e.cfg.Overload
+	// since stamps when the current bounded wait began. MaxWait is wall
+	// time, so it must be measured, not inferred from the nominal backoff
+	// sleeps — time.Sleep(10µs) routinely runs several times longer under
+	// timer slack, and summing the nominal durations would let a blocked
+	// Insert wait many times MaxWait without the policy ever actuating.
+	var since time.Time
+	backoff := 10 * time.Microsecond
+	counted := false
+	for {
+		if r.e.quiescing() {
+			return admitQuiesced
+		}
+		if !r.overBudget(in, int64(len(p))) {
+			if _, ok := in.ring.TryPut(p); ok {
+				return admitOK
+			}
+		}
+		if since.IsZero() {
+			since = time.Now()
+		}
+		// The policy actuates only when the configured budget is the
+		// binding constraint. A ring-full block within budget is ordinary
+		// backpressure and must stay lossless — otherwise a generous
+		// budget over a small ring would shed where the operator asked
+		// for blocking.
+		if ov != nil && ov.Policy != overload.ShedNone && time.Since(since) >= ov.MaxWait &&
+			r.overBudget(in, int64(len(p))) && r.e.shedActive() {
+			switch ov.Policy {
+			case overload.ShedOldest:
+				if r.shedOldestLocked(side) {
+					// The gap's space is reclaimed asynchronously at the
+					// drain frontier, so pace further sheds by another
+					// bounded wait instead of cascading through all
+					// pending data at once.
+					since = time.Now()
+					continue
+				}
+				// Nothing undispatched to shed — the eager dispatcher has
+				// already cut everything into queued tasks. Grant the
+				// worker-side quota instead: the next pickup for this
+				// query sheds its (oldest queued) task as a gap, and its
+				// drain reclaims the budget. One grant at a time keeps
+				// sheds paced one bounded wait apart.
+				r.shedTaskQuota.CompareAndSwap(0, 1)
+				since = time.Now()
+			case overload.ShedWeighted:
+				if r.shed.DropChunk(side) {
+					return admitDropped
+				}
+				since = time.Now() // survived the coin; re-wait before re-flipping
+			}
+		}
+		if !counted {
+			r.over.admitWaits.Add(1)
+			counted = true
+		}
+		time.Sleep(backoff)
+		if backoff < time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// overBudget reports whether admitting need more bytes would exceed the
+// input's effective queue budget (Overload.MaxQueueBytes floored to stay
+// cuttable; see overload.EffectiveBudget). Ring occupancy — buffered but
+// not yet released bytes — is the queue-depth measure.
+func (r *registered) overBudget(in *inputStream, need int64) bool {
+	ov := r.e.cfg.Overload
+	if ov == nil || ov.MaxQueueBytes <= 0 {
+		return false
+	}
+	budget := overload.EffectiveBudget(ov.MaxQueueBytes, r.e.taskSize.Load(), need)
+	return in.ring.Size()+need > budget
+}
+
+// shedOldestLocked cuts up to one ϕ of the oldest undispatched tuples on
+// side as a gap task delivered straight to the result stage: their ring
+// and column space is reclaimed in drain order, timestamp continuity is
+// preserved through the usual EndPrevTS bookkeeping, and the tuples are
+// counted shed — exactly the quarantine machinery, driven by policy
+// instead of failure. Called with insMu held; returns false when nothing
+// is undispatched.
+func (r *registered) shedOldestLocked(side int) bool {
+	in := r.ins[side]
+	n := r.e.taskSize.Load() / int64(in.tupleSize)
+	if n < 1 {
+		n = 1
+	}
+	if r.pendingBytes(side)/int64(in.tupleSize) < n {
+		// Never shed a sub-ϕ range: a gap narrower than a task would shift
+		// every later count-window boundary off the task grid, stranding
+		// straddled windows open until the end-of-stream flush. Defer to
+		// the worker-side quota, which sheds whole queued tasks only.
+		return false
+	}
+	var tuples [2]int64
+	tuples[side] = n
+	r.emit(tuples, true)
+	r.stats.tuplesShed.Add(n)
+	r.over.shedOldest.Add(n)
+	return true
+}
+
+// takeShedTask consumes one unit of the worker-side ShedOldest quota.
+// Workers call it on every pickup; it is a single load on the (vastly
+// common) unarmed path.
+func (r *registered) takeShedTask() bool {
+	for {
+		q := r.shedTaskQuota.Load()
+		if q <= 0 {
+			return false
+		}
+		if r.shedTaskQuota.CompareAndSwap(q, q-1) {
+			return true
+		}
+	}
+}
+
 func (r *registered) pendingBytes(side int) int64 {
 	in := r.ins[side]
 	return in.ring.End() - in.batchStart
@@ -208,7 +408,7 @@ func (r *registered) cutSingle() {
 	if n < 1 {
 		n = 1
 	}
-	r.emit([2]int64{n, 0})
+	r.emit([2]int64{n, 0}, false)
 }
 
 // cutPair dispatches a two-input task, splitting both inputs' pending
@@ -237,12 +437,16 @@ func (r *registered) cutPair(tail bool) bool {
 			}
 		}
 	}
-	r.emit([2]int64{na, nb})
+	r.emit([2]int64{na, nb}, false)
 	return true
 }
 
 // emit cuts tuples[i] tuples from each input and enqueues the task.
-func (r *registered) emit(tuples [2]int64) {
+// With shed set the task is a policy-shed gap: it is sequenced and
+// accounted like any other cut (ring/column release, timestamp
+// continuity, drain barrier) but delivered straight to the result stage
+// as a gap instead of being scheduled.
+func (r *registered) emit(tuples [2]int64, shed bool) {
 	t := &task.Task{
 		Query:   r.idx,
 		ID:      r.taskSeq.Add(1) - 1,
@@ -313,7 +517,75 @@ func (r *registered) emit(tuples [2]int64) {
 		}
 	}
 	r.stats.tasksCreated.Add(1)
-	r.e.queue.Push(t)
+	if shed {
+		r.result.deliverGap(t)
+		return
+	}
+	if !r.e.queue.PushOpen(t) {
+		// The queue closed between the admission quiesce check and this
+		// cut — Close (which closes the queue without the dispatch lock)
+		// racing an Insert. The task is already sequenced and the drain
+		// barrier counts it, so record it as a shed gap no worker will
+		// ever run instead of panicking on the closed queue.
+		if r.result.deliverGap(t) {
+			n := tuples[0] + tuples[1]
+			r.stats.tuplesShed.Add(n)
+		}
+	}
+}
+
+// tryInsert is the non-blocking admission path: the whole payload is
+// admitted iff it fits the ring and the queue budget right now, else
+// nothing is consumed and the caller keeps the data (count in
+// admit.rejects). Unlike insert it never waits and never sheds.
+func (r *registered) tryInsert(side int, data []byte) bool {
+	if len(data) == 0 {
+		return true
+	}
+	start := time.Now()
+	in := r.ins[side]
+	if len(data)%in.tupleSize != 0 {
+		panic("engine: Insert data must be whole tuples")
+	}
+	r.insMu.Lock()
+	if r.e.quiescing() || r.overBudget(in, int64(len(data))) {
+		r.insMu.Unlock()
+		r.over.admitRejects.Add(1)
+		return false
+	}
+	if _, ok := in.ring.TryPut(data); !ok {
+		r.insMu.Unlock()
+		r.over.admitRejects.Add(1)
+		return false
+	}
+	// Offered counts only what admission took responsibility for: a
+	// rejected TryInsert leaves the bytes with the caller, so they are
+	// neither offered nor shed.
+	r.over.bytesOffered.Add(int64(len(data)))
+	if in.pendingSince == 0 {
+		in.pendingSince = time.Now().UnixNano()
+	}
+	if in.cols != nil {
+		in.cols.Append(data)
+	}
+	r.stats.bytesIn.Add(int64(len(data)))
+	if r.plan.NumInputs() == 1 {
+		for r.pendingBytes(0) >= r.e.taskSize.Load() {
+			r.cutSingle()
+		}
+	} else {
+		for r.combinedPending() >= r.e.taskSize.Load() {
+			if !r.cutPair(false) {
+				break
+			}
+		}
+	}
+	r.insMu.Unlock()
+
+	if !r.e.cfg.DisablePad {
+		model.Pad(start, r.e.cfg.Model.DispatchTime(len(data)))
+	}
+	return true
 }
 
 // dispatchTail flushes any remaining partial batch as a final (smaller)
@@ -323,7 +595,7 @@ func (r *registered) dispatchTail() {
 	defer r.insMu.Unlock()
 	if r.plan.NumInputs() == 1 {
 		if n := r.pendingBytes(0) / int64(r.ins[0].tupleSize); n > 0 {
-			r.emit([2]int64{n, 0})
+			r.emit([2]int64{n, 0}, false)
 		}
 		return
 	}

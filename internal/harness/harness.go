@@ -34,6 +34,7 @@ import (
 	"saber/internal/ingest"
 	"saber/internal/inv"
 	"saber/internal/model"
+	"saber/internal/overload"
 	"saber/internal/sched"
 	"saber/internal/workload"
 )
@@ -86,6 +87,13 @@ type Config struct {
 	// MaxJitter bounds the jitter workload's per-fragment delay.
 	// Default 2ms.
 	MaxJitter time.Duration
+	// MinProcess puts a deterministic floor under the jitter workload's
+	// per-fragment service time. With it the pipeline's capacity has a
+	// computable upper bound (Workers * TaskSize / MinProcess bytes/sec),
+	// which is what lets the overload scenarios pace a feed at a known
+	// multiple of capacity instead of estimating it from wall clocks.
+	// 0 keeps the service time purely jitter-driven.
+	MinProcess time.Duration
 	// PollInterval is the invariant poller's period. Default 200µs.
 	PollInterval time.Duration
 	// InsertMaxTuples bounds the seeded random Insert chunk size.
@@ -111,6 +119,17 @@ type Config struct {
 	// controller resizes ϕ from the live latency histograms while the
 	// stress load — and any armed chaos — runs. nil keeps ϕ fixed.
 	Adapt *adapt.Config
+	// Overload arms the engine's overload protection (queue budgets,
+	// tiered shedding, stall watchdog). With a shedding policy set the
+	// run is expected to drop tuples under pressure; the harness then
+	// swaps the exactly-once passthrough checker for the shed-tolerant
+	// one and verifies the conservation ledger instead:
+	// offered == admitted + admission-shed and admitted == out + shed.
+	Overload *overload.Config
+	// SourceCredits, with Ingest, arms credit-based flow control on the
+	// loopback feed: the server advertises this window (tuples) and the
+	// reconnecting client paces itself on the returned grants.
+	SourceCredits int
 	// PacedRate, when set, paces every feeder at this offered byte rate
 	// (e.g. workload.BurstRate) instead of feeding as fast as
 	// backpressure allows. The per-tick tuple schedule comes from
@@ -217,7 +236,19 @@ type Report struct {
 	AdaptTicks   int64 // controller ticks that saw a trusted signal
 	AdaptGrows   int64
 	AdaptShrinks int64
-	PhiFinal     int64 // ϕ in bytes when the run quiesced
+	// AdaptOverloadTicks counts ticks that raised the last-rung overload
+	// signal (over SLO with ϕ already at the floor) — the condition that
+	// arms the shedding policy.
+	AdaptOverloadTicks int64
+	PhiFinal           int64 // ϕ in bytes when the run quiesced
+
+	// Overload-protection telemetry (Overload runs).
+	BytesOffered     int64 // bytes Insert took responsibility for
+	TuplesShedAdmit  int64 // tuples dropped before admission
+	TuplesShedOldest int64 // admitted tuples cut oldest-first
+	AdmitWaits       int64 // Inserts that hit the bounded backpressure wait
+	CreditWaits      int64 // ingest sends that blocked on the credit window
+	Stalls           int64 // watchdog stall episodes
 
 	// Violations holds every invariant violation observed, polling-time
 	// and end-of-stream alike. Empty means the run was clean.
@@ -250,6 +281,10 @@ func (r *Report) String() string {
 		s += fmt.Sprintf(" | adapt: ticks=%d grows=%d shrinks=%d phi=%d",
 			r.AdaptTicks, r.AdaptGrows, r.AdaptShrinks, r.PhiFinal)
 	}
+	if r.TuplesShedAdmit+r.TuplesShedOldest+r.AdmitWaits+r.CreditWaits+r.Stalls > 0 {
+		s += fmt.Sprintf(" | overload: offered=%dB shed_admit=%d shed_oldest=%d waits=%d credit_waits=%d stalls=%d",
+			r.BytesOffered, r.TuplesShedAdmit, r.TuplesShedOldest, r.AdmitWaits, r.CreditWaits, r.Stalls)
+	}
 	return s
 }
 
@@ -275,6 +310,7 @@ func Run(cfg Config) (*Report, error) {
 		BreakerThreshold: cfg.BreakerThreshold,
 		BreakerCooldown:  cfg.BreakerCooldown,
 		Adapt:            cfg.Adapt,
+		Overload:         cfg.Overload,
 	}
 	var dev *gpu.Device
 	if cfg.GPU {
@@ -307,9 +343,15 @@ func Run(cfg Config) (*Report, error) {
 		// Distinct sub-seed per query so concurrent queries do not march
 		// in lockstep.
 		qr.stream, qr.fingerprint = genStream(cfg.Tuples, cfg.Seed+int64(i)*7919)
-		if isAggWorkload(cfg.Workload) {
+		switch {
+		case isAggWorkload(cfg.Workload):
 			qr.checker = &aggChecker{out: q.OutputSchema()}
-		} else {
+		case cfg.Overload != nil && cfg.Overload.Policy != overload.ShedNone:
+			// A shedding run legitimately drops tuples: integrity and order
+			// still hold per tuple, but coverage is checked against the shed
+			// ledger instead of demanding the full sequence.
+			qr.checker = &shedChecker{}
+		default:
 			qr.checker = &passthroughChecker{}
 		}
 		mutate := cfg.MutateOutput
@@ -370,7 +412,7 @@ func Run(cfg Config) (*Report, error) {
 	var feedErrs []error
 	var feedMu sync.Mutex
 	var feeders sync.WaitGroup
-	var reconnects int64
+	var reconnects, creditWaits int64
 	for i, qr := range runs {
 		var send func([]byte) error
 		var cleanup func()
@@ -385,12 +427,17 @@ func Run(cfg Config) (*Report, error) {
 			// Generous relative to injected stalls: the deadline is a
 			// liveness backstop, not part of the chaos schedule.
 			srv.SetReadTimeout(time.Second)
+			if cfg.SourceCredits > 0 {
+				srv.EnableCredits(int64(cfg.SourceCredits))
+			}
 			srv.RegisterMetrics(eng.Metrics(), fmt.Sprintf("saber.ingest.in%d", i))
 			go func() { _ = srv.Serve() }()
 			servers = append(servers, srv)
 			rc, err := ingest.DialReconnect(srv.Addr().String(), ingest.ReconnectConfig{
-				Seed:  cfg.Seed ^ int64(i),
-				Fault: cfg.Chaos,
+				Seed:      cfg.Seed ^ int64(i),
+				Fault:     cfg.Chaos,
+				Credits:   cfg.SourceCredits > 0,
+				TupleSize: StreamSchema.TupleSize(),
 			})
 			if err != nil {
 				return nil, err
@@ -399,6 +446,7 @@ func Run(cfg Config) (*Report, error) {
 			cleanup = func() {
 				feedMu.Lock()
 				reconnects += rc.Reconnects()
+				creditWaits += rc.CreditWaits()
 				feedMu.Unlock()
 				rc.Close()
 			}
@@ -474,6 +522,7 @@ func Run(cfg Config) (*Report, error) {
 		srv.Close()
 	}
 	rep.IngestReconnects = reconnects
+	rep.CreditWaits = creditWaits
 	rep.Violations = append(rep.Violations, feedErrs...)
 	eng.Drain()
 
@@ -497,6 +546,14 @@ func Run(cfg Config) (*Report, error) {
 		if err := qr.handle.CheckQuiesced(); err != nil {
 			rep.Violations = append(rep.Violations, fmt.Errorf("query %d quiesce: %w", i, err))
 		}
+		st := qr.handle.Stats()
+		if sc, ok := qr.checker.(*shedChecker); ok {
+			// The shed ledger is the checker's coverage baseline: policy gaps
+			// (tuples.shed) plus admission drops. Feeding it from the engine's
+			// own counters is the point — a leak in the ledger shows up as a
+			// conservation violation, not a silently weaker check.
+			sc.setShed(st.TuplesShed + st.TuplesShedAdmit)
+		}
 		qr.checker.finish(int64(cfg.Tuples), qr.fingerprint)
 		for _, err := range qr.checker.violations() {
 			rep.Violations = append(rep.Violations, fmt.Errorf("query %d: %w", i, err))
@@ -511,7 +568,10 @@ func Run(cfg Config) (*Report, error) {
 		for _, w := range d.RingWraps {
 			rep.RingWraps += w
 		}
-		st := qr.handle.Stats()
+		rep.BytesOffered += st.BytesOffered
+		rep.TuplesShedAdmit += st.TuplesShedAdmit
+		rep.TuplesShedOldest += st.TuplesShedOldest
+		rep.AdmitWaits += st.AdmitWaits
 		rep.TasksCPU += st.TasksCPU
 		rep.TasksGPU += st.TasksGPU
 		rep.TasksFailed += st.TasksFailed
@@ -544,6 +604,23 @@ func Run(cfg Config) (*Report, error) {
 			}
 		}
 	}
+	// Admission-side conservation holds for every workload: each offered
+	// byte was either admitted into the ring or dropped pre-admission by
+	// the shedding policy, so offered == admitted + admission-shed, in
+	// tuples, with nothing unaccounted at quiesce.
+	{
+		tsz := int64(StreamSchema.TupleSize())
+		for i := range runs {
+			offered := snap.Counters[fmt.Sprintf("saber.overload.q%d.bytes.offered", i)] / tsz
+			in := snap.Counters[fmt.Sprintf("saber.engine.q%d.bytes.in", i)] / tsz
+			shedAdmit := snap.Counters[fmt.Sprintf("saber.overload.q%d.shed.admit.tuples", i)]
+			if offered != in+shedAdmit {
+				rep.Violations = append(rep.Violations,
+					fmt.Errorf("metrics: query %d admission conservation: %d tuples offered != %d admitted + %d shed at admission",
+						i, offered, in, shedAdmit))
+			}
+		}
+	}
 
 	if hls, ok := eng.Policy().(*sched.HLS); ok {
 		rep.BackendFlips = hls.Flips()
@@ -556,10 +633,12 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Chaos != nil {
 		rep.FaultsInjected = cfg.Chaos.TotalInjections()
 	}
+	rep.Stalls = snap.Counters["saber.overload.stalls"]
 	if cfg.Adapt != nil {
 		rep.AdaptTicks = snap.Counters["saber.adapt.ticks"]
 		rep.AdaptGrows = snap.Counters["saber.adapt.grow"]
 		rep.AdaptShrinks = snap.Counters["saber.adapt.shrink"]
+		rep.AdaptOverloadTicks = snap.Counters["saber.adapt.overload.ticks"]
 		rep.PhiFinal = int64(eng.TaskSize())
 	}
 	return rep, nil

@@ -130,6 +130,102 @@ func (c *passthroughChecker) violations() []error {
 	return c.log.list()
 }
 
+// shedChecker verifies the identity workloads under a shedding overload
+// policy. Load shedding legitimately drops tuples, so the exactly-once
+// coverage check no longer applies; what must still hold is
+//
+//   - tuple integrity: every emitted tuple's checksum matches its
+//     content — shedding drops tuples, it never corrupts them;
+//   - order without duplication: seq values strictly increase (gaps are
+//     shed tuples; a repeat or inversion is still a bug);
+//   - timestamp monotonicity across the whole stream;
+//   - shed-ledger conservation: emitted + shed == offered. The run feeds
+//     the engine's shed total in via setShed before finish; dropping the
+//     ledger entry for even one tuple breaks the equation (the mutation
+//     self-test relies on exactly this).
+//
+// When the ledger reports zero shed tuples the policy never actuated and
+// the checker demands full passthrough equality, fingerprint included.
+type shedChecker struct {
+	mu          sync.Mutex
+	log         violationLog
+	lastSeq     int64
+	lastTS      int64
+	fingerprint int64
+	n           int64
+	shed        int64
+}
+
+func (c *shedChecker) consume(rows []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tsz := StreamSchema.TupleSize()
+	if len(rows)%tsz != 0 {
+		c.log.addf("output chunk of %d bytes is not whole tuples (tuple size %d)", len(rows), tsz)
+	}
+	for i := 0; i+tsz <= len(rows); i += tsz {
+		t := rows[i : i+tsz]
+		ts := StreamSchema.ReadInt64(t, 0)
+		seq := StreamSchema.ReadInt64(t, 1)
+		val := StreamSchema.ReadInt64(t, 2)
+		sum := StreamSchema.ReadInt64(t, 3)
+		if want := tupleChecksum(ts, seq, val); sum != want {
+			c.log.addf("tuple %d (seq %d): checksum %#x, want %#x (corrupted tuple)", c.n, seq, sum, want)
+		}
+		if c.n > 0 && seq <= c.lastSeq {
+			c.log.addf("tuple %d: seq %d after %d (duplicate or reorder; shedding only ever gaps forward)",
+				c.n, seq, c.lastSeq)
+		}
+		c.lastSeq = seq
+		if ts < c.lastTS {
+			c.log.addf("tuple %d: timestamp %d after %d (output order not monotonic)", c.n, ts, c.lastTS)
+		}
+		c.lastTS = ts
+		c.fingerprint ^= sum
+		c.n++
+	}
+}
+
+// setShed records the engine's total shed-tuple count (policy gaps plus
+// admission drops) for this query. Must be called before finish.
+func (c *shedChecker) setShed(total int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shed = total
+}
+
+func (c *shedChecker) finish(tuplesIn, fingerprint int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shed == 0 {
+		// The policy never fired: the run degenerates to exact passthrough
+		// and the stronger invariants apply.
+		if c.n != tuplesIn {
+			c.log.addf("conservation: %d tuples out, %d in (nothing shed)", c.n, tuplesIn)
+		}
+		if c.fingerprint != fingerprint {
+			c.log.addf("conservation: output fingerprint %#x != input %#x (nothing shed)", c.fingerprint, fingerprint)
+		}
+		return
+	}
+	if c.n+c.shed != tuplesIn {
+		c.log.addf("shed conservation: %d out + %d shed != %d in (tuples leaked or double-counted)",
+			c.n, c.shed, tuplesIn)
+	}
+}
+
+func (c *shedChecker) tuplesOut() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *shedChecker) violations() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log.list()
+}
+
 // aggChecker verifies the tumbling COUNT(*) workload: window timestamps
 // must be non-decreasing and the counts must add up to exactly the number
 // of input tuples — every tuple lands in exactly one tumbling window, so

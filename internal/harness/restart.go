@@ -13,6 +13,7 @@ import (
 	"saber/internal/fault"
 	"saber/internal/ingest"
 	"saber/internal/model"
+	"saber/internal/overload"
 )
 
 // RestartConfig tunes one crash-restart differential run: a reference
@@ -59,6 +60,12 @@ type RestartConfig struct {
 	// and the reconnecting client replays the lost suffix from its
 	// replay window.
 	Ingest bool
+	// Overload arms the admission-control/shedding layer on all three
+	// engines. The differential requires that the policy never actuates
+	// (a shed tuple voids byte identity), so configs set a budget the run
+	// cannot exhaust: the point is proving the armed layer is inert on a
+	// healthy pipeline and its ledger counters survive the restore.
+	Overload *overload.Config
 	// Chaos arms seeded fault injection (plan-execution errors, ingest
 	// drops) on the crash and recovery engines. MaxTaskRetries defaults
 	// to 6 when set, keeping the retry budget above any plausible
@@ -124,6 +131,9 @@ type RestartReport struct {
 	RingWraps int64
 	// Quarantined must be 0: shed tuples would break the differential.
 	Quarantined int64
+	// Shed must be 0 for the same reason: an armed overload policy that
+	// actuates mid-differential voids byte identity.
+	Shed int64
 	// Retried / FaultsInjected / Reconnects / Resends are chaos and
 	// ingest evidence.
 	Retried        int64
@@ -182,6 +192,8 @@ func restartEngine(cfg RestartConfig, dir string) (*engine.Engine, *engine.Handl
 		Model:           model.Default(),
 		Fault:           cfg.Chaos,
 		MaxTaskRetries:  cfg.MaxTaskRetries,
+
+		Overload: cfg.Overload,
 
 		CheckpointDir:      dir,
 		CheckpointInterval: -1, // the runner cuts epochs at seeded chunk counts
@@ -433,12 +445,27 @@ func RunCrashRestart(cfg RestartConfig) (*RestartReport, error) {
 	stA, stB := hA.Stats(), hB.Stats()
 	rep.Quarantined = stA.TasksQuarantined + stB.TasksQuarantined
 	rep.Retried = stA.TasksRetried + stB.TasksRetried
+	rep.Shed = stA.TuplesShed + stA.TuplesShedAdmit + stB.TuplesShed + stB.TuplesShedAdmit
 	if cfg.Chaos != nil {
 		rep.FaultsInjected = cfg.Chaos.TotalInjections()
 	}
 	if rep.Quarantined != 0 {
 		rep.Violations = append(rep.Violations,
 			fmt.Errorf("%d tasks quarantined — shed tuples void the differential", rep.Quarantined))
+	}
+	if rep.Shed != 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Errorf("%d tuples shed — an overload policy actuated mid-differential", rep.Shed))
+	}
+	if cfg.Overload != nil {
+		// The admission ledger must balance on the recovery engine at
+		// quiesce even though its offered/in counters were seeded from the
+		// restored snapshot: offered == in + shed-at-admission.
+		if d := stB.BytesOffered - stB.BytesIn - stB.TuplesShedAdmit*int64(tsz); d != 0 {
+			rep.Violations = append(rep.Violations, fmt.Errorf(
+				"restored admission ledger off by %d bytes (offered %d, in %d)",
+				d, stB.BytesOffered, stB.BytesIn))
+		}
 	}
 
 	got := append(prefix[:len(prefix):len(prefix)], post...)

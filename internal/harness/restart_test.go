@@ -2,6 +2,9 @@ package harness
 
 import (
 	"testing"
+	"time"
+
+	"saber/internal/overload"
 )
 
 // runRestart executes the crash-restart differential and fails the test
@@ -79,6 +82,26 @@ func TestChaosCrashRestart(t *testing.T) {
 	}
 	if rep.Retried == 0 {
 		t.Fatal("faults injected but no task retried")
+	}
+}
+
+// TestCrashRestartOverloadArmed runs the byte-identity differential with
+// the full overload layer armed — budget, oldest-first policy, tight
+// bounded wait — but a budget the stream cannot exhaust. The armed layer
+// must be inert on a healthy pipeline (zero tuples shed, or byte
+// identity is void) and its admission-ledger counters must survive the
+// restore: offered == in + shed on the recovery engine at quiesce.
+func TestCrashRestartOverloadArmed(t *testing.T) {
+	rep := runRestart(t, RestartConfig{
+		Seed: Seed(28),
+		Overload: &overload.Config{
+			MaxQueueBytes: 64 << 20,
+			Policy:        overload.ShedOldest,
+			MaxWait:       200 * time.Microsecond,
+		},
+	})
+	if rep.Shed != 0 {
+		t.Fatalf("overload policy actuated on a healthy differential: %s", rep)
 	}
 }
 

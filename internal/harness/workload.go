@@ -110,12 +110,18 @@ func buildQuery(cfg Config, name string) (*query.Query, error) {
 // the run seed, so completion order scrambles independently of the
 // scheduler while reproducing exactly under the same seed.
 func jitterUDF(cfg Config) *query.UDF {
-	seed, maxJitter := cfg.Seed, cfg.MaxJitter
+	seed, maxJitter, minProc := cfg.Seed, cfg.MaxJitter, cfg.MinProcess
 	return &query.UDF{
 		Name: "jitter-passthrough",
 		Out:  StreamSchema,
 		ProcessFragment: func(in [][]byte) []byte {
-			if d := jitterDelay(in[0], seed, maxJitter); d > 0 {
+			d := jitterDelay(in[0], seed, maxJitter)
+			if d < minProc {
+				// The deterministic service-time floor (Config.MinProcess)
+				// that gives the shape a computable capacity bound.
+				d = minProc
+			}
+			if d > 0 {
 				time.Sleep(d)
 			}
 			return append([]byte(nil), in[0]...)

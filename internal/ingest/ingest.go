@@ -85,6 +85,16 @@ type Server struct {
 	resume bool
 	cursor atomic.Int64 // next tuple index the sink expects
 
+	// credits, when set (EnableCredits), adds credit-based flow control
+	// to either protocol: the greeting additionally carries the window
+	// (in tuples, after the resume cursor when both are enabled) and the
+	// server returns 8-byte grant increments as it consumes frames, so a
+	// well-behaved sender can never hold more than roughly one window of
+	// tuples in flight — backpressure surfaces at the source instead of
+	// as unbounded socket growth in front of a blocked sink.
+	credits      bool
+	creditWindow int64 // tuples
+
 	// readTimeout, when positive, bounds how long a read may sit idle on a
 	// connection before it is dropped (a stalled or half-dead peer must not
 	// pin the single serving slot forever). Defaults to DefaultReadTimeout.
@@ -115,6 +125,8 @@ type Server struct {
 	resumeDups     atomic.Int64 // resume frames fully below the cursor, discarded
 	resumeTrims    atomic.Int64 // resume frames straddling the cursor, prefix-trimmed
 	resumeGaps     atomic.Int64 // resume frames starting past the cursor, rejected
+	creditGrants   atomic.Int64 // grant messages written (credit mode)
+	creditTuples   atomic.Int64 // tuples granted back to senders (credit mode)
 }
 
 // ServerStats is a point-in-time snapshot of the server's counters.
@@ -130,6 +142,8 @@ type ServerStats struct {
 	ResumeDups     int64
 	ResumeTrims    int64
 	ResumeGaps     int64
+	CreditGrants   int64
+	CreditTuples   int64
 }
 
 // NewServer wraps an existing listener. tupleSize is the stream schema's
@@ -179,6 +193,24 @@ func (s *Server) EnableResume(cursor int64) {
 // Cursor returns the next tuple index the sink expects (resume mode).
 func (s *Server) Cursor() int64 { return s.cursor.Load() }
 
+// EnableCredits arms credit-based flow control with the given window (in
+// tuples; values below 1 are clamped to 1). Must be called before Serve;
+// clients must dial with the matching credit variant (DialCredits,
+// DialResumeCredits, or ReconnectConfig.Credits). Composes with
+// EnableResume: the greeting then carries cursor followed by window.
+//
+// Grants are batched: the server returns an 8-byte increment once a
+// quarter window of tuples has been consumed since the last grant, and a
+// sender may overdraw by at most one frame — so the in-flight bound is
+// window plus one frame, not an exact window.
+func (s *Server) EnableCredits(window int64) {
+	if window < 1 {
+		window = 1
+	}
+	s.credits = true
+	s.creditWindow = window
+}
+
 // SetReadTimeout sets the per-read idle deadline for all connections,
 // overriding DefaultReadTimeout. Safe to call concurrently with Serve.
 // Passing 0 disables the deadline — do that only in tests: with serial
@@ -200,6 +232,8 @@ func (s *Server) Stats() ServerStats {
 		ResumeDups:     s.resumeDups.Load(),
 		ResumeTrims:    s.resumeTrims.Load(),
 		ResumeGaps:     s.resumeGaps.Load(),
+		CreditGrants:   s.creditGrants.Load(),
+		CreditTuples:   s.creditTuples.Load(),
 	}
 }
 
@@ -219,6 +253,8 @@ func (s *Server) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.RegisterFunc(prefix+".resume.dups", s.resumeDups.Load)
 	reg.RegisterFunc(prefix+".resume.trims", s.resumeTrims.Load)
 	reg.RegisterFunc(prefix+".resume.gaps", s.resumeGaps.Load)
+	reg.RegisterFunc(prefix+".credit.grants", s.creditGrants.Load)
+	reg.RegisterFunc(prefix+".credit.tuples", s.creditTuples.Load)
 }
 
 // Serve accepts connections until Close. It returns nil after Close and
@@ -299,6 +335,46 @@ func (s *Server) handle(conn net.Conn) error {
 			return fmt.Errorf("ingest: resume greeting: %w", err)
 		}
 	}
+	if s.credits {
+		// Advertise the credit window (after the cursor when both are on).
+		var g [8]byte
+		binary.LittleEndian.PutUint64(g[:], uint64(s.creditWindow))
+		if _, err := conn.Write(g[:]); err != nil {
+			return fmt.Errorf("ingest: credit greeting: %w", err)
+		}
+	}
+	// Grants are per-connection state: a redialing sender resets its
+	// balance from the fresh greeting, so nothing carries over. A grant
+	// covers tuples consumed from the wire whatever the resume verdict —
+	// duplicates and trims spent window space on the wire all the same.
+	var pendingGrant int64
+	grantThreshold := s.creditWindow / 4
+	if grantThreshold < 1 {
+		grantThreshold = 1
+	}
+	grant := func(tuples int64) error {
+		if !s.credits {
+			return nil
+		}
+		pendingGrant += tuples
+		if pendingGrant < grantThreshold {
+			return nil
+		}
+		// A write deadline keeps a sender that stopped reading grants from
+		// pinning the serving slot forever (mirrors the read-side policy).
+		if d := time.Duration(s.readTimeout.Load()); d > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(d))
+		}
+		var g [8]byte
+		binary.LittleEndian.PutUint64(g[:], uint64(pendingGrant))
+		if _, err := conn.Write(g[:]); err != nil {
+			return fmt.Errorf("ingest: credit grant: %w", err)
+		}
+		s.creditGrants.Add(1)
+		s.creditTuples.Add(pendingGrant)
+		pendingGrant = 0
+		return nil
+	}
 	var hdr [resumeHeaderSize]byte
 	buf := make([]byte, 64<<10)
 	for {
@@ -343,6 +419,9 @@ func (s *Server) handle(conn net.Conn) error {
 			switch {
 			case end <= cur:
 				s.resumeDups.Add(1)
+				if err := grant(int64(n / s.tupleSize)); err != nil {
+					return err
+				}
 				continue
 			case off > cur:
 				s.resumeGaps.Add(1)
@@ -355,11 +434,20 @@ func (s *Server) handle(conn net.Conn) error {
 			s.sink.Insert(payload)
 			s.cursor.Store(end)
 			s.sinkMu.Unlock()
+			if err := grant(int64(n / s.tupleSize)); err != nil {
+				return err
+			}
 			continue
 		}
 		s.sinkMu.Lock()
 		s.sink.Insert(payload)
 		s.sinkMu.Unlock()
+		// Granting after the sink returns ties the credit window to real
+		// downstream consumption: a sink blocked on engine admission stops
+		// the grant flow, and the sender pauses one window later.
+		if err := grant(int64(n / s.tupleSize)); err != nil {
+			return err
+		}
 	}
 }
 
@@ -390,36 +478,87 @@ type Client struct {
 	inj    *fault.Injector
 	resume bool
 	tsz    int
+
+	// Credit mode: window is the server's advertised window (tuples),
+	// balance the remaining spendable credits. balance may go negative —
+	// a frame larger than the balance is sent on overdraft once the
+	// balance is positive, so jumbo frames cannot wedge the protocol —
+	// and recovers from the grant stream. gbuf/gn reassemble a grant that
+	// arrived split across reads.
+	credits     bool
+	window      int64
+	balance     int64
+	gbuf        [8]byte
+	gn          int
+	creditWaits int64
 }
 
 // Dial connects to an ingest server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{conn: conn}, nil
+	c, _, err := dialStream(addr, 0, false, false)
+	return c, err
 }
 
 // DialResume connects to a resume-mode server (EnableResume) and reads
 // its greeting: the tuple index the server expects next. The caller
 // replays its stream from that index using SendAt.
 func DialResume(addr string, tupleSize int) (*Client, int64, error) {
-	if tupleSize <= 0 {
+	return dialStream(addr, tupleSize, true, false)
+}
+
+// DialCredits connects to a credit-mode server (EnableCredits). Send
+// blocks while the credit balance is exhausted, pacing this sender to
+// the server's real consumption rate.
+func DialCredits(addr string, tupleSize int) (*Client, error) {
+	c, _, err := dialStream(addr, tupleSize, false, true)
+	return c, err
+}
+
+// DialResumeCredits connects to a server with both resume and credits
+// enabled, returning the greeted replay cursor.
+func DialResumeCredits(addr string, tupleSize int) (*Client, int64, error) {
+	return dialStream(addr, tupleSize, true, true)
+}
+
+// dialStream is the one dial path: it reads whichever greeting fields
+// the chosen protocol flags call for, in wire order (resume cursor, then
+// credit window).
+func dialStream(addr string, tupleSize int, resume, credits bool) (*Client, int64, error) {
+	if (resume || credits) && tupleSize <= 0 {
 		return nil, 0, fmt.Errorf("ingest: tuple size %d", tupleSize)
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, 0, err
 	}
-	var g [8]byte
-	if _, err := io.ReadFull(conn, g[:]); err != nil {
-		conn.Close()
-		return nil, 0, fmt.Errorf("ingest: resume greeting: %w", err)
+	var cursor int64
+	if resume {
+		var g [8]byte
+		if _, err := io.ReadFull(conn, g[:]); err != nil {
+			conn.Close()
+			return nil, 0, fmt.Errorf("ingest: resume greeting: %w", err)
+		}
+		cursor = int64(binary.LittleEndian.Uint64(g[:]))
 	}
-	cursor := int64(binary.LittleEndian.Uint64(g[:]))
-	return &Client{conn: conn, resume: true, tsz: tupleSize}, cursor, nil
+	c := &Client{conn: conn, resume: resume, credits: credits, tsz: tupleSize}
+	if credits {
+		var g [8]byte
+		if _, err := io.ReadFull(conn, g[:]); err != nil {
+			conn.Close()
+			return nil, 0, fmt.Errorf("ingest: credit greeting: %w", err)
+		}
+		c.window = int64(binary.LittleEndian.Uint64(g[:]))
+		c.balance = c.window
+	}
+	return c, cursor, nil
 }
+
+// Window returns the server-advertised credit window in tuples (credit
+// mode; 0 otherwise).
+func (c *Client) Window() int64 { return c.window }
+
+// CreditWaits counts Sends that blocked waiting for a credit grant.
+func (c *Client) CreditWaits() int64 { return c.creditWaits }
 
 // SetFault arms seeded fault injection on this client: fault.IngestDrop
 // makes Send abort mid-frame and close the connection (simulating a
@@ -458,6 +597,11 @@ func (c *Client) send(tuples []byte, off int64) error {
 	if len(tuples) > MaxFrame {
 		return fmt.Errorf("ingest: frame of %d bytes exceeds limit", len(tuples))
 	}
+	if c.credits {
+		if err := c.awaitCredit(); err != nil {
+			return err
+		}
+	}
 	hdr := c.header(tuples, off)
 	if c.inj.Decide(fault.IngestDrop) {
 		return c.abortMidFrame(hdr, tuples, 0, fault.IngestDrop)
@@ -468,8 +612,76 @@ func (c *Client) send(tuples []byte, off int64) error {
 	if _, err := c.conn.Write(hdr); err != nil {
 		return err
 	}
-	_, err := c.conn.Write(tuples)
-	return err
+	if _, err := c.conn.Write(tuples); err != nil {
+		return err
+	}
+	if c.credits {
+		// Spend only after the frame is fully on the wire: an aborted
+		// frame never reaches the sink and is never granted back.
+		c.balance -= int64(len(tuples) / c.tsz)
+	}
+	return nil
+}
+
+// awaitCredit first drains every grant already buffered on the
+// connection (keeping the server's grant writes from ever backing up —
+// the mutual-write deadlock a one-way drain would invite), then blocks
+// for more until the balance is positive again.
+func (c *Client) awaitCredit() error {
+	if err := c.drainGrants(); err != nil {
+		return err
+	}
+	if c.balance > 0 {
+		return nil
+	}
+	c.creditWaits++
+	for c.balance <= 0 {
+		if _, err := c.readGrant(true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainGrants consumes grants without blocking: it stops at the first
+// read that finds the socket empty.
+func (c *Client) drainGrants() error {
+	for {
+		got, err := c.readGrant(false)
+		if err != nil {
+			return err
+		}
+		if !got {
+			return nil
+		}
+	}
+}
+
+// readGrant reads one 8-byte grant increment into the balance. In
+// non-blocking mode a partial read is retained in gbuf (alignment
+// survives) and (false, nil) reports an empty socket.
+func (c *Client) readGrant(block bool) (bool, error) {
+	if block {
+		_ = c.conn.SetReadDeadline(time.Time{})
+	} else {
+		_ = c.conn.SetReadDeadline(time.Now())
+	}
+	for c.gn < len(c.gbuf) {
+		n, err := c.conn.Read(c.gbuf[c.gn:])
+		c.gn += n
+		if err != nil {
+			if !block {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					return false, nil
+				}
+			}
+			return false, err
+		}
+	}
+	c.gn = 0
+	c.balance += int64(binary.LittleEndian.Uint64(c.gbuf[:]))
+	return true, nil
 }
 
 // header fills the frame header for this client's mode and returns the

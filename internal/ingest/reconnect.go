@@ -35,6 +35,13 @@ type ReconnectConfig struct {
 	// cover the server's checkpoint lag: cursor distance beyond the
 	// window is unrecoverable from this client alone. Default 16 MiB.
 	ReplayWindow int
+
+	// Credits speaks the credit-granting flow-control protocol (server
+	// side: EnableCredits): Send blocks while the greeted window is
+	// exhausted, pacing this sender to the server's consumption. Composes
+	// with Resume — a redial re-reads the greeting, so the balance resets
+	// with the connection. Requires TupleSize.
+	Credits bool
 }
 
 func (c ReconnectConfig) withDefaults() ReconnectConfig {
@@ -97,15 +104,16 @@ type ReconnectClient struct {
 	next   int64
 	replay replayBuf
 
-	reconnects int64
-	resends    int64
+	reconnects  int64
+	resends     int64
+	creditWaits int64 // accumulated from closed connections' clients
 }
 
 // DialReconnect connects a reconnecting client to an ingest server.
 func DialReconnect(addr string, cfg ReconnectConfig) (*ReconnectClient, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Resume && cfg.TupleSize <= 0 {
-		return nil, fmt.Errorf("ingest: resume client needs TupleSize (got %d)", cfg.TupleSize)
+	if (cfg.Resume || cfg.Credits) && cfg.TupleSize <= 0 {
+		return nil, fmt.Errorf("ingest: resume/credit client needs TupleSize (got %d)", cfg.TupleSize)
 	}
 	rc := &ReconnectClient{
 		cfg:  cfg,
@@ -122,20 +130,15 @@ func DialReconnect(addr string, cfg ReconnectConfig) (*ReconnectClient, error) {
 }
 
 func (rc *ReconnectClient) redial() error {
-	if !rc.cfg.Resume {
-		c, err := Dial(rc.addr)
-		if err != nil {
-			return err
-		}
-		c.SetFault(rc.cfg.Fault)
-		rc.c = c
-		return nil
-	}
-	c, cursor, err := DialResume(rc.addr, rc.cfg.TupleSize)
+	c, cursor, err := dialStream(rc.addr, rc.cfg.TupleSize, rc.cfg.Resume, rc.cfg.Credits)
 	if err != nil {
 		return err
 	}
 	c.SetFault(rc.cfg.Fault)
+	if !rc.cfg.Resume {
+		rc.c = c
+		return nil
+	}
 	if cursor == 0 && rc.next == 0 {
 		// Fresh stream on both sides; nothing to replay.
 		rc.c = c
@@ -146,6 +149,7 @@ func (rc *ReconnectClient) redial() error {
 		// checkpoint): retransmit [cursor, next) from the replay window.
 		data, ok := rc.replay.slice(cursor, rc.next)
 		if !ok {
+			rc.creditWaits += c.CreditWaits()
 			c.Close()
 			return fmt.Errorf("ingest: server cursor %d is outside the replay window [%d, %d)",
 				cursor, rc.replay.base, rc.next)
@@ -157,6 +161,7 @@ func (rc *ReconnectClient) redial() error {
 				end = int64(len(data))
 			}
 			if err := c.SendAt(data[off:end], cursor+off/int64(rc.cfg.TupleSize)); err != nil {
+				rc.creditWaits += c.CreditWaits()
 				c.Close()
 				return err
 			}
@@ -225,6 +230,7 @@ func (rc *ReconnectClient) Send(tuples []byte) error {
 			return nil
 		}
 		lastErr = err
+		rc.creditWaits += rc.c.CreditWaits()
 		_ = rc.c.Close()
 		rc.c = nil
 	}
@@ -241,11 +247,22 @@ func (rc *ReconnectClient) Reconnects() int64 { return rc.reconnects }
 // Resends counts frame retransmissions after a failure.
 func (rc *ReconnectClient) Resends() int64 { return rc.resends }
 
+// CreditWaits counts Sends that blocked on the credit window, summed
+// across every connection this client has used (credit mode).
+func (rc *ReconnectClient) CreditWaits() int64 {
+	n := rc.creditWaits
+	if rc.c != nil {
+		n += rc.c.CreditWaits()
+	}
+	return n
+}
+
 // Close closes the current connection, if any.
 func (rc *ReconnectClient) Close() error {
 	if rc.c == nil {
 		return nil
 	}
+	rc.creditWaits += rc.c.CreditWaits()
 	err := rc.c.Close()
 	rc.c = nil
 	return err

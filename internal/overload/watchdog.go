@@ -1,0 +1,66 @@
+package overload
+
+import "time"
+
+// Progress is one watchdog observation of the pipeline: how much input
+// is buffered and how far the result stage has drained. The drain
+// counter is the engine's liveness signal — as long as it moves, queues
+// may be deep but the pipeline is not wedged.
+type Progress struct {
+	// PendingBytes is the total bytes buffered across all input rings.
+	PendingBytes int64
+	// Drained is the total drained-task count across all queries
+	// (monotone).
+	Drained int64
+	// QueueLen is the task-queue depth (diagnostic only).
+	QueueLen int64
+}
+
+// StallReport describes a detected stall.
+type StallReport struct {
+	// Stalled is how long the drain frontier has not advanced while
+	// input was pending.
+	Stalled time.Duration
+	// Last is the observation that tripped the watchdog.
+	Last Progress
+}
+
+// Watchdog is a pure stall detector: the caller feeds it periodic
+// Progress observations with a clock, and it trips once per stall
+// episode when input is pending but the drain frontier has not advanced
+// for the configured timeout. Pure so it is testable with a fake clock;
+// the engine supplies real time and the probe.
+type Watchdog struct {
+	timeout time.Duration
+
+	primed      bool
+	lastDrained int64
+	lastMove    time.Time
+	tripped     bool
+}
+
+// NewWatchdog creates a watchdog with the given stall timeout.
+func NewWatchdog(timeout time.Duration) *Watchdog {
+	return &Watchdog{timeout: timeout}
+}
+
+// Observe feeds one observation. It returns a report and true exactly
+// once per stall episode; any drain progress (or an empty pipeline)
+// re-arms it.
+func (w *Watchdog) Observe(now time.Time, p Progress) (StallReport, bool) {
+	if !w.primed || p.Drained != w.lastDrained || p.PendingBytes == 0 {
+		w.primed = true
+		w.lastDrained = p.Drained
+		w.lastMove = now
+		w.tripped = false
+		return StallReport{}, false
+	}
+	if w.tripped {
+		return StallReport{}, false
+	}
+	if stalled := now.Sub(w.lastMove); stalled >= w.timeout {
+		w.tripped = true
+		return StallReport{Stalled: stalled, Last: p}, true
+	}
+	return StallReport{}, false
+}

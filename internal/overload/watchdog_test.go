@@ -1,0 +1,56 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWatchdogTripsOncePerEpisode(t *testing.T) {
+	w := NewWatchdog(time.Second)
+	now := time.Unix(0, 0)
+
+	// Priming observation never trips.
+	if _, ok := w.Observe(now, Progress{PendingBytes: 100, Drained: 0}); ok {
+		t.Fatal("tripped on first observation")
+	}
+	// No progress, but timeout not reached.
+	now = now.Add(500 * time.Millisecond)
+	if _, ok := w.Observe(now, Progress{PendingBytes: 100, Drained: 0}); ok {
+		t.Fatal("tripped before timeout")
+	}
+	// Timeout reached with pending input and a frozen frontier: trip.
+	now = now.Add(600 * time.Millisecond)
+	rep, ok := w.Observe(now, Progress{PendingBytes: 100, Drained: 0, QueueLen: 3})
+	if !ok {
+		t.Fatal("did not trip after timeout")
+	}
+	if rep.Stalled < time.Second || rep.Last.QueueLen != 3 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	// Still wedged: no re-trip within the same episode.
+	now = now.Add(5 * time.Second)
+	if _, ok := w.Observe(now, Progress{PendingBytes: 100, Drained: 0}); ok {
+		t.Fatal("re-tripped without progress")
+	}
+	// Progress re-arms; a fresh stall trips again.
+	now = now.Add(time.Second)
+	if _, ok := w.Observe(now, Progress{PendingBytes: 100, Drained: 1}); ok {
+		t.Fatal("tripped on progress")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := w.Observe(now, Progress{PendingBytes: 100, Drained: 1}); !ok {
+		t.Fatal("did not trip on second episode")
+	}
+}
+
+func TestWatchdogIdlePipelineNeverTrips(t *testing.T) {
+	w := NewWatchdog(time.Second)
+	now := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		// Nothing pending: a quiet engine is not a stalled engine.
+		if _, ok := w.Observe(now, Progress{PendingBytes: 0, Drained: 7}); ok {
+			t.Fatal("tripped while idle")
+		}
+		now = now.Add(time.Second)
+	}
+}

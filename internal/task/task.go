@@ -67,6 +67,22 @@ func (q *Queue) Push(t *Task) {
 	q.items = append(q.items, t)
 }
 
+// PushOpen appends a task unless the queue has closed, reporting whether
+// the task was accepted. The dispatcher uses it where an Insert can race
+// Close (which closes the queue without the dispatch lock): the check and
+// the append are atomic under the queue mutex, so a false return means
+// the task will never be scheduled and the caller must account for it
+// (shed gap) instead of abandoning it.
+func (q *Queue) PushOpen(t *Task) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, t)
+	return true
+}
+
 // Requeue re-inserts a previously dispatched task at the head of the
 // queue after a failed execution attempt. Unlike Push it is permitted on
 // a closed (draining) queue: the task was already accounted for by the

@@ -41,6 +41,7 @@ import (
 	"saber/internal/gpu"
 	"saber/internal/model"
 	"saber/internal/obs"
+	"saber/internal/overload"
 	"saber/internal/query"
 	"saber/internal/sched"
 	"saber/internal/schema"
@@ -84,6 +85,10 @@ type (
 	// TraceRecord is one finished task's lifecycle trace from the
 	// tracer's postmortem ring.
 	TraceRecord = obs.TraceRecord
+	// ShedPolicy selects what overload protection does when a query's
+	// input queue exceeds its budget and the bounded admission wait
+	// expires (see Config.MaxQueueBytes).
+	ShedPolicy = overload.Policy
 )
 
 // Field type constants.
@@ -99,6 +104,23 @@ const (
 	OnCPU = sched.CPU
 	OnGPU = sched.GPU
 )
+
+// Shedding policies for Config.ShedPolicy.
+const (
+	// ShedNone never drops data: a full queue blocks Insert (quiesce-
+	// aware backpressure) until it drains below budget.
+	ShedNone = overload.ShedNone
+	// ShedOldest cuts the oldest undispatched window range first,
+	// bounding result staleness under sustained overload.
+	ShedOldest = overload.ShedOldest
+	// ShedWeighted drops incoming chunks probabilistically, weighted per
+	// input side, so hot sources absorb more of the loss.
+	ShedWeighted = overload.ShedWeighted
+)
+
+// ParseShedPolicy parses a -shed-policy flag value: "none", "oldest" or
+// "weighted".
+func ParseShedPolicy(s string) (ShedPolicy, error) { return overload.ParsePolicy(s) }
 
 // NewSchema builds a schema from fields; the first field of a stream
 // schema must be a long timestamp.
@@ -183,6 +205,30 @@ type Config struct {
 	// CheckpointKeep is how many epochs to retain on disk (default 3);
 	// older epochs are the fallback past a torn or corrupt newest file.
 	CheckpointKeep int
+
+	// MaxQueueBytes arms overload protection with a per-query,
+	// per-input admission budget in bytes: once a query buffers this
+	// much unprocessed input, further Inserts block (ShedNone) or, after
+	// a bounded wait, actuate the shedding policy. The budget is floored
+	// at two task sizes so the dispatcher can always cut a task. Zero
+	// leaves the ring capacity as the only bound, and shedding never
+	// actuates — the policy fires only when this budget is the binding
+	// constraint; plain ring backpressure always stays lossless.
+	MaxQueueBytes int64
+	// ShedPolicy is the tiered load-shedding rung applied when the
+	// budget binds and the bounded wait expires: ShedNone (default)
+	// blocks losslessly, ShedOldest cuts the stalest buffered window
+	// range, ShedWeighted drops arriving chunks probabilistically.
+	// Every shed tuple is counted in Stats (TuplesShed, TuplesShedAdmit)
+	// and the saber.overload.* metrics, so offered == out + shed holds
+	// exactly. With adaptive sizing (LatencySLO) armed, shedding only
+	// actuates while the controller reports the last-rung overload
+	// signal — resizing ϕ is always tried first.
+	ShedPolicy ShedPolicy
+	// ShedMaxWait bounds how long a blocked Insert waits for budget
+	// headroom before the policy actuates (default 2ms). Ignored when
+	// ShedPolicy is ShedNone.
+	ShedMaxWait time.Duration
 }
 
 // Engine is a SABER instance: declare streams, register queries, start,
@@ -209,6 +255,13 @@ func New(cfg Config) *Engine {
 		CheckpointDir:      cfg.CheckpointDir,
 		CheckpointInterval: cfg.CheckpointInterval,
 		CheckpointKeep:     cfg.CheckpointKeep,
+	}
+	if cfg.MaxQueueBytes > 0 || cfg.ShedPolicy != ShedNone {
+		ecfg.Overload = &overload.Config{
+			MaxQueueBytes: cfg.MaxQueueBytes,
+			Policy:        cfg.ShedPolicy,
+			MaxWait:       cfg.ShedMaxWait,
+		}
 	}
 	if cfg.LatencySLO > 0 {
 		ecfg.Adapt = &adapt.Config{
@@ -313,6 +366,12 @@ func (e *Engine) MetricsHandler() http.Handler {
 // first (a bounded postmortem ring of 128 records).
 func (e *Engine) RecentTraces() []TraceRecord { return e.e.Tracer().Recent() }
 
+// StallReport returns the stall watchdog's most recent postmortem — the
+// pipeline state and recent task traces captured when buffered input
+// stopped draining — or "" when no stall has been detected. The
+// saber.overload.stalls counter carries the count.
+func (e *Engine) StallReport() string { return e.e.StallReport() }
+
 // ThroughputMatrix returns the HLS throughput matrix rows as
 // [query][cpu, gpu] rates (telemetry, Fig. 16).
 func (e *Engine) ThroughputMatrix() [][2]float64 {
@@ -339,6 +398,17 @@ func (q *QueryHandle) Insert(data []byte) { q.h.Insert(data) }
 
 // InsertInto appends tuples to input side 0 or 1 of a join query.
 func (q *QueryHandle) InsertInto(side int, data []byte) { q.h.InsertInto(side, data) }
+
+// TryInsert is the non-blocking admission path: the whole payload is
+// admitted, or none of it is and TryInsert returns false (counted in
+// saber.overload.q<i>.admit.rejects). Use it when the caller would
+// rather shed or reroute at the source than block on backpressure.
+func (q *QueryHandle) TryInsert(data []byte) bool { return q.h.TryInsert(data) }
+
+// TryInsertInto is TryInsert for input side 0 or 1 of a join query.
+func (q *QueryHandle) TryInsertInto(side int, data []byte) bool {
+	return q.h.TryInsertInto(side, data)
+}
 
 // OnResult installs an ordered result sink. fn must not retain the slice.
 func (q *QueryHandle) OnResult(fn func(rows []byte)) { q.h.OnResult(fn) }

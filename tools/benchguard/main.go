@@ -26,6 +26,14 @@
 //     of the best fixed-ϕ configuration's paced throughput — the
 //     "adaptivity is nearly free" claim, checked against the twin.
 //
+//   - Overload protection (-overload, BENCH_overload.json, the overload
+//     experiment): fails unless the oldest-policy run under the
+//     2x-capacity feed keeps goodput at or above -goodput-min percent of
+//     the measured blocking capacity, actually sheds (a zero shed
+//     fraction means the overload path was never exercised), holds its
+//     tail p99 inside the experiment's SLO, and trips no stall
+//     watchdog.
+//
 //   - Epoch checkpointing (-ckpt, BENCH_ckpt.json, the ckpt
 //     experiment): fails when the paired checkpoint-on/off throughput
 //     overhead exceeds -ckpt-max (default 5%), or when the run cut no
@@ -37,6 +45,7 @@
 //	go run ./tools/benchguard [-max 3] [-file BENCH_operators.json]
 //	go run ./tools/benchguard -adaptive [-min-pct 90] [-file BENCH_adaptive.json]
 //	go run ./tools/benchguard -ckpt [-ckpt-max 5] [-file BENCH_ckpt.json]
+//	go run ./tools/benchguard -overload [-goodput-min 80] [-file BENCH_overload.json]
 package main
 
 import (
@@ -49,12 +58,14 @@ import (
 func main() {
 	adaptive := flag.Bool("adaptive", false, "gate the adaptive task-sizing twin instead of the observability overhead")
 	ckpt := flag.Bool("ckpt", false, "gate the epoch-checkpointing overhead twin instead of the observability overhead")
+	over := flag.Bool("overload", false, "gate the overload-protection twin instead of the observability overhead")
 	file := flag.String("file", "", "experiment JSON twin (default BENCH_operators.json; BENCH_adaptive.json with -adaptive; BENCH_ckpt.json with -ckpt)")
 	max := flag.Float64("max", 3, "maximum allowed aggregate metrics-on overhead, percent")
 	minPct := flag.Float64("min-pct", 90, "with -adaptive: minimum adaptive throughput as a percentage of the best fixed ϕ")
 	colMin := flag.Float64("col-min", 0.9, "minimum per-operator columnar/row throughput ratio")
 	ingestMin := flag.Float64("ingest-min", 1.0, "minimum end-to-end ingest-bandwidth columnar/row ratio")
 	ckptMax := flag.Float64("ckpt-max", 5, "with -ckpt: maximum allowed paired checkpoint-on overhead, percent")
+	goodputMin := flag.Float64("goodput-min", 80, "with -overload: minimum oldest-policy goodput as a percentage of blocking capacity")
 	flag.Parse()
 
 	if *adaptive {
@@ -69,6 +80,13 @@ func main() {
 			*file = "BENCH_ckpt.json"
 		}
 		guardCkpt(*file, *ckptMax)
+		return
+	}
+	if *over {
+		if *file == "" {
+			*file = "BENCH_overload.json"
+		}
+		guardOverload(*file, *goodputMin)
 		return
 	}
 	if *file == "" {
@@ -277,5 +295,71 @@ func guardCkpt(file string, maxPct float64) {
 	if js.OverheadPct > maxPct {
 		fmt.Fprintf(os.Stderr, "benchguard: checkpoint overhead %.2f%% exceeds %.2f%% budget\n", js.OverheadPct, maxPct)
 		os.Exit(1)
+	}
+}
+
+// overloadGateRun mirrors the overload experiment's per-policy JSON
+// record (internal/bench overloadRun).
+type overloadGateRun struct {
+	Policy               string  `json:"policy"`
+	OfferedGBps          float64 `json:"offered_gbps"`
+	GoodputGBps          float64 `json:"goodput_gbps"`
+	GoodputVsCapacityPct float64 `json:"goodput_vs_capacity_pct"`
+	ShedFrac             float64 `json:"shed_frac"`
+	P99Ms                float64 `json:"p99_ms"`
+	MeetsSLO             bool    `json:"meets_slo"`
+	Stalls               int64   `json:"stalls"`
+}
+
+// guardOverload gates BENCH_overload.json: under the 2x-capacity feed
+// the oldest-policy run must keep goodput near capacity, really shed,
+// stay inside the SLO and trip no stall watchdog — graceful degradation,
+// demonstrated rather than asserted.
+func guardOverload(file string, goodputMin float64) {
+	buf, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v (run saber-bench -experiment overload first)\n", err)
+		os.Exit(2)
+	}
+	var js struct {
+		CapacityGBps float64           `json:"capacity_gbps"`
+		SLOMs        float64           `json:"slo_ms"`
+		OfferedX     float64           `json:"offered_x"`
+		Runs         []overloadGateRun `json:"runs"`
+		Gate         overloadGateRun   `json:"gate"`
+	}
+	if err := json.Unmarshal(buf, &js); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", file, err)
+		os.Exit(2)
+	}
+	if js.CapacityGBps <= 0 || len(js.Runs) == 0 || js.Gate.Policy == "" {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: no capacity or gate run recorded (stale or truncated file?)\n", file)
+		os.Exit(2)
+	}
+	for _, r := range js.Runs {
+		fmt.Printf("  %-9s offered %5.2f GB/s   goodput %5.2f GB/s (%5.1f%% of capacity)   shed %5.1f%%   p99 %7.2f ms   meets SLO %v   stalls %d\n",
+			r.Policy, r.OfferedGBps, r.GoodputGBps, r.GoodputVsCapacityPct, r.ShedFrac*100, r.P99Ms, r.MeetsSLO, r.Stalls)
+	}
+	g := js.Gate
+	fmt.Printf("gate (%s): goodput %.1f%% of %.2f GB/s capacity (floor %.1f%%), shed %.1f%%, p99 %.2f ms (SLO %.0f ms) at %.0fx offered load\n",
+		g.Policy, g.GoodputVsCapacityPct, js.CapacityGBps, goodputMin, g.ShedFrac*100, g.P99Ms, js.SLOMs, js.OfferedX)
+	if g.GoodputVsCapacityPct < goodputMin {
+		fmt.Fprintf(os.Stderr, "benchguard: overloaded goodput %.1f%% of capacity, below the %.1f%% floor\n",
+			g.GoodputVsCapacityPct, goodputMin)
+		os.Exit(1)
+	}
+	if g.ShedFrac <= 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: gate run shed nothing — the overload path was never exercised\n")
+		os.Exit(1)
+	}
+	if !g.MeetsSLO {
+		fmt.Fprintf(os.Stderr, "benchguard: gate run misses the %.0f ms SLO (tail p99 %.2f ms)\n", js.SLOMs, g.P99Ms)
+		os.Exit(1)
+	}
+	for _, r := range js.Runs {
+		if r.Stalls != 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %s run tripped the stall watchdog %d time(s)\n", r.Policy, r.Stalls)
+			os.Exit(1)
+		}
 	}
 }
