@@ -1,15 +1,25 @@
 // Command saber-run executes a CQL query over one of the built-in
 // workload generators and prints a sample of the result stream plus
-// throughput statistics.
+// throughput statistics — or, with -bql, boots a whole multi-query
+// catalog from a BQL script.
 //
 // Usage:
 //
 //	saber-run -stream cm -query 'select timestamp, category, sum(cpu) as totalCpu
 //	                             from TaskEvents [range 60 slide 1] group by category'
 //	saber-run -stream syn -mb 32 -gpu=false -query 'select * from Syn [rows 1024] where a3 < 256'
+//	saber-run -bql examples/quickstart.bql -metrics-addr 127.0.0.1:8080
 //
 // Streams: syn (Syn), cm (TaskEvents), sg (SmartGridStr), lrb
 // (PosSpeedStr).
+//
+// In -bql mode the script declares the sources, sinks and streams
+// (CREATE SOURCE / CREATE SINK / CREATE STREAM ... AS SELECT ...); the
+// admin endpoint additionally serves GET /catalog and POST /catalog/ddl
+// so objects can be created, paused, resumed and dropped while the
+// engine runs. With -checkpoint-dir, the catalog's statement log rides
+// in every epoch and a restart rebuilds the exact registered query set,
+// resuming generated sources at their saved cursors.
 package main
 
 import (
@@ -31,7 +41,8 @@ import (
 
 func main() {
 	var (
-		queryText = flag.String("query", "", "CQL query text (required)")
+		queryText = flag.String("query", "", "CQL query text (required unless -bql is given)")
+		bqlFile   = flag.String("bql", "", "boot a multi-query catalog from this BQL script instead of -query/-stream; DDL can then be applied live via the admin endpoint")
 		stream    = flag.String("stream", "syn", "input stream: syn | cm | sg | lrb")
 		mb        = flag.Int("mb", 8, "input volume in MiB")
 		useGPU    = flag.Bool("gpu", true, "attach the simulated GPGPU")
@@ -55,8 +66,12 @@ func main() {
 		srcCredits    = flag.Int("source-credits", 0, "feed over loopback TCP ingest with credit-based flow control: the server advertises this window (tuples) and the source paces itself on the returned grants; 0 feeds in-process")
 	)
 	flag.Parse()
-	if *queryText == "" {
-		fmt.Fprintln(os.Stderr, "saber-run: -query is required")
+	if *bqlFile == "" && *queryText == "" {
+		fmt.Fprintln(os.Stderr, "saber-run: -query is required (or use -bql)")
+		os.Exit(2)
+	}
+	if *bqlFile != "" && *queryText != "" {
+		fmt.Fprintln(os.Stderr, "saber-run: -query and -bql are mutually exclusive")
 		os.Exit(2)
 	}
 	shed, err := saber.ParseShedPolicy(*shedPolicy)
@@ -108,6 +123,10 @@ func main() {
 		dev := saber.OpenGPU(saber.GPUConfig{Model: cfg.Model})
 		defer dev.Close()
 		cfg.GPU = dev
+	}
+	if *bqlFile != "" {
+		runBQL(cfg, *bqlFile, *sample, *metricsAddr, *statsInterval)
+		return
 	}
 	eng := saber.New(cfg)
 	eng.DeclareStream(name, schema)
@@ -305,4 +324,135 @@ func printStatsLine(eng *saber.Engine, q *saber.QueryHandle) {
 		time.Duration(e2e.Quantile(0.50)).Round(time.Microsecond),
 		time.Duration(e2e.Quantile(0.99)).Round(time.Microsecond),
 		st.TuplesShed)
+}
+
+// runBQL boots a multi-query catalog from a BQL script and runs it until
+// every bounded source finishes or a signal arrives. With checkpointing
+// enabled, a previous run's newest epoch takes precedence over the
+// script: the catalog is rebuilt from the checkpoint's statement log and
+// the generated sources resume at their saved cursors.
+func runBQL(cfg saber.Config, path string, sample int, metricsAddr string, statsInterval time.Duration) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saber-run: %v\n", err)
+		os.Exit(1)
+	}
+	eng := saber.New(cfg)
+	cat, info, err := eng.BootScript(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saber-run: %v\n", err)
+		os.Exit(1)
+	}
+	if info != nil {
+		fmt.Fprintf(os.Stderr, "restored epoch %d from %s (%d queries", info.Epoch, info.Path, info.Queries)
+		if info.Unmatched > 0 {
+			fmt.Fprintf(os.Stderr, ", %d unmatched snapshot entries skipped", info.Unmatched)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+	}
+	l := cat.List()
+	fmt.Printf("catalog: %d source(s), %d sink(s), %d stream(s)\n", len(l.Sources), len(l.Sinks), len(l.Streams))
+
+	// Per-stream result sampler.
+	var mu sync.Mutex
+	for _, si := range l.Streams {
+		qh, err := cat.Stream(si.Name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "saber-run: %v\n", err)
+			os.Exit(1)
+		}
+		out := qh.OutputSchema()
+		fmt.Printf("  %s: %s\n", si.Name, out)
+		name, printed := si.Name, 0
+		if err := cat.Tap(name, func(rows []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			osz := out.TupleSize()
+			for i := 0; i+osz <= len(rows) && printed < sample; i += osz {
+				fmt.Printf("  [%s] %s\n", name, out.Format(rows[i:i+osz]))
+				printed++
+			}
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "saber-run: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if err := eng.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "saber-run: %v\n", err)
+		os.Exit(1)
+	}
+	cat.StartFeeds()
+
+	if metricsAddr != "" {
+		srv := &http.Server{Addr: metricsAddr, Handler: eng.AdminHandler(cat)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "saber-run: admin endpoint: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s (/catalog /catalog/ddl /varz /metrics /traces /debug/pprof)\n", metricsAddr)
+	}
+	if statsInterval > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(statsInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					var in, outTuples, tasks int64
+					for _, si := range cat.List().Streams {
+						in += si.BytesIn
+						outTuples += si.BytesOut
+						tasks += si.Tasks
+					}
+					fmt.Fprintf(os.Stderr, "[stats] streams=%d in=%.1fMiB out=%.1fMiB tasks=%d queue=%d\n",
+						len(cat.List().Streams), float64(in)/(1<<20), float64(outTuples)/(1<<20), tasks, eng.QueueLen())
+				}
+			}
+		}()
+	}
+
+	// Run until every bounded source finishes, or a signal stops the run
+	// early; either way the engine drains and (when enabled) cuts a final
+	// checkpoint so a restart resumes exactly where this run stopped.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { cat.WaitFeeds(); close(done) }()
+	start := time.Now()
+	select {
+	case <-done:
+	case s := <-sigs:
+		fmt.Fprintf(os.Stderr, "\nsaber-run: %v — draining (signal again to kill)\n", s)
+		signal.Stop(sigs)
+	}
+	cat.Close()
+	eng.Drain()
+	elapsed := time.Since(start)
+	if cfg.CheckpointDir != "" {
+		if err := eng.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "saber-run: final checkpoint: %v\n", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "final checkpoint persisted (catalog statement log included)")
+		}
+	}
+	eng.Close()
+
+	fmt.Printf("\nran %d stream(s) for %v\n", len(cat.List().Streams), elapsed.Round(time.Millisecond))
+	for _, si := range cat.List().Streams {
+		qh, err := cat.Stream(si.Name)
+		if err != nil {
+			continue
+		}
+		st := qh.Stats()
+		fmt.Printf("  %-12s in %.1f MiB, out %d tuples, tasks %d cpu / %d gpu, avg latency %v\n",
+			si.Name, float64(st.BytesIn)/(1<<20), st.TuplesOut, st.TasksCPU, st.TasksGPU,
+			st.AvgLatency.Round(time.Microsecond))
+	}
 }

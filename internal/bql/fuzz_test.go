@@ -1,0 +1,92 @@
+package bql
+
+import (
+	"strings"
+	"testing"
+
+	"saber/internal/cql"
+	"saber/internal/workload"
+)
+
+// FuzzParse runs arbitrary scripts through the statement lexer + parser
+// and, for scripts that parse, through analysis of every statement. The
+// contract: malformed input always comes back as an error (never a panic,
+// hang or out-of-range slice), parsing is deterministic, and every error
+// is positioned inside the source. Scripts reach this path verbatim from
+// operator-supplied .bql files and the admin DDL endpoint.
+func FuzzParse(f *testing.F) {
+	// Every statement form...
+	f.Add(`CREATE SOURCE Syn TYPE gen WITH (gen='syn', seed=1, rate=1000, count=50000);`)
+	f.Add(`CREATE SOURCE Ext TYPE tcp WITH (schema='cm', addr='127.0.0.1:9900');`)
+	f.Add(`CREATE SOURCE Roads TYPE gen WITH (gen='lrb', vehicles=128);`)
+	f.Add(`CREATE SINK devnull TYPE null;`)
+	f.Add(`CREATE SINK archive TYPE file WITH (path='/tmp/out.bin');`)
+	f.Add(`CREATE STREAM f AS SELECT * FROM Syn [rows 64 slide 32] WHERE a2 < 4;`)
+	f.Add(`CREATE STREAM g AS RSTREAM SELECT sum(a2), count(*) FROM Syn [range 16] GROUP BY a3 INTO archive;`)
+	f.Add(`CREATE STREAM h AS ISTREAM SELECT a2+a3 AS s FROM Syn [range unbounded];`)
+	f.Add(`CREATE STREAM i WITH (max_queue_bytes=65536, shed_policy=oldest, max_wait_ms=2, seed=3) AS DSTREAM SELECT * FROM Syn [rows 4];`)
+	f.Add("DROP STREAM f;\nDROP SOURCE Syn;\nDROP SINK devnull;")
+	f.Add("PAUSE STREAM f; RESUME STREAM f; PAUSE f; RESUME f;")
+	f.Add("-- comment only\n;;;\n")
+	// ...and malformed ones, weighted toward WITH-spec mistakes.
+	f.Add(`CREATE STREAM f WITH max_queue_bytes=1 AS SELECT * FROM Syn [rows 4];`)
+	f.Add(`CREATE STREAM f WITH (max_queue_bytes) AS SELECT * FROM Syn [rows 4];`)
+	f.Add(`CREATE STREAM f WITH (max_queue_bytes=) AS SELECT * FROM Syn [rows 4];`)
+	f.Add(`CREATE STREAM f WITH (max_queue_bytes=-1) AS SELECT * FROM Syn [rows 4];`)
+	f.Add(`CREATE STREAM f WITH (shed_policy='sometimes') AS SELECT * FROM Syn [rows 4];`)
+	f.Add(`CREATE STREAM f WITH (seed=1,) AS SELECT * FROM Syn [rows 4];`)
+	f.Add(`CREATE STREAM f WITH (a=1 b=2) AS SELECT * FROM Syn [rows 4];`)
+	f.Add(`CREATE SOURCE S TYPE gen WITH (gen=syn', seed=);`)
+	f.Add(`CREATE SOURCE S TYPE;`)
+	f.Add(`CREATE STREAM s AS SELECT`)
+	f.Add(`CREATE STREAM s AS SELECT * FROM Syn [rows 4] INTO;`)
+	f.Add(`DROP;`)
+	f.Add(`PAUSE RESUME;`)
+	f.Add("CREATE STREAM s AS SELECT 'unterminated")
+	f.Add(strings.Repeat("(", 500))
+	f.Add(strings.Repeat("CREATE STREAM s AS SELECT * FROM Syn [rows 4]; ", 50))
+	f.Add("CREATE\x00STREAM s;")
+
+	cat := cql.Catalog{"Syn": workload.SynSchema}
+	f.Fuzz(func(t *testing.T, src string) {
+		sc1, err1 := Parse(src)
+		sc2, err2 := Parse(src)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("non-deterministic outcome for %q: %v vs %v", src, err1, err2)
+		}
+		if err1 != nil {
+			checkErr(t, src, err1)
+			return
+		}
+		if sc1 == nil || sc2 == nil || len(sc1.Stmts) != len(sc2.Stmts) {
+			t.Fatalf("non-deterministic parse for %q", src)
+		}
+		// Analysis of parsed statements must also never panic; errors are
+		// fine (unknown streams, bad props), but must carry positions.
+		for _, st := range sc1.Stmts {
+			var err error
+			switch st := st.(type) {
+			case *CreateStream:
+				_, err = AnalyzeStream(sc1.Src, st, cat)
+			case *CreateSource:
+				_, err = AnalyzeSource(sc1.Src, st)
+			case *CreateSink:
+				_, err = AnalyzeSink(sc1.Src, st)
+			}
+			if err != nil {
+				checkErr(t, src, err)
+			}
+		}
+	})
+}
+
+func checkErr(t *testing.T, src string, err error) {
+	t.Helper()
+	be, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error for %q is %T, not *bql.Error: %v", src, err, err)
+	}
+	if be.Offset < 0 || be.Offset > len(src) || be.Line < 1 || be.Col < 1 {
+		t.Fatalf("error position out of range for %q: %+v", src, be)
+	}
+}

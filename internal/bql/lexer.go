@@ -1,0 +1,156 @@
+// Package bql implements SABER's statement-level streaming SQL dialect:
+// DDL statements that create and manage named sources, continuous
+// streams and sinks on a live engine, with the per-stream SELECT bodies
+// delegated to the internal/cql expression dialect.
+//
+// The grammar (DESIGN.md §14):
+//
+//	CREATE SOURCE <name> TYPE <gen|tcp> [WITH (k=v, ...)] ;
+//	CREATE SINK   <name> TYPE <null|file> [WITH (k=v, ...)] ;
+//	CREATE STREAM <name> [WITH (k=v, ...)]
+//	       AS [ISTREAM|DSTREAM|RSTREAM] SELECT ... [INTO <sink>] ;
+//	DROP   STREAM|SOURCE|SINK <name> ;
+//	PAUSE  STREAM <name> ;
+//	RESUME STREAM <name> ;
+//
+// Statements are ';'-separated; '--' starts a line comment. The pipeline
+// is lex → statement AST (Parse) → analysis (Analyze*) → engine actions,
+// with each stage unit-testable on its own: Parse never needs schemas,
+// and the analyzers never need a running engine.
+package bql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"saber/internal/cql"
+)
+
+// Error is a BQL parse or analysis error with 1-based source position.
+type Error struct {
+	Offset    int
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("bql: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// errAt builds an Error anchored at a byte offset of src.
+func errAt(src string, offset int, format string, args ...any) error {
+	line, col := cql.Position(src, offset)
+	return &Error{Offset: offset, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString // single-quoted literal, text holds the unquoted value
+	tokPunct
+	tokKeyword
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords lower-cased; strings unquoted
+	pos  int    // byte offset
+}
+
+// Statement-level keywords. Everything else — including cql keywords
+// inside a SELECT body, which this lexer only ever skips over — stays an
+// identifier.
+var keywords = map[string]bool{
+	"create": true, "drop": true, "pause": true, "resume": true,
+	"stream": true, "source": true, "sink": true,
+	"type": true, "with": true, "as": true, "into": true,
+	"istream": true, "dstream": true, "rstream": true,
+	"select": true,
+}
+
+// lex tokenizes a BQL script. The punctuation set is a superset of the
+// cql dialect's, so the statement scanner can skip over an embedded
+// SELECT body to its terminating ';' without a lexical error.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				if src[j] == '\n' {
+					return nil, errAt(src, i, "unterminated string literal")
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, errAt(src, i, "unterminated string literal")
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], i})
+			i = j + 1
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			lower := strings.ToLower(word)
+			if keywords[lower] {
+				toks = append(toks, token{tokKeyword, lower, i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		case c >= '0' && c <= '9':
+			j := i + 1
+			seenDot := false
+			for j < len(src) {
+				if src[j] >= '0' && src[j] <= '9' {
+					j++
+				} else if src[j] == '.' && !seenDot && j+1 < len(src) && src[j+1] >= '0' && src[j+1] <= '9' {
+					seenDot = true
+					j++
+				} else {
+					break
+				}
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=":
+				toks = append(toks, token{tokPunct, two, i})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', '[', ']', ',', '.', '*', '+', '-', '/', '%', '<', '>', '=', ';':
+				toks = append(toks, token{tokPunct, string(c), i})
+				i++
+			default:
+				return nil, errAt(src, i, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

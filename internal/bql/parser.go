@@ -1,0 +1,339 @@
+package bql
+
+import "strings"
+
+// Parse lexes and parses a BQL script into statements. Embedded SELECT
+// bodies are captured verbatim (statement parsing needs no schemas);
+// they are compiled against the catalog during analysis, with errors
+// remapped to script positions.
+func Parse(src string) (*Script, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	sc := &Script{Src: src}
+	for p.cur().kind != tokEOF {
+		// Tolerate stray semicolons between statements.
+		if p.isPunct(";") {
+			p.i++
+			continue
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		setStatementEnd(st, p.lastEnd)
+		sc.Stmts = append(sc.Stmts, st)
+	}
+	return sc, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+	// lastEnd is the byte offset just past the most recently terminated
+	// statement (its ';', or EOF), recorded by expectEnd.
+	lastEnd int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == s
+}
+
+func (p *parser) errTok(t token, format string, args ...any) error {
+	return errAt(p.src, t.pos, format, args...)
+}
+
+// describe renders a token for error messages.
+func describe(t token) string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return "'" + t.text + "'"
+	default:
+		return "\"" + t.text + "\""
+	}
+}
+
+func (p *parser) expectKeyword(kw string) (token, error) {
+	t := p.cur()
+	if t.kind != tokKeyword || t.text != kw {
+		return t, p.errTok(t, "expected %q, found %s", kw, describe(t))
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) expectPunct(s string) (token, error) {
+	t := p.cur()
+	if t.kind != tokPunct || t.text != s {
+		return t, p.errTok(t, "expected %q, found %s", s, describe(t))
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) expectIdent(what string) (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return t, p.errTok(t, "expected %s, found %s", what, describe(t))
+	}
+	p.i++
+	return t, nil
+}
+
+// expectEnd consumes the statement's terminating ';' (EOF is accepted for
+// the final statement).
+func (p *parser) expectEnd() error {
+	if t := p.cur(); t.kind == tokEOF {
+		p.lastEnd = t.pos
+		return nil
+	}
+	t, err := p.expectPunct(";")
+	if err == nil {
+		p.lastEnd = t.pos + 1
+	}
+	return err
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return nil, p.errTok(t, "expected statement keyword (create, drop, pause, resume), found %s", describe(t))
+	}
+	switch t.text {
+	case "create":
+		return p.parseCreate()
+	case "drop":
+		return p.parseDrop()
+	case "pause", "resume":
+		return p.parsePauseResume()
+	default:
+		return nil, p.errTok(t, "expected statement keyword (create, drop, pause, resume), found %s", describe(t))
+	}
+}
+
+// parseKind consumes STREAM | SOURCE | SINK.
+func (p *parser) parseKind() (ObjectKind, error) {
+	t := p.cur()
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "stream":
+			p.i++
+			return KindStream, nil
+		case "source":
+			p.i++
+			return KindSource, nil
+		case "sink":
+			p.i++
+			return KindSink, nil
+		}
+	}
+	return 0, p.errTok(t, "expected \"stream\", \"source\" or \"sink\", found %s", describe(t))
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	start := p.next() // create
+	kind, err := p.parseKind()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent(kind.String() + " name")
+	if err != nil {
+		return nil, err
+	}
+	if kind == KindStream {
+		return p.parseCreateStream(start, name.text)
+	}
+	// CREATE SOURCE|SINK name TYPE t [WITH (...)] ;
+	if _, err := p.expectKeyword("type"); err != nil {
+		return nil, err
+	}
+	typ, err := p.expectIdent(kind.String() + " type")
+	if err != nil {
+		return nil, err
+	}
+	props, err := p.parseWith()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	if kind == KindSource {
+		return &CreateSource{Pos: start.pos, Name: name.text, Type: strings.ToLower(typ.text), Props: props}, nil
+	}
+	return &CreateSink{Pos: start.pos, Name: name.text, Type: strings.ToLower(typ.text), Props: props}, nil
+}
+
+func (p *parser) parseCreateStream(start token, name string) (Statement, error) {
+	props, err := p.parseWith()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("as"); err != nil {
+		return nil, err
+	}
+	emitter := EmitDefault
+	if t := p.cur(); t.kind == tokKeyword {
+		switch t.text {
+		case "istream":
+			emitter = EmitIStream
+			p.i++
+		case "dstream":
+			emitter = EmitDStream
+			p.i++
+		case "rstream":
+			emitter = EmitRStream
+			p.i++
+		}
+	}
+	selTok := p.cur()
+	if selTok.kind != tokKeyword || selTok.text != "select" {
+		return nil, p.errTok(selTok, "expected \"select\", found %s", describe(selTok))
+	}
+	// Capture the SELECT body verbatim: scan to the first top-level ';' or
+	// INTO. Depth tracking lets parenthesised expressions and window specs
+	// contain anything the cql lexer accepts.
+	depth := 0
+	end := selTok
+scan:
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokEOF:
+			end = t
+			break scan
+		case t.kind == tokPunct && (t.text == "(" || t.text == "["):
+			depth++
+		case t.kind == tokPunct && (t.text == ")" || t.text == "]"):
+			depth--
+		case depth == 0 && t.kind == tokPunct && t.text == ";":
+			end = t
+			break scan
+		case depth == 0 && t.kind == tokKeyword && t.text == "into":
+			end = t
+			break scan
+		}
+		p.i++
+	}
+	sel := strings.TrimSpace(p.src[selTok.pos:end.pos])
+	st := &CreateStream{
+		Pos: start.pos, Name: name, Props: props,
+		Emitter: emitter, Select: sel, SelectPos: selTok.pos,
+	}
+	if p.isKeyword("into") {
+		p.i++
+		sink, err := p.expectIdent("sink name")
+		if err != nil {
+			return nil, err
+		}
+		st.Into = sink.text
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	start := p.next() // drop
+	kind, err := p.parseKind()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent(kind.String() + " name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	return &Drop{Pos: start.pos, Kind: kind, Name: name.text}, nil
+}
+
+func (p *parser) parsePauseResume() (Statement, error) {
+	start := p.next() // pause | resume
+	// The STREAM keyword is optional: PAUSE name == PAUSE STREAM name.
+	if p.isKeyword("stream") {
+		p.i++
+	}
+	name, err := p.expectIdent("stream name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	if start.text == "pause" {
+		return &Pause{Pos: start.pos, Name: name.text}, nil
+	}
+	return &Resume{Pos: start.pos, Name: name.text}, nil
+}
+
+// parseWith parses an optional WITH (k=v, ...) clause.
+func (p *parser) parseWith() ([]Prop, error) {
+	if !p.isKeyword("with") {
+		return nil, nil
+	}
+	p.i++
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var props []Prop
+	for {
+		key, err := p.expectIdent("property name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		pr := Prop{Pos: key.pos, Key: strings.ToLower(key.text)}
+		neg := false
+		if p.isPunct("-") {
+			neg = true
+			p.i++
+		}
+		val := p.cur()
+		switch {
+		case val.kind == tokNumber:
+			pr.Value = val.text
+			if neg {
+				pr.Value = "-" + pr.Value
+			}
+		case neg:
+			return nil, p.errTok(val, "expected number after \"-\", found %s", describe(val))
+		case val.kind == tokIdent || val.kind == tokKeyword:
+			pr.Value = val.text
+		case val.kind == tokString:
+			pr.Value = val.text
+			pr.Quoted = true
+		default:
+			return nil, p.errTok(val, "expected property value, found %s", describe(val))
+		}
+		p.i++
+		props = append(props, pr)
+		if p.isPunct(",") {
+			p.i++
+			continue
+		}
+		break
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return props, nil
+}

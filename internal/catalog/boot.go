@@ -1,0 +1,45 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"saber/internal/ckpt"
+	"saber/internal/engine"
+)
+
+// Boot builds the catalog for eng. When the engine's checkpoint
+// directory holds a loadable epoch, the snapshot's statement log is
+// replayed through a fresh catalog (re-creating every source, stream and
+// sink exactly as registered at the barrier) and the engine restored at
+// it; otherwise the given script cold-starts the catalog. Call before
+// Engine.Start, then StartFeeds after it — feeders resume at the
+// restored input cursors, giving exactly-once output across the restart.
+//
+// The returned RestoreInfo is nil on a cold start.
+func Boot(eng *engine.Engine, script string) (*Manager, *engine.RestoreInfo, error) {
+	m := New(eng)
+	if dir := eng.Config().CheckpointDir; dir != "" {
+		snap, _, err := ckpt.LoadLatest(dir)
+		switch {
+		case err == nil:
+			if err := m.ExecScript(strings.Join(snap.Statements, ";\n")); err != nil {
+				return nil, nil, fmt.Errorf("catalog: replaying checkpoint statements: %w", err)
+			}
+			info, err := eng.Restore(dir)
+			if err != nil {
+				return nil, nil, err
+			}
+			return m, info, nil
+		case errors.Is(err, ckpt.ErrNoCheckpoint):
+			// Cold start below.
+		default:
+			return nil, nil, err
+		}
+	}
+	if err := m.ExecScript(script); err != nil {
+		return nil, nil, err
+	}
+	return m, nil, nil
+}

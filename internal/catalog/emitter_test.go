@@ -1,0 +1,73 @@
+package catalog
+
+import (
+	"bytes"
+	"testing"
+
+	"saber/internal/bql"
+)
+
+// rowsOf packs 4-byte rows for emitter tests.
+func rowsOf(ids ...byte) []byte {
+	out := make([]byte, 0, len(ids)*4)
+	for _, id := range ids {
+		out = append(out, id, 0, 0, id)
+	}
+	return out
+}
+
+func TestEmitterSelectionSemantics(t *testing.T) {
+	batch := rowsOf(1, 2, 3)
+	if got := newEmitter(bql.EmitIStream, false, 4).apply(batch); !bytes.Equal(got, batch) {
+		t.Errorf("selection IStream: %v", got)
+	}
+	if got := newEmitter(bql.EmitRStream, false, 4).apply(batch); !bytes.Equal(got, batch) {
+		t.Errorf("selection RStream: %v", got)
+	}
+	if got := newEmitter(bql.EmitDStream, false, 4).apply(batch); got != nil {
+		t.Errorf("selection DStream emitted %v", got)
+	}
+}
+
+func TestEmitterAggregationIStream(t *testing.T) {
+	em := newEmitter(bql.EmitIStream, true, 4)
+	// First batch: everything is an insertion.
+	if got := em.apply(rowsOf(1, 2)); !bytes.Equal(got, rowsOf(1, 2)) {
+		t.Errorf("first batch: %v", got)
+	}
+	// Second batch keeps 2, drops 1, adds 3 and a duplicate 2: the
+	// insertions are 3 and the second occurrence of 2, in batch order.
+	if got := em.apply(rowsOf(2, 3, 2)); !bytes.Equal(got, rowsOf(3, 2)) {
+		t.Errorf("second batch: %v", got)
+	}
+	// Unchanged batch: nothing inserted.
+	if got := em.apply(rowsOf(2, 3, 2)); len(got) != 0 {
+		t.Errorf("unchanged batch: %v", got)
+	}
+}
+
+func TestEmitterAggregationDStream(t *testing.T) {
+	em := newEmitter(bql.EmitDStream, true, 4)
+	// First batch: nothing was deleted (no previous window).
+	if got := em.apply(rowsOf(1, 2, 2)); len(got) != 0 {
+		t.Errorf("first batch: %v", got)
+	}
+	// 1 and one occurrence of 2 disappear.
+	if got := em.apply(rowsOf(2, 3)); !bytes.Equal(got, rowsOf(1, 2)) {
+		t.Errorf("second batch: %v", got)
+	}
+	// Everything disappears, in previous-batch order.
+	if got := em.apply(nil); !bytes.Equal(got, rowsOf(2, 3)) {
+		t.Errorf("final batch: %v", got)
+	}
+}
+
+func TestEmitterAggregationRStreamIdentity(t *testing.T) {
+	em := newEmitter(bql.EmitRStream, true, 4)
+	for i := 0; i < 3; i++ {
+		batch := rowsOf(byte(i), byte(i+1))
+		if got := em.apply(batch); !bytes.Equal(got, batch) {
+			t.Errorf("batch %d: %v", i, got)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package catalog
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+
+	"saber/internal/obs"
+)
+
+// Routes returns the catalog's admin endpoints, mounted on the engine's
+// obs handler mux:
+//
+//	GET  /catalog      the live catalog: sources, sinks, streams + stats
+//	POST /catalog/ddl  execute BQL DDL (raw statement text in the body)
+func (m *Manager) Routes() []obs.Route {
+	return []obs.Route{
+		{Pattern: "/catalog", Handler: http.HandlerFunc(m.handleList)},
+		{Pattern: "/catalog/ddl", Handler: http.HandlerFunc(m.handleDDL)},
+	}
+}
+
+// SourceInfo is one source's row in the GET /catalog listing.
+type SourceInfo struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	Schema  string `json:"schema"`
+	Addr    string `json:"addr,omitempty"`
+	Readers int    `json:"readers"`
+}
+
+// SinkInfo is one sink's row in the GET /catalog listing.
+type SinkInfo struct {
+	Name    string   `json:"name"`
+	Type    string   `json:"type"`
+	Path    string   `json:"path,omitempty"`
+	Writers []string `json:"writers"`
+	Bytes   int64    `json:"bytes"`
+}
+
+// StreamInfo is one stream's row in the GET /catalog listing.
+type StreamInfo struct {
+	Name     string   `json:"name"`
+	Emitter  string   `json:"emitter"`
+	Paused   bool     `json:"paused"`
+	From     []string `json:"from"`
+	Into     string   `json:"into,omitempty"`
+	BytesIn  int64    `json:"bytes_in"`
+	BytesOut int64    `json:"bytes_out"`
+	Tasks    int64    `json:"tasks"`
+}
+
+// Listing is the GET /catalog response body.
+type Listing struct {
+	Sources []SourceInfo `json:"sources"`
+	Sinks   []SinkInfo   `json:"sinks"`
+	Streams []StreamInfo `json:"streams"`
+	// Statements is the replayable DDL log (what a checkpoint would carry).
+	Statements []string `json:"statements"`
+}
+
+// List snapshots the catalog (the GET /catalog payload, also used by
+// tests and the run harness directly).
+func (m *Manager) List() Listing {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := Listing{Statements: m.Statements()}
+	for name, s := range m.sources {
+		l.Sources = append(l.Sources, SourceInfo{
+			Name: name, Type: s.spec.Type, Schema: s.spec.SchemaName,
+			Addr: s.addr(), Readers: s.numReaders(),
+		})
+	}
+	for name, sk := range m.sinks {
+		writers := make([]string, 0, len(sk.writers))
+		for w := range sk.writers {
+			writers = append(writers, w)
+		}
+		sort.Strings(writers)
+		l.Sinks = append(l.Sinks, SinkInfo{
+			Name: name, Type: sk.spec.Type, Path: sk.spec.Path,
+			Writers: writers, Bytes: sk.bytesWritten(),
+		})
+	}
+	for name, str := range m.streams {
+		st := str.handle.Stats()
+		from := make([]string, len(str.spec.Query.Inputs))
+		for i, in := range str.spec.Query.Inputs {
+			from[i] = in.Name
+		}
+		l.Streams = append(l.Streams, StreamInfo{
+			Name: name, Emitter: str.spec.Emitter.String(), Paused: str.paused,
+			From: from, Into: str.spec.Into,
+			BytesIn: st.BytesIn, BytesOut: st.BytesOut, Tasks: st.TasksCreated,
+		})
+	}
+	sort.Slice(l.Sources, func(i, j int) bool { return l.Sources[i].Name < l.Sources[j].Name })
+	sort.Slice(l.Sinks, func(i, j int) bool { return l.Sinks[i].Name < l.Sinks[j].Name })
+	sort.Slice(l.Streams, func(i, j int) bool { return l.Streams[i].Name < l.Streams[j].Name })
+	return l
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m.List())
+}
+
+// DDLResult is the POST /catalog/ddl response body.
+type DDLResult struct {
+	Applied int    `json:"applied"`
+	Error   string `json:"error,omitempty"`
+}
+
+func (m *Manager) handleDDL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	applied, execErr := m.Exec(string(body))
+	res := DDLResult{Applied: applied}
+	status := http.StatusOK
+	if execErr != nil {
+		res.Error = execErr.Error()
+		status = http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(res)
+}

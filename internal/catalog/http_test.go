@@ -1,0 +1,103 @@
+package catalog
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"saber/internal/engine"
+	"saber/internal/obs"
+)
+
+// TestAdminAPI drives the catalog's DDL endpoint end to end on a live
+// engine: create objects over HTTP, list them, drop one, and check the
+// JSON error contract for malformed DDL.
+func TestAdminAPI(t *testing.T) {
+	eng := engine.New(fastCfg(""))
+	m := New(eng)
+	srv := httptest.NewServer(obs.Handler(eng.Metrics(), eng.Tracer(), m.Routes()...))
+	defer srv.Close()
+
+	post := func(ddl string) (*http.Response, DDLResult) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/catalog/ddl", "text/plain", strings.NewReader(ddl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res DDLResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+		resp.Body.Close()
+		return resp, res
+	}
+
+	resp, res := post(`
+		CREATE SOURCE Syn TYPE gen WITH (gen='syn', seed=1, count=50000, rate=200000);
+		CREATE STREAM one AS SELECT * FROM Syn [rows 64 slide 32] WHERE a2 < 0;
+		CREATE STREAM two AS SELECT count(*) AS n FROM Syn [rows 200 slide 50];
+	`)
+	if resp.StatusCode != http.StatusOK || res.Applied != 3 || res.Error != "" {
+		t.Fatalf("create: status %d, %+v", resp.StatusCode, res)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m.StartFeeds()
+
+	// Malformed DDL: 400 with a positioned error, nothing applied.
+	resp, res = post("CREATE STREAM bad AS SELECT * FROM Nope [rows 4];")
+	if resp.StatusCode != http.StatusBadRequest || res.Error == "" {
+		t.Fatalf("bad ddl: status %d, %+v", resp.StatusCode, res)
+	}
+	if !strings.Contains(res.Error, "line 1") {
+		t.Errorf("error lacks position: %q", res.Error)
+	}
+
+	// Mid-script failure reports how many statements applied first.
+	resp, res = post("PAUSE STREAM one; PAUSE STREAM nope;")
+	if resp.StatusCode != http.StatusBadRequest || res.Applied != 1 {
+		t.Fatalf("partial script: status %d, %+v", resp.StatusCode, res)
+	}
+	if _, res = post("RESUME STREAM one;"); res.Error != "" {
+		t.Fatalf("resume: %+v", res)
+	}
+
+	if _, res = post("DROP STREAM two;"); res.Error != "" || res.Applied != 1 {
+		t.Fatalf("drop: %+v", res)
+	}
+
+	// GET /catalog reflects the surviving objects.
+	listResp, err := http.Get(srv.URL + "/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l Listing
+	if err := json.NewDecoder(listResp.Body).Decode(&l); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	if len(l.Streams) != 1 || l.Streams[0].Name != "one" {
+		t.Fatalf("listing streams: %+v", l.Streams)
+	}
+	if len(l.Sources) != 1 || l.Sources[0].Readers != 1 {
+		t.Fatalf("listing sources: %+v", l.Sources)
+	}
+	if len(l.Statements) != 2 {
+		t.Fatalf("listing statements: %v", l.Statements)
+	}
+
+	// Method checks.
+	if resp, _ := http.Get(srv.URL + "/catalog/ddl"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET ddl: %d", resp.StatusCode)
+	}
+	if resp, _ := http.Post(srv.URL+"/catalog", "text/plain", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST catalog: %d", resp.StatusCode)
+	}
+
+	m.Close()
+	eng.Drain()
+	eng.Close()
+}

@@ -1,0 +1,78 @@
+package catalog
+
+import (
+	"sync/atomic"
+
+	"saber/internal/bql"
+	"saber/internal/engine"
+)
+
+// stream is one live CREATE STREAM: an engine query plus its catalog
+// wiring — the emitter stage on the result path, the sink it routes to,
+// and the feeders pumping its gen inputs. All fields except taps are
+// guarded by Manager.mu; taps is atomic because onResult runs on the
+// engine's result goroutine.
+type stream struct {
+	name    string
+	handle  *engine.Handle
+	spec    *bql.StreamSpec
+	emit    *emitter
+	out     *sink
+	sources []*source
+	taps    atomic.Value // []func([]byte)
+
+	paused  bool
+	started bool
+	feeders []*feeder
+}
+
+// onResult is the stream's engine result sink: emitter first, then the
+// named sink and any attached taps, all on the ordered result path.
+func (s *stream) onResult(rows []byte) {
+	rows = s.emit.apply(rows)
+	if len(rows) == 0 {
+		return
+	}
+	if s.out != nil {
+		s.out.write(rows)
+	}
+	for _, fn := range s.taps.Load().([]func([]byte)) {
+		fn(rows)
+	}
+}
+
+// startFeeds launches one feeder per gen input, resuming at the input
+// cursor (0 cold, the checkpoint barrier after Restore). Manager.mu held.
+func (s *stream) startFeeds() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for side, src := range s.sources {
+		if src.spec.Type != "gen" {
+			continue
+		}
+		cursor := s.handle.InputCursor(side)
+		s.feeders = append(s.feeders, newFeeder(s.handle, side, src.spec, cursor))
+	}
+}
+
+// signalFeeds asks the feeders to stop without waiting (they may be
+// blocked in admission until the query drops or quiesces). Manager.mu held.
+func (s *stream) signalFeeds() {
+	for _, f := range s.feeders {
+		f.signal()
+	}
+}
+
+// stopFeeds signals and joins the feeders. Manager.mu held.
+func (s *stream) stopFeeds() {
+	for _, f := range s.feeders {
+		f.signal()
+	}
+	for _, f := range s.feeders {
+		f.wait()
+	}
+	s.feeders = nil
+	s.started = false
+}

@@ -33,6 +33,12 @@ type Snapshot struct {
 	Phi int64
 	// Queries holds one entry per registered query, keyed by name.
 	Queries []QuerySnap
+	// Statements is the catalog's DDL statement log at the barrier (codec
+	// v3; empty when restored from an older file or an engine without a
+	// catalog). Recovery replays it through a fresh catalog so the
+	// registered sources, streams and sinks are restored exactly, then
+	// matches Queries by name for their stream state.
+	Statements []string
 }
 
 // QuerySnap is one query's state at the epoch barrier.

@@ -13,15 +13,16 @@ import (
 // Binary snapshot framing:
 //
 //	magic   "SBRCKPT1"          8 bytes
-//	version u32 (= 2; v1 still decodes)
+//	version u32 (= 3; v1 and v2 still decode)
 //	length  u64 (payload bytes)
 //	payload little-endian fields, see encodePayload
 //	crc     u32, IEEE CRC32 over the payload
 //
 // Version 2 appends the overload-protection ledger (offered/admitted
-// bytes and the shed tuple counters) to each query record. Version 1
-// files decode with those fields zero, so recovery can still fall back
-// to a pre-upgrade epoch.
+// bytes and the shed tuple counters) to each query record. Version 3
+// appends the catalog's DDL statement log after the query records.
+// Older files decode with the newer fields zero/empty, so recovery can
+// still fall back to a pre-upgrade epoch.
 //
 // The frame check (magic, version, declared length, CRC) is what lets
 // recovery distinguish "torn or corrupt, fall back one epoch" from "valid
@@ -34,7 +35,7 @@ var le = binary.LittleEndian
 
 const (
 	magic       = "SBRCKPT1"
-	version     = 2
+	version     = 3
 	minVersion  = 1
 	headerSize  = len(magic) + 4 + 8
 	trailerSize = 4
@@ -42,6 +43,8 @@ const (
 	// Decode sanity bounds. Generous for real engines (2 queries, a few
 	// pending windows) while keeping hostile counts from allocating.
 	maxQueries  = 1 << 12
+	maxStmts    = 1 << 12
+	maxStmtLen  = 1 << 16
 	maxName     = 1 << 12
 	maxInputs   = 2
 	maxPending  = 1 << 20
@@ -86,6 +89,10 @@ func Encode(s *Snapshot) []byte {
 		for j := range q.Pending {
 			p.partial(&q.Pending[j])
 		}
+	}
+	p.u32(uint32(len(s.Statements)))
+	for _, st := range s.Statements {
+		p.str(st)
 	}
 
 	out := make([]byte, 0, headerSize+len(p.b)+trailerSize)
@@ -158,6 +165,13 @@ func Decode(b []byte) (*Snapshot, error) {
 			q.Pending = append(q.Pending, p)
 		}
 		s.Queries = append(s.Queries, q)
+	}
+	if v >= 3 {
+		ns := r.count(maxStmts, "statements")
+		for i := 0; i < ns && r.err == nil; i++ {
+			n := r.count(maxStmtLen, "statement length")
+			s.Statements = append(s.Statements, string(r.take(n)))
+		}
 	}
 	if r.err != nil {
 		return nil, r.err

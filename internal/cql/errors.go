@@ -1,0 +1,48 @@
+package cql
+
+import "fmt"
+
+// ParseError is a structured parse failure carrying the offending token's
+// position, both as a byte offset into the source and as a 1-based
+// line/column pair. The bql statement layer wraps these errors after
+// shifting Offset by the embedded SELECT's position inside the statement,
+// so multi-statement scripts report positions in script coordinates.
+type ParseError struct {
+	// Offset is the byte offset of the offending token in the parsed
+	// source.
+	Offset int
+	// Line and Col locate the offending token, 1-based, computed from
+	// Offset over the parsed source.
+	Line, Col int
+	// Msg describes the failure.
+	Msg string
+}
+
+// Error formats as "cql: line L col C: msg".
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("cql: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Position converts a byte offset into a 1-based line/column pair over
+// src. Offsets beyond src report the position just past the last byte.
+func Position(src string, offset int) (line, col int) {
+	if offset > len(src) {
+		offset = len(src)
+	}
+	line, col = 1, 1
+	for i := 0; i < offset; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// errAt builds a ParseError at the given byte offset of src.
+func errAt(src string, offset int, format string, args ...any) error {
+	line, col := Position(src, offset)
+	return &ParseError{Offset: offset, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

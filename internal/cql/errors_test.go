@@ -1,0 +1,56 @@
+package cql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"saber/internal/schema"
+)
+
+func TestParseErrorPositions(t *testing.T) {
+	cat := Catalog{"S": schema.MustNew(
+		schema.Field{Name: "timestamp", Type: schema.Int64},
+		schema.Field{Name: "value", Type: schema.Float32},
+	)}
+	cases := []struct {
+		name      string
+		src       string
+		line, col int
+	}{
+		{"bad window keyword", "select *\nfrom S [bogus 10]", 2, 9},
+		{"unknown stream", "select * from Nope [rows 4]", 1, 15},
+		{"unexpected char", "select ?\nfrom S [rows 4]", 1, 8},
+		{"trailing input", "select * from S [rows 4] extra", 1, 26},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("q", tc.src, cat)
+			if err == nil {
+				t.Fatalf("parse succeeded, want error")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *ParseError", err)
+			}
+			if pe.Line != tc.line || pe.Col != tc.col {
+				t.Fatalf("error at line %d col %d, want line %d col %d (%v)",
+					pe.Line, pe.Col, tc.line, tc.col, err)
+			}
+			if !strings.Contains(err.Error(), "line") {
+				t.Fatalf("error %q does not name the line", err)
+			}
+		})
+	}
+}
+
+func TestPosition(t *testing.T) {
+	src := "ab\ncd\ne"
+	for _, tc := range []struct{ off, line, col int }{
+		{0, 1, 1}, {1, 1, 2}, {2, 1, 3}, {3, 2, 1}, {5, 2, 3}, {6, 3, 1}, {99, 3, 2},
+	} {
+		if l, c := Position(src, tc.off); l != tc.line || c != tc.col {
+			t.Fatalf("Position(%d) = %d:%d, want %d:%d", tc.off, l, c, tc.line, tc.col)
+		}
+	}
+}

@@ -5,7 +5,6 @@
 package cql
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -94,7 +93,7 @@ func lex(src string) ([]token, error) {
 				toks = append(toks, token{tokPunct, string(c), i})
 				i++
 			default:
-				return nil, fmt.Errorf("cql: unexpected character %q at offset %d", c, i)
+				return nil, errAt(src, i, "unexpected character %q", c)
 			}
 		}
 	}

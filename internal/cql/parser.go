@@ -69,13 +69,42 @@ func (p *parser) accept(kind tokenKind, text string) bool {
 
 func (p *parser) expect(kind tokenKind, text string) (token, error) {
 	if !p.at(kind, text) {
-		return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+		want := describeToken(kind, text)
+		got := describeToken(p.cur().kind, p.cur().text)
+		return token{}, p.errf("expected %s, found %s", want, got)
 	}
 	return p.next(), nil
 }
 
+// describeToken names a token for error messages: the literal text when
+// there is one, the token class when any token of the kind would do, and
+// "end of input" at EOF (whose text is empty — bare %q would print "").
+func describeToken(kind tokenKind, text string) string {
+	if text != "" {
+		return fmt.Sprintf("%q", text)
+	}
+	switch kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "an identifier"
+	case tokNumber:
+		return "a number"
+	case tokKeyword:
+		return "a keyword"
+	default:
+		return "a token"
+	}
+}
+
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("cql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+	return errAt(p.src, p.cur().pos, format, args...)
+}
+
+// errfTok is errf anchored at a specific (already consumed) token rather
+// than the parser's current position.
+func (p *parser) errfTok(t token, format string, args ...any) error {
+	return errAt(p.src, t.pos, format, args...)
 }
 
 type selectItem struct {
@@ -254,7 +283,7 @@ func (p *parser) parseSource() (query.Input, error) {
 	}
 	s, ok := p.cat[nameTok.text]
 	if !ok {
-		return query.Input{}, p.errf("unknown stream %q", nameTok.text)
+		return query.Input{}, p.errfTok(nameTok, "unknown stream %q", nameTok.text)
 	}
 	if _, err := p.expect(tokPunct, "["); err != nil {
 		return query.Input{}, err

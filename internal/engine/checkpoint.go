@@ -67,7 +67,22 @@ func (e *Engine) Checkpoint() (*ckpt.Snapshot, error) {
 		Epoch: uint64(e.ckptEpoch.Add(1)),
 		Phi:   e.taskSize.Load(),
 	}
-	for _, r := range e.quer {
+	// Capture under regMu so the statement log and the per-query state
+	// describe one consistent catalog generation: a concurrent DDL either
+	// lands wholly before this epoch or wholly after it. The statement
+	// source must be lock-free (see SetStatementSource). Dropped
+	// tombstones are excluded — their state is gone and their statements
+	// have left the log.
+	e.regMu.Lock()
+	var captured []*registered
+	if fn := e.statementSource(); fn != nil {
+		snap.Statements = fn()
+	}
+	for _, r := range e.queries() {
+		if r.dropped.Load() {
+			continue
+		}
+		captured = append(captured, r)
 		qs := r.result.capture()
 		if e.matrix != nil {
 			qs.RateCPU = e.matrix.Rate(r.idx, sched.CPU)
@@ -75,6 +90,7 @@ func (e *Engine) Checkpoint() (*ckpt.Snapshot, error) {
 		}
 		snap.Queries = append(snap.Queries, qs)
 	}
+	e.regMu.Unlock()
 	if _, n, err := st.Save(snap); err != nil {
 		e.ckm.failures.Add(1)
 		return nil, err
@@ -85,8 +101,9 @@ func (e *Engine) Checkpoint() (*ckpt.Snapshot, error) {
 	e.ckm.lastEpoch.Set(int64(snap.Epoch))
 	e.ckm.snapshotNs.Observe(time.Since(start).Nanoseconds())
 	// Publish the new exactly-once cutoffs only after the epoch is
-	// durable: Handle.Committed must never run ahead of disk.
-	for i, r := range e.quer {
+	// durable: Handle.Committed must never run ahead of disk. captured
+	// is index-aligned with snap.Queries (both skipped tombstones).
+	for i, r := range captured {
 		r.committed.Store(snap.Queries[i].CommittedBytes)
 	}
 	return snap, nil
@@ -134,7 +151,7 @@ func (e *Engine) ckptLoop() {
 
 func (e *Engine) totalDrained() int64 {
 	var n int64
-	for _, r := range e.quer {
+	for _, r := range e.queries() {
 		n += r.result.drained.Load()
 	}
 	return n
@@ -184,6 +201,10 @@ type RestoreInfo struct {
 	Skipped int
 	// Queries is how many queries the snapshot restored.
 	Queries int
+	// Unmatched counts snapshot queries with no registered match that
+	// catalog mode skipped (0 outside catalog mode, where an unmatched
+	// query is an error instead).
+	Unmatched int
 }
 
 // Restore rebuilds the engine's state from the newest valid checkpoint
@@ -207,9 +228,17 @@ func (e *Engine) Restore(dir string) (*RestoreInfo, error) {
 	if err != nil {
 		return nil, err
 	}
+	unmatched := 0
 	for _, qs := range snap.Queries {
 		r, ok := e.byName[qs.Name]
 		if !ok {
+			// In catalog mode the replayed statement log governs the query
+			// set, so a snapshot entry with no registered match (a crash
+			// window around a DROP) is skipped, not refused.
+			if e.statementSource() != nil {
+				unmatched++
+				continue
+			}
 			return nil, fmt.Errorf("engine: checkpoint query %q is not registered", qs.Name)
 		}
 		if err := r.restore(qs); err != nil {
@@ -223,10 +252,11 @@ func (e *Engine) Restore(dir string) (*RestoreInfo, error) {
 	e.ckm.lastEpoch.Set(int64(snap.Epoch))
 	e.ckm.recoverNs.Observe(time.Since(start).Nanoseconds())
 	return &RestoreInfo{
-		Epoch:   snap.Epoch,
-		Path:    info.Path,
-		Skipped: info.Skipped,
-		Queries: len(snap.Queries),
+		Epoch:     snap.Epoch,
+		Path:      info.Path,
+		Skipped:   info.Skipped,
+		Queries:   len(snap.Queries) - unmatched,
+		Unmatched: unmatched,
 	}, nil
 }
 

@@ -200,9 +200,25 @@ func (c Config) withDefaults() Config {
 // Engine executes registered continuous queries over heterogeneous
 // processors.
 type Engine struct {
-	cfg    Config
-	quer   []*registered
+	cfg Config
+
+	// quer is the dense query table, indexed by task.Query. It is
+	// copy-on-write behind an atomic pointer so workers index it lock-free
+	// while the catalog registers queries into a running engine.
+	// Deregistered queries stay in the table as tombstones (dropped flag
+	// set) — indices of live tasks and scheduler rows must stay valid
+	// forever. regMu serialises every mutation (Register, Deregister,
+	// Pause, Resume) and guards byName.
+	regMu  sync.Mutex
+	quer   atomic.Pointer[[]*registered]
 	byName map[string]*registered
+
+	// stmtSource, when set (SetStatementSource), contributes the
+	// catalog's DDL statement log to every checkpoint, and switches
+	// Restore to catalog mode: snapshot queries with no registered match
+	// are skipped instead of refused (the replayed statement log governs
+	// the query set).
+	stmtSource atomic.Value // func() []string
 
 	queue  *task.Queue
 	matrix *sched.Matrix
@@ -236,7 +252,8 @@ type Engine struct {
 	taskSize atomic.Int64
 	// phiFloor is the largest registered tuple size: a cut of fewer
 	// bytes would emit zero-tuple tasks and spin the dispatch loop.
-	phiFloor int
+	// Atomic because live registration raises it while SetTaskSize reads.
+	phiFloor atomic.Int64
 
 	adaptCtl  *adapt.Controller
 	adaptStop chan struct{}
@@ -295,11 +312,48 @@ func New(cfg Config) *Engine {
 // Config returns the engine's effective configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Register compiles and registers a query. All registrations must happen
-// before Start. The returned handle ingests input and exposes results.
+// queries returns the current query table (tombstones included). The
+// slice is immutable once published; workers index it lock-free.
+func (e *Engine) queries() []*registered {
+	if p := e.quer.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// queryAt returns the query registered at dense index i (a task.Query).
+func (e *Engine) queryAt(i int) *registered { return e.queries()[i] }
+
+// RegisterOptions carries per-query registration overrides.
+type RegisterOptions struct {
+	// Overload overrides the engine-wide overload-protection config for
+	// this query alone (per-stream WITH (max_queue_bytes=...,
+	// shed_policy=...) specs from the BQL frontend). nil inherits
+	// Config.Overload.
+	Overload *overload.Config
+}
+
+// Register compiles and registers a query. Before Start it only extends
+// the table; on a running engine it additionally grows the scheduler
+// (matrix and HLS rows) and binds the query's metric mirrors, so the
+// first Insert on the returned handle dispatches like any other — no
+// restart, no disturbance to sibling queries. Live registration is
+// refused under the static policy, whose assignment array is fixed at
+// Start.
 func (e *Engine) Register(q *query.Query) (*Handle, error) {
-	if e.started.Load() {
-		return nil, fmt.Errorf("engine: Register after Start")
+	return e.RegisterWith(q, RegisterOptions{})
+}
+
+// RegisterWith is Register with per-query options.
+func (e *Engine) RegisterWith(q *query.Query, opts RegisterOptions) (*Handle, error) {
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	if e.stopped.Load() {
+		return nil, fmt.Errorf("engine: Register after Close")
+	}
+	live := e.started.Load()
+	if live && e.cfg.Policy == "static" {
+		return nil, fmt.Errorf("engine: cannot register on a running engine under the static policy")
 	}
 	if _, dup := e.byName[q.Name]; dup {
 		return nil, fmt.Errorf("engine: duplicate query %q", q.Name)
@@ -308,27 +362,143 @@ func (e *Engine) Register(q *query.Query) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := newRegistered(e, len(e.quer), plan)
+	ov := e.cfg.Overload
+	if opts.Overload != nil {
+		o := opts.Overload.WithDefaults()
+		ov = &o
+	}
+	cur := e.queries()
+	r := newRegistered(e, len(cur), plan, ov)
 	if e.cfg.GPU != nil {
 		r.prog = e.cfg.GPU.Compile(plan)
 	}
 	for i := 0; i < plan.NumInputs(); i++ {
-		if ts := plan.InputSchema(i).TupleSize(); ts > e.phiFloor {
-			e.phiFloor = ts
+		if ts := int64(plan.InputSchema(i).TupleSize()); ts > e.phiFloor.Load() {
+			e.phiFloor.Store(ts)
 		}
 	}
-	e.quer = append(e.quer, r)
+	if live {
+		// Size the scheduler for the new index before the handle escapes:
+		// no task of this query can reach the queue until the caller holds
+		// the handle, so Grow-then-publish is race-free.
+		e.matrix.Grow(len(cur) + 1)
+		if h, ok := e.policy.(*sched.HLS); ok {
+			h.Grow(len(cur) + 1)
+		}
+	}
+	next := make([]*registered, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = r
+	e.quer.Store(&next)
 	e.byName[q.Name] = r
+	if live {
+		e.registerQueryMirrors(r)
+		e.registerRateMirrors(r.idx)
+		// A live-registered query with its own shedding policy arms the
+		// actuation gate exactly as an engine-wide config would at Start.
+		if ov != nil && ov.Policy != overload.ShedNone && e.cfg.Adapt == nil {
+			e.shedArmed.Store(true)
+		}
+	}
 	return &Handle{r: r}, nil
 }
 
+// Pause quiesces a query at a task boundary: inserts keep admitting into
+// the ring (backpressure applies) but no further tasks are cut, and Pause
+// returns only once every already-cut task has drained. Sibling queries
+// are untouched. Pausing a paused query is a no-op.
+func (e *Engine) Pause(name string) error {
+	e.regMu.Lock()
+	r, ok := e.byName[name]
+	e.regMu.Unlock()
+	if !ok {
+		return fmt.Errorf("engine: pause: unknown query %q", name)
+	}
+	if r.paused.Swap(true) {
+		return nil
+	}
+	if e.started.Load() {
+		r.awaitTaskBoundary()
+	}
+	return nil
+}
+
+// Resume lifts a Pause and immediately cuts any backlog the rings
+// accumulated while paused.
+func (e *Engine) Resume(name string) error {
+	e.regMu.Lock()
+	r, ok := e.byName[name]
+	e.regMu.Unlock()
+	if !ok {
+		return fmt.Errorf("engine: resume: unknown query %q", name)
+	}
+	if !r.paused.Swap(false) {
+		return nil
+	}
+	if e.started.Load() {
+		r.cutBacklog()
+	}
+	return nil
+}
+
+// Deregister drops a query from a running engine: concurrent inserts stop
+// admitting (their unadmitted remainder stays with the caller), buffered
+// residue is flushed as a final task, every outstanding task drains, open
+// windows flush to the sink, and the query's ring and column-store memory
+// is released. The table entry remains as a tombstone so sibling task
+// indices and scheduler rows stay valid; the name becomes reusable
+// immediately. Conservation holds at the drop boundary: everything
+// admitted was either emitted or accounted shed.
+func (e *Engine) Deregister(name string) error {
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	r, ok := e.byName[name]
+	if !ok {
+		return fmt.Errorf("engine: deregister: unknown query %q", name)
+	}
+	delete(e.byName, name)
+	r.dropped.Store(true)
+	if e.started.Load() {
+		// Flush the sub-ϕ residue. insMu inside dispatchTail serialises
+		// against any insert mid-call: it finishes its current chunk, then
+		// its next dropped check bails out.
+		e.dispatchMu.Lock()
+		r.dispatchTail()
+		e.dispatchMu.Unlock()
+		r.awaitTaskBoundary()
+		r.result.flush()
+	}
+	r.release()
+	return nil
+}
+
+// SetStatementSource installs fn as the catalog's DDL statement log: its
+// result is embedded in every checkpoint so a restart can replay the
+// registered statements exactly. fn must be safe to call concurrently
+// and must not acquire locks that are held while calling engine
+// lifecycle methods (the catalog keeps its log in an atomic value).
+// Setting a source also switches Restore to catalog mode: snapshot
+// queries with no registered match are skipped, not refused, because the
+// replayed statement log governs the query set.
+func (e *Engine) SetStatementSource(fn func() []string) { e.stmtSource.Store(fn) }
+
+func (e *Engine) statementSource() func() []string {
+	if fn, ok := e.stmtSource.Load().(func() []string); ok {
+		return fn
+	}
+	return nil
+}
+
 // Start launches the worker threads. The scheduling policy is fixed at
-// this point.
+// this point; queries may still be registered, paused and dropped on the
+// running engine (see Register, Pause, Deregister).
 func (e *Engine) Start() error {
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
 	if e.started.Swap(true) {
 		return fmt.Errorf("engine: already started")
 	}
-	n := len(e.quer)
+	n := len(e.queries())
 	if n == 0 {
 		return fmt.Errorf("engine: no queries registered")
 	}
@@ -386,7 +556,7 @@ func (e *Engine) Start() error {
 	// Seed the fresh matrix with any rates a Restore carried over, so
 	// scheduling resumes from the crashed process's learned crossover
 	// instead of the uniform prior.
-	for _, r := range e.quer {
+	for _, r := range e.queries() {
 		if r.restoredRates[0] > 0 || r.restoredRates[1] > 0 {
 			e.matrix.SeedRates(r.idx, r.restoredRates[0], r.restoredRates[1])
 		}
@@ -422,13 +592,19 @@ func (e *Engine) Start() error {
 		go e.ckptLoop()
 	}
 
-	if ov := e.cfg.Overload; ov != nil {
-		// Without an adapt controller there is no SLO ladder to descend:
-		// a configured shedding policy arms directly on budget pressure.
-		// With Adapt, adaptLoop arms it only at the ladder's last rung.
-		if ov.Policy != overload.ShedNone && e.cfg.Adapt == nil {
-			e.shedArmed.Store(true)
+	// Without an adapt controller there is no SLO ladder to descend: a
+	// configured shedding policy — engine-wide or any query's per-stream
+	// override — arms directly on budget pressure. With Adapt, adaptLoop
+	// arms it only at the ladder's last rung.
+	if e.cfg.Adapt == nil {
+		for _, r := range e.queries() {
+			if r.ov != nil && r.ov.Policy != overload.ShedNone {
+				e.shedArmed.Store(true)
+				break
+			}
 		}
+	}
+	if e.cfg.Overload != nil {
 		e.watchStop = make(chan struct{})
 		e.watchWG.Add(1)
 		go e.watchLoop()
@@ -462,11 +638,18 @@ func (e *Engine) watchLoop() {
 			return
 		case now := <-tick.C:
 			var p overload.Progress
-			for _, r := range e.quer {
-				p.Drained += r.result.drained.Load()
-				for i := 0; i < r.plan.NumInputs(); i++ {
-					p.PendingBytes += r.ins[i].ring.Size()
+			for _, r := range e.queries() {
+				if r.dropped.Load() {
+					continue
 				}
+				p.Drained += r.result.drained.Load()
+				r.bufMu.Lock()
+				for i := 0; i < r.plan.NumInputs(); i++ {
+					if ring := r.ins[i].ring; ring != nil {
+						p.PendingBytes += ring.Size()
+					}
+				}
+				r.bufMu.Unlock()
 			}
 			p.QueueLen = int64(e.queue.Len())
 			if rep, ok := w.Observe(now, p); ok {
@@ -536,13 +719,19 @@ func (e *Engine) Drain() {
 	// unadmitted remainder is accounted as admission-shed.
 	e.quiesced.Store(true)
 	e.dispatchMu.Lock()
-	for _, r := range e.quer {
+	for _, r := range e.queries() {
+		if r.dropped.Load() {
+			continue
+		}
 		r.dispatchTail()
 	}
 	e.queue.Close()
 	e.dispatchMu.Unlock()
 
-	for _, r := range e.quer {
+	for _, r := range e.queries() {
+		if r.dropped.Load() {
+			continue
+		}
 		r.waitDrained()
 	}
 }
@@ -605,8 +794,8 @@ func (e *Engine) TaskSize() int { return int(e.taskSize.Load()) }
 // larger one could leave the ring too full to ever complete a cut,
 // deadlocking Insert's backpressure).
 func (e *Engine) SetTaskSize(phi int) int {
-	if phi < e.phiFloor {
-		phi = e.phiFloor
+	if floor := int(e.phiFloor.Load()); phi < floor {
+		phi = floor
 	}
 	if max := e.cfg.InputBufferSize / 4; phi > max {
 		phi = max

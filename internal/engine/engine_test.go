@@ -403,12 +403,17 @@ func TestConfigValidationAndPolicies(t *testing.T) {
 	if err := eng.Start(); err == nil {
 		t.Error("double Start succeeded")
 	}
-	if _, err := eng.Register(aggQuery(t)); err == nil {
-		t.Error("Register after Start succeeded")
+	// Live registration: a query registered after Start joins the
+	// running engine.
+	if _, err := eng.Register(aggQuery(t)); err != nil {
+		t.Errorf("Register after Start failed: %v", err)
 	}
 	eng.Drain()
 	eng.Close()
 	eng.Close() // idempotent
+	if _, err := eng.Register(selQuery(t)); err == nil {
+		t.Error("Register after Close succeeded")
+	}
 
 	bad := fastConfig(1)
 	bad.Policy = "banana"
@@ -434,6 +439,9 @@ func TestConfigValidationAndPolicies(t *testing.T) {
 	h, _ := e4.Register(selQuery(t))
 	if err := e4.Start(); err != nil {
 		t.Fatal(err)
+	}
+	if _, err := e4.Register(aggQuery(t)); err == nil {
+		t.Error("live registration under the static policy succeeded")
 	}
 	h.Insert(genStream(1000, 9))
 	e4.Drain()

@@ -17,11 +17,18 @@ import (
 // returned checkers while the engine runs.
 func (e *Engine) Invariants() []inv.Checker {
 	var cs []inv.Checker
-	for _, r := range e.quer {
-		cs = append(cs, r.result)
-		for i := 0; i < r.plan.NumInputs(); i++ {
-			cs = append(cs, r.ins[i].ring)
+	for _, r := range e.queries() {
+		if r.dropped.Load() {
+			continue
 		}
+		cs = append(cs, r.result)
+		r.bufMu.Lock()
+		for i := 0; i < r.plan.NumInputs(); i++ {
+			if ring := r.ins[i].ring; ring != nil {
+				cs = append(cs, ring)
+			}
+		}
+		r.bufMu.Unlock()
 	}
 	if c, ok := e.policy.(inv.Checker); ok {
 		cs = append(cs, c)
@@ -122,12 +129,15 @@ func (h *Handle) Debug() Debug {
 		OverflowPending:    pending,
 		DuplicateResults:   rs.duplicates.Value(),
 	}
+	r.bufMu.Lock()
 	for i := 0; i < r.plan.NumInputs(); i++ {
-		ring := r.ins[i].ring
-		d.RingWraps = append(d.RingWraps, ring.Wraps())
-		d.RingStart = append(d.RingStart, ring.Start())
-		d.RingEnd = append(d.RingEnd, ring.End())
+		if ring := r.ins[i].ring; ring != nil {
+			d.RingWraps = append(d.RingWraps, ring.Wraps())
+			d.RingStart = append(d.RingStart, ring.Start())
+			d.RingEnd = append(d.RingEnd, ring.End())
+		}
 	}
+	r.bufMu.Unlock()
 	return d
 }
 
@@ -154,10 +164,23 @@ func (h *Handle) CheckQuiesced() error {
 			return fmt.Errorf("result slot %d still full", i)
 		}
 	}
+	r.bufMu.Lock()
+	defer r.bufMu.Unlock()
 	for i := 0; i < r.plan.NumInputs(); i++ {
-		if sz := r.ins[i].ring.Size(); sz != 0 {
-			return fmt.Errorf("input %d ring retains %d bytes", i, sz)
+		if ring := r.ins[i].ring; ring != nil {
+			if sz := ring.Size(); sz != 0 {
+				return fmt.Errorf("input %d ring retains %d bytes", i, sz)
+			}
 		}
 	}
 	return nil
+}
+
+// InjectSlotLeak marks result slot 0 full without a matching deposit —
+// exactly the state CheckQuiesced's slot sweep exists to catch. It is a
+// mutation hook for harness self-tests (a checker that cannot see a
+// planted leak guards nothing): call it only on a quiesced query, since
+// on a live one the phantom slot would wedge the drainer.
+func (h *Handle) InjectSlotLeak() {
+	h.r.result.slots[0].state.Store(slotFull)
 }

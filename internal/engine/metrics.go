@@ -85,45 +85,12 @@ func (e *Engine) registerMirrors() {
 		return 0
 	})
 
-	for _, r := range e.quer {
-		r := r
-		for i := 0; i < r.plan.NumInputs(); i++ {
-			in := r.ins[i]
-			ring := in.ring
-			reg.RegisterFunc(fmt.Sprintf("saber.engine.q%d.in%d.ring.wraps", r.idx, i), ring.Wraps)
-			reg.RegisterFunc(fmt.Sprintf("saber.engine.q%d.in%d.ring.bytes", r.idx, i), ring.Size)
-			if cs := in.cols; cs != nil {
-				// Columnar segment gauges: occupancy, wraps, per-column
-				// payload bytes, and how many tasks skipped the row gather.
-				pre := fmt.Sprintf("saber.ring.q%d.in%d", r.idx, i)
-				reg.RegisterFunc(pre+".col.tuples", cs.Tuples)
-				reg.RegisterFunc(pre+".col.wraps", cs.Wraps)
-				reg.RegisterFunc(pre+".gather.elided", in.colViews.Load)
-				reg.RegisterFunc(pre+".gather.copied", in.colCopies.Load)
-				for c := 0; c < cs.NumCols(); c++ {
-					c := c
-					reg.RegisterFunc(fmt.Sprintf("%s.col%d.bytes", pre, c), func() int64 { return cs.ColBytes(c) })
-				}
-			}
+	for _, r := range e.queries() {
+		if r.dropped.Load() {
+			continue
 		}
-		rs := r.result
-		reg.RegisterFunc(qname(r.idx, "result.drained"), rs.drained.Load)
-		reg.RegisterFunc(qname(r.idx, "result.overflow.pending"), func() int64 {
-			rs.overflowMu.Lock()
-			n := len(rs.overflow)
-			rs.overflowMu.Unlock()
-			return int64(n)
-		})
-	}
-
-	// The live HLS throughput matrix (paper Fig. 16): per-query EWMA task
-	// rates on each processor class.
-	if m := e.matrix; m != nil {
-		for q := range e.quer {
-			q := q
-			reg.RegisterFloatFunc(fmt.Sprintf("saber.sched.matrix.q%d.cpu.rate", q), func() float64 { return m.Rate(q, sched.CPU) })
-			reg.RegisterFloatFunc(fmt.Sprintf("saber.sched.matrix.q%d.gpu.rate", q), func() float64 { return m.Rate(q, sched.GPU) })
-		}
+		e.registerQueryMirrors(r)
+		e.registerRateMirrors(r.idx)
 	}
 	if h, ok := e.policy.(*sched.HLS); ok {
 		reg.RegisterFunc("saber.sched.hls.selected", h.Selected)
@@ -149,6 +116,78 @@ func (e *Engine) registerMirrors() {
 		registerFaultMirrors(reg, d.Injector(), "saber.fault.gpu")
 	}
 	registerFaultMirrors(reg, e.cfg.Fault, "saber.fault.cpu")
+}
+
+// registerQueryMirrors binds one query's snapshot-time mirrors: ring and
+// column-store gauges plus the result-stage drain counters. Called from
+// registerMirrors at Start and directly when a query is registered on a
+// running engine.
+func (e *Engine) registerQueryMirrors(r *registered) {
+	reg := e.reg
+	for i := 0; i < r.plan.NumInputs(); i++ {
+		in := r.ins[i]
+		ring := in.ring
+		reg.RegisterFunc(fmt.Sprintf("saber.engine.q%d.in%d.ring.wraps", r.idx, i), ring.Wraps)
+		reg.RegisterFunc(fmt.Sprintf("saber.engine.q%d.in%d.ring.bytes", r.idx, i), ring.Size)
+		if cs := in.cols; cs != nil {
+			// Columnar segment gauges: occupancy, wraps, per-column
+			// payload bytes, and how many tasks skipped the row gather.
+			pre := fmt.Sprintf("saber.ring.q%d.in%d", r.idx, i)
+			reg.RegisterFunc(pre+".col.tuples", cs.Tuples)
+			reg.RegisterFunc(pre+".col.wraps", cs.Wraps)
+			reg.RegisterFunc(pre+".gather.elided", in.colViews.Load)
+			reg.RegisterFunc(pre+".gather.copied", in.colCopies.Load)
+			for c := 0; c < cs.NumCols(); c++ {
+				c := c
+				reg.RegisterFunc(fmt.Sprintf("%s.col%d.bytes", pre, c), func() int64 { return cs.ColBytes(c) })
+			}
+		}
+	}
+	rs := r.result
+	reg.RegisterFunc(qname(r.idx, "result.drained"), rs.drained.Load)
+	reg.RegisterFunc(qname(r.idx, "result.overflow.pending"), func() int64 {
+		rs.overflowMu.Lock()
+		n := len(rs.overflow)
+		rs.overflowMu.Unlock()
+		return int64(n)
+	})
+}
+
+// registerRateMirrors binds one query row of the live HLS throughput
+// matrix (paper Fig. 16): per-query EWMA task rates on each processor
+// class. No-op before the matrix exists (pre-Start registrations are
+// covered by registerMirrors).
+func (e *Engine) registerRateMirrors(q int) {
+	m := e.matrix
+	if m == nil {
+		return
+	}
+	e.reg.RegisterFloatFunc(fmt.Sprintf("saber.sched.matrix.q%d.cpu.rate", q), func() float64 { return m.Rate(q, sched.CPU) })
+	e.reg.RegisterFloatFunc(fmt.Sprintf("saber.sched.matrix.q%d.gpu.rate", q), func() float64 { return m.Rate(q, sched.GPU) })
+}
+
+// releaseQueryMirrors rebinds a dropped query's ring and column-store
+// mirrors to zero functions, releasing the buffer references the old
+// closures captured (obs.Registry.RegisterFunc replaces in place). The
+// result-stage counters keep reporting the tombstone's final frontier,
+// and the rate mirrors keep reading the (now idle) matrix row.
+func (e *Engine) releaseQueryMirrors(r *registered) {
+	reg := e.reg
+	zero := func() int64 { return 0 }
+	for i := 0; i < r.plan.NumInputs(); i++ {
+		reg.RegisterFunc(fmt.Sprintf("saber.engine.q%d.in%d.ring.wraps", r.idx, i), zero)
+		reg.RegisterFunc(fmt.Sprintf("saber.engine.q%d.in%d.ring.bytes", r.idx, i), zero)
+		if cs := r.ins[i].cols; cs != nil {
+			pre := fmt.Sprintf("saber.ring.q%d.in%d", r.idx, i)
+			reg.RegisterFunc(pre+".col.tuples", zero)
+			reg.RegisterFunc(pre+".col.wraps", zero)
+			reg.RegisterFunc(pre+".gather.elided", zero)
+			reg.RegisterFunc(pre+".gather.copied", zero)
+			for c := 0; c < cs.NumCols(); c++ {
+				reg.RegisterFunc(fmt.Sprintf("%s.col%d.bytes", pre, c), zero)
+			}
+		}
+	}
 }
 
 // registerFaultMirrors exposes one injector's per-site injection and

@@ -30,6 +30,25 @@ type registered struct {
 	insMu sync.Mutex
 	ins   [2]*inputStream
 
+	// bufMu additionally guards the ins[i].ring and ins[i].cols POINTER
+	// fields (not their contents): release nils them under insMu+bufMu,
+	// so readers outside the dispatch path (watchdog, Debug) take the
+	// never-contended bufMu instead of insMu — which an admission wait
+	// can hold across its entire bounded backpressure loop.
+	bufMu sync.Mutex
+
+	// ov is the query's effective overload-protection config: the
+	// per-query override from RegisterOptions, else the engine's
+	// Config.Overload. nil disables budgets and shedding for this query.
+	ov *overload.Config
+
+	// paused gates task cutting (Pause/Resume): admission continues,
+	// dispatch stops at the current task boundary.
+	paused atomic.Bool
+	// dropped marks a deregistered tombstone: inserts stop admitting,
+	// workers never see new tasks, and the buffers have been released.
+	dropped atomic.Bool
+
 	taskSeq atomic.Int64
 	result  *resultStage
 	stats   statsCounters
@@ -113,14 +132,14 @@ type inputStream struct {
 	pendingSince int64
 }
 
-func newRegistered(e *Engine, idx int, plan *exec.Plan) *registered {
-	r := &registered{e: e, idx: idx, plan: plan, cost: model.Analyze(plan.Q)}
+func newRegistered(e *Engine, idx int, plan *exec.Plan, ov *overload.Config) *registered {
+	r := &registered{e: e, idx: idx, plan: plan, cost: model.Analyze(plan.Q), ov: ov}
 	r.stats = newStatsCounters(e.reg, idx)
 	r.over = newOverloadCounters(e.reg, idx)
-	if e.cfg.Overload != nil {
+	if ov != nil {
 		// Offset the seed per query so two queries sharing a config do
 		// not shed in lockstep.
-		cfg := *e.cfg.Overload
+		cfg := *ov
 		cfg.Seed += int64(idx) * 7919
 		r.shed = overload.NewShedder(cfg)
 	}
@@ -171,13 +190,22 @@ func newRegistered(e *Engine, idx int, plan *exec.Plan) *registered {
 // accounting bucket — admitted (bytes.in), admission-shed, or gap-shed —
 // so `offered == out + shed` holds at quiesce.
 func (r *registered) insert(side int, data []byte) {
-	if len(data) == 0 {
+	if len(data) == 0 || r.dropped.Load() {
 		return
 	}
 	start := time.Now()
 	in := r.ins[side]
 	if len(data)%in.tupleSize != 0 {
 		panic("engine: Insert data must be whole tuples")
+	}
+	r.insMu.Lock()
+	// Re-check under the lock: a concurrent Deregister nils the ring
+	// under insMu, so past this point the buffers are stable for the
+	// whole call. A dropped query's bytes stay with the caller (neither
+	// offered nor shed), like a rejected TryInsert.
+	if r.dropped.Load() || in.ring == nil {
+		r.insMu.Unlock()
+		return
 	}
 	r.over.bytesOffered.Add(int64(len(data)))
 
@@ -189,7 +217,7 @@ func (r *registered) insert(side int, data []byte) {
 	// too few to cut a task, released only at drain) would wedge
 	// admission for good. Half leaves headroom for exactly that residue.
 	chunk := in.ring.Capacity() / 2
-	if ov := r.e.cfg.Overload; ov != nil && ov.MaxQueueBytes > 0 {
+	if ov := r.ov; ov != nil && ov.MaxQueueBytes > 0 {
 		if b := overload.EffectiveBudget(ov.MaxQueueBytes, r.e.taskSize.Load(), 0) / 2; b < int64(chunk) {
 			chunk = int(b)
 		}
@@ -198,7 +226,6 @@ func (r *registered) insert(side int, data []byte) {
 	if chunk < in.tupleSize {
 		chunk = in.tupleSize
 	}
-	r.insMu.Lock()
 	for off := 0; off < len(data); off += chunk {
 		end := off + chunk
 		if end > len(data) {
@@ -227,14 +254,16 @@ func (r *registered) insert(side int, data []byte) {
 			in.cols.Append(data[off:end])
 		}
 		r.stats.bytesIn.Add(int64(end - off))
-		if r.plan.NumInputs() == 1 {
-			for r.pendingBytes(0) >= r.e.taskSize.Load() {
-				r.cutSingle()
-			}
-		} else {
-			for r.combinedPending() >= r.e.taskSize.Load() {
-				if !r.cutPair(false) {
-					break
+		if !r.paused.Load() {
+			if r.plan.NumInputs() == 1 {
+				for r.pendingBytes(0) >= r.e.taskSize.Load() {
+					r.cutSingle()
+				}
+			} else {
+				for r.combinedPending() >= r.e.taskSize.Load() {
+					if !r.cutPair(false) {
+						break
+					}
 				}
 			}
 		}
@@ -270,7 +299,7 @@ const (
 //   - otherwise backs off (exponential, capped) and retries: plain
 //     quiesce-aware backpressure.
 func (r *registered) admit(side int, in *inputStream, p []byte) admitVerdict {
-	ov := r.e.cfg.Overload
+	ov := r.ov
 	// since stamps when the current bounded wait began. MaxWait is wall
 	// time, so it must be measured, not inferred from the nominal backoff
 	// sleeps — time.Sleep(10µs) routinely runs several times longer under
@@ -280,7 +309,7 @@ func (r *registered) admit(side int, in *inputStream, p []byte) admitVerdict {
 	backoff := 10 * time.Microsecond
 	counted := false
 	for {
-		if r.e.quiescing() {
+		if r.e.quiescing() || r.dropped.Load() {
 			return admitQuiesced
 		}
 		if !r.overBudget(in, int64(len(p))) {
@@ -339,7 +368,7 @@ func (r *registered) admit(side int, in *inputStream, p []byte) admitVerdict {
 // cuttable; see overload.EffectiveBudget). Ring occupancy — buffered but
 // not yet released bytes — is the queue-depth measure.
 func (r *registered) overBudget(in *inputStream, need int64) bool {
-	ov := r.e.cfg.Overload
+	ov := r.ov
 	if ov == nil || ov.MaxQueueBytes <= 0 {
 		return false
 	}
@@ -548,7 +577,7 @@ func (r *registered) tryInsert(side int, data []byte) bool {
 		panic("engine: Insert data must be whole tuples")
 	}
 	r.insMu.Lock()
-	if r.e.quiescing() || r.overBudget(in, int64(len(data))) {
+	if r.e.quiescing() || r.dropped.Load() || in.ring == nil || r.overBudget(in, int64(len(data))) {
 		r.insMu.Unlock()
 		r.over.admitRejects.Add(1)
 		return false
@@ -569,14 +598,16 @@ func (r *registered) tryInsert(side int, data []byte) bool {
 		in.cols.Append(data)
 	}
 	r.stats.bytesIn.Add(int64(len(data)))
-	if r.plan.NumInputs() == 1 {
-		for r.pendingBytes(0) >= r.e.taskSize.Load() {
-			r.cutSingle()
-		}
-	} else {
-		for r.combinedPending() >= r.e.taskSize.Load() {
-			if !r.cutPair(false) {
-				break
+	if !r.paused.Load() {
+		if r.plan.NumInputs() == 1 {
+			for r.pendingBytes(0) >= r.e.taskSize.Load() {
+				r.cutSingle()
+			}
+		} else {
+			for r.combinedPending() >= r.e.taskSize.Load() {
+				if !r.cutPair(false) {
+					break
+				}
 			}
 		}
 	}
@@ -589,10 +620,14 @@ func (r *registered) tryInsert(side int, data []byte) bool {
 }
 
 // dispatchTail flushes any remaining partial batch as a final (smaller)
-// task. Called with the engine's dispatch lock held, during Drain.
+// task, regardless of pause state. Called with the engine's dispatch
+// lock held, during Drain and Deregister.
 func (r *registered) dispatchTail() {
 	r.insMu.Lock()
 	defer r.insMu.Unlock()
+	if r.ins[0] == nil || r.ins[0].ring == nil {
+		return // already released
+	}
 	if r.plan.NumInputs() == 1 {
 		if n := r.pendingBytes(0) / int64(r.ins[0].tupleSize); n > 0 {
 			r.emit([2]int64{n, 0}, false)
@@ -603,13 +638,63 @@ func (r *registered) dispatchTail() {
 	}
 }
 
+// cutBacklog cuts every full ϕ of data buffered while the query was
+// paused (Resume's catch-up path).
+func (r *registered) cutBacklog() {
+	r.insMu.Lock()
+	defer r.insMu.Unlock()
+	if r.ins[0] == nil || r.ins[0].ring == nil {
+		return
+	}
+	if r.plan.NumInputs() == 1 {
+		for r.pendingBytes(0) >= r.e.taskSize.Load() {
+			r.cutSingle()
+		}
+	} else {
+		for r.combinedPending() >= r.e.taskSize.Load() {
+			if !r.cutPair(false) {
+				break
+			}
+		}
+	}
+}
+
+// awaitTaskBoundary blocks until every task cut so far has drained —
+// the quiesce point Pause and Deregister converge on. Returns early if
+// the engine is closed (workers are gone; nothing further will drain).
+func (r *registered) awaitTaskBoundary() {
+	for r.result.drained.Load() < r.taskSeq.Load() {
+		if r.e.stopped.Load() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
 // waitDrained blocks until every dispatched task's result has been
 // assembled, then flushes still-open windows.
 func (r *registered) waitDrained() {
-	for r.result.drained.Load() < r.taskSeq.Load() {
-		time.Sleep(200 * time.Microsecond)
-	}
+	r.awaitTaskBoundary()
 	r.result.flush()
+}
+
+// release frees a dropped query's buffer memory: the metric mirrors are
+// rebound to zero functions (dropping their captured ring pointers), then
+// the ring and column-store references are cut under insMu (dispatch
+// path) plus bufMu (watchdog/debug readers). The registered entry itself
+// stays as a tombstone.
+func (r *registered) release() {
+	r.e.releaseQueryMirrors(r)
+	r.insMu.Lock()
+	r.bufMu.Lock()
+	for i := 0; i < r.plan.NumInputs(); i++ {
+		if in := r.ins[i]; in != nil {
+			in.ring = nil
+			in.cols = nil
+		}
+	}
+	r.bufMu.Unlock()
+	r.insMu.Unlock()
 }
 
 // OutputSchema of the query.

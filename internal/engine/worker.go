@@ -62,7 +62,7 @@ func (e *Engine) cpuWorker() {
 			continue
 		}
 		idle.reset()
-		r := e.quer[t.Query]
+		r := e.queryAt(t.Query)
 		if r.takeShedTask() {
 			// ShedOldest's worker-side rung: admission granted a shed for
 			// this query because all over-budget bytes were already cut
@@ -104,7 +104,7 @@ func (e *Engine) cpuWorker() {
 // task by depositing a gap so assembly continues past its window range
 // instead of wedging the drain frontier.
 func (e *Engine) failTask(t *task.Task, p sched.Processor, err error) {
-	r := e.quer[t.Query]
+	r := e.queryAt(t.Query)
 	r.stats.tasksFailed.Add(1)
 	r.recordFailure(err)
 	t.Attempts++
@@ -214,7 +214,7 @@ func (e *Engine) gpuWorker() {
 				break
 			}
 			e.gpuInflight.Add(1)
-			r := e.quer[t.Query]
+			r := e.queryAt(t.Query)
 			res := r.plan.NewResult()
 			t.Trace.SetStage(obs.StageQueue, time.Duration(time.Now().UnixNano()-t.Created))
 			fly = append(fly, gpuInflightEntry{
@@ -280,7 +280,7 @@ func (e *Engine) completeGPU(f gpuInflightEntry) (hung bool) {
 		}
 	}
 
-	r := e.quer[f.t.Query]
+	r := e.queryAt(f.t.Query)
 	switch {
 	case timedOut:
 		e.breaker.RecordFailure(f.probe)

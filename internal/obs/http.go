@@ -16,8 +16,9 @@ import (
 //	/debug/pprof  the standard runtime profiles
 //
 // The handler is read-only and safe to serve while the engine runs; every
-// request takes a fresh snapshot.
-func Handler(reg *Registry, tr *Tracer) http.Handler {
+// request takes a fresh snapshot. Extra routes (e.g. the catalog's
+// /catalog and /catalog/ddl admin API) mount onto the same mux.
+func Handler(reg *Registry, tr *Tracer, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/varz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -46,13 +47,24 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	index := "saber admin endpoint\n\n/varz\n/metrics\n/traces\n/debug/pprof/\n"
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+		index += rt.Pattern + "\n"
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("saber admin endpoint\n\n/varz\n/metrics\n/traces\n/debug/pprof/\n"))
+		w.Write([]byte(index))
 	})
 	return mux
+}
+
+// Route is an extra endpoint mounted on the admin handler's mux.
+type Route struct {
+	Pattern string
+	Handler http.Handler
 }

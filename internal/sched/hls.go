@@ -54,6 +54,17 @@ func NewHLS(n int, c *Matrix, st int) *HLS {
 	return &HLS{C: c, St: st, count: make([][numProcs]int, n)}
 }
 
+// Grow extends the per-query streak table to cover queries registered
+// after Start. Must be called (with the matrix grown first) before any
+// task of a new query index reaches the queue.
+func (h *HLS) Grow(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.count) < n {
+		h.count = append(h.count, [numProcs]int{})
+	}
+}
+
 // Name implements Policy.
 func (h *HLS) Name() string { return "hls" }
 

@@ -51,11 +51,12 @@ type Matrix struct {
 	// loop stores it while workers read rates.
 	phi atomic.Int64
 
-	mu    sync.RWMutex
-	alpha float64
-	rows  [][numProcs]float64
-	seen  [][numProcs]bool
-	fits  [][numProcs]fit
+	mu       sync.RWMutex
+	alpha    float64
+	initRate float64
+	rows     [][numProcs]float64
+	seen     [][numProcs]bool
+	fits     [][numProcs]fit
 	// capacity converts one completion's service time into a class
 	// throughput: the CPU class completes tasks on every core in
 	// parallel, the GPGPU across its pipeline depth.
@@ -119,6 +120,7 @@ func (f *fit) serviceAt(x float64) (float64, bool) {
 func NewMatrix(n int, initialRate, alpha float64, cpuCapacity, gpuCapacity float64) *Matrix {
 	m := &Matrix{
 		alpha:    alpha,
+		initRate: initialRate,
 		rows:     make([][numProcs]float64, n),
 		seen:     make([][numProcs]bool, n),
 		fits:     make([][numProcs]fit, n),
@@ -128,6 +130,21 @@ func NewMatrix(n int, initialRate, alpha float64, cpuCapacity, gpuCapacity float
 		m.rows[i] = [numProcs]float64{initialRate, initialRate}
 	}
 	return m
+}
+
+// Grow extends the matrix to cover queries registered after Start (the
+// live-catalog path): rows for query indices up to n-1 are appended under
+// the uniform prior. Growing never disturbs existing rows, and shrinking
+// is not supported — a deregistered query keeps its row as a tombstone so
+// indices stay dense.
+func (m *Matrix) Grow(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.rows) < n {
+		m.rows = append(m.rows, [numProcs]float64{m.initRate, m.initRate})
+		m.seen = append(m.seen, [numProcs]bool{})
+		m.fits = append(m.fits, [numProcs]fit{})
+	}
 }
 
 // SetPhi publishes the engine's current task size so Rate evaluates the

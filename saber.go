@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"saber/internal/adapt"
+	"saber/internal/catalog"
 	"saber/internal/ckpt"
 	"saber/internal/cql"
 	"saber/internal/engine"
@@ -435,3 +436,77 @@ func (q *QueryHandle) InputCursor(side int) int64 { return q.h.InputCursor(side)
 func (q *QueryHandle) String() string {
 	return fmt.Sprintf("query(%s)", q.h.Name())
 }
+
+// Catalog is a live multi-query catalog driving an Engine: it executes
+// BQL DDL scripts (CREATE SOURCE / SINK / STREAM, DROP, PAUSE, RESUME),
+// owns the named objects and their dependency graph, and keeps the
+// statement log inside every checkpoint so a restarted engine rebuilds
+// the exact registered query set. Obtain one with Engine.BootScript.
+type Catalog struct {
+	m *catalog.Manager
+}
+
+// CatalogListing is the JSON-serialisable snapshot of a Catalog's
+// contents, as served on GET /catalog.
+type CatalogListing = catalog.Listing
+
+// BootScript builds a catalog for the engine from a BQL script. When the
+// engine's checkpoint directory holds a loadable epoch, the snapshot's
+// statement log is replayed instead of the script and the engine is
+// restored at the barrier (the returned RestoreInfo is non-nil exactly
+// in that case). Call before Start; call Catalog.StartFeeds after it.
+func (e *Engine) BootScript(script string) (*Catalog, *RestoreInfo, error) {
+	m, info, err := catalog.Boot(e.e, script)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Catalog{m: m}, info, nil
+}
+
+// AdminHandler returns the admin endpoint with the catalog's routes
+// mounted next to /varz, /metrics, /traces and /debug/pprof: GET
+// /catalog lists the live objects, POST /catalog/ddl executes DDL
+// against the running engine.
+func (e *Engine) AdminHandler(c *Catalog) http.Handler {
+	return obs.Handler(e.e.Metrics(), e.e.Tracer(), c.m.Routes()...)
+}
+
+// Exec executes a BQL script against the live catalog and reports how
+// many statements were applied before the first error, if any.
+func (c *Catalog) Exec(src string) (int, error) { return c.m.Exec(src) }
+
+// ExecScript is Exec discarding the applied-statement count.
+func (c *Catalog) ExecScript(src string) error { return c.m.ExecScript(src) }
+
+// StartFeeds starts the generator feeders and TCP listeners. Call once,
+// after Engine.Start.
+func (c *Catalog) StartFeeds() { c.m.StartFeeds() }
+
+// WaitFeeds blocks until every currently running generator feeder
+// reaches its count bound. Feeders without a count never finish; stop
+// those with Close.
+func (c *Catalog) WaitFeeds() { c.m.WaitFeeds() }
+
+// Tap attaches fn to a stream's post-emitter result feed, alongside any
+// INTO sink. fn must not retain the slice.
+func (c *Catalog) Tap(stream string, fn func(rows []byte)) error { return c.m.Tap(stream, fn) }
+
+// Stream returns the query handle behind a named stream.
+func (c *Catalog) Stream(name string) (*QueryHandle, error) {
+	h, err := c.m.Handle(name)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryHandle{h: h}, nil
+}
+
+// List snapshots the catalog contents.
+func (c *Catalog) List() CatalogListing { return c.m.List() }
+
+// Statements returns the replayable statement log — the DDL that
+// recreates the current catalog, in execution order.
+func (c *Catalog) Statements() []string { return c.m.Statements() }
+
+// Close stops feeders, listeners and file sinks. It does not stop the
+// engine: drain and close that separately.
+func (c *Catalog) Close() { c.m.Close() }
